@@ -1,0 +1,305 @@
+// Package arams_test hosts the top-level benchmark harness: one
+// testing.B benchmark per table/figure of the paper, sized so the full
+// suite runs in minutes. The aramsbench command produces the actual
+// tables; these benchmarks track the performance of each experiment's
+// computational kernel.
+package arams_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"arams/internal/bench"
+	"arams/internal/hdbscan"
+	"arams/internal/imgproc"
+	"arams/internal/lcls"
+	"arams/internal/mat"
+	"arams/internal/optics"
+	"arams/internal/parallel"
+	"arams/internal/pipeline"
+	"arams/internal/rng"
+	"arams/internal/sketch"
+	"arams/internal/synth"
+	"arams/internal/umap"
+)
+
+// BenchmarkFig1Variants times the four algorithm variants of Fig. 1 on
+// a fixed synthetic stream (E2).
+func BenchmarkFig1Variants(b *testing.B) {
+	ds := synth.Generate(synth.Params{
+		N: 1000, D: 200, Rank: 100, Decay: synth.Exponential, Seed: 1,
+	})
+	for _, tc := range []struct {
+		name string
+		cfg  sketch.Config
+	}{
+		{"FD", sketch.Config{Ell0: 30, Beta: 1, Seed: 2}},
+		{"RA-FD", sketch.Config{Ell0: 10, Nu: 10, Eps: 0.05, RankAdaptive: true, Beta: 1, Seed: 2}},
+		{"PS+FD", sketch.Config{Ell0: 30, Beta: 0.8, Seed: 2}},
+		{"PS+RA-FD", sketch.Config{Ell0: 10, Nu: 10, Eps: 0.05, RankAdaptive: true, Beta: 0.8, Seed: 2}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				a := sketch.NewARAMS(tc.cfg, ds.A.ColsN, ds.A.RowsN)
+				a.ProcessBatch(ds.A)
+				_ = a.Sketch()
+			}
+		})
+	}
+}
+
+// BenchmarkFig1SingularValues times dataset generation (E1).
+func BenchmarkFig1SingularValues(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = synth.Generate(synth.Params{
+			N: 500, D: 200, Rank: 100, Decay: synth.SubExponential, Seed: uint64(i),
+		})
+	}
+}
+
+// BenchmarkFig2Scaling times parallel sketching with both merge
+// strategies at several worker counts (E3).
+func BenchmarkFig2Scaling(b *testing.B) {
+	ds := synth.Generate(synth.Params{
+		N: 512, D: 1024, Rank: 32, Decay: synth.Cubic, Seed: 3,
+	})
+	for _, strat := range []parallel.MergeStrategy{parallel.TreeMerge, parallel.SerialMerge} {
+		for _, cores := range []int{2, 8, 32} {
+			b.Run(fmt.Sprintf("%s-%dw", strat, cores), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					shards := parallel.SplitRows(ds.A, cores)
+					parallel.Run(shards, parallel.FDSketcher(24, sketch.Options{}), strat)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig3Error times the error evaluation used in Fig. 3 (E4).
+func BenchmarkFig3Error(b *testing.B) {
+	ds := synth.Generate(synth.Params{
+		N: 256, D: 512, Rank: 32, Decay: synth.Cubic, Seed: 4,
+	})
+	shards := parallel.SplitRows(ds.A, 8)
+	global, _ := parallel.Run(shards, parallel.FDSketcher(24, sketch.Options{}), parallel.TreeMerge)
+	basis := global.Basis(global.Ell())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sketch.RelProjErr(ds.A, basis)
+	}
+}
+
+// BenchmarkFig5Pipeline times the beam-profile pipeline end to end (E5).
+func BenchmarkFig5Pipeline(b *testing.B) {
+	bg := lcls.NewBeamGenerator(lcls.BeamConfig{Size: 32, Seed: 5})
+	frames := bg.Generate(150)
+	imgs := make([]*imgproc.Image, len(frames))
+	for i, f := range frames {
+		imgs[i] = f.Image
+	}
+	cfg := pipeline.Config{
+		Pre:    imgproc.Preprocessor{Normalize: true},
+		Sketch: sketch.Config{Ell0: 15, Seed: 6},
+		UMAP:   umap.Config{NNeighbors: 10, NEpochs: 60, Seed: 7},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = pipeline.Process(imgs, cfg)
+	}
+}
+
+// BenchmarkFig6Pipeline times the diffraction pipeline end to end (E6).
+func BenchmarkFig6Pipeline(b *testing.B) {
+	dg := lcls.NewDiffractionGenerator(lcls.DiffractionConfig{Size: 32, Seed: 8})
+	frames, _ := dg.Generate(150)
+	imgs := make([]*imgproc.Image, len(frames))
+	for i, f := range frames {
+		imgs[i] = f.Image
+	}
+	cfg := pipeline.Config{
+		Pre:    imgproc.Preprocessor{Normalize: true},
+		Sketch: sketch.Config{Ell0: 15, Seed: 9},
+		UMAP:   umap.Config{NNeighbors: 12, NEpochs: 60, Seed: 10},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = pipeline.Process(imgs, cfg)
+	}
+}
+
+// BenchmarkRuntimeThroughput times the §VI-B streaming path: event
+// building plus online monitor ingest (E7).
+func BenchmarkRuntimeThroughput(b *testing.B) {
+	beam := lcls.NewBeamGenerator(lcls.BeamConfig{Size: 32, Seed: 11})
+	diff := lcls.NewDiffractionGenerator(lcls.DiffractionConfig{Size: 32, Seed: 12})
+	readouts, _, _ := lcls.Stream(lcls.StreamConfig{Pulses: 200, Jumble: 8, Seed: 13}, beam, diff)
+	cfg := pipeline.Config{
+		Pre:    imgproc.Preprocessor{Normalize: true},
+		Sketch: sketch.Config{Ell0: 10, Seed: 14},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		builder := lcls.NewEventBuilder([]string{lcls.BeamDetector, lcls.AreaDetector}, 64)
+		monitor := pipeline.NewMonitor(cfg, 128)
+		for _, r := range readouts {
+			if ev, ok := builder.Push(r); ok {
+				monitor.Ingest(ev.Images[lcls.BeamDetector], int(ev.PulseID))
+			}
+		}
+	}
+	b.ReportMetric(float64(200*b.N)/b.Elapsed().Seconds(), "frames/s")
+}
+
+// BenchmarkErrEstimator sweeps the probe count of Algorithm 1 (E8).
+func BenchmarkErrEstimator(b *testing.B) {
+	g := rng.New(15)
+	x := mat.RandGaussian(200, 100, g)
+	_, _, vt := mat.SVD(x)
+	basis := mat.New(10, 100)
+	for i := 0; i < 10; i++ {
+		copy(basis.Row(i), vt.Row(i))
+	}
+	for _, nu := range []int{1, 10, 40} {
+		b.Run(fmt.Sprintf("nu=%d", nu), func(b *testing.B) {
+			gg := rng.New(16)
+			for i := 0; i < b.N; i++ {
+				_ = sketch.EstimateResidualSq(x, basis, nu, gg)
+			}
+		})
+	}
+}
+
+// BenchmarkSVDBackends compares the Gram-trick rotation against the
+// one-sided Jacobi SVD on FD-shaped buffers (ablation A1).
+func BenchmarkSVDBackends(b *testing.B) {
+	g := rng.New(17)
+	for _, shape := range []struct{ m, d int }{{32, 512}, {64, 4096}} {
+		buf := mat.RandGaussian(shape.m, shape.d, g)
+		b.Run(fmt.Sprintf("gram-%dx%d", shape.m, shape.d), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, _, _ = mat.SVDGram(buf)
+			}
+		})
+		b.Run(fmt.Sprintf("jacobi-%dx%d", shape.m, shape.d), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, _, _ = mat.SVD(buf)
+			}
+		})
+	}
+}
+
+// BenchmarkBetaSweep times priority sampling at several keep fractions
+// (ablation A2).
+func BenchmarkBetaSweep(b *testing.B) {
+	g := rng.New(18)
+	x := mat.RandGaussian(2000, 100, g)
+	for _, beta := range []float64{0.5, 0.8, 1.0} {
+		b.Run(fmt.Sprintf("beta=%.1f", beta), func(b *testing.B) {
+			gg := rng.New(19)
+			for i := 0; i < b.N; i++ {
+				_ = sketch.SampleRows(x, beta, gg)
+			}
+		})
+	}
+}
+
+// BenchmarkMerge times the pairwise mergeable-summary operation
+// (ablation A3).
+func BenchmarkMerge(b *testing.B) {
+	g := rng.New(20)
+	x1 := mat.RandGaussian(200, 512, g)
+	x2 := mat.RandGaussian(200, 512, g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		fd1 := sketch.NewFrequentDirections(24, 512, sketch.Options{})
+		fd2 := sketch.NewFrequentDirections(24, 512, sketch.Options{})
+		fd1.AppendMatrix(x1)
+		fd2.AppendMatrix(x2)
+		b.StartTimer()
+		fd1.Merge(fd2)
+	}
+}
+
+// BenchmarkUMAPStage and BenchmarkOPTICSStage time the visualization
+// stages at pipeline scale.
+func BenchmarkUMAPStage(b *testing.B) {
+	g := rng.New(21)
+	x := mat.RandGaussian(300, 12, g)
+	cfg := umap.Config{NNeighbors: 15, NEpochs: 100, Seed: 22}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = umap.Fit(x, cfg)
+	}
+}
+
+func BenchmarkOPTICSStage(b *testing.B) {
+	g := rng.New(23)
+	x := mat.RandGaussian(500, 2, g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := optics.Run(x, 5, math.Inf(1))
+		_ = res.ExtractXi(0.15, 5, 20)
+	}
+}
+
+// BenchmarkBaselineSketchers compares FD against the baseline sketchers
+// of [5] on the same stream (ablation A6).
+func BenchmarkBaselineSketchers(b *testing.B) {
+	g := rng.New(24)
+	x := mat.RandGaussian(1000, 200, g)
+	const ell = 24
+	for _, mk := range []func() sketch.Summarizer{
+		func() sketch.Summarizer { return sketch.NewFrequentDirections(ell, 200, sketch.Options{}) },
+		func() sketch.Summarizer { return sketch.NewRandomProjection(ell, 200, rng.New(25)) },
+		func() sketch.Summarizer { return sketch.NewCountSketch(ell, 200, rng.New(26)) },
+		func() sketch.Summarizer { return sketch.NewNormSampler(ell, 200, rng.New(27)) },
+	} {
+		name := mk().Name()
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := mk()
+				for r := 0; r < x.RowsN; r++ {
+					s.Append(x.Row(r))
+				}
+				_ = s.Sketch()
+			}
+		})
+	}
+}
+
+// BenchmarkHDBSCANStage times the alternative clustering backend at
+// pipeline scale.
+func BenchmarkHDBSCANStage(b *testing.B) {
+	g := rng.New(28)
+	x := mat.RandGaussian(400, 2, g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = hdbscan.Cluster(x, 5, 20)
+	}
+}
+
+// TestBenchHarnessTables sanity-checks that each experiment table
+// builder used by the CLI produces non-empty output (guards the CLI
+// against silent regressions).
+func TestBenchHarnessTables(t *testing.T) {
+	p := bench.Fig1Params{
+		N: 200, D: 60, Rank: 30,
+		EllSweep: []int{5, 10}, EpsSweep: []float64{0.2, 0.05},
+		Nu: 5, Beta: 0.8, Seed: 1,
+	}
+	if tb := bench.Fig1SingularValues(p); len(tb.Rows) == 0 {
+		t.Fatal("fig1sv empty")
+	}
+	if ts := bench.Fig1ErrorRuntime(p); len(ts) != 3 {
+		t.Fatal("fig1 tables wrong")
+	}
+	sp := bench.ScalingParams{N: 64, D: 128, Rank: 8, Ell: 6, Cores: []int{1, 2}, Seed: 2}
+	if tb := bench.Fig2Scaling(sp); len(tb.Rows) != 4 {
+		t.Fatal("fig2 rows wrong")
+	}
+	if tb := bench.Fig3Error(sp); len(tb.Rows) != 2 {
+		t.Fatal("fig3 rows wrong")
+	}
+}

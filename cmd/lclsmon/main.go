@@ -1,0 +1,148 @@
+// Command lclsmon runs the full monitoring pipeline on a stored run
+// file — the counterpart of the paper artifact's run.py driver: it
+// sketches the run with ARAMS in parallel, projects, embeds with UMAP,
+// clusters with OPTICS, and writes an interactive HTML embedding with
+// hover tooltips (the Bokeh-HTML analog of Figs. 5 and 6).
+//
+// Usage:
+//
+//	lclssim -kind diffraction -out run.lcls
+//	lclsmon -in run.lcls -html embedding.html
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+
+	"arams/internal/imgproc"
+	"arams/internal/lcls"
+	"arams/internal/optics"
+	"arams/internal/pipeline"
+	"arams/internal/sketch"
+	"arams/internal/umap"
+	"arams/internal/viz"
+)
+
+func main() {
+	in := flag.String("in", "run.lcls", "input run file")
+	html := flag.String("html", "embedding.html", "output HTML path")
+	workers := flag.Int("workers", 4, "parallel sketch workers")
+	ell := flag.Int("ell", 25, "initial sketch size ℓ")
+	eps := flag.Float64("eps", 0, "rank-adaptive error target (0 = fixed rank)")
+	beta := flag.Float64("beta", 0.9, "priority-sampling keep fraction")
+	latent := flag.Int("latent", 12, "PCA latent dimension")
+	useHDBSCAN := flag.Bool("hdbscan", false, "cluster with HDBSCAN* instead of OPTICS")
+	reach := flag.String("reach", "", "also write the OPTICS reachability plot to this HTML path")
+	seed := flag.Uint64("seed", 1, "RNG seed")
+	flag.Parse()
+
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run, err := lcls.ReadRun(f)
+	f.Close()
+	if err != nil {
+		log.Fatalf("lclsmon: reading %s: %v", *in, err)
+	}
+	fmt.Printf("run %s:%d detector %q — %d frames of %d×%d\n",
+		run.Experiment, run.RunNumber, run.Detector, run.Len(), run.Width, run.Height)
+
+	scfg := sketch.Config{Ell0: *ell, Beta: *beta, Seed: *seed}
+	if *eps > 0 {
+		scfg.RankAdaptive = true
+		scfg.Eps = *eps
+		scfg.Nu = 10
+	}
+	res := pipeline.Process(run.Frames, pipeline.Config{
+		Pre:        imgproc.Preprocessor{Normalize: true},
+		Sketch:     scfg,
+		Workers:    *workers,
+		LatentDim:  *latent,
+		UMAP:       umap.Config{NNeighbors: 20, NEpochs: 200, Seed: *seed + 1},
+		UseHDBSCAN: *useHDBSCAN,
+	})
+
+	fmt.Printf("sketch: %d directions, %.0f frames/s; total %v\n",
+		res.Basis.RowsN, res.SketchThroughput, res.TotalTime.Round(1e6))
+	fmt.Printf("clusters: %d (%d noise points)\n",
+		optics.NumClusters(res.Labels), countNoise(res.Labels))
+	if hasLabels(run.Labels) {
+		fmt.Printf("agreement with stored labels: ARI %.3f\n",
+			optics.ARI(res.Labels, run.Labels))
+	}
+	fmt.Printf("top residual outliers: %v\n", res.ResidualOutliers)
+
+	tips := make([]string, run.Len())
+	for i := range tips {
+		tips[i] = fmt.Sprintf("frame %d\nstored label %d\nresidual %.3f",
+			i, run.Labels[i], res.Residuals[i])
+	}
+	plot := viz.FromEmbedding(
+		fmt.Sprintf("%s run %d — latent embedding", run.Experiment, run.RunNumber),
+		res.Embedding, res.Labels, tips)
+	plot.Subtitle = fmt.Sprintf("%d frames, detector %s", run.Len(), run.Detector)
+	out, err := os.Create(*html)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := plot.WriteHTML(out); err != nil {
+		log.Fatal(err)
+	}
+	if err := out.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("interactive embedding written to %s\n", *html)
+
+	if *reach != "" {
+		opt := optics.Run(res.Embedding, 5, math.Inf(1))
+		ordLabels := make([]int, len(opt.Order))
+		for pos, p := range opt.Order {
+			ordLabels[pos] = res.Labels[p]
+		}
+		rp := &viz.ReachabilityPlot{
+			Title:  fmt.Sprintf("%s run %d — OPTICS reachability", run.Experiment, run.RunNumber),
+			Values: opt.ReachabilityInOrder(),
+			Labels: ordLabels,
+		}
+		rf, err := os.Create(*reach)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rp.WriteHTML(rf); err != nil {
+			log.Fatal(err)
+		}
+		if err := rf.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("reachability plot written to %s\n", *reach)
+	}
+}
+
+func countNoise(labels []int) int {
+	n := 0
+	for _, l := range labels {
+		if l == optics.Noise {
+			n++
+		}
+	}
+	return n
+}
+
+// hasLabels reports whether the stored labels carry any information
+// (more than one distinct value).
+func hasLabels(labels []int) bool {
+	if len(labels) == 0 {
+		return false
+	}
+	first := labels[0]
+	for _, l := range labels {
+		if l != first {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,74 @@
+// Command lclssim generates simulated LCLS runs and writes them to the
+// binary run format, playing the role of the facility DAQ for the
+// offline analysis tools (the counterpart of the paper artifact's
+// genData.py, but for detector images rather than synthetic matrices).
+//
+// Usage:
+//
+//	lclssim -kind beam -frames 500 -size 64 -out run.lcls
+//	lclssim -kind diffraction -frames 400 -size 128 -out run.lcls
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"arams/internal/lcls"
+)
+
+func main() {
+	kind := flag.String("kind", "beam", "run type: beam | diffraction")
+	frames := flag.Int("frames", 500, "number of frames")
+	size := flag.Int("size", 64, "frame side length in pixels")
+	out := flag.String("out", "run.lcls", "output path")
+	seed := flag.Uint64("seed", 1, "RNG seed")
+	exp := flag.String("experiment", "xppc00121", "experiment name stored in the header")
+	runNum := flag.Int("run", 510, "run number stored in the header")
+	exotic := flag.Float64("exotic", 0.02, "fraction of exotic shots (beam runs)")
+	flag.Parse()
+
+	run := &lcls.Run{Experiment: *exp, RunNumber: *runNum}
+	switch *kind {
+	case "beam":
+		run.Detector = lcls.BeamDetector
+		bg := lcls.NewBeamGenerator(lcls.BeamConfig{
+			Size: *size, ExoticFrac: *exotic, Seed: *seed,
+		})
+		for i := 0; i < *frames; i++ {
+			f := bg.Next()
+			label := 0
+			if f.Params.Exotic {
+				label = 1
+			}
+			run.Append(f.Image, label)
+		}
+	case "diffraction":
+		run.Detector = lcls.AreaDetector
+		dg := lcls.NewDiffractionGenerator(lcls.DiffractionConfig{
+			Size: *size, Seed: *seed,
+		})
+		fs, labels := dg.Generate(*frames)
+		for i, f := range fs {
+			run.Append(f.Image, labels[i])
+		}
+	default:
+		log.Fatalf("lclssim: unknown kind %q (want beam or diffraction)", *kind)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, err := run.WriteTo(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s run %s:%d — %d frames of %d×%d (%.1f MB) to %s\n",
+		*kind, run.Experiment, run.RunNumber, run.Len(), *size, *size,
+		float64(n)/1e6, *out)
+}

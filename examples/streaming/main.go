@@ -1,0 +1,82 @@
+// Streaming monitor: live shot-to-shot analysis. A simulated timing
+// system emits jumbled multi-detector readouts at the machine
+// repetition rate; an event builder pools them by pulse ID, and an
+// online Monitor ingests the beam-profile images, keeps a running
+// ARAMS sketch of the whole stream, and periodically snapshots the
+// latent embedding, clustering, and anomaly scores over a sliding
+// window — the operator's live view.
+//
+// Run with: go run ./examples/streaming
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"arams/internal/imgproc"
+	"arams/internal/lcls"
+	"arams/internal/optics"
+	"arams/internal/pipeline"
+	"arams/internal/sketch"
+	"arams/internal/umap"
+)
+
+func main() {
+	const pulses = 600
+
+	// Detector simulation: beam camera + area detector, readouts
+	// arriving out of order with occasional losses.
+	beam := lcls.NewBeamGenerator(lcls.BeamConfig{Size: 32, ExoticFrac: 0.02, Seed: 11})
+	diff := lcls.NewDiffractionGenerator(lcls.DiffractionConfig{Size: 32, Seed: 12})
+	readouts, _, _ := lcls.Stream(lcls.StreamConfig{
+		Pulses: pulses, Jumble: 16, DropProb: 0.01, Seed: 13,
+	}, beam, diff)
+	fmt.Printf("stream: %d readouts for %d pulses (jumbled, 1%% loss)\n",
+		len(readouts), pulses)
+
+	builder := lcls.NewEventBuilder([]string{lcls.BeamDetector, lcls.AreaDetector}, 64)
+	monitor := pipeline.NewMonitor(pipeline.Config{
+		Pre:    imgproc.Preprocessor{ThresholdFrac: 0.02, Normalize: true},
+		Sketch: sketch.Config{Ell0: 12, Nu: 6, Eps: 0.05, RankAdaptive: true, Seed: 14},
+		UMAP:   umap.Config{NNeighbors: 10, NEpochs: 80, Seed: 15},
+	}, 200)
+
+	start := time.Now()
+	snapshots := 0
+	for _, r := range readouts {
+		ev, complete := builder.Push(r)
+		if !complete {
+			continue
+		}
+		// Feed the beam-profile image of each complete event.
+		monitor.Ingest(ev.Images[lcls.BeamDetector], int(ev.PulseID))
+
+		// Refresh the operator view every 150 events: a full UMAP
+		// refit periodically, the fast out-of-sample transform in
+		// between (pipeline.Monitor.QuickSnapshot).
+		if monitor.Ingested()%150 == 0 {
+			var snap *pipeline.Snapshot
+			mode := "quick"
+			if snapshots%2 == 0 {
+				snap = monitor.Snapshot()
+				mode = "full"
+			} else {
+				snap = monitor.QuickSnapshot()
+			}
+			snapshots++
+			fmt.Printf("  [event %4d] %-5s sketch ℓ=%d window=%d clusters=%d outliers=%v\n",
+				monitor.Ingested(), mode, snap.Ell, len(snap.Tags),
+				optics.NumClusters(snap.Labels), snap.Outliers)
+		}
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("\nevent builder: %d built, %d dropped, %d still pending\n",
+		builder.Built(), builder.Dropped(), builder.Pending())
+	hz := float64(monitor.Ingested()) / elapsed.Seconds()
+	fmt.Printf("monitor: %d frames in %v → %.0f Hz (detector rate: 120 Hz), %d snapshots\n",
+		monitor.Ingested(), elapsed.Round(time.Millisecond), hz, snapshots)
+	if monitor.Ell() > 12 {
+		fmt.Printf("rank adaptation grew the sketch from 12 to %d directions\n", monitor.Ell())
+	}
+}

@@ -1,0 +1,3 @@
+module arams
+
+go 1.22

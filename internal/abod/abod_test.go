@@ -1,0 +1,117 @@
+package abod
+
+import (
+	"math"
+	"testing"
+
+	"arams/internal/mat"
+	"arams/internal/rng"
+)
+
+// clusterWithOutlier builds a dense 2-D blob plus one point far away.
+func clusterWithOutlier(n int, seed uint64) (*mat.Matrix, int) {
+	g := rng.New(seed)
+	x := mat.New(n+1, 2)
+	for i := 0; i < n; i++ {
+		x.Set(i, 0, g.Norm())
+		x.Set(i, 1, g.Norm())
+	}
+	x.Set(n, 0, 50)
+	x.Set(n, 1, 50)
+	return x, n
+}
+
+func TestOutlierGetsLowestScore(t *testing.T) {
+	x, outlier := clusterWithOutlier(60, 1)
+	scores := Scores(x, 10)
+	min := 0
+	for i, s := range scores {
+		if s < scores[min] {
+			min = i
+		}
+		_ = s
+	}
+	if min != outlier {
+		t.Fatalf("lowest ABOF at %d (%v), want outlier %d (%v)", min, scores[min], outlier, scores[outlier])
+	}
+}
+
+func TestOutliersSelection(t *testing.T) {
+	x, outlier := clusterWithOutlier(40, 2)
+	scores := Scores(x, 8)
+	picked := Outliers(scores, 0.05) // ceil(0.05·41) = 3
+	if len(picked) != 3 {
+		t.Fatalf("picked %d outliers", len(picked))
+	}
+	if picked[0] != outlier {
+		t.Fatalf("most anomalous = %d, want %d", picked[0], outlier)
+	}
+}
+
+func TestScoresNonNegative(t *testing.T) {
+	g := rng.New(3)
+	x := mat.RandGaussian(50, 4, g)
+	for i, s := range Scores(x, 10) {
+		if s < 0 {
+			t.Fatalf("negative ABOF %v at %d", s, i)
+		}
+	}
+}
+
+func TestInteriorBeatsEdge(t *testing.T) {
+	// A point at the center of a ring sees neighbors at all angles;
+	// a point far outside sees them in a narrow cone. Center must
+	// score higher.
+	n := 24
+	x := mat.New(n+2, 2)
+	for i := 0; i < n; i++ {
+		angle := 2 * math.Pi * float64(i) / float64(n)
+		x.Set(i, 0, math.Cos(angle))
+		x.Set(i, 1, math.Sin(angle))
+	}
+	x.Set(n, 0, 0)    // center
+	x.Set(n+1, 0, 30) // far outside
+	scores := Scores(x, n)
+	if scores[n] <= scores[n+1] {
+		t.Fatalf("center %v should exceed outlier %v", scores[n], scores[n+1])
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	// All points identical: ABOF undefined everywhere, must return 0s
+	// without dividing by zero.
+	x := mat.New(10, 3)
+	for i := 0; i < 10; i++ {
+		x.Set(i, 0, 1)
+	}
+	for _, s := range Scores(x, 5) {
+		if s != 0 {
+			t.Fatalf("duplicate points ABOF = %v", s)
+		}
+	}
+}
+
+func TestTinyInputs(t *testing.T) {
+	if got := Scores(mat.New(0, 2), 5); len(got) != 0 {
+		t.Fatal("empty input produced scores")
+	}
+	two := mat.FromRows([][]float64{{0, 0}, {1, 1}})
+	got := Scores(two, 5)
+	if len(got) != 2 || got[0] != 0 || got[1] != 0 {
+		t.Fatalf("two points: %v", got)
+	}
+}
+
+func TestOutliersClamps(t *testing.T) {
+	scores := []float64{3, 1, 2}
+	if got := Outliers(scores, 2.0); len(got) != 3 {
+		t.Fatalf("contamination > 1: %v", got)
+	}
+	if got := Outliers(scores, 0); len(got) != 0 {
+		t.Fatalf("contamination 0: %v", got)
+	}
+	got := Outliers(scores, 0.4) // ceil(1.2) = 2
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("Outliers order wrong: %v", got)
+	}
+}

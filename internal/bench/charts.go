@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"fmt"
+	"strconv"
+
+	"arams/internal/viz"
+)
+
+// Chart converters: turn experiment tables into the interactive HTML
+// figures the paper presents — semilog error/runtime frontiers for
+// Fig. 1, log-log scaling curves for Figs. 2 and 3, and decay curves
+// for the ablations. aramsbench -htmldir writes one file per chart.
+
+func cell(t *Table, row, col int) float64 {
+	v, err := strconv.ParseFloat(t.Rows[row][col], 64)
+	if err != nil {
+		// Tables format through formatFloat, which Sscan-compatible
+		// strconv handles; non-numeric cells are a programming error.
+		panic(fmt.Sprintf("bench: non-numeric cell %q in %s", t.Rows[row][col], t.Title))
+	}
+	return v
+}
+
+// ChartFig1SV converts the singular-value table into a semilog-y chart.
+func ChartFig1SV(t *Table) *viz.Chart {
+	c := &viz.Chart{
+		Title: t.Title, XLabel: "index", YLabel: "singular value", LogY: true,
+	}
+	for col := 1; col <= 3; col++ {
+		var xs, ys []float64
+		for r := range t.Rows {
+			xs = append(xs, cell(t, r, 0))
+			ys = append(ys, cell(t, r, col))
+		}
+		c.AddSeries(t.Header[col], xs, ys)
+	}
+	return c
+}
+
+// ChartFig1 converts one error-vs-runtime panel into a semilog-y chart
+// with one series per algorithm variant (columns: variant, param,
+// ell_final, runtime_ms, rel_proj_err).
+func ChartFig1(t *Table) *viz.Chart {
+	c := &viz.Chart{
+		Title: t.Title, XLabel: "runtime (ms)", YLabel: "relative projection error", LogY: true,
+	}
+	series := map[string][2][]float64{}
+	var order []string
+	for r := range t.Rows {
+		name := t.Rows[r][0]
+		s, ok := series[name]
+		if !ok {
+			order = append(order, name)
+		}
+		s[0] = append(s[0], cell(t, r, 3))
+		s[1] = append(s[1], cell(t, r, 4))
+		series[name] = s
+	}
+	for _, name := range order {
+		c.AddSeries(name, series[name][0], series[name][1])
+	}
+	return c
+}
+
+// ChartFig2 converts the strong-scaling table into a log-log
+// critical-path runtime chart (columns: cores, strategy, work_ms,
+// critpath_ms, ...).
+func ChartFig2(t *Table) *viz.Chart {
+	c := &viz.Chart{
+		Title: t.Title, XLabel: "cores", YLabel: "critical-path runtime (ms)",
+		LogX: true, LogY: true,
+	}
+	series := map[string][2][]float64{}
+	var order []string
+	for r := range t.Rows {
+		name := t.Rows[r][1]
+		s, ok := series[name]
+		if !ok {
+			order = append(order, name)
+		}
+		s[0] = append(s[0], cell(t, r, 0))
+		s[1] = append(s[1], cell(t, r, 3))
+		series[name] = s
+	}
+	for _, name := range order {
+		c.AddSeries(name, series[name][0], series[name][1])
+	}
+	return c
+}
+
+// ChartFig3 converts the error-vs-cores table into a log-log chart
+// (columns: cores, tree_rel_err, serial_rel_err, ratio).
+func ChartFig3(t *Table) *viz.Chart {
+	c := &viz.Chart{
+		Title: t.Title, XLabel: "cores", YLabel: "relative projection error",
+		LogX: true, LogY: true,
+	}
+	for _, sc := range []struct {
+		col  int
+		name string
+	}{{1, "tree-merge"}, {2, "serial-merge"}} {
+		var xs, ys []float64
+		for r := range t.Rows {
+			xs = append(xs, cell(t, r, 0))
+			ys = append(ys, cell(t, r, sc.col))
+		}
+		c.AddSeries(sc.name, xs, ys)
+	}
+	return c
+}
+
+// ChartXYColumns builds a generic chart plotting column ycol against
+// column xcol (used for the probe/beta/estimator ablation curves).
+func ChartXYColumns(t *Table, xcol, ycol int, logY bool) *viz.Chart {
+	c := &viz.Chart{
+		Title: t.Title, XLabel: t.Header[xcol], YLabel: t.Header[ycol], LogY: logY,
+	}
+	var xs, ys []float64
+	for r := range t.Rows {
+		xs = append(xs, cell(t, r, xcol))
+		ys = append(ys, cell(t, r, ycol))
+	}
+	c.AddSeries(t.Header[ycol], xs, ys)
+	return c
+}

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestChartFig1SV(t *testing.T) {
+	tb := Fig1SingularValues(tinyFig1())
+	c := ChartFig1SV(tb)
+	if len(c.Series) != 3 {
+		t.Fatalf("series = %d", len(c.Series))
+	}
+	if !c.LogY || c.LogX {
+		t.Fatal("fig1sv should be semilog-y")
+	}
+	var buf bytes.Buffer
+	if err := c.WriteHTML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "sub-exponential") {
+		t.Fatal("legend series missing")
+	}
+}
+
+func TestChartFig1(t *testing.T) {
+	tables := Fig1ErrorRuntime(tinyFig1())
+	c := ChartFig1(tables[0])
+	if len(c.Series) != 4 {
+		t.Fatalf("variants = %d, want 4", len(c.Series))
+	}
+	for _, s := range c.Series {
+		if len(s.X) != 3 { // tiny sweep has 3 points per variant
+			t.Fatalf("series %s has %d points", s.Name, len(s.X))
+		}
+	}
+}
+
+func TestChartFig2AndFig3(t *testing.T) {
+	sp := tinyScaling()
+	c2 := ChartFig2(Fig2Scaling(sp))
+	if len(c2.Series) != 2 || !c2.LogX || !c2.LogY {
+		t.Fatalf("fig2 chart wrong: %d series", len(c2.Series))
+	}
+	c3 := ChartFig3(Fig3Error(sp))
+	if len(c3.Series) != 2 {
+		t.Fatalf("fig3 chart wrong: %d series", len(c3.Series))
+	}
+	if c3.Series[0].Name != "tree-merge" || c3.Series[1].Name != "serial-merge" {
+		t.Fatalf("fig3 series order: %s, %s", c3.Series[0].Name, c3.Series[1].Name)
+	}
+	var buf bytes.Buffer
+	if err := c3.WriteHTML(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChartXYColumns(t *testing.T) {
+	tb := ProbeSweep(9)
+	c := ChartXYColumns(tb, 0, 1, true)
+	if len(c.Series) != 1 || len(c.Series[0].X) != len(tb.Rows) {
+		t.Fatal("generic chart wrong")
+	}
+}
+
+func TestCellPanicsOnText(t *testing.T) {
+	tb := &Table{Title: "t", Header: []string{"a"}, Rows: [][]string{{"hello"}}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("text cell did not panic")
+		}
+	}()
+	cell(tb, 0, 0)
+}

@@ -1,0 +1,81 @@
+// Package bench implements the experiment harness that regenerates
+// every table and figure of the paper's evaluation: the Fig. 1 ablation
+// (error/runtime trade-off of the four FD variants over three
+// singular-value decay profiles), the Fig. 2/3 strong-scaling and
+// error-vs-cores studies of tree versus serial merging, the Fig. 5/6
+// embedding experiments on simulated beam-profile and diffraction data,
+// the §VI-B throughput run, and the supplementary ablations (probe
+// count, sampling fraction β, SVD backend).
+//
+// Each experiment returns Tables — printable series with one row per
+// measured point — so the same code backs both the aramsbench CLI and
+// the testing.B benchmarks at the repository root.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// Table is one printable result series.
+type Table struct {
+	Title  string
+	Note   string // interpretation hint: what shape to expect
+	Header []string
+	Rows   [][]string
+}
+
+// Append adds a row of stringified cells.
+func (t *Table) Append(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatFloat(v float64) string {
+	av := v
+	if av < 0 {
+		av = -av
+	}
+	switch {
+	case v == 0:
+		return "0"
+	case av >= 1e5 || av < 1e-3:
+		return fmt.Sprintf("%.3e", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// Print renders the table with aligned columns.
+func (t *Table) Print(w io.Writer) {
+	fmt.Fprintf(w, "\n== %s ==\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(w, "   %s\n", t.Note)
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(t.Header, "\t"))
+	for _, r := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(r, "\t"))
+	}
+	tw.Flush()
+}
+
+// CSV renders the table as comma-separated values (header first).
+func (t *Table) CSV(w io.Writer) {
+	fmt.Fprintln(w, strings.Join(t.Header, ","))
+	for _, r := range t.Rows {
+		fmt.Fprintln(w, strings.Join(r, ","))
+	}
+}

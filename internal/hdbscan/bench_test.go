@@ -1,0 +1,11 @@
+package hdbscan
+
+import "testing"
+
+func BenchmarkCluster(b *testing.B) {
+	x, _ := blobs(4, 100, 20, 0.5, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Cluster(x, 5, 20)
+	}
+}

@@ -1,0 +1,425 @@
+// Package hdbscan implements HDBSCAN* (Campello, Moulavi & Sander
+// 2013): hierarchical density-based clustering by building the minimum
+// spanning tree of the mutual-reachability graph, condensing the
+// resulting single-linkage hierarchy, and selecting clusters by excess
+// of mass. The paper's artifact environment ships HDBSCAN alongside
+// OPTICS as the clustering stage; this package provides it as an
+// alternative backend with no tuning radius — only minClusterSize.
+package hdbscan
+
+import (
+	"math"
+	"sort"
+
+	"arams/internal/knn"
+	"arams/internal/mat"
+)
+
+// Noise is the label assigned to unclustered points.
+const Noise = -1
+
+// Result carries the flat clustering and per-point membership scores.
+type Result struct {
+	Labels []int
+	// Probabilities are per-point cluster-membership strengths in
+	// [0, 1]: λ_point/λ_max within the assigned cluster; 0 for noise.
+	Probabilities []float64
+	// NumClusters is the number of selected clusters.
+	NumClusters int
+}
+
+// Cluster runs HDBSCAN* on the rows of x. minPts sets the core-distance
+// neighborhood (density smoothing), minClusterSize the smallest cluster
+// kept in the condensed tree; minClusterSize <= 0 defaults to minPts.
+func Cluster(x *mat.Matrix, minPts, minClusterSize int) *Result {
+	n := x.RowsN
+	res := &Result{
+		Labels:        make([]int, n),
+		Probabilities: make([]float64, n),
+	}
+	for i := range res.Labels {
+		res.Labels[i] = Noise
+	}
+	if minPts < 2 {
+		minPts = 2
+	}
+	if minClusterSize <= 0 {
+		minClusterSize = minPts
+	}
+	if n < 2 || n < minClusterSize {
+		return res
+	}
+
+	core := coreDistances(x, minPts)
+	edges := mstEdges(x, core)
+	link := buildLinkage(edges, n)
+	ct := condense(link, n, minClusterSize)
+	stability := ct.stabilities()
+	selected := ct.selectClusters(stability)
+	ct.label(selected, res)
+	return res
+}
+
+// coreDistances returns each point's distance to its (minPts−1)-th
+// nearest other point (minPts counts the point itself).
+func coreDistances(x *mat.Matrix, minPts int) []float64 {
+	n := x.RowsN
+	k := minPts - 1
+	if k >= n {
+		k = n - 1
+	}
+	g := knn.BruteForce(x, k)
+	core := make([]float64, n)
+	for i := 0; i < n; i++ {
+		nbs := g.Neighbors[i]
+		if len(nbs) > 0 {
+			core[i] = nbs[len(nbs)-1].Dist
+		}
+	}
+	return core
+}
+
+type edge struct {
+	a, b int
+	w    float64
+}
+
+// mstEdges builds the minimum spanning tree of the complete graph under
+// mutual-reachability distance with dense Prim's algorithm, O(n²) —
+// appropriate since the distance matrix is implicit anyway.
+func mstEdges(x *mat.Matrix, core []float64) []edge {
+	n := x.RowsN
+	inTree := make([]bool, n)
+	dist := make([]float64, n)
+	from := make([]int, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	edges := make([]edge, 0, n-1)
+	current := 0
+	inTree[0] = true
+	for len(edges) < n-1 {
+		// Relax against the newly added vertex.
+		cr := x.Row(current)
+		for j := 0; j < n; j++ {
+			if inTree[j] {
+				continue
+			}
+			d := math.Sqrt(knn.DistSq(cr, x.Row(j)))
+			if core[current] > d {
+				d = core[current]
+			}
+			if core[j] > d {
+				d = core[j]
+			}
+			if d < dist[j] {
+				dist[j] = d
+				from[j] = current
+			}
+		}
+		// Pick the closest outside vertex.
+		best := -1
+		for j := 0; j < n; j++ {
+			if !inTree[j] && (best < 0 || dist[j] < dist[best]) {
+				best = j
+			}
+		}
+		inTree[best] = true
+		edges = append(edges, edge{a: from[best], b: best, w: dist[best]})
+		current = best
+	}
+	return edges
+}
+
+// linkage is the single-linkage dendrogram: node ids 0..n-1 are points,
+// n..2n-2 internal merges in ascending distance order.
+type linkage struct {
+	n     int
+	left  []int
+	right []int
+	dist  []float64
+	size  []int
+}
+
+func buildLinkage(edges []edge, n int) *linkage {
+	sort.Slice(edges, func(i, j int) bool { return edges[i].w < edges[j].w })
+	l := &linkage{
+		n:     n,
+		left:  make([]int, n-1),
+		right: make([]int, n-1),
+		dist:  make([]float64, n-1),
+		size:  make([]int, n-1),
+	}
+	// Union-find tracking the current dendrogram node of each set.
+	parent := make([]int, 2*n-1)
+	node := make([]int, 2*n-1)
+	for i := range parent {
+		parent[i] = i
+		node[i] = i
+	}
+	var find func(int) int
+	find = func(v int) int {
+		for parent[v] != v {
+			parent[v] = parent[parent[v]]
+			v = parent[v]
+		}
+		return v
+	}
+	sizeOf := func(id int) int {
+		if id < n {
+			return 1
+		}
+		return l.size[id-n]
+	}
+	for i, e := range edges {
+		ra, rb := find(e.a), find(e.b)
+		na, nb := node[ra], node[rb]
+		newID := n + i
+		l.left[i] = na
+		l.right[i] = nb
+		l.dist[i] = e.w
+		l.size[i] = sizeOf(na) + sizeOf(nb)
+		parent[ra] = rb
+		node[find(rb)] = newID
+	}
+	return l
+}
+
+// condensedRow is one edge of the condensed tree: child is either a
+// point (< n) or a cluster id (>= n-offset encoding below uses separate
+// slices instead).
+type condensedRow struct {
+	parent  int // cluster label
+	child   int // point index when isPoint, else cluster label
+	lambda  float64
+	size    int
+	isPoint bool
+}
+
+type condensedTree struct {
+	n        int
+	rows     []condensedRow
+	birth    map[int]float64 // cluster label → λ at creation
+	children map[int][]int   // cluster label → child cluster labels
+	maxLabel int
+}
+
+// condense walks the dendrogram from the root, keeping only splits
+// where both sides have at least minClusterSize points; smaller sides'
+// points "fall out" of their parent cluster at the split's λ = 1/dist.
+func condense(l *linkage, n, minClusterSize int) *condensedTree {
+	ct := &condensedTree{
+		n:        n,
+		birth:    map[int]float64{0: 0},
+		children: map[int][]int{},
+	}
+	root := 2*n - 2
+	relabel := map[int]int{root: 0}
+	next := 1
+
+	type item struct{ node int }
+	stack := []item{{root}}
+	// ignore marks dendrogram subtrees already emitted as fallen
+	// points.
+	for len(stack) > 0 {
+		it := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nodeID := it.node
+		if nodeID < n {
+			continue // leaf reached directly (handled by parents)
+		}
+		i := nodeID - n
+		label := relabel[nodeID]
+		lambda := math.Inf(1)
+		if l.dist[i] > 0 {
+			lambda = 1 / l.dist[i]
+		}
+		left, right := l.left[i], l.right[i]
+		ls, rs := nodeSize(l, left), nodeSize(l, right)
+		switch {
+		case ls >= minClusterSize && rs >= minClusterSize:
+			// True split: both children become new clusters.
+			for _, ch := range []struct {
+				node, size int
+			}{{left, ls}, {right, rs}} {
+				childLabel := next
+				next++
+				relabel[ch.node] = childLabel
+				ct.rows = append(ct.rows, condensedRow{
+					parent: label, child: childLabel, lambda: lambda, size: ch.size,
+				})
+				ct.birth[childLabel] = lambda
+				ct.children[label] = append(ct.children[label], childLabel)
+				stack = append(stack, item{ch.node})
+			}
+		case ls < minClusterSize && rs < minClusterSize:
+			// Cluster dissolves: every point falls out here.
+			for _, p := range leavesOf(l, left) {
+				ct.rows = append(ct.rows, condensedRow{
+					parent: label, child: p, lambda: lambda, size: 1, isPoint: true,
+				})
+			}
+			for _, p := range leavesOf(l, right) {
+				ct.rows = append(ct.rows, condensedRow{
+					parent: label, child: p, lambda: lambda, size: 1, isPoint: true,
+				})
+			}
+		default:
+			// The big side continues as the same cluster; the small
+			// side's points fall out.
+			big, small := left, right
+			if ls < minClusterSize {
+				big, small = right, left
+			}
+			relabel[big] = label
+			for _, p := range leavesOf(l, small) {
+				ct.rows = append(ct.rows, condensedRow{
+					parent: label, child: p, lambda: lambda, size: 1, isPoint: true,
+				})
+			}
+			stack = append(stack, item{big})
+		}
+	}
+	ct.maxLabel = next - 1
+	return ct
+}
+
+func nodeSize(l *linkage, id int) int {
+	if id < l.n {
+		return 1
+	}
+	return l.size[id-l.n]
+}
+
+// leavesOf collects the point indices under a dendrogram node.
+func leavesOf(l *linkage, id int) []int {
+	var out []int
+	stack := []int{id}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if v < l.n {
+			out = append(out, v)
+			continue
+		}
+		stack = append(stack, l.left[v-l.n], l.right[v-l.n])
+	}
+	return out
+}
+
+// stabilities computes Σ (λ_child − λ_birth(parent)) · size per
+// cluster.
+func (ct *condensedTree) stabilities() map[int]float64 {
+	st := map[int]float64{}
+	for _, r := range ct.rows {
+		birth := ct.birth[r.parent]
+		lam := r.lambda
+		if math.IsInf(lam, 1) {
+			// Duplicate points merge at distance 0; cap their
+			// contribution to keep stabilities finite and comparable.
+			lam = 1e12
+		}
+		st[r.parent] += (lam - birth) * float64(r.size)
+	}
+	return st
+}
+
+// selectClusters performs excess-of-mass selection: a cluster is chosen
+// if its own stability exceeds the total stability of its chosen
+// descendants. The root (label 0) is never selected, matching the
+// standard allow_single_cluster=false behavior.
+func (ct *condensedTree) selectClusters(stability map[int]float64) map[int]bool {
+	selected := map[int]bool{}
+	// Process labels in decreasing order: children before parents.
+	for label := ct.maxLabel; label >= 1; label-- {
+		kids := ct.children[label]
+		var subtree float64
+		for _, k := range kids {
+			subtree += stability[k]
+		}
+		if len(kids) > 0 && subtree > stability[label] {
+			stability[label] = subtree
+			selected[label] = false
+		} else {
+			selected[label] = true
+			ct.unselectDescendants(label, selected)
+		}
+	}
+	return selected
+}
+
+func (ct *condensedTree) unselectDescendants(label int, selected map[int]bool) {
+	for _, k := range ct.children[label] {
+		selected[k] = false
+		ct.unselectDescendants(k, selected)
+	}
+}
+
+// label assigns each point the selected ancestor of the cluster it fell
+// out of, with membership probability λ_point/λ_max(cluster).
+func (ct *condensedTree) label(selected map[int]bool, res *Result) {
+	// Parent links between clusters.
+	clusterParent := map[int]int{}
+	for _, r := range ct.rows {
+		if !r.isPoint {
+			clusterParent[r.child] = r.parent
+		}
+	}
+	findSelected := func(c int) int {
+		for {
+			if selected[c] {
+				return c
+			}
+			p, ok := clusterParent[c]
+			if !ok {
+				return -1
+			}
+			c = p
+		}
+	}
+	// Map selected labels to dense output labels in birth order.
+	var sel []int
+	for c, on := range selected {
+		if on {
+			sel = append(sel, c)
+		}
+	}
+	sort.Ints(sel)
+	dense := map[int]int{}
+	for i, c := range sel {
+		dense[c] = i
+	}
+	res.NumClusters = len(sel)
+
+	// λ_max per selected cluster, over member points.
+	lamMax := map[int]float64{}
+	type assignment struct {
+		point   int
+		cluster int
+		lambda  float64
+	}
+	var assigns []assignment
+	for _, r := range ct.rows {
+		if !r.isPoint {
+			continue
+		}
+		c := findSelected(r.parent)
+		if c < 0 {
+			continue
+		}
+		lam := r.lambda
+		if math.IsInf(lam, 1) {
+			lam = 1e12
+		}
+		assigns = append(assigns, assignment{point: r.child, cluster: c, lambda: lam})
+		if lam > lamMax[c] {
+			lamMax[c] = lam
+		}
+	}
+	for _, a := range assigns {
+		res.Labels[a.point] = dense[a.cluster]
+		if lamMax[a.cluster] > 0 {
+			res.Probabilities[a.point] = a.lambda / lamMax[a.cluster]
+		}
+	}
+}

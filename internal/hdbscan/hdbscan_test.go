@@ -1,0 +1,203 @@
+package hdbscan
+
+import (
+	"math"
+	"testing"
+
+	"arams/internal/mat"
+	"arams/internal/optics"
+	"arams/internal/rng"
+)
+
+// blobs builds k Gaussian clusters of nPer points in 2-D.
+func blobs(k, nPer int, radius, sigma float64, seed uint64) (*mat.Matrix, []int) {
+	g := rng.New(seed)
+	x := mat.New(k*nPer, 2)
+	truth := make([]int, k*nPer)
+	for c := 0; c < k; c++ {
+		angle := 2 * math.Pi * float64(c) / float64(k)
+		for i := 0; i < nPer; i++ {
+			idx := c*nPer + i
+			x.Set(idx, 0, radius*math.Cos(angle)+sigma*g.Norm())
+			x.Set(idx, 1, radius*math.Sin(angle)+sigma*g.Norm())
+			truth[idx] = c
+		}
+	}
+	return x, truth
+}
+
+func TestRecoversBlobs(t *testing.T) {
+	for _, k := range []int{2, 3, 5} {
+		x, truth := blobs(k, 40, 20, 0.5, uint64(k))
+		res := Cluster(x, 5, 10)
+		if res.NumClusters != k {
+			t.Errorf("k=%d: found %d clusters", k, res.NumClusters)
+			continue
+		}
+		if ari := optics.ARI(res.Labels, truth); ari < 0.95 {
+			t.Errorf("k=%d: ARI %v", k, ari)
+		}
+	}
+}
+
+func TestUnevenDensities(t *testing.T) {
+	// A tight blob and a loose blob — the scenario where a single
+	// DBSCAN eps fails but HDBSCAN's hierarchy succeeds.
+	g := rng.New(10)
+	x := mat.New(120, 2)
+	truth := make([]int, 120)
+	for i := 0; i < 60; i++ {
+		x.Set(i, 0, 0.1*g.Norm())
+		x.Set(i, 1, 0.1*g.Norm())
+	}
+	for i := 60; i < 120; i++ {
+		x.Set(i, 0, 30+2.0*g.Norm())
+		x.Set(i, 1, 2.0*g.Norm())
+		truth[i] = 1
+	}
+	res := Cluster(x, 5, 15)
+	if res.NumClusters != 2 {
+		t.Fatalf("found %d clusters, want 2", res.NumClusters)
+	}
+	if ari := optics.ARI(res.Labels, truth); ari < 0.9 {
+		t.Fatalf("uneven densities ARI %v", ari)
+	}
+}
+
+func TestNoiseRejected(t *testing.T) {
+	g := rng.New(11)
+	x := mat.New(85, 2)
+	for i := 0; i < 80; i++ {
+		c := float64(i % 2 * 30)
+		x.Set(i, 0, c+0.4*g.Norm())
+		x.Set(i, 1, 0.4*g.Norm())
+	}
+	// 5 scattered far-away singletons.
+	for i := 80; i < 85; i++ {
+		x.Set(i, 0, -100-40*float64(i-80))
+		x.Set(i, 1, 200+60*float64(i-80))
+	}
+	res := Cluster(x, 5, 10)
+	for i := 80; i < 85; i++ {
+		if res.Labels[i] != Noise {
+			t.Fatalf("scatter point %d labeled %d", i, res.Labels[i])
+		}
+		if res.Probabilities[i] != 0 {
+			t.Fatalf("noise point %d has probability %v", i, res.Probabilities[i])
+		}
+	}
+	if res.NumClusters != 2 {
+		t.Fatalf("found %d clusters, want 2", res.NumClusters)
+	}
+}
+
+func TestProbabilitiesRange(t *testing.T) {
+	x, _ := blobs(3, 30, 15, 0.5, 12)
+	res := Cluster(x, 5, 10)
+	for i, p := range res.Probabilities {
+		if p < 0 || p > 1 {
+			t.Fatalf("probability[%d] = %v", i, p)
+		}
+		if res.Labels[i] != Noise && p == 0 {
+			t.Fatalf("clustered point %d has zero probability", i)
+		}
+	}
+	// Core points (high λ) should have higher membership than fringe
+	// points on average: max probability must be 1.
+	max := 0.0
+	for _, p := range res.Probabilities {
+		if p > max {
+			max = p
+		}
+	}
+	if math.Abs(max-1) > 1e-12 {
+		t.Fatalf("max probability %v, want 1", max)
+	}
+}
+
+func TestLabelsDense(t *testing.T) {
+	x, _ := blobs(4, 30, 25, 0.4, 13)
+	res := Cluster(x, 5, 10)
+	seen := map[int]bool{}
+	for _, l := range res.Labels {
+		if l != Noise {
+			seen[l] = true
+		}
+	}
+	for c := 0; c < res.NumClusters; c++ {
+		if !seen[c] {
+			t.Fatalf("label %d unused; labels not dense", c)
+		}
+	}
+	for l := range seen {
+		if l >= res.NumClusters {
+			t.Fatalf("label %d beyond NumClusters %d", l, res.NumClusters)
+		}
+	}
+}
+
+func TestTinyInputs(t *testing.T) {
+	res := Cluster(mat.New(0, 2), 5, 5)
+	if len(res.Labels) != 0 || res.NumClusters != 0 {
+		t.Fatal("empty input broken")
+	}
+	one := mat.FromRows([][]float64{{1, 2}})
+	res = Cluster(one, 5, 5)
+	if res.Labels[0] != Noise {
+		t.Fatal("single point should be noise")
+	}
+	// Fewer points than minClusterSize: all noise.
+	x, _ := blobs(1, 8, 0, 0.3, 14)
+	res = Cluster(x, 3, 20)
+	for _, l := range res.Labels {
+		if l != Noise {
+			t.Fatal("undersized dataset produced clusters")
+		}
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	// Many duplicates (zero distances) must not panic or NaN.
+	x := mat.New(40, 2)
+	for i := 0; i < 20; i++ {
+		x.Set(i, 0, 1)
+		x.Set(i, 1, 1)
+	}
+	for i := 20; i < 40; i++ {
+		x.Set(i, 0, 50)
+		x.Set(i, 1, 50)
+	}
+	res := Cluster(x, 3, 8)
+	if res.NumClusters != 2 {
+		t.Fatalf("duplicates: %d clusters, want 2", res.NumClusters)
+	}
+	for i, p := range res.Probabilities {
+		if math.IsNaN(p) {
+			t.Fatalf("probability[%d] is NaN", i)
+		}
+	}
+}
+
+func TestAgreesWithOPTICSOnCleanBlobs(t *testing.T) {
+	// Independent implementations must agree on unambiguous data.
+	x, truth := blobs(3, 40, 25, 0.4, 15)
+	h := Cluster(x, 5, 20)
+	o := optics.Run(x, 5, math.Inf(1)).ExtractDBSCAN(2.0)
+	if ari := optics.ARI(h.Labels, o); ari < 0.95 {
+		t.Fatalf("HDBSCAN vs OPTICS ARI %v", ari)
+	}
+	if ari := optics.ARI(h.Labels, truth); ari < 0.95 {
+		t.Fatalf("HDBSCAN vs truth ARI %v", ari)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	x, _ := blobs(3, 30, 20, 0.5, 16)
+	a := Cluster(x, 5, 10)
+	b := Cluster(x, 5, 10)
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("HDBSCAN not deterministic")
+		}
+	}
+}

@@ -1,0 +1,330 @@
+// Package imgproc provides the detector-image preprocessing used by the
+// monitoring pipeline (§VI of the paper): intensity thresholding,
+// intensity normalization, center-of-mass centering, cropping and
+// binning — the steps that make "the primary shape of the beam profile
+// and its distribution of intensity the focus of the analysis".
+package imgproc
+
+import (
+	"fmt"
+	"math"
+
+	"arams/internal/mat"
+)
+
+// Image is a single-channel detector frame in row-major float64.
+type Image struct {
+	W, H int
+	Pix  []float64 // len W*H, index y*W+x
+}
+
+// NewImage returns a zeroed W×H image.
+func NewImage(w, h int) *Image {
+	if w < 0 || h < 0 {
+		panic(fmt.Sprintf("imgproc: invalid size %d×%d", w, h))
+	}
+	return &Image{W: w, H: h, Pix: make([]float64, w*h)}
+}
+
+// At returns the pixel at (x, y).
+func (im *Image) At(x, y int) float64 { return im.Pix[y*im.W+x] }
+
+// Set assigns the pixel at (x, y).
+func (im *Image) Set(x, y int, v float64) { im.Pix[y*im.W+x] = v }
+
+// Clone returns a deep copy.
+func (im *Image) Clone() *Image {
+	out := NewImage(im.W, im.H)
+	copy(out.Pix, im.Pix)
+	return out
+}
+
+// Sum returns the total intensity.
+func (im *Image) Sum() float64 {
+	var s float64
+	for _, v := range im.Pix {
+		s += v
+	}
+	return s
+}
+
+// Max returns the maximum pixel value (0 for an empty image).
+func (im *Image) Max() float64 {
+	var mx float64
+	for i, v := range im.Pix {
+		if i == 0 || v > mx {
+			mx = v
+		}
+	}
+	return mx
+}
+
+// Threshold zeroes every pixel below the given absolute intensity, in
+// place, and returns the image for chaining.
+func (im *Image) Threshold(level float64) *Image {
+	for i, v := range im.Pix {
+		if v < level {
+			im.Pix[i] = 0
+		}
+	}
+	return im
+}
+
+// ThresholdRelative zeroes pixels below frac·max, in place. frac in
+// [0, 1].
+func (im *Image) ThresholdRelative(frac float64) *Image {
+	return im.Threshold(frac * im.Max())
+}
+
+// Normalize scales the image in place to unit total intensity; an
+// all-zero image is left unchanged. Returns the image for chaining.
+func (im *Image) Normalize() *Image {
+	s := im.Sum()
+	if s == 0 {
+		return im
+	}
+	inv := 1 / s
+	for i := range im.Pix {
+		im.Pix[i] *= inv
+	}
+	return im
+}
+
+// NormalizeMax scales the image in place so the peak pixel is 1.
+func (im *Image) NormalizeMax() *Image {
+	mx := im.Max()
+	if mx == 0 {
+		return im
+	}
+	inv := 1 / mx
+	for i := range im.Pix {
+		im.Pix[i] *= inv
+	}
+	return im
+}
+
+// CenterOfMass returns the intensity-weighted centroid (x, y). For an
+// all-zero image it returns the geometric center.
+func (im *Image) CenterOfMass() (cx, cy float64) {
+	var sx, sy, s float64
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			v := im.Pix[y*im.W+x]
+			sx += v * float64(x)
+			sy += v * float64(y)
+			s += v
+		}
+	}
+	if s == 0 {
+		return float64(im.W-1) / 2, float64(im.H-1) / 2
+	}
+	return sx / s, sy / s
+}
+
+// Center translates the image (integer shift, zero fill) so its center
+// of mass lands on the geometric center. Returns a new image.
+func (im *Image) Center() *Image {
+	cx, cy := im.CenterOfMass()
+	dx := int(math.Round(float64(im.W-1)/2 - cx))
+	dy := int(math.Round(float64(im.H-1)/2 - cy))
+	return im.Shift(dx, dy)
+}
+
+// Shift translates the image by (dx, dy) pixels with zero fill,
+// returning a new image.
+func (im *Image) Shift(dx, dy int) *Image {
+	out := NewImage(im.W, im.H)
+	for y := 0; y < im.H; y++ {
+		sy := y - dy
+		if sy < 0 || sy >= im.H {
+			continue
+		}
+		for x := 0; x < im.W; x++ {
+			sx := x - dx
+			if sx < 0 || sx >= im.W {
+				continue
+			}
+			out.Pix[y*im.W+x] = im.Pix[sy*im.W+sx]
+		}
+	}
+	return out
+}
+
+// Crop extracts the rectangle [x0, x0+w) × [y0, y0+h) as a new image.
+func (im *Image) Crop(x0, y0, w, h int) *Image {
+	if x0 < 0 || y0 < 0 || x0+w > im.W || y0+h > im.H {
+		panic(fmt.Sprintf("imgproc: crop [%d,%d,%d,%d] outside %d×%d", x0, y0, w, h, im.W, im.H))
+	}
+	out := NewImage(w, h)
+	for y := 0; y < h; y++ {
+		copy(out.Pix[y*w:(y+1)*w], im.Pix[(y0+y)*im.W+x0:(y0+y)*im.W+x0+w])
+	}
+	return out
+}
+
+// CropCenter extracts a centered w×h rectangle.
+func (im *Image) CropCenter(w, h int) *Image {
+	return im.Crop((im.W-w)/2, (im.H-h)/2, w, h)
+}
+
+// Bin downsamples by summing factor×factor blocks (detector pixel
+// binning). W and H must be divisible by factor.
+func (im *Image) Bin(factor int) *Image {
+	if factor <= 0 || im.W%factor != 0 || im.H%factor != 0 {
+		panic(fmt.Sprintf("imgproc: bin factor %d incompatible with %d×%d", factor, im.W, im.H))
+	}
+	out := NewImage(im.W/factor, im.H/factor)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			out.Pix[(y/factor)*out.W+x/factor] += im.Pix[y*im.W+x]
+		}
+	}
+	return out
+}
+
+// Flatten returns the pixel buffer as a feature vector (shared storage).
+func (im *Image) Flatten() []float64 { return im.Pix }
+
+// Stats summarizes shape factors of an image used to validate the
+// latent embeddings: lateral center-of-mass offset and circularity.
+type Stats struct {
+	// OffsetX and OffsetY are the center-of-mass displacement from the
+	// geometric center, in pixels.
+	OffsetX, OffsetY float64
+	// Circularity is σ_minor/σ_major of the intensity second moments:
+	// 1 for a circular profile, → 0 for elongated or multi-lobed.
+	Circularity float64
+}
+
+// ComputeStats measures the shape factors of an image.
+func ComputeStats(im *Image) Stats {
+	cx, cy := im.CenterOfMass()
+	var sxx, syy, sxy, s float64
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			v := im.Pix[y*im.W+x]
+			if v == 0 {
+				continue
+			}
+			dx := float64(x) - cx
+			dy := float64(y) - cy
+			sxx += v * dx * dx
+			syy += v * dy * dy
+			sxy += v * dx * dy
+			s += v
+		}
+	}
+	st := Stats{
+		OffsetX: cx - float64(im.W-1)/2,
+		OffsetY: cy - float64(im.H-1)/2,
+	}
+	if s == 0 {
+		return st
+	}
+	sxx /= s
+	syy /= s
+	sxy /= s
+	// Eigenvalues of the 2×2 covariance give the principal widths.
+	tr := sxx + syy
+	det := sxx*syy - sxy*sxy
+	disc := math.Sqrt(math.Max(0, tr*tr/4-det))
+	lMaj := tr/2 + disc
+	lMin := tr/2 - disc
+	if lMaj > 0 && lMin > 0 {
+		st.Circularity = math.Sqrt(lMin / lMaj)
+	}
+	return st
+}
+
+// Mask marks bad detector pixels (hot/dead) to exclude from analysis.
+type Mask struct {
+	W, H int
+	Bad  []bool // flat index y*W+x, true = excluded
+}
+
+// NewMask returns an all-good mask.
+func NewMask(w, h int) *Mask {
+	return &Mask{W: w, H: h, Bad: make([]bool, w*h)}
+}
+
+// NumBad returns the number of masked pixels.
+func (m *Mask) NumBad() int {
+	n := 0
+	for _, b := range m.Bad {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// Apply zeroes the masked pixels of im in place and returns im.
+func (m *Mask) Apply(im *Image) *Image {
+	if im.W != m.W || im.H != m.H {
+		panic(fmt.Sprintf("imgproc: mask %d×%d vs frame %d×%d", m.W, m.H, im.W, im.H))
+	}
+	for i, bad := range m.Bad {
+		if bad {
+			im.Pix[i] = 0
+		}
+	}
+	return im
+}
+
+// Preprocessor is a configurable preprocessing chain applied to each
+// frame before sketching, mirroring the paper's pipeline.
+type Preprocessor struct {
+	Mask          *Mask   // bad-pixel mask applied first; nil disables
+	Pedestal      float64 // constant subtracted before thresholding
+	ThresholdFrac float64 // relative threshold; 0 disables
+	Center        bool    // center-of-mass centering
+	Normalize     bool    // unit total intensity
+	BinFactor     int     // pixel binning; <= 1 disables
+}
+
+// Apply runs the chain on a copy of the frame.
+func (p Preprocessor) Apply(im *Image) *Image {
+	out := im.Clone()
+	if p.Mask != nil {
+		p.Mask.Apply(out)
+	}
+	if p.Pedestal != 0 {
+		for i, v := range out.Pix {
+			v -= p.Pedestal
+			if v < 0 {
+				v = 0
+			}
+			out.Pix[i] = v
+		}
+	}
+	if p.ThresholdFrac > 0 {
+		out.ThresholdRelative(p.ThresholdFrac)
+	}
+	if p.Center {
+		out = out.Center()
+	}
+	if p.BinFactor > 1 {
+		out = out.Bin(p.BinFactor)
+	}
+	if p.Normalize {
+		out.Normalize()
+	}
+	return out
+}
+
+// ToMatrix flattens a batch of equal-size images into an n×(W·H) data
+// matrix, copying pixels.
+func ToMatrix(imgs []*Image) *mat.Matrix {
+	if len(imgs) == 0 {
+		return mat.New(0, 0)
+	}
+	d := imgs[0].W * imgs[0].H
+	out := mat.New(len(imgs), d)
+	for i, im := range imgs {
+		if im.W*im.H != d {
+			panic("imgproc: ToMatrix images differ in size")
+		}
+		copy(out.Row(i), im.Pix)
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+package imgproc
+
+import "math"
+
+// This file provides the radial/azimuthal reductions that X-ray
+// scattering analyses apply to area-detector frames: the azimuthally
+// averaged radial profile I(q) used to locate diffraction rings, the
+// ring-resolved azimuthal profile I(φ) used to quantify anisotropy
+// (the quadrant weighting of Fig. 6), and per-quadrant intensity sums.
+
+// RadialProfile returns the azimuthally averaged intensity in nbins
+// equal-width radial bins around the image center, together with the
+// bin centers in pixels. Empty bins report zero.
+func RadialProfile(im *Image, nbins int) (radii, intensity []float64) {
+	if nbins <= 0 {
+		panic("imgproc: RadialProfile needs nbins > 0")
+	}
+	cx := float64(im.W-1) / 2
+	cy := float64(im.H-1) / 2
+	maxR := math.Hypot(cx, cy)
+	sums := make([]float64, nbins)
+	counts := make([]int, nbins)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			r := math.Hypot(float64(x)-cx, float64(y)-cy)
+			bin := int(r / maxR * float64(nbins))
+			if bin >= nbins {
+				bin = nbins - 1
+			}
+			sums[bin] += im.Pix[y*im.W+x]
+			counts[bin]++
+		}
+	}
+	radii = make([]float64, nbins)
+	intensity = make([]float64, nbins)
+	for b := 0; b < nbins; b++ {
+		radii[b] = (float64(b) + 0.5) * maxR / float64(nbins)
+		if counts[b] > 0 {
+			intensity[b] = sums[b] / float64(counts[b])
+		}
+	}
+	return radii, intensity
+}
+
+// RingMax returns the radius (in pixels) of the brightest radial bin —
+// a quick ring-position estimate for diffraction frames.
+func RingMax(im *Image, nbins int) float64 {
+	radii, intensity := RadialProfile(im, nbins)
+	best := 0
+	for b, v := range intensity {
+		if v > intensity[best] {
+			best = b
+		}
+	}
+	return radii[best]
+}
+
+// AzimuthalProfile returns the mean intensity in nbins azimuthal
+// sectors restricted to the annulus [rMin, rMax] around the center.
+// Bin 0 starts at angle 0 (along +x) and angles increase toward +y
+// (downward in image coordinates).
+func AzimuthalProfile(im *Image, rMin, rMax float64, nbins int) []float64 {
+	if nbins <= 0 {
+		panic("imgproc: AzimuthalProfile needs nbins > 0")
+	}
+	cx := float64(im.W-1) / 2
+	cy := float64(im.H-1) / 2
+	sums := make([]float64, nbins)
+	counts := make([]int, nbins)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			dx := float64(x) - cx
+			dy := float64(y) - cy
+			r := math.Hypot(dx, dy)
+			if r < rMin || r > rMax {
+				continue
+			}
+			phi := math.Atan2(dy, dx)
+			if phi < 0 {
+				phi += 2 * math.Pi
+			}
+			bin := int(phi / (2 * math.Pi) * float64(nbins))
+			if bin >= nbins {
+				bin = nbins - 1
+			}
+			sums[bin] += im.Pix[y*im.W+x]
+			counts[bin]++
+		}
+	}
+	out := make([]float64, nbins)
+	for b := range out {
+		if counts[b] > 0 {
+			out[b] = sums[b] / float64(counts[b])
+		}
+	}
+	return out
+}
+
+// QuadrantSums returns total intensity per detector quadrant in the
+// order (NE, NW, SW, SE) — "north" being negative y, matching the
+// diffraction generator's convention.
+func QuadrantSums(im *Image) [4]float64 {
+	cx := float64(im.W-1) / 2
+	cy := float64(im.H-1) / 2
+	var q [4]float64
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			dx := float64(x) - cx
+			dy := float64(y) - cy
+			v := im.Pix[y*im.W+x]
+			switch {
+			case dx >= 0 && dy < 0:
+				q[0] += v
+			case dx < 0 && dy < 0:
+				q[1] += v
+			case dx < 0 && dy >= 0:
+				q[2] += v
+			default:
+				q[3] += v
+			}
+		}
+	}
+	return q
+}
+
+// Anisotropy returns a scale-free measure of azimuthal non-uniformity
+// on the ring annulus: the coefficient of variation of the azimuthal
+// profile (0 for a perfectly isotropic ring).
+func Anisotropy(im *Image, rMin, rMax float64) float64 {
+	prof := AzimuthalProfile(im, rMin, rMax, 36)
+	var mean float64
+	for _, v := range prof {
+		mean += v
+	}
+	mean /= float64(len(prof))
+	if mean == 0 {
+		return 0
+	}
+	var variance float64
+	for _, v := range prof {
+		variance += (v - mean) * (v - mean)
+	}
+	variance /= float64(len(prof))
+	return math.Sqrt(variance) / mean
+}

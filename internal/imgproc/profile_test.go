@@ -1,0 +1,119 @@
+package imgproc
+
+import (
+	"math"
+	"testing"
+)
+
+// ring renders a thin ring of the given radius with per-quadrant
+// weights (NE, NW, SW, SE).
+func ring(size int, radius, width float64, q [4]float64) *Image {
+	im := NewImage(size, size)
+	c := float64(size-1) / 2
+	for y := 0; y < size; y++ {
+		for x := 0; x < size; x++ {
+			dx := float64(x) - c
+			dy := float64(y) - c
+			r := math.Hypot(dx, dy)
+			radial := math.Exp(-(r - radius) * (r - radius) / (2 * width * width))
+			var w float64
+			switch {
+			case dx >= 0 && dy < 0:
+				w = q[0]
+			case dx < 0 && dy < 0:
+				w = q[1]
+			case dx < 0 && dy >= 0:
+				w = q[2]
+			default:
+				w = q[3]
+			}
+			im.Set(x, y, radial*w)
+		}
+	}
+	return im
+}
+
+func TestRadialProfilePeak(t *testing.T) {
+	im := ring(96, 30, 2, [4]float64{1, 1, 1, 1})
+	radii, intensity := RadialProfile(im, 48)
+	best := 0
+	for b := range intensity {
+		if intensity[b] > intensity[best] {
+			best = b
+		}
+	}
+	if math.Abs(radii[best]-30) > 2 {
+		t.Fatalf("radial peak at %v, want ~30", radii[best])
+	}
+}
+
+func TestRingMax(t *testing.T) {
+	im := ring(128, 40, 3, [4]float64{1, 1, 1, 1})
+	if got := RingMax(im, 64); math.Abs(got-40) > 2 {
+		t.Fatalf("RingMax = %v, want ~40", got)
+	}
+}
+
+func TestRadialProfilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nbins=0 did not panic")
+		}
+	}()
+	RadialProfile(NewImage(4, 4), 0)
+}
+
+func TestAzimuthalProfileUniformRing(t *testing.T) {
+	im := ring(96, 30, 2, [4]float64{1, 1, 1, 1})
+	prof := AzimuthalProfile(im, 25, 35, 12)
+	var mean float64
+	for _, v := range prof {
+		mean += v
+	}
+	mean /= 12
+	for b, v := range prof {
+		if math.Abs(v-mean)/mean > 0.1 {
+			t.Fatalf("uniform ring bin %d deviates: %v vs mean %v", b, v, mean)
+		}
+	}
+}
+
+func TestAzimuthalProfileAnisotropicRing(t *testing.T) {
+	// Bright east/west, dark north/south.
+	im := ring(96, 30, 2, [4]float64{1, 0.1, 1, 0.1})
+	// Wait: quadrants are (NE, NW, SW, SE); {1, .1, 1, .1} lights NE+SW.
+	prof := AzimuthalProfile(im, 25, 35, 4)
+	// Bin 0 covers φ∈[0,π/2): +x,+y = SE quadrant (dy ≥ 0 downward).
+	// SE weight 0.1, next bin SW weight 1, etc.
+	if !(prof[1] > 3*prof[0] && prof[3] > 3*prof[2]) {
+		t.Fatalf("azimuthal anisotropy not detected: %v", prof)
+	}
+}
+
+func TestQuadrantSums(t *testing.T) {
+	im := ring(96, 30, 2, [4]float64{1, 0.2, 0.2, 0.2})
+	q := QuadrantSums(im)
+	if !(q[0] > 3*q[1] && q[0] > 3*q[2] && q[0] > 3*q[3]) {
+		t.Fatalf("NE quadrant not dominant: %v", q)
+	}
+	total := q[0] + q[1] + q[2] + q[3]
+	if math.Abs(total-im.Sum()) > 1e-9*total {
+		t.Fatalf("quadrant sums %v != total %v", total, im.Sum())
+	}
+}
+
+func TestAnisotropy(t *testing.T) {
+	iso := ring(96, 30, 2, [4]float64{1, 1, 1, 1})
+	aniso := ring(96, 30, 2, [4]float64{1, 0.1, 1, 0.1})
+	ai := Anisotropy(iso, 25, 35)
+	aa := Anisotropy(aniso, 25, 35)
+	if ai > 0.1 {
+		t.Fatalf("isotropic ring anisotropy %v", ai)
+	}
+	if aa < 0.3 {
+		t.Fatalf("anisotropic ring anisotropy %v", aa)
+	}
+	if Anisotropy(NewImage(32, 32), 5, 10) != 0 {
+		t.Fatal("empty image anisotropy nonzero")
+	}
+}

@@ -1,0 +1,171 @@
+package knn
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"arams/internal/mat"
+	"arams/internal/rng"
+)
+
+func points(n, d int, seed uint64) *mat.Matrix {
+	return mat.RandGaussian(n, d, rng.New(seed))
+}
+
+// naiveKNN computes the reference answer by full sort.
+func naiveKNN(x *mat.Matrix, i, k int) []Neighbor {
+	var all []Neighbor
+	for j := 0; j < x.RowsN; j++ {
+		if j == i {
+			continue
+		}
+		all = append(all, Neighbor{Index: j, Dist: math.Sqrt(DistSq(x.Row(i), x.Row(j)))})
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].Dist < all[b].Dist })
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k]
+}
+
+func sameNeighbors(a, b []Neighbor) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		// Indices can differ under exact ties; distances must agree.
+		if math.Abs(a[i].Dist-b[i].Dist) > 1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBruteForceMatchesNaive(t *testing.T) {
+	x := points(60, 5, 1)
+	g := BruteForce(x, 7)
+	if g.K != 7 {
+		t.Fatalf("K = %d", g.K)
+	}
+	for i := 0; i < x.RowsN; i++ {
+		want := naiveKNN(x, i, 7)
+		if !sameNeighbors(g.Neighbors[i], want) {
+			t.Fatalf("point %d: %v vs %v", i, g.Neighbors[i], want)
+		}
+	}
+}
+
+func TestBruteForceSortedAscending(t *testing.T) {
+	x := points(40, 3, 2)
+	g := BruteForce(x, 5)
+	for i, nbs := range g.Neighbors {
+		for j := 1; j < len(nbs); j++ {
+			if nbs[j].Dist < nbs[j-1].Dist {
+				t.Fatalf("point %d neighbors not sorted", i)
+			}
+		}
+	}
+}
+
+func TestBruteForceClampsK(t *testing.T) {
+	x := points(4, 2, 3)
+	g := BruteForce(x, 10)
+	if g.K != 3 {
+		t.Fatalf("K = %d, want 3", g.K)
+	}
+	for i, nbs := range g.Neighbors {
+		if len(nbs) != 3 {
+			t.Fatalf("point %d has %d neighbors", i, len(nbs))
+		}
+	}
+}
+
+func TestBruteForceNoSelf(t *testing.T) {
+	x := points(30, 4, 4)
+	g := BruteForce(x, 6)
+	for i, nbs := range g.Neighbors {
+		for _, nb := range nbs {
+			if nb.Index == i {
+				t.Fatalf("point %d is its own neighbor", i)
+			}
+		}
+	}
+}
+
+func TestVPTreeMatchesBruteForce(t *testing.T) {
+	x := points(120, 2, 5)
+	bf := BruteForce(x, 8)
+	vp := GraphFromVPTree(x, 8)
+	for i := 0; i < x.RowsN; i++ {
+		if !sameNeighbors(bf.Neighbors[i], vp.Neighbors[i]) {
+			t.Fatalf("point %d: VP-tree disagrees with brute force", i)
+		}
+	}
+}
+
+func TestVPTreeKNearestQueryPoint(t *testing.T) {
+	x := points(80, 3, 6)
+	tree := NewVPTree(x)
+	q := []float64{0.1, -0.2, 0.3}
+	got := tree.KNearest(q, 5, -1)
+	// Reference: naive over all points.
+	var all []Neighbor
+	for j := 0; j < x.RowsN; j++ {
+		all = append(all, Neighbor{Index: j, Dist: math.Sqrt(DistSq(q, x.Row(j)))})
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].Dist < all[b].Dist })
+	if !sameNeighbors(got, all[:5]) {
+		t.Fatalf("VP-tree query wrong: %v vs %v", got, all[:5])
+	}
+}
+
+func TestVPTreeRadius(t *testing.T) {
+	x := points(100, 2, 7)
+	tree := NewVPTree(x)
+	q := x.Row(0)
+	const r = 0.8
+	got := tree.Radius(q, r)
+	want := 0
+	for j := 0; j < x.RowsN; j++ {
+		if math.Sqrt(DistSq(q, x.Row(j))) <= r {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("Radius found %d, want %d", len(got), want)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Dist < got[i-1].Dist {
+			t.Fatal("Radius results not sorted")
+		}
+	}
+}
+
+func TestKnnDuplicatePoints(t *testing.T) {
+	// Duplicate points (distance 0) must be handled.
+	x := mat.FromRows([][]float64{{1, 1}, {1, 1}, {2, 2}, {3, 3}})
+	g := BruteForce(x, 2)
+	if g.Neighbors[0][0].Dist != 0 {
+		t.Fatalf("duplicate distance = %v", g.Neighbors[0][0].Dist)
+	}
+	vp := GraphFromVPTree(x, 2)
+	if vp.Neighbors[0][0].Dist != 0 {
+		t.Fatal("VP-tree missed duplicate")
+	}
+}
+
+func TestSinglePoint(t *testing.T) {
+	x := points(1, 3, 8)
+	g := BruteForce(x, 5)
+	if g.K != 0 || len(g.Neighbors[0]) != 0 {
+		t.Fatalf("single point graph: K=%d", g.K)
+	}
+}
+
+func TestEmptyMatrix(t *testing.T) {
+	g := BruteForce(mat.New(0, 3), 5)
+	if len(g.Neighbors) != 0 {
+		t.Fatal("empty input produced neighbors")
+	}
+}

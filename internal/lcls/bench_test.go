@@ -1,0 +1,35 @@
+package lcls
+
+import (
+	"testing"
+
+	"arams/internal/imgproc"
+)
+
+func BenchmarkBeamGenerate(b *testing.B) {
+	bg := NewBeamGenerator(BeamConfig{Size: 64, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = bg.Next()
+	}
+}
+
+func BenchmarkDiffractionGenerate(b *testing.B) {
+	dg := NewDiffractionGenerator(DiffractionConfig{Size: 128, Seed: 2})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = dg.Next()
+	}
+}
+
+func BenchmarkEventBuilder(b *testing.B) {
+	im := imgproc.NewImage(8, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eb := NewEventBuilder([]string{"a", "b"}, 64)
+		for p := uint64(1); p <= 100; p++ {
+			eb.Push(Readout{PulseID: p, Detector: "a", Image: im})
+			eb.Push(Readout{PulseID: p, Detector: "b", Image: im})
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package lcls
+
+import (
+	"arams/internal/imgproc"
+	"arams/internal/rng"
+)
+
+// CameraModel simulates the systematic imperfections of a real area
+// detector on top of the ideal rendered frames: an electronic pedestal,
+// per-pixel gain variation, and stuck pixels (hot = railed high, dead =
+// railed zero). A matching calibration mask lets the preprocessing
+// chain remove them, as LCLS calibration constants do for real
+// detectors.
+type CameraModel struct {
+	W, H     int
+	Pedestal float64   // constant offset added to every pixel
+	gain     []float64 // per-pixel multiplicative gain
+	hot      []int     // flat indices of hot pixels
+	dead     []int     // flat indices of dead pixels
+	hotValue float64
+}
+
+// CameraConfig parameterizes CameraModel construction.
+type CameraConfig struct {
+	W, H      int
+	Pedestal  float64 // default 0.02
+	GainSigma float64 // per-pixel gain spread (default 0.03)
+	HotFrac   float64 // fraction of hot pixels (default 0.001)
+	DeadFrac  float64 // fraction of dead pixels (default 0.001)
+	HotValue  float64 // value hot pixels rail to (default 10)
+	Seed      uint64
+}
+
+// NewCameraModel builds a deterministic camera with fixed per-pixel
+// defects.
+func NewCameraModel(cfg CameraConfig) *CameraModel {
+	if cfg.W <= 0 || cfg.H <= 0 {
+		panic("lcls: camera needs positive dimensions")
+	}
+	if cfg.Pedestal == 0 {
+		cfg.Pedestal = 0.02
+	}
+	if cfg.GainSigma == 0 {
+		cfg.GainSigma = 0.03
+	}
+	if cfg.HotFrac == 0 {
+		cfg.HotFrac = 0.001
+	}
+	if cfg.DeadFrac == 0 {
+		cfg.DeadFrac = 0.001
+	}
+	if cfg.HotValue == 0 {
+		cfg.HotValue = 10
+	}
+	g := rng.New(cfg.Seed)
+	n := cfg.W * cfg.H
+	cm := &CameraModel{
+		W: cfg.W, H: cfg.H,
+		Pedestal: cfg.Pedestal,
+		gain:     make([]float64, n),
+		hotValue: cfg.HotValue,
+	}
+	for i := range cm.gain {
+		cm.gain[i] = 1 + cfg.GainSigma*g.Norm()
+	}
+	nHot := int(cfg.HotFrac * float64(n))
+	nDead := int(cfg.DeadFrac * float64(n))
+	perm := g.Perm(n)
+	cm.hot = append(cm.hot, perm[:nHot]...)
+	cm.dead = append(cm.dead, perm[nHot:nHot+nDead]...)
+	return cm
+}
+
+// Apply returns a new frame with the camera's systematics imprinted.
+func (cm *CameraModel) Apply(im *imgproc.Image) *imgproc.Image {
+	if im.W != cm.W || im.H != cm.H {
+		panic("lcls: camera/frame size mismatch")
+	}
+	out := im.Clone()
+	for i, v := range out.Pix {
+		out.Pix[i] = v*cm.gain[i] + cm.Pedestal
+	}
+	for _, i := range cm.hot {
+		out.Pix[i] = cm.hotValue
+	}
+	for _, i := range cm.dead {
+		out.Pix[i] = 0
+	}
+	return out
+}
+
+// BadPixelMask returns the calibration mask marking hot and dead
+// pixels, the constant a real facility derives from dark runs.
+func (cm *CameraModel) BadPixelMask() *imgproc.Mask {
+	m := imgproc.NewMask(cm.W, cm.H)
+	for _, i := range cm.hot {
+		m.Bad[i] = true
+	}
+	for _, i := range cm.dead {
+		m.Bad[i] = true
+	}
+	return m
+}
+
+// NumDefects returns the count of (hot, dead) pixels.
+func (cm *CameraModel) NumDefects() (hot, dead int) {
+	return len(cm.hot), len(cm.dead)
+}

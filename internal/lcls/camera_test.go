@@ -1,0 +1,120 @@
+package lcls
+
+import (
+	"math"
+	"testing"
+
+	"arams/internal/imgproc"
+)
+
+func TestCameraApply(t *testing.T) {
+	cm := NewCameraModel(CameraConfig{W: 32, H: 32, HotFrac: 0.01, DeadFrac: 0.01, Seed: 1})
+	bg := NewBeamGenerator(BeamConfig{Size: 32, NoiseLevel: -1, Seed: 2})
+	clean := bg.Next().Image
+	raw := cm.Apply(clean)
+	// Pedestal visible in dark corners.
+	if raw.Pix[0] < 0.005 && raw.Pix[32*32-1] < 0.005 {
+		t.Fatal("pedestal not applied")
+	}
+	hot, dead := cm.NumDefects()
+	if hot == 0 || dead == 0 {
+		t.Fatalf("defects missing: hot=%d dead=%d", hot, dead)
+	}
+	// Hot pixels rail to the configured value.
+	railed := 0
+	for _, v := range raw.Pix {
+		if v == 10 {
+			railed++
+		}
+	}
+	if railed < hot {
+		t.Fatalf("only %d railed pixels for %d hot", railed, hot)
+	}
+	// Original untouched.
+	if clean.Max() > 1.01 {
+		t.Fatal("Apply mutated the input frame")
+	}
+}
+
+func TestCameraDeterministic(t *testing.T) {
+	a := NewCameraModel(CameraConfig{W: 16, H: 16, Seed: 3})
+	b := NewCameraModel(CameraConfig{W: 16, H: 16, Seed: 3})
+	im := imgproc.NewImage(16, 16)
+	for i := range im.Pix {
+		im.Pix[i] = float64(i % 7)
+	}
+	ra, rb := a.Apply(im), b.Apply(im)
+	for i := range ra.Pix {
+		if ra.Pix[i] != rb.Pix[i] {
+			t.Fatal("same-seed cameras differ")
+		}
+	}
+}
+
+func TestBadPixelMaskRemovesDefects(t *testing.T) {
+	cm := NewCameraModel(CameraConfig{W: 32, H: 32, HotFrac: 0.02, Seed: 4})
+	mask := cm.BadPixelMask()
+	hot, dead := cm.NumDefects()
+	if mask.NumBad() != hot+dead {
+		t.Fatalf("mask covers %d pixels, want %d", mask.NumBad(), hot+dead)
+	}
+	bg := NewBeamGenerator(BeamConfig{Size: 32, NoiseLevel: -1, Seed: 5})
+	raw := cm.Apply(bg.Next().Image)
+	pre := imgproc.Preprocessor{Mask: mask, Pedestal: cm.Pedestal}
+	cleaned := pre.Apply(raw)
+	// No railed pixels survive masking.
+	for i, v := range cleaned.Pix {
+		if v >= 10 {
+			t.Fatalf("hot pixel %d survived masking: %v", i, v)
+		}
+	}
+	// Pedestal subtracted: dark corner ~0.
+	if cleaned.Pix[0] > 0.01 {
+		t.Fatalf("pedestal not removed: corner = %v", cleaned.Pix[0])
+	}
+}
+
+func TestMaskedPreprocessingRestoresShapeStats(t *testing.T) {
+	// Center of mass measured after camera + calibration must be close
+	// to the clean frame's, despite hot pixels that would otherwise
+	// drag it.
+	cm := NewCameraModel(CameraConfig{W: 48, H: 48, HotFrac: 0.005, HotValue: 50, Seed: 6})
+	bg := NewBeamGenerator(BeamConfig{Size: 48, NoiseLevel: -1, Jitter: 6, Seed: 7})
+	mask := cm.BadPixelMask()
+	pre := imgproc.Preprocessor{Mask: mask, Pedestal: cm.Pedestal}
+	for i := 0; i < 10; i++ {
+		f := bg.Next()
+		clean := imgproc.ComputeStats(f.Image)
+		raw := cm.Apply(f.Image)
+		noisy := imgproc.ComputeStats(raw)
+		fixed := imgproc.ComputeStats(pre.Apply(raw))
+		errNoisy := math.Hypot(noisy.OffsetX-clean.OffsetX, noisy.OffsetY-clean.OffsetY)
+		errFixed := math.Hypot(fixed.OffsetX-clean.OffsetX, fixed.OffsetY-clean.OffsetY)
+		if errFixed > errNoisy+0.2 {
+			t.Fatalf("frame %d: calibration made COM worse: %v vs %v", i, errFixed, errNoisy)
+		}
+		if errFixed > 1.5 {
+			t.Fatalf("frame %d: calibrated COM error %v too large", i, errFixed)
+		}
+	}
+}
+
+func TestMaskSizeMismatchPanics(t *testing.T) {
+	m := imgproc.NewMask(4, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mask size mismatch did not panic")
+		}
+	}()
+	m.Apply(imgproc.NewImage(5, 5))
+}
+
+func TestCameraSizeMismatchPanics(t *testing.T) {
+	cm := NewCameraModel(CameraConfig{W: 8, H: 8, Seed: 8})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("camera size mismatch did not panic")
+		}
+	}()
+	cm.Apply(imgproc.NewImage(9, 9))
+}

@@ -1,0 +1,170 @@
+package lcls
+
+import (
+	"sort"
+
+	"arams/internal/imgproc"
+	"arams/internal/rng"
+)
+
+// Readout is one detector's contribution to a shot, tagged by the
+// timing system's pulse ID.
+type Readout struct {
+	PulseID  uint64
+	Detector string
+	Image    *imgproc.Image
+}
+
+// Event pools every detector's readout for one shot — the event objects
+// the LCLS data system builds from timestamped streams.
+type Event struct {
+	PulseID uint64
+	Images  map[string]*imgproc.Image
+}
+
+// EventBuilder assembles readouts arriving in arbitrary order into
+// complete events keyed by pulse ID. Events whose pulse ID falls more
+// than window behind the newest seen pulse are flushed incomplete
+// (counted in Dropped), bounding memory like a real event builder's
+// time window.
+type EventBuilder struct {
+	detectors map[string]bool
+	window    uint64
+	pending   map[uint64]map[string]*imgproc.Image
+	maxPulse  uint64
+	built     int
+	dropped   int
+}
+
+// NewEventBuilder creates a builder expecting one readout per listed
+// detector per pulse. window is the pulse-ID distance after which an
+// incomplete event is abandoned (0 means never).
+func NewEventBuilder(detectors []string, window uint64) *EventBuilder {
+	if len(detectors) == 0 {
+		panic("lcls: event builder needs at least one detector")
+	}
+	set := make(map[string]bool, len(detectors))
+	for _, d := range detectors {
+		set[d] = true
+	}
+	return &EventBuilder{
+		detectors: set,
+		window:    window,
+		pending:   map[uint64]map[string]*imgproc.Image{},
+	}
+}
+
+// Push offers one readout; it returns the completed event and true when
+// this readout was the last missing piece of its pulse.
+func (eb *EventBuilder) Push(r Readout) (Event, bool) {
+	if !eb.detectors[r.Detector] {
+		return Event{}, false // unknown detector: ignore, as DAQ would
+	}
+	if r.PulseID > eb.maxPulse {
+		eb.maxPulse = r.PulseID
+		eb.expire()
+	}
+	slot, ok := eb.pending[r.PulseID]
+	if !ok {
+		slot = make(map[string]*imgproc.Image, len(eb.detectors))
+		eb.pending[r.PulseID] = slot
+	}
+	slot[r.Detector] = r.Image
+	if len(slot) == len(eb.detectors) {
+		delete(eb.pending, r.PulseID)
+		eb.built++
+		return Event{PulseID: r.PulseID, Images: slot}, true
+	}
+	return Event{}, false
+}
+
+// expire drops pending events that fell outside the pulse window.
+func (eb *EventBuilder) expire() {
+	if eb.window == 0 {
+		return
+	}
+	for id := range eb.pending {
+		if id+eb.window < eb.maxPulse {
+			delete(eb.pending, id)
+			eb.dropped++
+		}
+	}
+}
+
+// Built returns the number of complete events assembled.
+func (eb *EventBuilder) Built() int { return eb.built }
+
+// Dropped returns the number of incomplete events abandoned.
+func (eb *EventBuilder) Dropped() int { return eb.dropped }
+
+// Pending returns the number of incomplete events currently held.
+func (eb *EventBuilder) Pending() int { return len(eb.pending) }
+
+// StreamConfig configures a simulated multi-detector shot stream.
+type StreamConfig struct {
+	// Pulses is the number of shots to emit.
+	Pulses int
+	// Jumble is the maximum displacement, in readouts, applied when
+	// shuffling the arrival order — simulating detectors' independent
+	// readout latencies. 0 delivers in order.
+	Jumble int
+	// DropProb is the probability that any single readout is lost.
+	DropProb float64
+	Seed     uint64
+}
+
+// BeamDetector and AreaDetector are the detector names used by the
+// simulated stream, mirroring an upstream diagnostic camera and a
+// downstream large area detector.
+const (
+	BeamDetector = "XppEndstation.0:Alvium.1"
+	AreaDetector = "XppEndstation.0:Epix2M.0"
+)
+
+// Stream produces the interleaved, possibly jumbled readout sequence of
+// a run: for each pulse, one beam-profile readout and one diffraction
+// readout. It returns the readouts and the per-pulse ground truth.
+func Stream(cfg StreamConfig, beam *BeamGenerator, diff *DiffractionGenerator) ([]Readout, []BeamFrame, []DiffractionFrame) {
+	g := rng.New(cfg.Seed)
+	readouts := make([]Readout, 0, 2*cfg.Pulses)
+	beams := make([]BeamFrame, cfg.Pulses)
+	diffs := make([]DiffractionFrame, cfg.Pulses)
+	for p := 0; p < cfg.Pulses; p++ {
+		id := uint64(p + 1)
+		beams[p] = beam.Next()
+		diffs[p] = diff.Next()
+		for _, r := range []Readout{
+			{PulseID: id, Detector: BeamDetector, Image: beams[p].Image},
+			{PulseID: id, Detector: AreaDetector, Image: diffs[p].Image},
+		} {
+			if cfg.DropProb > 0 && g.Float64() < cfg.DropProb {
+				continue
+			}
+			readouts = append(readouts, r)
+		}
+	}
+	if cfg.Jumble > 0 {
+		jumble(readouts, cfg.Jumble, g)
+	}
+	return readouts, beams, diffs
+}
+
+// jumble applies a bounded random displacement to each readout's
+// position: sort by original position plus uniform noise in
+// [0, maxShift].
+func jumble(rs []Readout, maxShift int, g *rng.RNG) {
+	keys := make([]float64, len(rs))
+	for i := range keys {
+		keys[i] = float64(i) + float64(g.Intn(maxShift+1))
+	}
+	idx := make([]int, len(rs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+	out := make([]Readout, len(rs))
+	for i, j := range idx {
+		out[i] = rs[j]
+	}
+	copy(rs, out)
+}

@@ -1,0 +1,65 @@
+package lcls
+
+import (
+	"testing"
+)
+
+func TestStreamDeterministic(t *testing.T) {
+	mk := func() []Readout {
+		beam := NewBeamGenerator(BeamConfig{Size: 8, Seed: 50})
+		diff := NewDiffractionGenerator(DiffractionConfig{Size: 8, Seed: 51})
+		rs, _, _ := Stream(StreamConfig{Pulses: 40, Jumble: 5, DropProb: 0.05, Seed: 52}, beam, diff)
+		return rs
+	}
+	a, b := mk(), mk()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].PulseID != b[i].PulseID || a[i].Detector != b[i].Detector {
+			t.Fatalf("readout %d differs", i)
+		}
+		for p := range a[i].Image.Pix {
+			if a[i].Image.Pix[p] != b[i].Image.Pix[p] {
+				t.Fatalf("readout %d pixels differ", i)
+			}
+		}
+	}
+}
+
+func TestStreamPulseIDsCoverAllPulses(t *testing.T) {
+	beam := NewBeamGenerator(BeamConfig{Size: 8, Seed: 53})
+	diff := NewDiffractionGenerator(DiffractionConfig{Size: 8, Seed: 54})
+	rs, _, _ := Stream(StreamConfig{Pulses: 30, Seed: 55}, beam, diff)
+	seen := map[uint64]map[string]bool{}
+	for _, r := range rs {
+		if seen[r.PulseID] == nil {
+			seen[r.PulseID] = map[string]bool{}
+		}
+		seen[r.PulseID][r.Detector] = true
+	}
+	if len(seen) != 30 {
+		t.Fatalf("%d pulses seen, want 30", len(seen))
+	}
+	for id, dets := range seen {
+		if !dets[BeamDetector] || !dets[AreaDetector] {
+			t.Fatalf("pulse %d missing a detector: %v", id, dets)
+		}
+	}
+}
+
+func TestJumbleBoundedDisplacement(t *testing.T) {
+	beam := NewBeamGenerator(BeamConfig{Size: 8, Seed: 56})
+	diff := NewDiffractionGenerator(DiffractionConfig{Size: 8, Seed: 57})
+	const jumble = 6
+	rs, _, _ := Stream(StreamConfig{Pulses: 100, Jumble: jumble, Seed: 58}, beam, diff)
+	// A readout for pulse p originally sits near position 2(p−1); the
+	// jumble may move it by at most jumble slots (plus displacement of
+	// others), so it can never appear jumble+small positions early.
+	for pos, r := range rs {
+		orig := 2 * (int(r.PulseID) - 1)
+		if pos < orig-jumble {
+			t.Fatalf("readout for pulse %d at %d, way before original %d", r.PulseID, pos, orig)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package mat
+
+import (
+	"fmt"
+	"testing"
+
+	"arams/internal/rng"
+)
+
+func BenchmarkMul(b *testing.B) {
+	g := rng.New(1)
+	for _, n := range []int{64, 256} {
+		x := RandGaussian(n, n, g)
+		y := RandGaussian(n, n, g)
+		b.Run(fmt.Sprintf("%dx%d", n, n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = Mul(x, y)
+			}
+		})
+	}
+}
+
+func BenchmarkMulABt(b *testing.B) {
+	g := rng.New(2)
+	x := RandGaussian(64, 4096, g)
+	y := RandGaussian(32, 4096, g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = MulABt(x, y)
+	}
+}
+
+func BenchmarkGram(b *testing.B) {
+	g := rng.New(3)
+	x := RandGaussian(64, 8192, g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Gram(x)
+	}
+}
+
+func BenchmarkQR(b *testing.B) {
+	g := rng.New(4)
+	x := RandGaussian(256, 64, g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = QR(x)
+	}
+}
+
+func BenchmarkEigSym(b *testing.B) {
+	g := rng.New(5)
+	a := RandGaussian(64, 64, g)
+	s := Mul(a, a.T())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = EigSym(s)
+	}
+}
+
+func BenchmarkSVDGramWideBuffer(b *testing.B) {
+	g := rng.New(6)
+	// The FD rotation shape: 2ℓ×d with d ≫ 2ℓ.
+	buf := RandGaussian(64, 16384, g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, _ = SVDGram(buf)
+	}
+}

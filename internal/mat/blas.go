@@ -1,0 +1,243 @@
+package mat
+
+import (
+	"math"
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the minimum number of multiply-adds before Mul
+// spreads work across goroutines; below it the scheduling overhead
+// dominates.
+const parallelThreshold = 1 << 18
+
+// Mul returns a*b. Panics if the inner dimensions disagree.
+func Mul(a, b *Matrix) *Matrix {
+	if a.ColsN != b.RowsN {
+		panic("mat: Mul inner dimension mismatch")
+	}
+	out := New(a.RowsN, b.ColsN)
+	MulTo(out, a, b)
+	return out
+}
+
+// MulTo computes dst = a*b, reusing dst's storage. dst must not alias a
+// or b.
+func MulTo(dst, a, b *Matrix) {
+	if a.ColsN != b.RowsN || dst.RowsN != a.RowsN || dst.ColsN != b.ColsN {
+		panic("mat: MulTo shape mismatch")
+	}
+	dst.Zero()
+	work := a.RowsN * a.ColsN * b.ColsN
+	if work < parallelThreshold || a.RowsN == 1 {
+		mulRange(dst, a, b, 0, a.RowsN)
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > a.RowsN {
+		workers = a.RowsN
+	}
+	var wg sync.WaitGroup
+	chunk := (a.RowsN + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, a.RowsN)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			mulRange(dst, a, b, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// mulRange computes rows [lo, hi) of dst = a*b using the i-k-j loop
+// order, which streams both b and dst rows contiguously.
+func mulRange(dst, a, b *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		ai := a.Row(i)
+		di := dst.Row(i)
+		for k, aik := range ai {
+			if aik == 0 {
+				continue
+			}
+			bk := b.Row(k)
+			axpy(aik, bk, di)
+		}
+	}
+}
+
+// axpy computes y += alpha*x with 4-way unrolling.
+func axpy(alpha float64, x, y []float64) {
+	n := len(x)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		y[i] += alpha * x[i]
+		y[i+1] += alpha * x[i+1]
+		y[i+2] += alpha * x[i+2]
+		y[i+3] += alpha * x[i+3]
+	}
+	for ; i < n; i++ {
+		y[i] += alpha * x[i]
+	}
+}
+
+// Dot returns the inner product of x and y.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("mat: Dot length mismatch")
+	}
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		s0 += x[i] * y[i]
+		s1 += x[i+1] * y[i+1]
+		s2 += x[i+2] * y[i+2]
+		s3 += x[i+3] * y[i+3]
+	}
+	s := s0 + s1 + s2 + s3
+	for ; i < len(x); i++ {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	// Two-pass scaled computation avoids overflow/underflow.
+	var mx float64
+	for _, v := range x {
+		if a := abs(v); a > mx {
+			mx = a
+		}
+	}
+	if mx == 0 {
+		return 0
+	}
+	var s float64
+	inv := 1 / mx
+	for _, v := range x {
+		t := v * inv
+		s += t * t
+	}
+	return mx * math.Sqrt(s)
+}
+
+// Norm2Sq returns the squared Euclidean norm of x.
+func Norm2Sq(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return s
+}
+
+// MulVec returns a*x for a vector x of length a.Cols.
+func MulVec(a *Matrix, x []float64) []float64 {
+	if a.ColsN != len(x) {
+		panic("mat: MulVec dimension mismatch")
+	}
+	out := make([]float64, a.RowsN)
+	for i := 0; i < a.RowsN; i++ {
+		out[i] = Dot(a.Row(i), x)
+	}
+	return out
+}
+
+// MulTVec returns aᵀ*x for a vector x of length a.Rows.
+func MulTVec(a *Matrix, x []float64) []float64 {
+	if a.RowsN != len(x) {
+		panic("mat: MulTVec dimension mismatch")
+	}
+	out := make([]float64, a.ColsN)
+	for i := 0; i < a.RowsN; i++ {
+		if x[i] != 0 {
+			axpy(x[i], a.Row(i), out)
+		}
+	}
+	return out
+}
+
+// MulABt returns a*bᵀ, streaming rows of both operands; this is the
+// cache-friendly product for computing Gram matrices of wide buffers.
+func MulABt(a, b *Matrix) *Matrix {
+	if a.ColsN != b.ColsN {
+		panic("mat: MulABt inner dimension mismatch")
+	}
+	out := New(a.RowsN, b.RowsN)
+	work := a.RowsN * b.RowsN * a.ColsN
+	if work < parallelThreshold {
+		mulABtRange(out, a, b, 0, a.RowsN)
+		return out
+	}
+	workers := min(runtime.GOMAXPROCS(0), a.RowsN)
+	var wg sync.WaitGroup
+	chunk := (a.RowsN + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, min((w+1)*chunk, a.RowsN)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			mulABtRange(out, a, b, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+func mulABtRange(dst, a, b *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		ai := a.Row(i)
+		di := dst.Row(i)
+		for j := 0; j < b.RowsN; j++ {
+			di[j] = Dot(ai, b.Row(j))
+		}
+	}
+}
+
+// Gram returns a*aᵀ (the small Gram matrix of a short-and-wide buffer),
+// exploiting symmetry so only the upper triangle is computed.
+func Gram(a *Matrix) *Matrix {
+	out := New(a.RowsN, a.RowsN)
+	workers := min(runtime.GOMAXPROCS(0), a.RowsN)
+	if a.RowsN*a.RowsN*a.ColsN < parallelThreshold {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	go func() {
+		for i := 0; i < a.RowsN; i++ {
+			next <- i
+		}
+		close(next)
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				ai := a.Row(i)
+				for j := i; j < a.RowsN; j++ {
+					v := Dot(ai, a.Row(j))
+					out.Set(i, j, v)
+					out.Set(j, i, v)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

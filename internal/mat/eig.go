@@ -1,0 +1,134 @@
+package mat
+
+import (
+	"math"
+	"sort"
+)
+
+// EigSym computes the full eigendecomposition of a symmetric n×n matrix
+// a using the cyclic Jacobi method: a = v * diag(vals) * vᵀ with the
+// eigenvalues sorted in descending order and v's columns the matching
+// orthonormal eigenvectors. The input is not modified.
+//
+// Jacobi iteration is chosen over tridiagonalization+QL because the
+// matrices this package decomposes are small (Gram matrices of sketch
+// buffers, at most a few hundred rows) and Jacobi delivers high relative
+// accuracy for the small eigenvalues that the Frequent Directions shrink
+// step subtracts.
+func EigSym(a *Matrix) (vals []float64, v *Matrix) {
+	n := a.RowsN
+	if n != a.ColsN {
+		panic("mat: EigSym needs a square matrix")
+	}
+	w := a.Clone()
+	v = Eye(n)
+	if n == 0 {
+		return nil, v
+	}
+	if n == 1 {
+		return []float64{w.At(0, 0)}, v
+	}
+
+	const maxSweeps = 64
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := offDiagNorm(w)
+		if off == 0 {
+			break
+		}
+		// Convergence: off-diagonal mass negligible relative to scale.
+		scale := w.MaxAbs()
+		if off <= 1e-30*scale*float64(n) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if apq == 0 {
+					continue
+				}
+				app := w.At(p, p)
+				aqq := w.At(q, q)
+				// Threshold: rotating for vanishing elements only
+				// churns; skip if negligible versus the diagonal.
+				if math.Abs(apq) <= 1e-18*(math.Abs(app)+math.Abs(aqq)) {
+					w.Set(p, q, 0)
+					w.Set(q, p, 0)
+					continue
+				}
+				// Stable computation of the rotation (Golub & Van Loan).
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				applyJacobi(w, v, p, q, c, s)
+			}
+		}
+	}
+
+	vals = make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = w.At(i, i)
+	}
+	// Sort eigenpairs by descending eigenvalue.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return vals[idx[i]] > vals[idx[j]] })
+	sortedVals := make([]float64, n)
+	sortedV := New(n, n)
+	for newCol, oldCol := range idx {
+		sortedVals[newCol] = vals[oldCol]
+		for i := 0; i < n; i++ {
+			sortedV.Set(i, newCol, v.At(i, oldCol))
+		}
+	}
+	return sortedVals, sortedV
+}
+
+// applyJacobi applies the rotation J(p,q,c,s) as w = JᵀwJ and v = vJ.
+func applyJacobi(w, v *Matrix, p, q int, c, s float64) {
+	n := w.RowsN
+	app := w.At(p, p)
+	aqq := w.At(q, q)
+	apq := w.At(p, q)
+	// Update the 2×2 block exactly.
+	w.Set(p, p, c*c*app-2*s*c*apq+s*s*aqq)
+	w.Set(q, q, s*s*app+2*s*c*apq+c*c*aqq)
+	w.Set(p, q, 0)
+	w.Set(q, p, 0)
+	for i := 0; i < n; i++ {
+		if i == p || i == q {
+			continue
+		}
+		aip := w.At(i, p)
+		aiq := w.At(i, q)
+		w.Set(i, p, c*aip-s*aiq)
+		w.Set(p, i, c*aip-s*aiq)
+		w.Set(i, q, s*aip+c*aiq)
+		w.Set(q, i, s*aip+c*aiq)
+	}
+	for i := 0; i < n; i++ {
+		vip := v.At(i, p)
+		viq := v.At(i, q)
+		v.Set(i, p, c*vip-s*viq)
+		v.Set(i, q, s*vip+c*viq)
+	}
+}
+
+func offDiagNorm(w *Matrix) float64 {
+	var s float64
+	n := w.RowsN
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := w.At(i, j)
+			s += 2 * v * v
+		}
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,76 @@
+package mat
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+const matMagic = uint32(0x474d4154) // "GMAT"
+
+// WriteMatrix serializes m in a compact little-endian binary format
+// (magic, version, dims, raw float64 data), so experiment tools can
+// persist and reload datasets the way the paper's artifact passes .npy
+// files between its scripts.
+func WriteMatrix(w io.Writer, m *Matrix) error {
+	bw := bufio.NewWriter(w)
+	for _, v := range []uint32{matMagic, 1} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, v := range []int64{int64(m.RowsN), int64(m.ColsN)} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	buf := make([]byte, 8)
+	for i := 0; i < m.RowsN; i++ {
+		for _, v := range m.Row(i) {
+			binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
+			if _, err := bw.Write(buf); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMatrix deserializes a matrix written by WriteMatrix.
+func ReadMatrix(r io.Reader) (*Matrix, error) {
+	br := bufio.NewReader(r)
+	var magic, version uint32
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return nil, err
+	}
+	if magic != matMagic {
+		return nil, fmt.Errorf("mat: bad magic %#x", magic)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, err
+	}
+	if version != 1 {
+		return nil, fmt.Errorf("mat: unsupported matrix version %d", version)
+	}
+	var rows, cols int64
+	if err := binary.Read(br, binary.LittleEndian, &rows); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &cols); err != nil {
+		return nil, err
+	}
+	if rows < 0 || cols < 0 || rows*cols > 1<<32 {
+		return nil, fmt.Errorf("mat: implausible dims %d×%d", rows, cols)
+	}
+	m := New(int(rows), int(cols))
+	buf := make([]byte, 8)
+	for i := range m.Data {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, err
+		}
+		m.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+	}
+	return m, nil
+}

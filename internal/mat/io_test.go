@@ -1,0 +1,87 @@
+package mat
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"arams/internal/rng"
+)
+
+func TestMatrixIORoundTrip(t *testing.T) {
+	g := rng.New(1)
+	for _, dims := range [][2]int{{0, 0}, {1, 1}, {7, 13}, {40, 3}} {
+		m := RandGaussian(dims[0], dims[1], g)
+		var buf bytes.Buffer
+		if err := WriteMatrix(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadMatrix(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(m, 0) {
+			t.Fatalf("%v: roundtrip mismatch", dims)
+		}
+	}
+}
+
+func TestMatrixIOSpecialValues(t *testing.T) {
+	m := FromRows([][]float64{{math.Inf(1), math.Inf(-1)}, {0, -0.0}})
+	m.Set(0, 0, math.NaN())
+	var buf bytes.Buffer
+	if err := WriteMatrix(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMatrix(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(got.At(0, 0)) || !math.IsInf(got.At(0, 1), -1) {
+		t.Fatal("special float values not preserved bit-exactly")
+	}
+}
+
+func TestMatrixIOViewStride(t *testing.T) {
+	// A Rows view has a parent stride; Write must serialize only the
+	// view's logical contents.
+	g := rng.New(2)
+	parent := RandGaussian(10, 6, g)
+	view := parent.Rows(3, 7)
+	var buf bytes.Buffer
+	if err := WriteMatrix(&buf, view); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMatrix(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RowsN != 4 || !got.Equal(view.Clone(), 0) {
+		t.Fatal("view serialization wrong")
+	}
+}
+
+func TestReadMatrixRejectsGarbage(t *testing.T) {
+	for _, input := range [][]byte{
+		nil,
+		[]byte("xx"),
+		[]byte("not a matrix at all, definitely"),
+	} {
+		if _, err := ReadMatrix(bytes.NewReader(input)); err == nil {
+			t.Fatalf("garbage %q accepted", input)
+		}
+	}
+}
+
+func TestReadMatrixTruncated(t *testing.T) {
+	g := rng.New(3)
+	m := RandGaussian(5, 5, g)
+	var buf bytes.Buffer
+	if err := WriteMatrix(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-9]
+	if _, err := ReadMatrix(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}

@@ -1,0 +1,111 @@
+package mat
+
+import (
+	"testing"
+	"testing/quick"
+
+	"arams/internal/rng"
+)
+
+// Property tests on algebraic identities, sized small enough to run in
+// milliseconds under testing/quick.
+
+func TestPropTransposeOfProduct(t *testing.T) {
+	g := rng.New(100)
+	f := func(seed uint16) bool {
+		m := 2 + int(seed%5)
+		k := 2 + int(seed%7)
+		n := 2 + int(seed%4)
+		a := RandGaussian(m, k, g)
+		b := RandGaussian(k, n, g)
+		// (AB)ᵀ = BᵀAᵀ
+		left := Mul(a, b).T()
+		right := Mul(b.T(), a.T())
+		return left.Equal(right, 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropMulAssociative(t *testing.T) {
+	g := rng.New(101)
+	f := func(seed uint16) bool {
+		m := 2 + int(seed%4)
+		a := RandGaussian(m, m, g)
+		b := RandGaussian(m, m, g)
+		c := RandGaussian(m, m, g)
+		left := Mul(Mul(a, b), c)
+		right := Mul(a, Mul(b, c))
+		return left.Equal(right, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropMulDistributive(t *testing.T) {
+	g := rng.New(102)
+	f := func(seed uint16) bool {
+		m := 2 + int(seed%5)
+		n := 2 + int(seed%5)
+		a := RandGaussian(m, n, g)
+		b := RandGaussian(n, m, g)
+		c := RandGaussian(n, m, g)
+		sum := b.Clone()
+		sum.Add(c)
+		left := Mul(a, sum)
+		right := Mul(a, b)
+		right.Add(Mul(a, c))
+		return left.Equal(right, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropFrobeniusInvariantUnderOrthogonal(t *testing.T) {
+	g := rng.New(103)
+	f := func(seed uint16) bool {
+		n := 3 + int(seed%5)
+		a := RandGaussian(n, n, g)
+		q := RandOrthonormalCols(n, n, g)
+		// ‖QA‖_F = ‖A‖_F
+		qa := Mul(q, a)
+		diff := qa.FrobeniusNorm() - a.FrobeniusNorm()
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff < 1e-9*a.FrobeniusNorm()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropSVDSingularValuesMatchEig(t *testing.T) {
+	g := rng.New(104)
+	f := func(seed uint16) bool {
+		m := 3 + int(seed%4)
+		n := 3 + int(seed%6)
+		a := RandGaussian(m, n, g)
+		_, s, _ := SVD(a)
+		// σᵢ² must equal the eigenvalues of AAᵀ.
+		vals, _ := EigSym(Mul(a, a.T()))
+		for i := 0; i < len(s) && i < len(vals); i++ {
+			want := vals[i]
+			if want < 0 {
+				want = 0
+			}
+			got := s[i] * s[i]
+			scale := vals[0] + 1e-300
+			if d := got - want; d > 1e-8*scale || d < -1e-8*scale {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

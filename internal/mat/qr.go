@@ -1,0 +1,81 @@
+package mat
+
+import "math"
+
+// QR computes the thin QR decomposition of an r×c matrix a with r >= c
+// using Householder reflections: a = q*rr with q r×c having orthonormal
+// columns and rr c×c upper triangular. The input is not modified.
+func QR(a *Matrix) (q, rr *Matrix) {
+	r, c := a.Dims()
+	if r < c {
+		panic("mat: QR needs rows >= cols")
+	}
+	// Work on a copy; v vectors are stored in the lower triangle.
+	w := a.Clone()
+	betas := make([]float64, c)
+	for k := 0; k < c; k++ {
+		// Build the Householder vector for column k from rows k..r-1.
+		var norm float64
+		for i := k; i < r; i++ {
+			norm = math.Hypot(norm, w.At(i, k))
+		}
+		if norm == 0 {
+			betas[k] = 0
+			continue
+		}
+		alpha := w.At(k, k)
+		if alpha > 0 {
+			norm = -norm
+		}
+		// v = x - norm*e1, normalized so v[0] = 1.
+		v0 := alpha - norm
+		for i := k + 1; i < r; i++ {
+			w.Set(i, k, w.At(i, k)/v0)
+		}
+		betas[k] = -v0 / norm
+		w.Set(k, k, norm)
+		// Apply the reflector to the remaining columns.
+		for j := k + 1; j < c; j++ {
+			// s = vᵀ * w[:, j]
+			s := w.At(k, j)
+			for i := k + 1; i < r; i++ {
+				s += w.At(i, k) * w.At(i, j)
+			}
+			s *= betas[k]
+			w.Set(k, j, w.At(k, j)-s)
+			for i := k + 1; i < r; i++ {
+				w.Set(i, j, w.At(i, j)-s*w.At(i, k))
+			}
+		}
+	}
+	// Extract R.
+	rr = New(c, c)
+	for i := 0; i < c; i++ {
+		for j := i; j < c; j++ {
+			rr.Set(i, j, w.At(i, j))
+		}
+	}
+	// Accumulate Q by applying reflectors to the first c columns of I,
+	// in reverse order.
+	q = New(r, c)
+	for j := 0; j < c; j++ {
+		q.Set(j, j, 1)
+	}
+	for k := c - 1; k >= 0; k-- {
+		if betas[k] == 0 {
+			continue
+		}
+		for j := 0; j < c; j++ {
+			s := q.At(k, j)
+			for i := k + 1; i < r; i++ {
+				s += w.At(i, k) * q.At(i, j)
+			}
+			s *= betas[k]
+			q.Set(k, j, q.At(k, j)-s)
+			for i := k + 1; i < r; i++ {
+				q.Set(i, j, q.At(i, j)-s*w.At(i, k))
+			}
+		}
+	}
+	return q, rr
+}

@@ -1,0 +1,188 @@
+package mat
+
+import (
+	"math"
+	"sort"
+)
+
+// SVD computes the thin singular value decomposition a = u*diag(s)*vt
+// of an m×n matrix using the one-sided Jacobi method. With k = min(m,n),
+// u is m×k with orthonormal columns, s has k non-negative entries in
+// descending order, and vt is k×n with orthonormal rows.
+//
+// One-sided Jacobi applies plane rotations to pairs of columns until all
+// columns are mutually orthogonal; it is simple, backward stable, and
+// achieves high relative accuracy, which matters because Frequent
+// Directions subtracts the smallest retained singular value.
+func SVD(a *Matrix) (u *Matrix, s []float64, vt *Matrix) {
+	m, n := a.Dims()
+	if m >= n {
+		return svdTall(a)
+	}
+	// Wide matrix: decompose the transpose and swap factors.
+	ut, st, vtt := svdTall(a.T())
+	return vtt.T(), st, ut.T()
+}
+
+// svdTall runs one-sided Jacobi on an m×n matrix with m >= n.
+func svdTall(a *Matrix) (u *Matrix, s []float64, vt *Matrix) {
+	m, n := a.Dims()
+	w := a.Clone()
+	v := Eye(n)
+	if n == 0 {
+		return New(m, 0), nil, New(0, 0)
+	}
+
+	const maxSweeps = 60
+	// Columns are rotated in place; convergence when every pair is
+	// numerically orthogonal.
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		rotated := false
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				var alpha, beta, gamma float64 // ‖p‖², ‖q‖², <p,q>
+				for i := 0; i < m; i++ {
+					wp := w.At(i, p)
+					wq := w.At(i, q)
+					alpha += wp * wp
+					beta += wq * wq
+					gamma += wp * wq
+				}
+				if gamma == 0 {
+					continue
+				}
+				// Orthogonal enough relative to the column scales?
+				if math.Abs(gamma) <= 1e-15*math.Sqrt(alpha*beta) {
+					continue
+				}
+				rotated = true
+				zeta := (beta - alpha) / (2 * gamma)
+				var t float64
+				if zeta >= 0 {
+					t = 1 / (zeta + math.Sqrt(1+zeta*zeta))
+				} else {
+					t = -1 / (-zeta + math.Sqrt(1+zeta*zeta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				sn := t * c
+				for i := 0; i < m; i++ {
+					wp := w.At(i, p)
+					wq := w.At(i, q)
+					w.Set(i, p, c*wp-sn*wq)
+					w.Set(i, q, sn*wp+c*wq)
+				}
+				for i := 0; i < n; i++ {
+					vp := v.At(i, p)
+					vq := v.At(i, q)
+					v.Set(i, p, c*vp-sn*vq)
+					v.Set(i, q, sn*vp+c*vq)
+				}
+			}
+		}
+		if !rotated {
+			break
+		}
+	}
+
+	// Column norms are the singular values; normalized columns form U.
+	s = make([]float64, n)
+	for j := 0; j < n; j++ {
+		var norm float64
+		for i := 0; i < m; i++ {
+			norm += w.At(i, j) * w.At(i, j)
+		}
+		s[j] = math.Sqrt(norm)
+	}
+	// Sort descending.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return s[idx[i]] > s[idx[j]] })
+
+	u = New(m, n)
+	vt = New(n, n)
+	sorted := make([]float64, n)
+	maxS := 0.0
+	for _, j := range idx {
+		if s[j] > maxS {
+			maxS = s[j]
+		}
+	}
+	for newJ, oldJ := range idx {
+		sorted[newJ] = s[oldJ]
+		if s[oldJ] > 1e-300 && s[oldJ] > 1e-15*maxS {
+			inv := 1 / s[oldJ]
+			for i := 0; i < m; i++ {
+				u.Set(i, newJ, w.At(i, oldJ)*inv)
+			}
+		}
+		for i := 0; i < n; i++ {
+			vt.Set(newJ, i, v.At(i, oldJ))
+		}
+	}
+	return u, sorted, vt
+}
+
+// SVDGram computes the thin SVD of a short-and-wide m×d matrix
+// (m << d) through the m×m Gram matrix G = a*aᵀ: eigendecomposing G
+// gives U and Σ², and the right singular vectors follow from
+// vt = Σ⁻¹ Uᵀ a. It never forms any d×d object, so it is the rotation
+// kernel used by Frequent Directions on 2-megapixel-wide buffers.
+//
+// Rows of vt whose singular value is numerically zero (relative to the
+// largest) are left as zero rows; the FD shrink step multiplies them by
+// zero anyway.
+func SVDGram(a *Matrix) (u *Matrix, s []float64, vt *Matrix) {
+	m, d := a.Dims()
+	g := Gram(a)
+	vals, uu := EigSym(g)
+	s = make([]float64, m)
+	var maxVal float64
+	if len(vals) > 0 && vals[0] > 0 {
+		maxVal = vals[0]
+	}
+	for i, v := range vals {
+		if v < 0 {
+			v = 0 // clamp tiny negative eigenvalues from roundoff
+		}
+		s[i] = math.Sqrt(v)
+	}
+	u = uu
+	vt = New(m, d)
+	// vt[i,:] = (1/s[i]) * u[:,i]ᵀ * a
+	tol := 1e-14 * math.Sqrt(maxVal)
+	for i := 0; i < m; i++ {
+		if s[i] <= tol {
+			continue
+		}
+		inv := 1 / s[i]
+		row := vt.Row(i)
+		for k := 0; k < m; k++ {
+			c := u.At(k, i) * inv
+			if c == 0 {
+				continue
+			}
+			axpy(c, a.Row(k), row)
+		}
+	}
+	return u, s, vt
+}
+
+// TruncateSVD returns the first k columns of u, entries of s, and rows
+// of vt. k is clamped to the available rank.
+func TruncateSVD(u *Matrix, s []float64, vt *Matrix, k int) (*Matrix, []float64, *Matrix) {
+	if k > len(s) {
+		k = len(s)
+	}
+	uk := New(u.RowsN, k)
+	for i := 0; i < u.RowsN; i++ {
+		copy(uk.Row(i), u.Row(i)[:k])
+	}
+	sk := append([]float64(nil), s[:k]...)
+	vk := New(k, vt.ColsN)
+	for i := 0; i < k; i++ {
+		copy(vk.Row(i), vt.Row(i))
+	}
+	return uk, sk, vk
+}

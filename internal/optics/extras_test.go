@@ -1,0 +1,75 @@
+package optics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestReachabilityInOrder(t *testing.T) {
+	x, _ := blobs(2, 20, 15, 0.4, 20)
+	res := Run(x, 5, math.Inf(1))
+	plot := res.ReachabilityInOrder()
+	if len(plot) != 40 {
+		t.Fatalf("plot length %d", len(plot))
+	}
+	if !math.IsInf(plot[0], 1) {
+		t.Fatalf("first ordered point should have undefined reachability, got %v", plot[0])
+	}
+	// Exactly one more +Inf (the jump into the second blob).
+	infs := 0
+	for _, v := range plot[1:] {
+		if math.IsInf(v, 1) {
+			infs++
+		}
+	}
+	if infs != 0 {
+		// With unbounded maxEps the second blob's entry is finite but
+		// large; it must exceed every intra-blob value.
+		t.Fatalf("unexpected infinite reachabilities: %d", infs)
+	}
+	max := 0.0
+	for _, v := range plot[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	if max < 5 {
+		t.Fatalf("no inter-blob jump in the plot: max %v", max)
+	}
+}
+
+func TestXiEmptyAndConstantPlots(t *testing.T) {
+	// Degenerate inputs must not panic and produce all-noise labels.
+	res := &Result{}
+	if got := res.ExtractXi(0.05, 5, 5); len(got) != 0 {
+		t.Fatal("empty result produced labels")
+	}
+	// Constant reachability: no steep areas → all noise.
+	res = &Result{
+		Order:        []int{0, 1, 2, 3},
+		Reachability: []float64{1, 1, 1, 1},
+		CoreDist:     []float64{1, 1, 1, 1},
+	}
+	for _, l := range res.ExtractXi(0.05, 2, 2) {
+		if l != Noise {
+			t.Fatal("flat plot produced clusters")
+		}
+	}
+}
+
+func TestDBSCANAllNoise(t *testing.T) {
+	// Points too sparse for the given eps: everything is noise.
+	x, _ := blobs(1, 10, 0, 20.0, 21) // huge spread
+	labels := DBSCAN(x, 0.01, 5)
+	for i, l := range labels {
+		if l != Noise {
+			t.Fatalf("sparse point %d labeled %d", i, l)
+		}
+	}
+}
+
+func TestARIEmpty(t *testing.T) {
+	if got := ARI(nil, nil); got != 1 {
+		t.Fatalf("ARI of empty labelings = %v, want 1", got)
+	}
+}

@@ -1,0 +1,226 @@
+// Package optics implements the OPTICS density-based clustering
+// algorithm (Ankerst, Breunig, Kriegel & Sander 1999) used as the final
+// stage of the paper's pipeline, together with two cluster-extraction
+// methods (DBSCAN-equivalent eps cut and ξ steep-area extraction) and a
+// plain DBSCAN used for cross-validation in tests.
+package optics
+
+import (
+	"container/heap"
+	"math"
+
+	"arams/internal/knn"
+	"arams/internal/mat"
+)
+
+// Noise is the label assigned to unclustered points.
+const Noise = -1
+
+// Result holds the OPTICS ordering and the per-point reachability and
+// core distances (indexed by original point index, not ordering
+// position). Unreachable/undefined distances are +Inf.
+type Result struct {
+	Order        []int
+	Reachability []float64
+	CoreDist     []float64
+}
+
+// Run computes the OPTICS ordering of the rows of x with the given
+// minPts and generating radius maxEps (use math.Inf(1) for unbounded,
+// as the paper's visual analysis does).
+func Run(x *mat.Matrix, minPts int, maxEps float64) *Result {
+	n := x.RowsN
+	if minPts < 2 {
+		minPts = 2
+	}
+	res := &Result{
+		Order:        make([]int, 0, n),
+		Reachability: make([]float64, n),
+		CoreDist:     make([]float64, n),
+	}
+	for i := range res.Reachability {
+		res.Reachability[i] = math.Inf(1)
+		res.CoreDist[i] = math.Inf(1)
+	}
+	if n == 0 {
+		return res
+	}
+
+	tree := knn.NewVPTree(x)
+	// neighbors returns points within maxEps of i (excluding i),
+	// ascending by distance.
+	neighbors := func(i int) []knn.Neighbor {
+		if math.IsInf(maxEps, 1) {
+			return tree.KNearest(x.Row(i), n-1, i)
+		}
+		nbs := tree.Radius(x.Row(i), maxEps)
+		out := nbs[:0]
+		for _, nb := range nbs {
+			if nb.Index != i {
+				out = append(out, nb)
+			}
+		}
+		return out
+	}
+	// coreDist: distance to the (minPts−1)-th nearest other point
+	// (minPts counts the point itself), undefined if beyond maxEps.
+	coreDist := func(nbs []knn.Neighbor) float64 {
+		if len(nbs) < minPts-1 {
+			return math.Inf(1)
+		}
+		d := nbs[minPts-2].Dist
+		if d > maxEps {
+			return math.Inf(1)
+		}
+		return d
+	}
+
+	processed := make([]bool, n)
+	for start := 0; start < n; start++ {
+		if processed[start] {
+			continue
+		}
+		processed[start] = true
+		res.Order = append(res.Order, start)
+		nbs := neighbors(start)
+		cd := coreDist(nbs)
+		res.CoreDist[start] = cd
+		if math.IsInf(cd, 1) {
+			continue
+		}
+		seeds := newReachHeap(n)
+		update(nbs, cd, processed, res, seeds)
+		for seeds.Len() > 0 {
+			q := seeds.popMin()
+			processed[q] = true
+			res.Order = append(res.Order, q)
+			qnbs := neighbors(q)
+			qcd := coreDist(qnbs)
+			res.CoreDist[q] = qcd
+			if !math.IsInf(qcd, 1) {
+				update(qnbs, qcd, processed, res, seeds)
+			}
+		}
+	}
+	return res
+}
+
+// update relaxes the reachability of p's unprocessed neighbors.
+func update(nbs []knn.Neighbor, coreDist float64, processed []bool, res *Result, seeds *reachHeap) {
+	for _, nb := range nbs {
+		if processed[nb.Index] {
+			continue
+		}
+		newReach := math.Max(coreDist, nb.Dist)
+		if newReach < res.Reachability[nb.Index] {
+			res.Reachability[nb.Index] = newReach
+			seeds.upsert(nb.Index, newReach)
+		}
+	}
+}
+
+// reachHeap is an indexed min-heap on reachability with decrease-key.
+type reachHeap struct {
+	items []heapItem
+	pos   []int // point index -> heap position, -1 if absent
+}
+
+type heapItem struct {
+	index int
+	reach float64
+}
+
+func newReachHeap(n int) *reachHeap {
+	h := &reachHeap{pos: make([]int, n)}
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+	return h
+}
+
+func (h *reachHeap) Len() int { return len(h.items) }
+func (h *reachHeap) Less(i, j int) bool {
+	if h.items[i].reach != h.items[j].reach {
+		return h.items[i].reach < h.items[j].reach
+	}
+	// Deterministic tie-break on index keeps orderings reproducible.
+	return h.items[i].index < h.items[j].index
+}
+func (h *reachHeap) Swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.pos[h.items[i].index] = i
+	h.pos[h.items[j].index] = j
+}
+func (h *reachHeap) Push(x interface{}) {
+	item := x.(heapItem)
+	h.pos[item.index] = len(h.items)
+	h.items = append(h.items, item)
+}
+func (h *reachHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	item := old[n-1]
+	h.items = old[:n-1]
+	h.pos[item.index] = -1
+	return item
+}
+
+func (h *reachHeap) upsert(index int, reach float64) {
+	if p := h.pos[index]; p >= 0 {
+		h.items[p].reach = reach
+		heap.Fix(h, p)
+		return
+	}
+	heap.Push(h, heapItem{index: index, reach: reach})
+}
+
+func (h *reachHeap) popMin() int {
+	return heap.Pop(h).(heapItem).index
+}
+
+// ExtractDBSCAN cuts the reachability plot at eps, producing labels
+// equivalent to DBSCAN(eps, minPts) up to border-point assignment.
+// Points with reachability > eps start a new cluster if their own core
+// distance is ≤ eps, otherwise they are Noise.
+func (r *Result) ExtractDBSCAN(eps float64) []int {
+	labels := make([]int, len(r.Reachability))
+	for i := range labels {
+		labels[i] = Noise
+	}
+	cluster := -1
+	for _, p := range r.Order {
+		if r.Reachability[p] > eps {
+			if r.CoreDist[p] <= eps {
+				cluster++
+				labels[p] = cluster
+			}
+			continue
+		}
+		if cluster >= 0 {
+			labels[p] = cluster
+		}
+	}
+	return labels
+}
+
+// ReachabilityInOrder returns the reachability plot: reachability
+// distances arranged in the cluster ordering — the curve whose valleys
+// are clusters. Plotting tools consume this directly.
+func (r *Result) ReachabilityInOrder() []float64 {
+	out := make([]float64, len(r.Order))
+	for pos, p := range r.Order {
+		out[pos] = r.Reachability[p]
+	}
+	return out
+}
+
+// NumClusters returns the number of distinct non-noise labels.
+func NumClusters(labels []int) int {
+	seen := map[int]bool{}
+	for _, l := range labels {
+		if l != Noise {
+			seen[l] = true
+		}
+	}
+	return len(seen)
+}

@@ -1,0 +1,227 @@
+package optics
+
+import (
+	"math"
+	"testing"
+
+	"arams/internal/mat"
+	"arams/internal/rng"
+)
+
+// blobs builds k Gaussian clusters of nPer points in 2-D, centers on a
+// circle of the given radius, returning points and ground-truth labels.
+func blobs(k, nPer int, radius, sigma float64, seed uint64) (*mat.Matrix, []int) {
+	g := rng.New(seed)
+	x := mat.New(k*nPer, 2)
+	labels := make([]int, k*nPer)
+	for c := 0; c < k; c++ {
+		angle := 2 * math.Pi * float64(c) / float64(k)
+		cx, cy := radius*math.Cos(angle), radius*math.Sin(angle)
+		for i := 0; i < nPer; i++ {
+			idx := c*nPer + i
+			x.Set(idx, 0, cx+sigma*g.Norm())
+			x.Set(idx, 1, cy+sigma*g.Norm())
+			labels[idx] = c
+		}
+	}
+	return x, labels
+}
+
+func TestOrderingIsPermutation(t *testing.T) {
+	x, _ := blobs(3, 30, 10, 0.5, 1)
+	res := Run(x, 5, math.Inf(1))
+	if len(res.Order) != x.RowsN {
+		t.Fatalf("ordering length %d", len(res.Order))
+	}
+	seen := make([]bool, x.RowsN)
+	for _, p := range res.Order {
+		if seen[p] {
+			t.Fatalf("point %d appears twice in ordering", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestCoreDistances(t *testing.T) {
+	x, _ := blobs(1, 50, 0, 0.5, 2)
+	res := Run(x, 5, math.Inf(1))
+	for i, cd := range res.CoreDist {
+		if math.IsInf(cd, 1) {
+			t.Fatalf("point %d has undefined core distance in a dense blob", i)
+		}
+		if cd < 0 {
+			t.Fatalf("negative core distance at %d", i)
+		}
+	}
+}
+
+func TestReachabilityValleys(t *testing.T) {
+	// Three tight, well-separated blobs: the reachability plot must
+	// contain exactly 3 low "valleys" separated by high jumps.
+	x, _ := blobs(3, 40, 20, 0.3, 3)
+	res := Run(x, 5, math.Inf(1))
+	jumps := 0
+	for pos := 1; pos < len(res.Order); pos++ {
+		r := res.Reachability[res.Order[pos]]
+		if r > 5 { // far larger than intra-blob distances
+			jumps++
+		}
+	}
+	// First point of each new blob after the initial one causes a jump.
+	if jumps != 2 {
+		t.Fatalf("expected 2 inter-blob jumps, got %d", jumps)
+	}
+}
+
+func TestExtractDBSCANRecoversBlobs(t *testing.T) {
+	x, truth := blobs(4, 40, 20, 0.3, 4)
+	res := Run(x, 5, math.Inf(1))
+	labels := res.ExtractDBSCAN(2.0)
+	if got := NumClusters(labels); got != 4 {
+		t.Fatalf("found %d clusters, want 4", got)
+	}
+	if ari := ARI(labels, truth); ari < 0.99 {
+		t.Fatalf("ARI = %v, want ~1", ari)
+	}
+}
+
+func TestOpticsMatchesDBSCAN(t *testing.T) {
+	// Core guarantee: cutting the OPTICS plot at eps reproduces
+	// DBSCAN's clustering for the same parameters.
+	x, _ := blobs(3, 35, 15, 0.5, 5)
+	const eps, minPts = 1.5, 5
+	res := Run(x, minPts, math.Inf(1))
+	fromOptics := res.ExtractDBSCAN(eps)
+	direct := DBSCAN(x, eps, minPts)
+	if ari := ARI(fromOptics, direct); ari < 0.95 {
+		t.Fatalf("OPTICS eps-cut diverges from DBSCAN: ARI %v", ari)
+	}
+	if NumClusters(fromOptics) != NumClusters(direct) {
+		t.Fatalf("cluster counts differ: %d vs %d", NumClusters(fromOptics), NumClusters(direct))
+	}
+}
+
+func TestExtractXiRecoversBlobs(t *testing.T) {
+	x, truth := blobs(3, 50, 25, 0.4, 6)
+	res := Run(x, 5, math.Inf(1))
+	// minClusterSize near the blob size suppresses nested sub-leaves;
+	// like scikit-learn, small minClusterSize yields a finer hierarchy.
+	labels := res.ExtractXi(0.15, 5, 30)
+	if got := NumClusters(labels); got != 3 {
+		t.Fatalf("xi extraction found %d clusters, want 3", got)
+	}
+	if ari := ARI(labels, truth); ari < 0.8 {
+		t.Fatalf("xi ARI = %v", ari)
+	}
+}
+
+func TestNoiseDetection(t *testing.T) {
+	// One dense blob plus isolated far-away points: the isolates must
+	// come out as noise under an eps cut.
+	g := rng.New(7)
+	x := mat.New(55, 2)
+	for i := 0; i < 50; i++ {
+		x.Set(i, 0, g.Norm()*0.3)
+		x.Set(i, 1, g.Norm()*0.3)
+	}
+	for i := 0; i < 5; i++ {
+		x.Set(50+i, 0, 100+50*float64(i))
+		x.Set(50+i, 1, -100*float64(i+1))
+	}
+	res := Run(x, 5, math.Inf(1))
+	labels := res.ExtractDBSCAN(2.0)
+	for i := 50; i < 55; i++ {
+		if labels[i] != Noise {
+			t.Fatalf("outlier %d labeled %d, want noise", i, labels[i])
+		}
+	}
+	if NumClusters(labels) != 1 {
+		t.Fatalf("want exactly 1 cluster, got %d", NumClusters(labels))
+	}
+}
+
+func TestMaxEpsLimitsReachability(t *testing.T) {
+	x, _ := blobs(2, 30, 50, 0.3, 8)
+	res := Run(x, 5, 5.0)
+	// With maxEps far below the blob separation, the second blob's
+	// entry point keeps infinite reachability.
+	infCount := 0
+	for _, r := range res.Reachability {
+		if math.IsInf(r, 1) {
+			infCount++
+		}
+	}
+	if infCount < 2 {
+		t.Fatalf("expected >= 2 unreachable entries, got %d", infCount)
+	}
+}
+
+func TestEmptyAndTinyInputs(t *testing.T) {
+	res := Run(mat.New(0, 2), 5, math.Inf(1))
+	if len(res.Order) != 0 {
+		t.Fatal("empty input produced an ordering")
+	}
+	one := mat.FromRows([][]float64{{1, 2}})
+	res = Run(one, 5, math.Inf(1))
+	if len(res.Order) != 1 {
+		t.Fatal("single point not ordered")
+	}
+	labels := res.ExtractDBSCAN(1)
+	if labels[0] != Noise {
+		t.Fatal("single point should be noise (cannot be core with minPts=5)")
+	}
+}
+
+func TestDBSCANBorderPoints(t *testing.T) {
+	// A point just inside eps of a core point but itself not core must
+	// join the cluster as a border point.
+	x := mat.FromRows([][]float64{
+		{0, 0}, {0.1, 0}, {0, 0.1}, {0.1, 0.1}, // dense core
+		{0.9, 0}, // border: within eps=1 of the core, not core itself
+	})
+	labels := DBSCAN(x, 1.0, 4)
+	if labels[4] == Noise {
+		t.Fatal("border point marked as noise")
+	}
+	if labels[4] != labels[0] {
+		t.Fatal("border point not attached to the cluster")
+	}
+}
+
+func TestARIProperties(t *testing.T) {
+	a := []int{0, 0, 1, 1, 2, 2}
+	if got := ARI(a, a); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("ARI(a,a) = %v", got)
+	}
+	// Permuted labels: still perfect agreement.
+	b := []int{5, 5, 9, 9, 7, 7}
+	if got := ARI(a, b); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("ARI under relabeling = %v", got)
+	}
+	// Completely split vs completely merged: low score.
+	c := []int{0, 1, 2, 3, 4, 5}
+	d := []int{0, 0, 0, 0, 0, 0}
+	if got := ARI(c, d); got > 0.01 {
+		t.Fatalf("ARI of unrelated labelings = %v", got)
+	}
+}
+
+func TestARIMismatchedLengthsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	ARI([]int{1}, []int{1, 2})
+}
+
+func TestRunDeterministic(t *testing.T) {
+	x, _ := blobs(3, 25, 10, 0.5, 9)
+	a := Run(x, 5, math.Inf(1))
+	b := Run(x, 5, math.Inf(1))
+	for i := range a.Order {
+		if a.Order[i] != b.Order[i] {
+			t.Fatal("OPTICS ordering not deterministic")
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package optics
+
+import "math"
+
+// ExtractXi performs the ξ steep-area cluster extraction of Ankerst et
+// al. (Definition 11), following the same region bookkeeping as the
+// widely used scikit-learn implementation (without predecessor
+// correction): steep-down areas are matched with steep-up areas to
+// delimit clusters, nested clusters are emitted before their parents,
+// and each point keeps the label of the smallest cluster containing
+// it. minClusterSize <= 0 defaults to minPts used for the run.
+func (r *Result) ExtractXi(xi float64, minPts, minClusterSize int) []int {
+	n := len(r.Order)
+	if minClusterSize <= 0 {
+		minClusterSize = minPts
+	}
+	// Reachability in ordering space with a sentinel +Inf appended.
+	plot := make([]float64, n+1)
+	for pos, p := range r.Order {
+		plot[pos] = r.Reachability[p]
+	}
+	plot[n] = math.Inf(1)
+
+	clusters := xiClusters(plot, xi, minPts, minClusterSize)
+
+	// Assign labels: earlier clusters in the list are smaller/nested;
+	// a cluster is emitted only if none of its points are labeled yet.
+	ordLabels := make([]int, n)
+	for i := range ordLabels {
+		ordLabels[i] = Noise
+	}
+	label := 0
+	for _, c := range clusters {
+		free := true
+		for i := c[0]; i <= c[1]; i++ {
+			if ordLabels[i] != Noise {
+				free = false
+				break
+			}
+		}
+		if !free {
+			continue
+		}
+		for i := c[0]; i <= c[1]; i++ {
+			ordLabels[i] = label
+		}
+		label++
+	}
+	labels := make([]int, n)
+	for pos, p := range r.Order {
+		labels[p] = ordLabels[pos]
+	}
+	return labels
+}
+
+type steepDownArea struct {
+	start, end int
+	mib        float64
+}
+
+// xiClusters finds cluster intervals [start, end] in ordering space.
+func xiClusters(plot []float64, xi float64, minPts, minClusterSize int) [][2]int {
+	n := len(plot) - 1 // last entry is the sentinel
+	if n < 2 {
+		return nil
+	}
+	comp := 1 - xi
+	// ratio[i] = plot[i]/plot[i+1]; classified per Definition 9.
+	steepUp := make([]bool, n)
+	steepDown := make([]bool, n)
+	up := make([]bool, n)
+	down := make([]bool, n)
+	for i := 0; i < n; i++ {
+		a, b := plot[i], plot[i+1]
+		switch {
+		case math.IsInf(a, 1) && math.IsInf(b, 1):
+			// undefined ratio: neither direction
+		default:
+			steepUp[i] = a <= b*comp
+			steepDown[i] = a*comp >= b
+			up[i] = a < b
+			down[i] = a > b
+		}
+	}
+
+	var sdas []steepDownArea
+	var clusters [][2]int
+	index := 0
+	mib := 0.0
+	for steepIdx := 0; steepIdx < n; steepIdx++ {
+		if !steepUp[steepIdx] && !steepDown[steepIdx] {
+			continue
+		}
+		if steepIdx < index {
+			continue
+		}
+		for i := index; i <= steepIdx; i++ {
+			if plot[i] > mib {
+				mib = plot[i]
+			}
+		}
+		if steepDown[steepIdx] {
+			sdas = filterSdas(sdas, mib, comp, plot)
+			dStart := steepIdx
+			dEnd := extendRegion(steepDown, up, dStart, minPts, n)
+			sdas = append(sdas, steepDownArea{start: dStart, end: dEnd})
+			index = dEnd + 1
+			mib = plot[index]
+			continue
+		}
+		// Steep-up area.
+		sdas = filterSdas(sdas, mib, comp, plot)
+		uStart := steepIdx
+		uEnd := extendRegion(steepUp, down, uStart, minPts, n)
+		index = uEnd + 1
+		if index <= n {
+			mib = plot[index]
+		}
+
+		var uClusters [][2]int
+		for _, d := range sdas {
+			cStart, cEnd := d.start, uEnd
+			// sc2*: the in-between maximum must be within ξ of the
+			// cluster-ending reachability.
+			if plot[cEnd+1]*comp < d.mib {
+				continue
+			}
+			// Definition 11 criterion 4: trim the taller side.
+			dMax := plot[d.start]
+			if dMax*comp >= plot[cEnd+1] {
+				for cStart < d.end && plot[cStart+1] > plot[cEnd+1] {
+					cStart++
+				}
+			} else if plot[cEnd+1]*comp >= dMax {
+				for cEnd > uStart && plot[cEnd] < dMax {
+					cEnd--
+				}
+			}
+			if cEnd-cStart+1 < minClusterSize {
+				continue
+			}
+			if cStart > d.end {
+				continue
+			}
+			if cEnd < uStart {
+				continue
+			}
+			uClusters = append(uClusters, [2]int{cStart, cEnd})
+		}
+		// Reverse so smaller (more recent steep-down) clusters come
+		// first — they nest inside earlier ones.
+		for i, j := 0, len(uClusters)-1; i < j; i, j = i+1, j-1 {
+			uClusters[i], uClusters[j] = uClusters[j], uClusters[i]
+		}
+		clusters = append(clusters, uClusters...)
+	}
+	return clusters
+}
+
+// filterSdas drops steep-down areas invalidated by the in-between
+// maximum and refreshes the surviving areas' mib values.
+func filterSdas(sdas []steepDownArea, mib, comp float64, plot []float64) []steepDownArea {
+	if math.IsInf(mib, 1) {
+		return nil
+	}
+	out := sdas[:0]
+	for _, d := range sdas {
+		if mib <= plot[d.start]*comp {
+			if mib > d.mib {
+				d.mib = mib
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// extendRegion grows a steep region from start, tolerating at most
+// minPts consecutive non-steep (but still monotone) points.
+func extendRegion(steep, opposite []bool, start, minPts, n int) int {
+	nonSteep := 0
+	end := start
+	for i := start + 1; i < n; i++ {
+		switch {
+		case steep[i]:
+			nonSteep = 0
+			end = i
+		case opposite[i]:
+			return end
+		default:
+			nonSteep++
+			if nonSteep > minPts {
+				return end
+			}
+		}
+	}
+	return end
+}

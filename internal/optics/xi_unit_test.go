@@ -1,0 +1,86 @@
+package optics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExtendRegion(t *testing.T) {
+	// steep: indices 0,1 steep; 2,3 flat-up; 4 steep; 5 down.
+	steep := []bool{true, true, false, false, true, false}
+	opposite := []bool{false, false, false, false, false, true}
+	// With minPts=3 the two non-steep points are tolerated and the
+	// region extends through index 4, stopping before the downward 5.
+	if got := extendRegion(steep, opposite, 0, 3, 6); got != 4 {
+		t.Fatalf("extendRegion = %d, want 4", got)
+	}
+	// With minPts=1 the second non-steep point exceeds tolerance.
+	if got := extendRegion(steep, opposite, 0, 1, 6); got != 1 {
+		t.Fatalf("extendRegion tolerant = %d, want 1", got)
+	}
+	// Opposite-direction point terminates immediately.
+	if got := extendRegion(steep, opposite, 4, 5, 6); got != 4 {
+		t.Fatalf("extendRegion at 4 = %d, want 4", got)
+	}
+}
+
+func TestFilterSdas(t *testing.T) {
+	plot := []float64{10, 1, 1, 1}
+	sdas := []steepDownArea{{start: 0, end: 1, mib: 0.5}}
+	// mib below threshold: survives and mib is refreshed.
+	out := filterSdas(sdas, 2.0, 0.95, plot)
+	if len(out) != 1 || out[0].mib != 2.0 {
+		t.Fatalf("filterSdas keep: %+v", out)
+	}
+	// mib above plot[start]*comp: dropped.
+	out = filterSdas(out, 9.99, 0.95, plot)
+	if len(out) != 0 {
+		t.Fatalf("filterSdas drop: %+v", out)
+	}
+	// Infinite mib clears everything.
+	out = filterSdas([]steepDownArea{{start: 0}}, math.Inf(1), 0.95, plot)
+	if out != nil && len(out) != 0 {
+		t.Fatalf("filterSdas inf: %+v", out)
+	}
+}
+
+func TestXiClustersVShape(t *testing.T) {
+	// A single clean valley: descent, flat bottom, ascent to sentinel.
+	plot := []float64{
+		10, 1, 1, 1, 1, 1, 1, 1, 1, 10, math.Inf(1),
+	}
+	clusters := xiClusters(plot, 0.3, 2, 3)
+	if len(clusters) == 0 {
+		t.Fatal("no cluster found in a clean valley")
+	}
+	// The widest cluster must cover the valley floor (positions 1–8).
+	best := clusters[0]
+	for _, c := range clusters {
+		if c[1]-c[0] > best[1]-best[0] {
+			best = c
+		}
+	}
+	if best[0] > 1 || best[1] < 8 {
+		t.Fatalf("valley cluster [%d,%d] does not cover the floor", best[0], best[1])
+	}
+}
+
+func TestXiClustersTwoValleys(t *testing.T) {
+	plot := []float64{
+		10, 1, 1, 1, 1, 8, 1, 1, 1, 1, math.Inf(1),
+	}
+	clusters := xiClusters(plot, 0.3, 2, 3)
+	// Expect at least two distinct valley clusters.
+	firstValley, secondValley := false, false
+	for _, c := range clusters {
+		if c[0] <= 1 && c[1] >= 3 && c[1] <= 5 {
+			firstValley = true
+		}
+		if c[0] >= 4 && c[0] <= 6 && c[1] >= 8 {
+			secondValley = true
+		}
+	}
+	if !firstValley || !secondValley {
+		t.Fatalf("valleys not both found: %v", clusters)
+	}
+}

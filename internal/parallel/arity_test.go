@@ -1,0 +1,70 @@
+package parallel
+
+import (
+	"testing"
+
+	"arams/internal/sketch"
+)
+
+func TestArityRounds(t *testing.T) {
+	x := testMatrix(640, 12, 30)
+	for _, tc := range []struct {
+		arity, shards, wantRounds int
+	}{
+		{2, 16, 4},
+		{4, 16, 2},
+		{8, 16, 2}, // 16 → 2 → 1
+		{16, 16, 1},
+		{4, 64, 3},
+	} {
+		shards := SplitRows(x, tc.shards)
+		_, stats := RunArity(shards, FDSketcher(6, sketch.Options{}), TreeMerge, tc.arity)
+		if stats.MergeRounds != tc.wantRounds {
+			t.Errorf("arity %d over %d shards: %d rounds, want %d",
+				tc.arity, tc.shards, stats.MergeRounds, tc.wantRounds)
+		}
+	}
+}
+
+func TestArityBoundHolds(t *testing.T) {
+	x := testMatrix(480, 16, 31)
+	ell := 8
+	for _, arity := range []int{2, 3, 4, 8} {
+		shards := SplitRows(x, 12)
+		global, _ := RunArity(shards, FDSketcher(ell, sketch.Options{}), TreeMerge, arity)
+		err := sketch.CovErr(x, global.Sketch())
+		bound := 4 * x.FrobeniusNormSq() / float64(ell)
+		if err > bound {
+			t.Errorf("arity %d: CovErr %v > %v", arity, err, bound)
+		}
+		if global.Seen() != 480 {
+			t.Errorf("arity %d: Seen = %d", arity, global.Seen())
+		}
+	}
+}
+
+func TestAritySimulatedMatchesConcurrent(t *testing.T) {
+	x := testMatrix(320, 10, 32)
+	for _, arity := range []int{2, 4} {
+		shards := SplitRows(x, 8)
+		gc, sc := RunArity(shards, FDSketcher(5, sketch.Options{}), TreeMerge, arity)
+		shards = SplitRows(x, 8)
+		gs, ss := RunSimulatedArity(shards, FDSketcher(5, sketch.Options{}), TreeMerge, arity)
+		if sc.MergeRounds != ss.MergeRounds {
+			t.Errorf("arity %d: rounds differ %d vs %d", arity, sc.MergeRounds, ss.MergeRounds)
+		}
+		// Same deterministic computation → identical sketches.
+		if !gc.Sketch().Equal(gs.Sketch(), 1e-12) {
+			t.Errorf("arity %d: concurrent and simulated sketches differ", arity)
+		}
+	}
+}
+
+func TestArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("arity 1 did not panic")
+		}
+	}()
+	RunArity(SplitRows(testMatrix(10, 3, 33), 2), FDSketcher(2, sketch.Options{}), TreeMerge, 1)
+}

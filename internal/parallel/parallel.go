@@ -1,0 +1,325 @@
+// Package parallel implements the paper's parallelization scheme for
+// Frequent Directions sketching (§IV-C): each worker sketches a shard
+// of the data independently, and the per-shard sketches — which are
+// mergeable summaries — are combined either by the proposed tree merge
+// (logarithmic number of merge rotations, merges within a level running
+// concurrently) or by the baseline serial merge (linear chain of
+// rotations through a single accumulator), the comparison behind
+// Figs. 2 and 3.
+//
+// Workers are goroutines; the original system used MPI ranks on a
+// cluster, but the merge topology, rotation counts, and communication
+// structure are identical, which is what the strong-scaling shape
+// depends on.
+package parallel
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"arams/internal/mat"
+	"arams/internal/sketch"
+)
+
+// MergeStrategy selects how per-shard sketches are combined.
+type MergeStrategy int
+
+const (
+	// TreeMerge combines sketches pairwise in rounds; each round halves
+	// the sketch count and its merges run concurrently.
+	TreeMerge MergeStrategy = iota
+	// SerialMerge folds every sketch into a single accumulator one at a
+	// time — the baseline whose scaling plateaus in Fig. 2.
+	SerialMerge
+)
+
+// String names the strategy for tables.
+func (s MergeStrategy) String() string {
+	switch s {
+	case TreeMerge:
+		return "tree-merge"
+	case SerialMerge:
+		return "serial-merge"
+	default:
+		return fmt.Sprintf("MergeStrategy(%d)", int(s))
+	}
+}
+
+// Stats reports the work performed by a parallel sketch run.
+type Stats struct {
+	Workers        int
+	LocalRotations int           // SVD rotations during per-shard sketching
+	MergeRotations int           // SVD rotations during merging
+	MergeRounds    int           // tree levels (1 chain for serial)
+	SketchTime     time.Duration // wall time of the shard-sketch phase
+	MergeTime      time.Duration // wall time of the merge phase
+	Total          time.Duration
+	// CriticalPath is the strong-scaling runtime on ideal hardware: the
+	// slowest single worker's sketch time, plus — for the tree — the
+	// sum over merge levels of each level's slowest merge, or — for the
+	// serial fold — the sum of every merge. Each contribution is
+	// measured, not modeled, so the value is meaningful even when the
+	// host has fewer cores than workers (goroutines then time-slice,
+	// but each unit of work is timed individually).
+	CriticalPath time.Duration
+}
+
+// Sketcher builds a fresh sketch for a shard; it lets callers choose
+// plain FD, rank-adaptive FD, or full ARAMS per worker.
+type Sketcher func(shard *mat.Matrix) *sketch.FrequentDirections
+
+// FDSketcher returns a Sketcher that runs plain fast Frequent
+// Directions with the given ℓ.
+func FDSketcher(ell int, opts sketch.Options) Sketcher {
+	return func(shard *mat.Matrix) *sketch.FrequentDirections {
+		fd := sketch.NewFrequentDirections(ell, shard.ColsN, opts)
+		fd.AppendMatrix(shard)
+		return fd
+	}
+}
+
+// Run sketches every shard concurrently (one goroutine per shard) and
+// merges the per-shard sketches with the chosen strategy (binary tree
+// for TreeMerge). It returns the global sketch and run statistics.
+func Run(shards []*mat.Matrix, mk Sketcher, strategy MergeStrategy) (*sketch.FrequentDirections, Stats) {
+	return RunArity(shards, mk, strategy, 2)
+}
+
+// RunArity is Run with a configurable tree arity: each tree level
+// groups `arity` sketches and folds each group with arity−1 sequential
+// merges, groups running concurrently — the general branching factor of
+// the appendix's mergeability proof. Arity is ignored for SerialMerge.
+func RunArity(shards []*mat.Matrix, mk Sketcher, strategy MergeStrategy, arity int) (*sketch.FrequentDirections, Stats) {
+	if len(shards) == 0 {
+		panic("parallel: no shards")
+	}
+	if arity < 2 {
+		panic("parallel: tree arity must be >= 2")
+	}
+	stats := Stats{Workers: len(shards)}
+	start := time.Now()
+
+	local := make([]*sketch.FrequentDirections, len(shards))
+	localTimes := make([]time.Duration, len(shards))
+	var wg sync.WaitGroup
+	for i, shard := range shards {
+		wg.Add(1)
+		go func(i int, shard *mat.Matrix) {
+			defer wg.Done()
+			t0 := time.Now()
+			fd := mk(shard)
+			fd.Compact()
+			localTimes[i] = time.Since(t0)
+			local[i] = fd
+		}(i, shard)
+	}
+	wg.Wait()
+	stats.SketchTime = time.Since(start)
+	var slowestLocal time.Duration
+	for i, fd := range local {
+		stats.LocalRotations += fd.Rotations()
+		if localTimes[i] > slowestLocal {
+			slowestLocal = localTimes[i]
+		}
+	}
+
+	mergeStart := time.Now()
+	var global *sketch.FrequentDirections
+	var mergeCrit time.Duration
+	switch strategy {
+	case TreeMerge:
+		global, stats.MergeRounds, mergeCrit = treeMerge(local, arity)
+	case SerialMerge:
+		global, mergeCrit = serialMerge(local)
+		stats.MergeRounds = len(local) - 1
+	default:
+		panic("parallel: unknown merge strategy")
+	}
+	stats.MergeTime = time.Since(mergeStart)
+	stats.MergeRotations = global.Rotations() - stats.LocalRotations
+	stats.CriticalPath = slowestLocal + mergeCrit
+	stats.Total = time.Since(start)
+	return global, stats
+}
+
+// treeMerge reduces sketches in groups of `arity`; groups within one
+// round run concurrently, mirroring simultaneous MPI exchanges across
+// ranks, while the arity−1 merges inside a group are sequential. The
+// returned duration is the merge critical path: the sum over rounds of
+// each round's slowest group fold.
+func treeMerge(fds []*sketch.FrequentDirections, arity int) (*sketch.FrequentDirections, int, time.Duration) {
+	rounds := 0
+	var critical time.Duration
+	for len(fds) > 1 {
+		rounds++
+		groups := (len(fds) + arity - 1) / arity
+		next := make([]*sketch.FrequentDirections, groups)
+		times := make([]time.Duration, groups)
+		var wg sync.WaitGroup
+		for gIdx := 0; gIdx < groups; gIdx++ {
+			lo := gIdx * arity
+			hi := lo + arity
+			if hi > len(fds) {
+				hi = len(fds)
+			}
+			wg.Add(1)
+			go func(gIdx, lo, hi int) {
+				defer wg.Done()
+				t0 := time.Now()
+				acc := fds[lo]
+				for i := lo + 1; i < hi; i++ {
+					acc.Merge(fds[i])
+					acc.Compact()
+				}
+				times[gIdx] = time.Since(t0)
+				next[gIdx] = acc
+			}(gIdx, lo, hi)
+		}
+		wg.Wait()
+		var slowest time.Duration
+		for _, t := range times {
+			if t > slowest {
+				slowest = t
+			}
+		}
+		critical += slowest
+		fds = next
+	}
+	return fds[0], rounds, critical
+}
+
+// serialMerge folds all sketches into the first, one at a time; every
+// merge is on the critical path.
+func serialMerge(fds []*sketch.FrequentDirections) (*sketch.FrequentDirections, time.Duration) {
+	acc := fds[0]
+	start := time.Now()
+	for _, fd := range fds[1:] {
+		acc.Merge(fd)
+		acc.Compact()
+	}
+	return acc, time.Since(start)
+}
+
+// RunSimulated executes the same sharded sketch-and-merge computation
+// as Run but strictly sequentially, timing every unit of work in
+// isolation, and reports the critical path the computation would have
+// on hardware with one core per worker: the slowest local sketch plus,
+// per tree level, that level's slowest merge (or every merge, for the
+// serial fold). On a host with fewer cores than workers, Run's
+// goroutines time-slice and per-goroutine timings degenerate to wall
+// time; RunSimulated is the measurement to use for strong-scaling
+// studies there. Total is the summed sequential work.
+func RunSimulated(shards []*mat.Matrix, mk Sketcher, strategy MergeStrategy) (*sketch.FrequentDirections, Stats) {
+	return RunSimulatedArity(shards, mk, strategy, 2)
+}
+
+// RunSimulatedArity is RunSimulated with a configurable tree arity (see
+// RunArity).
+func RunSimulatedArity(shards []*mat.Matrix, mk Sketcher, strategy MergeStrategy, arity int) (*sketch.FrequentDirections, Stats) {
+	if len(shards) == 0 {
+		panic("parallel: no shards")
+	}
+	if arity < 2 {
+		panic("parallel: tree arity must be >= 2")
+	}
+	stats := Stats{Workers: len(shards)}
+	var work time.Duration
+
+	local := make([]*sketch.FrequentDirections, len(shards))
+	var slowestLocal time.Duration
+	for i, shard := range shards {
+		t0 := time.Now()
+		fd := mk(shard)
+		fd.Compact()
+		d := time.Since(t0)
+		work += d
+		if d > slowestLocal {
+			slowestLocal = d
+		}
+		local[i] = fd
+	}
+	stats.SketchTime = work
+	for _, fd := range local {
+		stats.LocalRotations += fd.Rotations()
+	}
+
+	var mergeCrit time.Duration
+	mergeStart := work
+	switch strategy {
+	case TreeMerge:
+		for len(local) > 1 {
+			stats.MergeRounds++
+			groups := (len(local) + arity - 1) / arity
+			next := make([]*sketch.FrequentDirections, 0, groups)
+			var slowest time.Duration
+			for g := 0; g < groups; g++ {
+				lo := g * arity
+				hi := lo + arity
+				if hi > len(local) {
+					hi = len(local)
+				}
+				t0 := time.Now()
+				acc := local[lo]
+				for i := lo + 1; i < hi; i++ {
+					acc.Merge(local[i])
+					acc.Compact()
+				}
+				d := time.Since(t0)
+				work += d
+				if d > slowest {
+					slowest = d
+				}
+				next = append(next, acc)
+			}
+			mergeCrit += slowest
+			local = next
+		}
+	case SerialMerge:
+		stats.MergeRounds = len(local) - 1
+		t0 := time.Now()
+		for _, fd := range local[1:] {
+			local[0].Merge(fd)
+			local[0].Compact()
+		}
+		d := time.Since(t0)
+		work += d
+		mergeCrit = d
+		local = local[:1]
+	default:
+		panic("parallel: unknown merge strategy")
+	}
+	global := local[0]
+	stats.MergeTime = work - mergeStart
+	stats.MergeRotations = global.Rotations() - stats.LocalRotations
+	stats.CriticalPath = slowestLocal + mergeCrit
+	stats.Total = work
+	return global, stats
+}
+
+// SplitRows partitions x into p contiguous row blocks of near-equal
+// size (views, no copy). p is clamped to the number of rows.
+func SplitRows(x *mat.Matrix, p int) []*mat.Matrix {
+	if p < 1 {
+		panic("parallel: SplitRows needs p >= 1")
+	}
+	if p > x.RowsN {
+		p = x.RowsN
+	}
+	if p == 0 {
+		return []*mat.Matrix{x}
+	}
+	out := make([]*mat.Matrix, 0, p)
+	chunk := x.RowsN / p
+	extra := x.RowsN % p
+	row := 0
+	for i := 0; i < p; i++ {
+		sz := chunk
+		if i < extra {
+			sz++
+		}
+		out = append(out, x.Rows(row, row+sz))
+		row += sz
+	}
+	return out
+}

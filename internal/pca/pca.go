@@ -1,0 +1,81 @@
+// Package pca projects data onto the latent space spanned by a matrix
+// sketch's right singular vectors — the dimensionality-reduction stage
+// between sketching and UMAP in the paper's pipeline (Fig. 4).
+package pca
+
+import (
+	"fmt"
+
+	"arams/internal/mat"
+)
+
+// Projector maps d-dimensional rows into a k-dimensional latent space
+// defined by a basis of orthonormal rows (k×d), typically
+// FrequentDirections.Basis(k).
+type Projector struct {
+	basis *mat.Matrix // k×d
+}
+
+// NewProjector wraps a k×d basis with orthonormal rows.
+func NewProjector(basis *mat.Matrix) *Projector {
+	if basis.RowsN == 0 {
+		panic("pca: empty basis")
+	}
+	return &Projector{basis: basis}
+}
+
+// K returns the latent dimensionality.
+func (p *Projector) K() int { return p.basis.RowsN }
+
+// Dim returns the input dimensionality.
+func (p *Projector) Dim() int { return p.basis.ColsN }
+
+// Basis returns the underlying basis (not a copy).
+func (p *Projector) Basis() *mat.Matrix { return p.basis }
+
+// ProjectRow maps one d-vector to its k-dimensional latent coordinates.
+func (p *Projector) ProjectRow(row []float64) []float64 {
+	if len(row) != p.basis.ColsN {
+		panic(fmt.Sprintf("pca: row length %d != %d", len(row), p.basis.ColsN))
+	}
+	return mat.MulVec(p.basis, row)
+}
+
+// Project maps every row of x into latent space, returning an n×k
+// matrix.
+func (p *Projector) Project(x *mat.Matrix) *mat.Matrix {
+	if x.ColsN != p.basis.ColsN {
+		panic("pca: Project dimension mismatch")
+	}
+	return mat.MulABt(x, p.basis)
+}
+
+// Reconstruct maps latent coordinates back to the original space:
+// x̂ = z·V for latent rows z (n×k).
+func (p *Projector) Reconstruct(z *mat.Matrix) *mat.Matrix {
+	if z.ColsN != p.basis.RowsN {
+		panic("pca: Reconstruct dimension mismatch")
+	}
+	return mat.Mul(z, p.basis)
+}
+
+// ExplainedVariance returns, for each latent component, the fraction of
+// the data's total variance captured, computed from the projection of
+// x. The fractions are in component order and sum to at most 1.
+func (p *Projector) ExplainedVariance(x *mat.Matrix) []float64 {
+	z := p.Project(x)
+	total := x.FrobeniusNormSq()
+	out := make([]float64, p.K())
+	if total == 0 {
+		return out
+	}
+	for j := 0; j < z.ColsN; j++ {
+		var s float64
+		for i := 0; i < z.RowsN; i++ {
+			v := z.At(i, j)
+			s += v * v
+		}
+		out[j] = s / total
+	}
+	return out
+}

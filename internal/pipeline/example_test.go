@@ -1,0 +1,49 @@
+package pipeline_test
+
+import (
+	"fmt"
+
+	"arams/internal/imgproc"
+	"arams/internal/lcls"
+	"arams/internal/pipeline"
+	"arams/internal/sketch"
+	"arams/internal/umap"
+)
+
+// ExampleProcess runs the full Fig. 4 pipeline on simulated beam
+// profiles.
+func ExampleProcess() {
+	bg := lcls.NewBeamGenerator(lcls.BeamConfig{Size: 24, Seed: 1})
+	frames := make([]*imgproc.Image, 100)
+	for i := range frames {
+		frames[i] = bg.Next().Image
+	}
+	res := pipeline.Process(frames, pipeline.Config{
+		Pre:    imgproc.Preprocessor{Normalize: true},
+		Sketch: sketch.Config{Ell0: 10, Seed: 2},
+		UMAP:   umap.Config{NNeighbors: 8, NEpochs: 50, Seed: 3},
+	})
+	fmt.Printf("embedding: %d points in %d-D\n", res.Embedding.RowsN, res.Embedding.ColsN)
+	fmt.Printf("per-frame outputs: %d labels, %d residuals\n",
+		len(res.Labels), len(res.Residuals))
+	// Output:
+	// embedding: 100 points in 2-D
+	// per-frame outputs: 100 labels, 100 residuals
+}
+
+// ExampleMonitor shows the online form: stream frames in, snapshot the
+// live view.
+func ExampleMonitor() {
+	m := pipeline.NewMonitor(pipeline.Config{
+		Sketch: sketch.Config{Ell0: 8, Seed: 4},
+		UMAP:   umap.Config{NNeighbors: 6, NEpochs: 30, Seed: 5},
+	}, 50)
+	bg := lcls.NewBeamGenerator(lcls.BeamConfig{Size: 16, Seed: 6})
+	for i := 0; i < 60; i++ {
+		m.Ingest(bg.Next().Image, i)
+	}
+	snap := m.Snapshot()
+	fmt.Printf("window of %d frames, sketch rank %d\n", len(snap.Tags), snap.Ell)
+	// Output:
+	// window of 50 frames, sketch rank 8
+}

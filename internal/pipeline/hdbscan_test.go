@@ -1,0 +1,50 @@
+package pipeline
+
+import (
+	"testing"
+
+	"arams/internal/imgproc"
+	"arams/internal/lcls"
+	"arams/internal/optics"
+	"arams/internal/sketch"
+	"arams/internal/umap"
+)
+
+func TestPipelineWithHDBSCANBackend(t *testing.T) {
+	dg := lcls.NewDiffractionGenerator(lcls.DiffractionConfig{
+		Size: 48,
+		Classes: [][4]float64{
+			{1, 1, 1, 1}, {1, 0.1, 1, 0.1}, {0.1, 1, 0.1, 1},
+		},
+		Seed: 80,
+	})
+	const n = 150
+	frames := make([]*imgproc.Image, n)
+	truth := make([]int, n)
+	for i := 0; i < n; i++ {
+		f := dg.NextClass(i % 3)
+		frames[i] = f.Image
+		truth[i] = i % 3
+	}
+	cfg := Config{
+		Pre:            imgproc.Preprocessor{Normalize: true},
+		Sketch:         sketch.Config{Ell0: 20, Seed: 81},
+		LatentDim:      10,
+		UMAP:           umap.Config{NNeighbors: 20, NEpochs: 150, Seed: 82},
+		UseHDBSCAN:     true,
+		MinPts:         5,
+		MinClusterSize: 15,
+	}
+	res := Process(frames, cfg)
+	nc := optics.NumClusters(res.Labels)
+	if nc < 2 || nc > 8 {
+		t.Fatalf("HDBSCAN backend found %d clusters", nc)
+	}
+	purity, clustered := clusterPurity(res.Labels, truth)
+	if clustered < n/2 {
+		t.Fatalf("only %d/%d clustered", clustered, n)
+	}
+	if purity < 0.9 {
+		t.Fatalf("HDBSCAN backend purity %v", purity)
+	}
+}

@@ -1,0 +1,199 @@
+package pipeline
+
+import (
+	"sync"
+
+	"arams/internal/abod"
+	"arams/internal/imgproc"
+	"arams/internal/mat"
+	"arams/internal/optics"
+	"arams/internal/pca"
+	"arams/internal/sketch"
+	"arams/internal/umap"
+)
+
+// Monitor is the online form of the pipeline: frames stream in
+// one-by-one (e.g. from the event builder at the machine repetition
+// rate), the ARAMS sketch updates incrementally, and at any moment a
+// Snapshot produces the current latent embedding, clustering, and
+// anomaly scores over a sliding window of recent frames — the "live
+// view" an instrument operator would watch.
+//
+// Monitor is safe for one concurrent producer (Ingest) and concurrent
+// Snapshot callers.
+type Monitor struct {
+	cfg    Config
+	window int
+
+	mu      sync.Mutex
+	arams   *sketch.ARAMS
+	recent  []*recentFrame // ring of preprocessed frames, newest last
+	ingests int
+
+	// Cached UMAP model for QuickSnapshot: new window points are
+	// Transform-ed into the last full embedding instead of refitting,
+	// as long as the sketch rank has not changed.
+	cachedModel *umap.Model
+	cachedEll   int
+}
+
+type recentFrame struct {
+	vec []float64
+	tag int // caller-supplied tag (e.g. pulse ID low bits or label)
+}
+
+// NewMonitor creates an online monitor keeping a sliding window of the
+// given size for snapshots. The sketch itself summarizes the *entire*
+// stream, not just the window.
+func NewMonitor(cfg Config, window int) *Monitor {
+	cfg = cfg.withDefaults()
+	if window <= 0 {
+		window = 1024
+	}
+	return &Monitor{cfg: cfg, window: window}
+}
+
+// Ingest preprocesses one frame and feeds it to the sketch. tag is an
+// arbitrary caller identifier returned with snapshot rows.
+func (m *Monitor) Ingest(im *imgproc.Image, tag int) {
+	pre := m.cfg.Pre.Apply(im)
+	vec := append([]float64(nil), pre.Flatten()...)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.arams == nil {
+		m.arams = sketch.NewARAMS(m.cfg.Sketch, len(vec), 0)
+	}
+	m.arams.ProcessBatch(mat.FromData(1, len(vec), vec))
+	cp := recentFrame{vec: vec, tag: tag}
+	m.recent = append(m.recent, &cp)
+	if len(m.recent) > m.window {
+		m.recent = m.recent[len(m.recent)-m.window:]
+	}
+	m.ingests++
+}
+
+// Ingested returns the number of frames consumed so far.
+func (m *Monitor) Ingested() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ingests
+}
+
+// Ell returns the sketch's current number of retained directions.
+func (m *Monitor) Ell() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.arams == nil {
+		return 0
+	}
+	return m.arams.Ell()
+}
+
+// Snapshot holds the live view computed over the recent-frame window.
+type Snapshot struct {
+	Tags          []int
+	Latent        *mat.Matrix
+	Embedding     *mat.Matrix
+	Labels        []int
+	OutlierScores []float64
+	Outliers      []int
+	Ell           int
+}
+
+// QuickSnapshot is the low-latency variant of Snapshot for a live
+// display: it reuses the UMAP model fitted by the most recent full
+// Snapshot and places the current window into that embedding with an
+// out-of-sample transform, refitting from scratch only when no model
+// exists yet or the sketch rank changed (which invalidates the latent
+// space). The clustering and anomaly stages run as usual.
+func (m *Monitor) QuickSnapshot() *Snapshot {
+	m.mu.Lock()
+	model := m.cachedModel
+	ell := 0
+	if m.arams != nil {
+		ell = m.arams.Ell()
+	}
+	stale := model == nil || m.cachedEll != ell
+	m.mu.Unlock()
+	if stale {
+		return m.Snapshot()
+	}
+	x, tags, basis, ell2 := m.windowState()
+	if x == nil {
+		return nil
+	}
+	snap := &Snapshot{Tags: tags, Ell: ell2}
+	if basis.RowsN == 0 {
+		return m.Snapshot()
+	}
+	proj := pca.NewProjector(basis)
+	snap.Latent = proj.Project(x)
+	snap.Embedding = model.Transform(snap.Latent)
+	m.finishSnapshot(snap)
+	return snap
+}
+
+// Snapshot projects the windowed frames with the current sketch basis
+// and runs the visualization stages, caching the fitted UMAP model for
+// subsequent QuickSnapshot calls. It returns nil when nothing has been
+// ingested yet.
+func (m *Monitor) Snapshot() *Snapshot {
+	x, tags, basis, ell := m.windowState()
+	if x == nil {
+		return nil
+	}
+	n := x.RowsN
+	snap := &Snapshot{Tags: tags, Ell: ell}
+	if basis.RowsN == 0 {
+		snap.Latent = mat.New(n, 0)
+		snap.Embedding = mat.New(n, 2)
+		snap.Labels = make([]int, n)
+		for i := range snap.Labels {
+			snap.Labels[i] = optics.Noise
+		}
+		snap.OutlierScores = make([]float64, n)
+		return snap
+	}
+	proj := pca.NewProjector(basis)
+	snap.Latent = proj.Project(x)
+	model := umap.FitModel(snap.Latent, m.cfg.UMAP)
+	snap.Embedding = model.Embedding()
+	m.mu.Lock()
+	m.cachedModel = model
+	m.cachedEll = ell
+	m.mu.Unlock()
+	m.finishSnapshot(snap)
+	return snap
+}
+
+// windowState copies the window contents and current basis under the
+// lock so the heavy stages run outside it. Returns x == nil when
+// nothing has been ingested.
+func (m *Monitor) windowState() (x *mat.Matrix, tags []int, basis *mat.Matrix, ell int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.arams == nil || len(m.recent) == 0 {
+		return nil, nil, nil, 0
+	}
+	n := len(m.recent)
+	d := len(m.recent[0].vec)
+	x = mat.New(n, d)
+	tags = make([]int, n)
+	for i, rf := range m.recent {
+		copy(x.Row(i), rf.vec)
+		tags[i] = rf.tag
+	}
+	k := m.cfg.LatentDim
+	if k > m.arams.Ell() {
+		k = m.arams.Ell()
+	}
+	return x, tags, m.arams.Basis(k), m.arams.Ell()
+}
+
+// finishSnapshot runs clustering and anomaly scoring on an embedding.
+func (m *Monitor) finishSnapshot(snap *Snapshot) {
+	snap.Labels = clusterEmbedding(snap.Embedding, m.cfg)
+	snap.OutlierScores = abod.Scores(snap.Embedding, m.cfg.ABODNeighbors)
+	snap.Outliers = abod.Outliers(snap.OutlierScores, m.cfg.Contamination)
+}

@@ -1,0 +1,258 @@
+// Package pipeline assembles the paper's full monitoring framework
+// (Fig. 4): batches of detector images are preprocessed, sketched in
+// parallel with ARAMS, merged into a global summary, projected onto the
+// sketch's principal directions, embedded in 2-D with UMAP, and finally
+// clustered with OPTICS and screened for anomalies with ABOD.
+package pipeline
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"arams/internal/abod"
+	"arams/internal/hdbscan"
+	"arams/internal/imgproc"
+	"arams/internal/mat"
+	"arams/internal/optics"
+	"arams/internal/parallel"
+	"arams/internal/pca"
+	"arams/internal/sketch"
+	"arams/internal/umap"
+)
+
+// Config parameterizes the full pipeline. Zero values select sensible
+// defaults for every stage.
+type Config struct {
+	// Pre is the per-frame preprocessing chain.
+	Pre imgproc.Preprocessor
+	// Sketch configures ARAMS. Ell0 defaults to 20.
+	Sketch sketch.Config
+	// Workers is the number of parallel sketch shards (default 1).
+	Workers int
+	// Merge selects the sketch merge strategy (default TreeMerge).
+	Merge parallel.MergeStrategy
+	// LatentDim is the PCA projection dimension (default 20, clamped
+	// to the sketch rank).
+	LatentDim int
+	// UMAP configures the 2-D embedding stage.
+	UMAP umap.Config
+	// MinPts is the OPTICS/HDBSCAN density parameter (default 5).
+	MinPts int
+	// UseHDBSCAN selects HDBSCAN* instead of OPTICS for the clustering
+	// stage (no radius parameter needed at all).
+	UseHDBSCAN bool
+	// ClusterEps is the OPTICS reachability cut for cluster extraction;
+	// 0 selects ξ extraction with Xi (below) instead.
+	ClusterEps float64
+	// Xi is the steep-area parameter for ξ extraction (default 0.15).
+	Xi float64
+	// MinClusterSize for ξ extraction (default 4·MinPts).
+	MinClusterSize int
+	// ABODNeighbors is k for FastABOD scoring (default 10).
+	ABODNeighbors int
+	// Contamination is the outlier fraction to flag (default 0.02).
+	Contamination float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Sketch.Ell0 <= 0 {
+		c.Sketch.Ell0 = 20
+	}
+	if c.Sketch.Beta <= 0 {
+		c.Sketch.Beta = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.LatentDim <= 0 {
+		c.LatentDim = 20
+	}
+	if c.MinPts <= 0 {
+		c.MinPts = 5
+	}
+	if c.Xi <= 0 {
+		c.Xi = 0.15
+	}
+	if c.MinClusterSize <= 0 {
+		c.MinClusterSize = 4 * c.MinPts
+	}
+	if c.ABODNeighbors <= 0 {
+		c.ABODNeighbors = 10
+	}
+	if c.Contamination <= 0 {
+		c.Contamination = 0.02
+	}
+	return c
+}
+
+// Result carries every artifact of a pipeline run.
+type Result struct {
+	// Sketch is the merged global ℓ×d sketch matrix.
+	Sketch *mat.Matrix
+	// Basis is the k×d latent basis (right singular vectors).
+	Basis *mat.Matrix
+	// Latent is the n×k projection of the input.
+	Latent *mat.Matrix
+	// Embedding is the n×2 UMAP embedding.
+	Embedding *mat.Matrix
+	// Labels are OPTICS cluster labels (optics.Noise = −1 for noise).
+	Labels []int
+	// OutlierScores are per-point ABOF values on the embedding
+	// (low = anomalous).
+	OutlierScores []float64
+	// Outliers are the ABOD-flagged indices, most anomalous first.
+	Outliers []int
+	// Residuals are per-frame relative reconstruction errors
+	// ‖x − VᵀVx‖²/‖x‖² against the sketch basis (high = anomalous).
+	// Frames whose shape is not captured by the dominant directions —
+	// the paper's "exotic beam profiles" — stand out here even when the
+	// 2-D embedding pulls them into the cloud.
+	Residuals []float64
+	// ResidualOutliers are the Contamination·n highest-residual
+	// indices, most anomalous first.
+	ResidualOutliers []int
+	// ParallelStats reports the sketch/merge phase accounting.
+	ParallelStats parallel.Stats
+	// SketchThroughput is frames/second through preprocessing+sketch.
+	SketchThroughput float64
+	// TotalTime is the wall time of the full run.
+	TotalTime time.Duration
+}
+
+// Process runs the batch pipeline on a set of frames.
+func Process(frames []*imgproc.Image, cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	start := time.Now()
+
+	pre := make([]*imgproc.Image, len(frames))
+	for i, f := range frames {
+		pre[i] = cfg.Pre.Apply(f)
+	}
+	x := imgproc.ToMatrix(pre)
+	res := ProcessMatrix(x, cfg)
+	res.TotalTime = time.Since(start)
+	return res
+}
+
+// ProcessMatrix runs the pipeline on an already-flattened data matrix
+// (rows are observations).
+func ProcessMatrix(x *mat.Matrix, cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	start := time.Now()
+	res := &Result{}
+
+	// Stage 1: parallel ARAMS sketch with merge.
+	shards := parallel.SplitRows(x, cfg.Workers)
+	sketcher := func(shard *mat.Matrix) *sketch.FrequentDirections {
+		a := sketch.NewARAMS(cfg.Sketch, shard.ColsN, shard.RowsN)
+		a.ProcessBatch(shard)
+		return a.FD()
+	}
+	global, stats := parallel.Run(shards, sketcher, cfg.Merge)
+	res.ParallelStats = stats
+	res.Sketch = global.Sketch()
+	sketchElapsed := time.Since(start)
+	if sketchElapsed > 0 {
+		res.SketchThroughput = float64(x.RowsN) / sketchElapsed.Seconds()
+	}
+
+	// Stages 2–5: projection, UMAP, OPTICS, anomaly detection.
+	k := cfg.LatentDim
+	if k > global.Ell() {
+		k = global.Ell()
+	}
+	basis := global.Basis(k)
+	viz := ProcessMatrixWithBasis(x, basis, cfg)
+	viz.Sketch = res.Sketch
+	viz.ParallelStats = res.ParallelStats
+	viz.SketchThroughput = res.SketchThroughput
+	viz.TotalTime = time.Since(start)
+	return viz
+}
+
+// ProcessMatrixWithBasis runs only the visualization stages —
+// projection onto a precomputed basis, UMAP, OPTICS, ABOD — skipping
+// the sketch. This is the path an online monitor takes when refreshing
+// the operator view from an already-maintained sketch.
+func ProcessMatrixWithBasis(x, basis *mat.Matrix, cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	start := time.Now()
+	res := &Result{Basis: basis}
+	if basis.RowsN == 0 {
+		res.Latent = mat.New(x.RowsN, 0)
+		res.Embedding = mat.New(x.RowsN, 2)
+		res.Labels = make([]int, x.RowsN)
+		for i := range res.Labels {
+			res.Labels[i] = optics.Noise
+		}
+		res.OutlierScores = make([]float64, x.RowsN)
+		res.Residuals = make([]float64, x.RowsN)
+		res.TotalTime = time.Since(start)
+		return res
+	}
+	proj := pca.NewProjector(basis)
+	res.Latent = proj.Project(x)
+	res.Embedding = umap.Fit(res.Latent, cfg.UMAP)
+	res.Labels = clusterEmbedding(res.Embedding, cfg)
+	res.OutlierScores = abod.Scores(res.Embedding, cfg.ABODNeighbors)
+	res.Outliers = abod.Outliers(res.OutlierScores, cfg.Contamination)
+	res.Residuals = residuals(x, basis)
+	res.ResidualOutliers = topResiduals(res.Residuals, cfg.Contamination)
+	res.TotalTime = time.Since(start)
+	return res
+}
+
+// clusterEmbedding runs the configured clustering backend on the 2-D
+// embedding.
+func clusterEmbedding(emb *mat.Matrix, cfg Config) []int {
+	if cfg.UseHDBSCAN {
+		return hdbscan.Cluster(emb, cfg.MinPts, cfg.MinClusterSize).Labels
+	}
+	opt := optics.Run(emb, cfg.MinPts, math.Inf(1))
+	if cfg.ClusterEps > 0 {
+		return opt.ExtractDBSCAN(cfg.ClusterEps)
+	}
+	return opt.ExtractXi(cfg.Xi, cfg.MinPts, cfg.MinClusterSize)
+}
+
+// residuals returns per-row relative reconstruction errors against a
+// basis with orthonormal rows.
+func residuals(x, basis *mat.Matrix) []float64 {
+	out := make([]float64, x.RowsN)
+	for i := 0; i < x.RowsN; i++ {
+		row := x.Row(i)
+		den := mat.Norm2Sq(row)
+		if den == 0 {
+			continue
+		}
+		c := mat.MulVec(basis, row)
+		r := den - mat.Norm2Sq(c)
+		if r < 0 {
+			r = 0
+		}
+		out[i] = r / den
+	}
+	return out
+}
+
+// topResiduals returns the ⌈contamination·n⌉ highest-residual indices,
+// descending.
+func topResiduals(res []float64, contamination float64) []int {
+	n := len(res)
+	m := int(math.Ceil(contamination * float64(n)))
+	if m > n {
+		m = n
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if res[idx[a]] != res[idx[b]] {
+			return res[idx[a]] > res[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	return idx[:m]
+}

@@ -1,0 +1,96 @@
+package pipeline
+
+import (
+	"testing"
+
+	"arams/internal/lcls"
+	"arams/internal/sketch"
+	"arams/internal/umap"
+)
+
+func TestQuickSnapshotAfterFullSnapshot(t *testing.T) {
+	cfg := Config{
+		Sketch: sketch.Config{Ell0: 10, Seed: 50},
+		UMAP:   umap.Config{NNeighbors: 8, NEpochs: 60, Seed: 51},
+	}
+	m := NewMonitor(cfg, 64)
+	bg := lcls.NewBeamGenerator(lcls.BeamConfig{Size: 24, Seed: 52})
+	for i := 0; i < 80; i++ {
+		m.Ingest(bg.Next().Image, i)
+	}
+	full := m.Snapshot()
+	if full == nil {
+		t.Fatal("no full snapshot")
+	}
+	// Ingest a few more frames, then take the quick path.
+	for i := 80; i < 90; i++ {
+		m.Ingest(bg.Next().Image, i)
+	}
+	quick := m.QuickSnapshot()
+	if quick == nil {
+		t.Fatal("no quick snapshot")
+	}
+	if quick.Embedding.HasNaN() {
+		t.Fatal("quick snapshot has NaN")
+	}
+	if len(quick.Tags) != 64 || quick.Tags[63] != 89 {
+		t.Fatalf("quick snapshot window wrong: last tag %d", quick.Tags[len(quick.Tags)-1])
+	}
+	if len(quick.Labels) != 64 || len(quick.OutlierScores) != 64 {
+		t.Fatal("quick snapshot stages incomplete")
+	}
+}
+
+func TestQuickSnapshotFallsBackWhenStale(t *testing.T) {
+	// Without a prior full snapshot, QuickSnapshot must behave like
+	// Snapshot (and cache a model for next time).
+	cfg := Config{
+		Sketch: sketch.Config{Ell0: 6, Seed: 53},
+		UMAP:   umap.Config{NNeighbors: 6, NEpochs: 30, Seed: 54},
+	}
+	m := NewMonitor(cfg, 32)
+	if m.QuickSnapshot() != nil {
+		t.Fatal("empty monitor produced a snapshot")
+	}
+	bg := lcls.NewBeamGenerator(lcls.BeamConfig{Size: 16, Seed: 55})
+	for i := 0; i < 40; i++ {
+		m.Ingest(bg.Next().Image, i)
+	}
+	snap := m.QuickSnapshot() // no cached model yet → full path
+	if snap == nil || snap.Embedding.HasNaN() {
+		t.Fatal("fallback quick snapshot broken")
+	}
+	if m.cachedModel == nil {
+		t.Fatal("fallback did not cache a model")
+	}
+}
+
+func TestQuickSnapshotInvalidatedByRankGrowth(t *testing.T) {
+	// A rank-adaptive monitor whose ℓ grows must refit rather than
+	// transform into a stale latent space.
+	cfg := Config{
+		Sketch: sketch.Config{Ell0: 4, Nu: 4, Eps: 0.01, RankAdaptive: true, Seed: 56},
+		UMAP:   umap.Config{NNeighbors: 6, NEpochs: 30, Seed: 57},
+	}
+	m := NewMonitor(cfg, 32)
+	bg := lcls.NewBeamGenerator(lcls.BeamConfig{Size: 16, Seed: 58})
+	for i := 0; i < 20; i++ {
+		m.Ingest(bg.Next().Image, i)
+	}
+	m.Snapshot()
+	ellBefore := m.cachedEll
+	for i := 20; i < 120; i++ {
+		m.Ingest(bg.Next().Image, i)
+	}
+	if m.Ell() == ellBefore {
+		t.Skip("rank did not grow with this data; invalidation untestable here")
+	}
+	snap := m.QuickSnapshot()
+	if snap == nil {
+		t.Fatal("no snapshot")
+	}
+	// After the fallback refit, the cache must reflect the new rank.
+	if m.cachedEll != m.Ell() {
+		t.Fatalf("cache not refreshed: cachedEll %d vs Ell %d", m.cachedEll, m.Ell())
+	}
+}

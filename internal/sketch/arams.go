@@ -1,0 +1,132 @@
+package sketch
+
+import (
+	"arams/internal/mat"
+	"arams/internal/rng"
+)
+
+// Config parameterizes the ARAMS algorithm (Algorithm 3): Accelerated
+// Rank-Adaptive Matrix Sketching = priority sampling chained into
+// rank-adaptive Frequent Directions.
+type Config struct {
+	// Ell0 is the initial number of retained directions.
+	Ell0 int
+	// Nu is the probe count for the error heuristic and the rank
+	// increment (the paper's ν).
+	Nu int
+	// Eps is the user-specified relative reconstruction-error target
+	// (the paper's ε). The rank grows until the estimated error of
+	// recent data falls below it.
+	Eps float64
+	// Beta is the priority-sampling keep fraction (the paper's β,
+	// e.g. 0.8 keeps 80% of rows). Beta >= 1 disables sampling.
+	Beta float64
+	// RankAdaptive disables rank adaptation when false (fixed ℓ =
+	// Ell0), giving the "user-specified rank" baselines of Fig. 1.
+	RankAdaptive bool
+	// Estimator selects the residual estimator for the rank-adaptation
+	// heuristic (default GaussianProbe, the paper's choice).
+	Estimator EstimatorKind
+	// Seed feeds the sampler and probe RNG.
+	Seed uint64
+}
+
+// ARAMS is the streaming form of Algorithm 3: batches pass through a
+// per-batch priority sampler and into a (rank-adaptive) Frequent
+// Directions sketch.
+type ARAMS struct {
+	cfg Config
+	d   int
+	g   *rng.RNG
+
+	rafd *RankAdaptiveFD     // when cfg.RankAdaptive
+	fd   *FrequentDirections // otherwise
+}
+
+// NewARAMS creates a streaming ARAMS sketcher for d-dimensional rows.
+// totalRows is the expected stream length for the rank-adaptation
+// guard; pass <= 0 if unknown.
+func NewARAMS(cfg Config, d, totalRows int) *ARAMS {
+	if cfg.Ell0 <= 0 {
+		panic("sketch: ARAMS needs Ell0 > 0")
+	}
+	if cfg.Nu <= 0 {
+		cfg.Nu = 10
+	}
+	if cfg.Beta <= 0 {
+		cfg.Beta = 1
+	}
+	a := &ARAMS{cfg: cfg, d: d, g: rng.New(cfg.Seed)}
+	if cfg.RankAdaptive {
+		if cfg.Eps <= 0 {
+			panic("sketch: rank-adaptive ARAMS needs Eps > 0")
+		}
+		// The sampler passes ~β of the rows through to the sketch.
+		expected := totalRows
+		if expected > 0 && cfg.Beta < 1 {
+			expected = int(float64(expected) * cfg.Beta)
+		}
+		a.rafd = NewRankAdaptiveFD(cfg.Ell0, d, cfg.Nu, cfg.Eps, expected, a.g.Split())
+		a.rafd.SetEstimator(cfg.Estimator)
+	} else {
+		a.fd = NewFrequentDirections(cfg.Ell0, d, Options{})
+	}
+	return a
+}
+
+// ProcessBatch runs one batch through the sampler and into the sketch.
+func (a *ARAMS) ProcessBatch(x *mat.Matrix) {
+	if x.ColsN != a.d {
+		panic("sketch: ARAMS batch dimension mismatch")
+	}
+	sel := x
+	if a.cfg.Beta < 1 {
+		sel = SampleRows(x, a.cfg.Beta, a.g)
+	}
+	if a.rafd != nil {
+		a.rafd.AppendMatrix(sel)
+	} else {
+		a.fd.AppendMatrix(sel)
+	}
+}
+
+// Ell returns the current number of retained directions.
+func (a *ARAMS) Ell() int {
+	if a.rafd != nil {
+		return a.rafd.Ell()
+	}
+	return a.fd.Ell()
+}
+
+// Sketch returns the current sketch matrix.
+func (a *ARAMS) Sketch() *mat.Matrix {
+	if a.rafd != nil {
+		return a.rafd.Sketch()
+	}
+	return a.fd.Sketch()
+}
+
+// Basis returns the top-k right singular vectors of the sketch.
+func (a *ARAMS) Basis(k int) *mat.Matrix {
+	if a.rafd != nil {
+		return a.rafd.Basis(k)
+	}
+	return a.fd.Basis(k)
+}
+
+// FD returns the underlying Frequent Directions sketch (for merging).
+func (a *ARAMS) FD() *FrequentDirections {
+	if a.rafd != nil {
+		return a.rafd.FD()
+	}
+	return a.fd
+}
+
+// Run executes Algorithm 3 on a full matrix: select the β·n
+// highest-priority rows with a priority queue, then sketch them with
+// rank-adaptive Frequent Directions.
+func Run(x *mat.Matrix, cfg Config) *mat.Matrix {
+	a := NewARAMS(cfg, x.ColsN, x.RowsN)
+	a.ProcessBatch(x)
+	return a.Sketch()
+}

@@ -1,0 +1,197 @@
+package sketch
+
+import (
+	"fmt"
+	"math"
+
+	"arams/internal/mat"
+	"arams/internal/rng"
+)
+
+// This file implements the classic streaming-sketch baselines that
+// Frequent Directions is evaluated against in the literature the paper
+// builds on (Desai, Ghashami & Phillips 2016): dense Gaussian random
+// projection, CountSketch-style sparse embedding (hashing), and
+// norm-squared row sampling. All maintain an ℓ×d sketch B of a row
+// stream and aim to minimize ‖AᵀA − BᵀB‖, so they are directly
+// comparable to FrequentDirections in the baseline benchmarks.
+
+// Summarizer is the common interface of all streaming matrix sketchers.
+type Summarizer interface {
+	// Append adds one data row.
+	Append(row []float64)
+	// Sketch returns the current ℓ×d sketch.
+	Sketch() *mat.Matrix
+	// Name identifies the algorithm in benchmark tables.
+	Name() string
+}
+
+// Interface checks.
+var (
+	_ Summarizer = (*FrequentDirections)(nil)
+	_ Summarizer = (*RandomProjection)(nil)
+	_ Summarizer = (*CountSketch)(nil)
+	_ Summarizer = (*NormSampler)(nil)
+)
+
+// Name implements Summarizer for FrequentDirections.
+func (fd *FrequentDirections) Name() string { return "frequent-directions" }
+
+// RandomProjection maintains B = S·A for a dense random matrix S with
+// i.i.d. N(0, 1/ℓ) entries, streamed one row at a time: arrival of row
+// aᵢ adds the outer-product contribution S[:,i]·aᵢ — a fresh Gaussian
+// column scaled into each sketch row.
+type RandomProjection struct {
+	ell, d int
+	b      *mat.Matrix
+	g      *rng.RNG
+	seen   int
+}
+
+// NewRandomProjection creates a Gaussian projection sketch.
+func NewRandomProjection(ell, d int, g *rng.RNG) *RandomProjection {
+	if ell <= 0 || d <= 0 {
+		panic(fmt.Sprintf("sketch: invalid projection dims ℓ=%d d=%d", ell, d))
+	}
+	return &RandomProjection{ell: ell, d: d, b: mat.New(ell, d), g: g}
+}
+
+// Append implements Summarizer.
+func (rp *RandomProjection) Append(row []float64) {
+	if len(row) != rp.d {
+		panic("sketch: RandomProjection row length mismatch")
+	}
+	scale := 1 / math.Sqrt(float64(rp.ell))
+	for i := 0; i < rp.ell; i++ {
+		c := rp.g.Norm() * scale
+		dst := rp.b.Row(i)
+		for j, v := range row {
+			dst[j] += c * v
+		}
+	}
+	rp.seen++
+}
+
+// Sketch implements Summarizer.
+func (rp *RandomProjection) Sketch() *mat.Matrix { return rp.b.Clone() }
+
+// Name implements Summarizer.
+func (rp *RandomProjection) Name() string { return "random-projection" }
+
+// CountSketch maintains the sparse-embedding (hashing) sketch: each row
+// is added to exactly one of the ℓ buckets with a random sign — the
+// streaming matrix form of the CountSketch frequency estimator, O(d)
+// per row.
+type CountSketch struct {
+	ell, d int
+	b      *mat.Matrix
+	g      *rng.RNG
+	seen   int
+}
+
+// NewCountSketch creates a hashing sketch with ℓ buckets.
+func NewCountSketch(ell, d int, g *rng.RNG) *CountSketch {
+	if ell <= 0 || d <= 0 {
+		panic(fmt.Sprintf("sketch: invalid countsketch dims ℓ=%d d=%d", ell, d))
+	}
+	return &CountSketch{ell: ell, d: d, b: mat.New(ell, d), g: g}
+}
+
+// Append implements Summarizer.
+func (cs *CountSketch) Append(row []float64) {
+	if len(row) != cs.d {
+		panic("sketch: CountSketch row length mismatch")
+	}
+	bucket := cs.g.Intn(cs.ell)
+	sign := 1.0
+	if cs.g.Uint64()&1 == 0 {
+		sign = -1
+	}
+	dst := cs.b.Row(bucket)
+	for j, v := range row {
+		dst[j] += sign * v
+	}
+	cs.seen++
+}
+
+// Sketch implements Summarizer.
+func (cs *CountSketch) Sketch() *mat.Matrix { return cs.b.Clone() }
+
+// Name implements Summarizer.
+func (cs *CountSketch) Name() string { return "countsketch" }
+
+// NormSampler keeps ℓ rows sampled with probability proportional to
+// their squared norms (length-squared sampling, Frieze–Kannan–Vempala),
+// implemented as weighted reservoir sampling over the stream with the
+// usual 1/√(ℓpᵢ) rescaling so that E[BᵀB] = AᵀA.
+type NormSampler struct {
+	ell, d int
+	g      *rng.RNG
+
+	rows      [][]float64 // reservoir of raw rows
+	keys      []float64   // reservoir priorities (Efraimidis–Spirakis)
+	totalSqSt float64     // running Σ‖aᵢ‖²
+	seen      int
+}
+
+// NewNormSampler creates a length-squared sampling sketch of ℓ rows.
+func NewNormSampler(ell, d int, g *rng.RNG) *NormSampler {
+	if ell <= 0 || d <= 0 {
+		panic(fmt.Sprintf("sketch: invalid sampler dims ℓ=%d d=%d", ell, d))
+	}
+	return &NormSampler{ell: ell, d: d, g: g}
+}
+
+// Append implements Summarizer. Weighted reservoir sampling with key
+// u^(1/w), w = ‖row‖² (Efraimidis & Spirakis 2006) keeps an exact
+// length-squared sample in one pass.
+func (ns *NormSampler) Append(row []float64) {
+	if len(row) != ns.d {
+		panic("sketch: NormSampler row length mismatch")
+	}
+	w := mat.Norm2Sq(row)
+	ns.seen++
+	ns.totalSqSt += w
+	if w == 0 {
+		return
+	}
+	key := math.Pow(ns.g.Float64Open(), 1/w)
+	if len(ns.rows) < ns.ell {
+		ns.rows = append(ns.rows, append([]float64(nil), row...))
+		ns.keys = append(ns.keys, key)
+		return
+	}
+	// Replace the minimum-key entry if beaten.
+	minIdx := 0
+	for i, k := range ns.keys {
+		if k < ns.keys[minIdx] {
+			minIdx = i
+		}
+		_ = i
+	}
+	if key > ns.keys[minIdx] {
+		ns.keys[minIdx] = key
+		copy(ns.rows[minIdx], row)
+	}
+}
+
+// Sketch implements Summarizer: sampled rows rescaled by
+// √(Σ‖a‖² / (ℓ·‖row‖²)) so the sketch covariance is unbiased.
+func (ns *NormSampler) Sketch() *mat.Matrix {
+	out := mat.New(ns.ell, ns.d)
+	for i, row := range ns.rows {
+		w := mat.Norm2Sq(row)
+		if w == 0 {
+			continue
+		}
+		scale := math.Sqrt(ns.totalSqSt / (float64(ns.ell) * w))
+		dst := out.Row(i)
+		for j, v := range row {
+			dst[j] = scale * v
+		}
+	}
+	return out
+}
+
+// Name implements Summarizer.
+func (ns *NormSampler) Name() string { return "norm-sampling" }

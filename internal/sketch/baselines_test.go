@@ -1,0 +1,151 @@
+package sketch
+
+import (
+	"math"
+	"testing"
+
+	"arams/internal/mat"
+	"arams/internal/rng"
+	"arams/internal/synth"
+)
+
+func runSummarizer(s Summarizer, a *mat.Matrix) *mat.Matrix {
+	for i := 0; i < a.RowsN; i++ {
+		s.Append(a.Row(i))
+	}
+	return s.Sketch()
+}
+
+func TestBaselineShapes(t *testing.T) {
+	g := rng.New(70)
+	a := mat.RandGaussian(100, 20, g)
+	for _, s := range []Summarizer{
+		NewRandomProjection(8, 20, rng.New(1)),
+		NewCountSketch(8, 20, rng.New(2)),
+		NewNormSampler(8, 20, rng.New(3)),
+	} {
+		b := runSummarizer(s, a)
+		if r, c := b.Dims(); r != 8 || c != 20 {
+			t.Fatalf("%s: sketch shape %d×%d", s.Name(), r, c)
+		}
+		if b.HasNaN() {
+			t.Fatalf("%s: NaN in sketch", s.Name())
+		}
+	}
+}
+
+func TestBaselinesApproximateCovariance(t *testing.T) {
+	// All baselines are unbiased-ish covariance sketches: their error
+	// must be finite and shrink with ℓ; FD must beat them all on the
+	// same budget (its deterministic guarantee vs their variance).
+	ds := synth.Generate(synth.Params{N: 400, D: 50, Rank: 20, Decay: synth.Exponential, Seed: 71})
+	a := ds.A
+	normalizer := a.FrobeniusNormSq()
+	errOf := func(mk func(ell int) Summarizer, ell int) float64 {
+		return CovErr(a, runSummarizer(mk(ell), a)) / normalizer
+	}
+	for _, tc := range []struct {
+		name string
+		mk   func(ell int) Summarizer
+	}{
+		{"rp", func(ell int) Summarizer { return NewRandomProjection(ell, 50, rng.New(4)) }},
+		{"cs", func(ell int) Summarizer { return NewCountSketch(ell, 50, rng.New(5)) }},
+		{"ns", func(ell int) Summarizer { return NewNormSampler(ell, 50, rng.New(6)) }},
+	} {
+		e8 := errOf(tc.mk, 8)
+		e64 := errOf(tc.mk, 64)
+		if math.IsNaN(e8) || math.IsInf(e8, 0) {
+			t.Fatalf("%s: invalid error", tc.name)
+		}
+		if e64 > e8 {
+			t.Errorf("%s: error did not shrink with ℓ: %v → %v", tc.name, e8, e64)
+		}
+	}
+	// FD dominance at matched ℓ.
+	ell := 16
+	fd := NewFrequentDirections(ell, 50, Options{})
+	eFD := CovErr(a, runSummarizer(fd, a)) / normalizer
+	for _, tc := range []Summarizer{
+		NewRandomProjection(ell, 50, rng.New(7)),
+		NewCountSketch(ell, 50, rng.New(8)),
+		NewNormSampler(ell, 50, rng.New(9)),
+	} {
+		eB := CovErr(a, runSummarizer(tc, a)) / normalizer
+		if eFD > eB {
+			t.Errorf("FD error %v worse than %s %v at ℓ=%d", eFD, tc.Name(), eB, ell)
+		}
+	}
+}
+
+func TestNormSamplerUnbiasedCovariance(t *testing.T) {
+	// E[BᵀB] = AᵀA: average sketch covariance over many runs must
+	// approach the true covariance.
+	g := rng.New(72)
+	a := mat.RandGaussian(60, 8, g)
+	truth := mat.Mul(a.T(), a)
+	sum := mat.New(8, 8)
+	const trials = 400
+	for tr := 0; tr < trials; tr++ {
+		ns := NewNormSampler(10, 8, rng.NewStream(uint64(tr), 99))
+		b := runSummarizer(ns, a)
+		sum.Add(mat.Mul(b.T(), b))
+	}
+	sum.Scale(1.0 / trials)
+	diff := sum.Clone()
+	diff.Sub(truth)
+	if rel := diff.FrobeniusNorm() / truth.FrobeniusNorm(); rel > 0.1 {
+		t.Fatalf("norm-sampling covariance biased: rel dev %v", rel)
+	}
+}
+
+func TestCountSketchPreservesFrobeniusInExpectation(t *testing.T) {
+	g := rng.New(73)
+	a := mat.RandGaussian(50, 10, g)
+	want := a.FrobeniusNormSq()
+	var sum float64
+	const trials = 300
+	for tr := 0; tr < trials; tr++ {
+		cs := NewCountSketch(12, 10, rng.NewStream(uint64(tr), 17))
+		sum += runSummarizer(cs, a).FrobeniusNormSq()
+	}
+	got := sum / trials
+	if math.Abs(got-want)/want > 0.1 {
+		t.Fatalf("CountSketch ‖B‖² mean %v vs ‖A‖² %v", got, want)
+	}
+}
+
+func TestNormSamplerSkipsZeroRows(t *testing.T) {
+	ns := NewNormSampler(4, 3, rng.New(74))
+	ns.Append([]float64{0, 0, 0})
+	ns.Append([]float64{1, 2, 3})
+	b := ns.Sketch()
+	nonzero := 0
+	for i := 0; i < b.RowsN; i++ {
+		if mat.Norm2Sq(b.Row(i)) > 0 {
+			nonzero++
+		}
+	}
+	if nonzero != 1 {
+		t.Fatalf("reservoir kept %d nonzero rows, want 1", nonzero)
+	}
+}
+
+func TestBaselinePanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"rp-dims": func() { NewRandomProjection(0, 5, rng.New(1)) },
+		"cs-dims": func() { NewCountSketch(3, 0, rng.New(1)) },
+		"ns-dims": func() { NewNormSampler(-1, 5, rng.New(1)) },
+		"rp-row":  func() { NewRandomProjection(2, 5, rng.New(1)).Append(make([]float64, 4)) },
+		"cs-row":  func() { NewCountSketch(2, 5, rng.New(1)).Append(make([]float64, 6)) },
+		"ns-row":  func() { NewNormSampler(2, 5, rng.New(1)).Append(make([]float64, 1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

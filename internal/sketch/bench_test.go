@@ -1,0 +1,69 @@
+package sketch
+
+import (
+	"testing"
+
+	"arams/internal/mat"
+	"arams/internal/rng"
+)
+
+func BenchmarkFDAppend(b *testing.B) {
+	g := rng.New(1)
+	row := make([]float64, 4096)
+	for i := range row {
+		row[i] = g.Norm()
+	}
+	fd := NewFrequentDirections(32, 4096, Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fd.Append(row)
+	}
+}
+
+func BenchmarkARAMSBatch(b *testing.B) {
+	g := rng.New(2)
+	x := mat.RandGaussian(256, 512, g)
+	cfg := Config{Ell0: 24, Beta: 0.8, Seed: 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := NewARAMS(cfg, 512, 256)
+		a.ProcessBatch(x)
+	}
+}
+
+func BenchmarkPrioritySampler(b *testing.B) {
+	g := rng.New(4)
+	x := mat.RandGaussian(2048, 64, g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = SampleRows(x, 0.8, rng.New(uint64(i)))
+	}
+}
+
+func BenchmarkCovErr(b *testing.B) {
+	g := rng.New(5)
+	a := mat.RandGaussian(512, 256, g)
+	fd := NewFrequentDirections(24, 256, Options{})
+	fd.AppendMatrix(a)
+	sk := fd.Sketch()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = CovErr(a, sk)
+	}
+}
+
+func BenchmarkEstimators(b *testing.B) {
+	g := rng.New(6)
+	x := mat.RandGaussian(128, 1024, g)
+	fd := NewFrequentDirections(16, 1024, Options{})
+	fd.AppendMatrix(x)
+	vt := fd.Basis(8)
+	for _, kind := range []EstimatorKind{GaussianProbe, Hutchinson, HutchPP} {
+		b.Run(kind.String(), func(b *testing.B) {
+			gg := rng.New(7)
+			for i := 0; i < b.N; i++ {
+				_ = EstimateResidualSqKind(kind, x, vt, 10, gg)
+			}
+		})
+	}
+}

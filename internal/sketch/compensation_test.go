@@ -1,0 +1,60 @@
+package sketch
+
+import (
+	"testing"
+
+	"arams/internal/mat"
+	"arams/internal/rng"
+)
+
+func TestDeltaAccumulates(t *testing.T) {
+	g := rng.New(90)
+	a := mat.RandGaussian(200, 30, g)
+	fd := NewFrequentDirections(8, 30, Options{})
+	if fd.Delta() != 0 {
+		t.Fatal("fresh sketch has nonzero delta")
+	}
+	fd.AppendMatrix(a)
+	fd.Compact()
+	if fd.Delta() <= 0 {
+		t.Fatal("delta did not accumulate over rotations")
+	}
+}
+
+func TestCompensationReducesCovErr(t *testing.T) {
+	// The compensated estimate BᵀB + c·Σδ·I must beat the plain sketch
+	// for a well-chosen c: FD's error is one-sided (underestimate), so
+	// shifting by half the accumulated shrinkage helps on full-rank
+	// Gaussian data.
+	g := rng.New(91)
+	a := mat.RandGaussian(300, 40, g)
+	fd := NewFrequentDirections(10, 40, Options{})
+	fd.AppendMatrix(a)
+	plain := CovErr(a, fd.Sketch())
+	half := fd.CompensatedCovErr(a, 0.5)
+	if half >= plain {
+		t.Fatalf("compensation did not help: plain %v vs compensated %v", plain, half)
+	}
+	// Zero compensation matches the plain estimate.
+	zero := fd.CompensatedCovErr(a, 0)
+	if rel := (zero - plain) / plain; rel > 1e-6 || rel < -1e-6 {
+		t.Fatalf("zero compensation differs from plain: %v vs %v", zero, plain)
+	}
+}
+
+func TestCompensationMergePropagates(t *testing.T) {
+	g := rng.New(92)
+	a1 := mat.RandGaussian(150, 20, g)
+	a2 := mat.RandGaussian(150, 20, g)
+	fd1 := NewFrequentDirections(6, 20, Options{})
+	fd2 := NewFrequentDirections(6, 20, Options{})
+	fd1.AppendMatrix(a1)
+	fd2.AppendMatrix(a2)
+	fd1.Compact()
+	fd2.Compact()
+	d1, d2 := fd1.Delta(), fd2.Delta()
+	fd1.Merge(fd2)
+	if fd1.Delta() < d1+d2 {
+		t.Fatalf("merge lost shrinkage accounting: %v < %v + %v", fd1.Delta(), d1, d2)
+	}
+}

@@ -1,0 +1,48 @@
+package sketch_test
+
+import (
+	"fmt"
+
+	"arams/internal/sketch"
+	"arams/internal/synth"
+)
+
+// ExampleRun demonstrates the one-call form of ARAMS: sketch a matrix
+// with a target error instead of a rank.
+func ExampleRun() {
+	ds := synth.Generate(synth.Params{
+		N: 500, D: 100, Rank: 20, Decay: synth.Exponential, Seed: 1,
+	})
+	b := sketch.Run(ds.A, sketch.Config{
+		Ell0:         5,
+		Nu:           5,
+		Eps:          0.05, // ≤5% relative reconstruction error
+		Beta:         0.9,  // keep the top 90% of rows by priority
+		RankAdaptive: true,
+		Seed:         2,
+	})
+	fmt.Printf("sketch is %d×%d\n", b.RowsN, b.ColsN)
+	fmt.Printf("bound holds: %v\n",
+		sketch.CovErr(ds.A, b) <= sketch.FDBound(ds.A, b.RowsN))
+	// Output:
+	// sketch is 10×100
+	// bound holds: true
+}
+
+// ExampleFrequentDirections_Merge shows the mergeable-summary property
+// used by the parallel tree merge.
+func ExampleFrequentDirections_Merge() {
+	ds := synth.Generate(synth.Params{
+		N: 200, D: 50, Rank: 10, Decay: synth.Exponential, Seed: 3,
+	})
+	left := sketch.NewFrequentDirections(8, 50, sketch.Options{})
+	right := sketch.NewFrequentDirections(8, 50, sketch.Options{})
+	left.AppendMatrix(ds.A.Rows(0, 100))
+	right.AppendMatrix(ds.A.Rows(100, 200))
+
+	left.Merge(right)
+	fmt.Printf("merged sketch summarizes %d rows in %d directions\n",
+		left.Seen(), left.Ell())
+	// Output:
+	// merged sketch summarizes 200 rows in 8 directions
+}

@@ -1,0 +1,309 @@
+// Package sketch implements the paper's matrix-sketching algorithms:
+// Frequent Directions (Ghashami et al. 2016) in its fast 2ℓ-buffer
+// form, the Rank-Adaptive Frequent Directions variant (Algorithm 2),
+// the probe-based reconstruction-error heuristic (Algorithm 1),
+// priority sampling (Duffield et al. 2007), and the combined ARAMS
+// algorithm (Algorithm 3). Sketches are mergeable summaries, which is
+// the property the tree-merge parallelization in package parallel
+// relies on.
+//
+// Data orientation follows the Go convention used throughout this
+// repository: rows are samples, columns are features, so a sketch of an
+// n×d stream is an ℓ×d matrix B with ‖AᵀA − BᵀB‖₂ ≤ ‖A‖_F²/ℓ.
+package sketch
+
+import (
+	"fmt"
+	"math"
+
+	"arams/internal/mat"
+)
+
+// SVDBackend selects the factorization used in the FD rotation step.
+type SVDBackend int
+
+const (
+	// GramSVD eigendecomposes the small 2ℓ×2ℓ Gram matrix BBᵀ — the
+	// fast path for wide buffers (default).
+	GramSVD SVDBackend = iota
+	// JacobiSVD runs a one-sided Jacobi SVD directly on the buffer;
+	// slower but maximally accurate, used for cross-validation.
+	JacobiSVD
+)
+
+// Options configures a FrequentDirections sketch.
+type Options struct {
+	// Backend selects the SVD implementation for rotations.
+	Backend SVDBackend
+}
+
+// FrequentDirections maintains a fast-FD sketch: a 2ℓ×d buffer that is
+// shrunk to ℓ nonzero rows by one SVD every ℓ appended rows.
+type FrequentDirections struct {
+	ell  int
+	d    int
+	opts Options
+
+	buffer   *mat.Matrix // 2ℓ×d
+	nextZero int         // index of the next zero row in buffer
+
+	rotations  int     // number of shrink steps performed (for accounting)
+	seen       int     // number of data rows appended
+	totalDelta float64 // cumulative shrinkage Σδ across rotations
+
+	// Last rotation's spectrum and right singular vectors, reused by
+	// the rank-adaptation heuristic so the extra SVD the paper warns
+	// about is never needed.
+	lastSigma []float64
+	lastVt    *mat.Matrix
+}
+
+// NewFrequentDirections creates a sketch with ℓ retained directions
+// over d features.
+func NewFrequentDirections(ell, d int, opts Options) *FrequentDirections {
+	if ell <= 0 || d <= 0 {
+		panic(fmt.Sprintf("sketch: invalid dimensions ℓ=%d d=%d", ell, d))
+	}
+	return &FrequentDirections{
+		ell:    ell,
+		d:      d,
+		opts:   opts,
+		buffer: mat.New(2*ell, d),
+	}
+}
+
+// Ell returns the current number of retained directions.
+func (fd *FrequentDirections) Ell() int { return fd.ell }
+
+// Dim returns the feature dimension d.
+func (fd *FrequentDirections) Dim() int { return fd.d }
+
+// Rotations returns how many SVD shrink steps have run; the
+// parallelization experiments count these to show the tree merge's
+// logarithmic rotation count.
+func (fd *FrequentDirections) Rotations() int { return fd.rotations }
+
+// Seen returns the number of rows appended so far.
+func (fd *FrequentDirections) Seen() int { return fd.seen }
+
+// Append adds one data row to the sketch, rotating if the buffer is
+// full.
+func (fd *FrequentDirections) Append(row []float64) {
+	if len(row) != fd.d {
+		panic(fmt.Sprintf("sketch: row length %d != d=%d", len(row), fd.d))
+	}
+	if fd.nextZero == fd.buffer.RowsN {
+		fd.rotate()
+	}
+	copy(fd.buffer.Row(fd.nextZero), row)
+	fd.nextZero++
+	fd.seen++
+}
+
+// AppendMatrix adds every row of x to the sketch.
+func (fd *FrequentDirections) AppendMatrix(x *mat.Matrix) {
+	for i := 0; i < x.RowsN; i++ {
+		fd.Append(x.Row(i))
+	}
+}
+
+// rotate performs the fast-FD shrink: SVD the buffer, subtract σ_ℓ²
+// from all squared singular values, and rewrite the buffer as
+// √(Σ²−δI)·Vᵀ with the last ℓ rows zeroed.
+func (fd *FrequentDirections) rotate() {
+	filled := fd.buffer.Rows(0, fd.nextZero)
+	var sigma []float64
+	var vt *mat.Matrix
+	switch fd.opts.Backend {
+	case JacobiSVD:
+		_, sigma, vt = mat.SVD(filled)
+	default:
+		_, sigma, vt = mat.SVDGram(filled)
+	}
+
+	var delta float64
+	if fd.ell < len(sigma) {
+		delta = sigma[fd.ell] * sigma[fd.ell]
+	}
+	fd.totalDelta += delta
+	fd.buffer.Zero()
+	keep := min(fd.ell, len(sigma))
+	for i := 0; i < keep; i++ {
+		s2 := sigma[i]*sigma[i] - delta
+		if s2 <= 0 {
+			break // spectrum is descending; the rest are zero too
+		}
+		s := math.Sqrt(s2)
+		dst := fd.buffer.Row(i)
+		src := vt.Row(i)
+		for j := range dst {
+			dst[j] = s * src[j]
+		}
+	}
+	fd.nextZero = fd.ell
+	fd.rotations++
+	fd.lastSigma = sigma
+	fd.lastVt = vt
+}
+
+// Compact forces a final rotation if more than ℓ rows are occupied, so
+// that the sketch fits in ℓ rows. It is called automatically by Sketch.
+func (fd *FrequentDirections) Compact() {
+	if fd.nextZero > fd.ell {
+		fd.rotate()
+	}
+}
+
+// Sketch returns the current ℓ×d sketch matrix B (a copy). Rows beyond
+// the retained directions are zero.
+func (fd *FrequentDirections) Sketch() *mat.Matrix {
+	fd.Compact()
+	out := mat.New(fd.ell, fd.d)
+	for i := 0; i < min(fd.ell, fd.nextZero); i++ {
+		copy(out.Row(i), fd.buffer.Row(i))
+	}
+	return out
+}
+
+// Delta returns the cumulative shrinkage Σδ applied across rotations —
+// the total squared-singular-value mass subtracted from every retained
+// direction so far.
+func (fd *FrequentDirections) Delta() float64 { return fd.totalDelta }
+
+// CompensatedCovErr is the covariance error of the δ-compensated
+// estimate AᵀA ≈ BᵀB + Σδ·I (the "FD with compensation" variant of
+// Desai, Ghashami & Phillips 2016). FD always underestimates the
+// covariance by between 0 and Σδ in every direction, so adding half the
+// accumulated shrinkage back roughly halves the worst-case error; this
+// helper measures the error of the fully-compensated estimator against
+// data a.
+func (fd *FrequentDirections) CompensatedCovErr(a *mat.Matrix, fraction float64) float64 {
+	b := fd.Sketch()
+	comp := fraction * fd.totalDelta
+	// Power iteration on v ↦ Aᵀ(Av) − Bᵀ(Bv) − comp·v.
+	d := a.ColsN
+	v := make([]float64, d)
+	for i := range v {
+		v[i] = 1 / math.Sqrt(float64(d))
+	}
+	var lambda float64
+	for it := 0; it < 200; it++ {
+		av := mat.MulVec(a, v)
+		w := mat.MulTVec(a, av)
+		bv := mat.MulVec(b, v)
+		btbv := mat.MulTVec(b, bv)
+		for i := range w {
+			w[i] -= btbv[i] + comp*v[i]
+		}
+		norm := mat.Norm2(w)
+		if norm == 0 {
+			return 0
+		}
+		for i := range w {
+			w[i] /= norm
+		}
+		if it > 4 && math.Abs(norm-lambda) <= 1e-10*math.Max(norm, 1e-300) {
+			return norm
+		}
+		lambda = norm
+		v = w
+	}
+	return lambda
+}
+
+// Basis returns the top-k right singular vectors of the sketch as a
+// k×d matrix with orthonormal rows — the PCA basis used to project data
+// into latent space. k is clamped to the numerical rank of the sketch.
+func (fd *FrequentDirections) Basis(k int) *mat.Matrix {
+	fd.Compact()
+	if fd.lastVt == nil {
+		// No rotation has happened yet (fewer than 2ℓ rows appended):
+		// decompose what we have.
+		filled := fd.buffer.Rows(0, max(fd.nextZero, 1))
+		_, sigma, vt := mat.SVDGram(filled)
+		fd.lastSigma = sigma
+		fd.lastVt = vt
+	}
+	rank := 0
+	var sMax float64
+	if len(fd.lastSigma) > 0 {
+		sMax = fd.lastSigma[0]
+	}
+	for _, s := range fd.lastSigma {
+		// The Gram-trick SVD squares the condition number, so roundoff
+		// noise sits near 1e-8·σmax; anything below 1e-6·σmax is
+		// numerically zero for basis purposes.
+		if s > 1e-6*sMax && s > 0 {
+			rank++
+		}
+	}
+	if k > rank {
+		k = rank
+	}
+	if k == 0 {
+		return mat.New(0, fd.d)
+	}
+	out := mat.New(k, fd.d)
+	for i := 0; i < k; i++ {
+		copy(out.Row(i), fd.lastVt.Row(i))
+	}
+	return out
+}
+
+// Merge folds another sketch into fd by stacking other's rows into the
+// buffer and rotating — exactly the mergeable-summary construction of
+// Ghashami et al. The two sketches must have the same feature dimension.
+// If other retains more directions, fd grows to match before merging so
+// no mass is dropped.
+func (fd *FrequentDirections) Merge(other *FrequentDirections) {
+	if fd.d != other.d {
+		panic("sketch: Merge dimension mismatch")
+	}
+	if other.ell > fd.ell {
+		fd.Grow(other.ell - fd.ell)
+	}
+	b := other.Sketch()
+	appended := 0
+	for i := 0; i < b.RowsN; i++ {
+		row := b.Row(i)
+		if mat.Norm2Sq(row) == 0 {
+			continue // zero rows between rotations would dilute accuracy
+		}
+		fd.Append(row)
+		appended++
+	}
+	// Append counted sketch rows as data rows; replace that with the
+	// true number of underlying samples the other sketch summarizes.
+	fd.seen += other.seen - appended
+	fd.rotations += other.rotations
+	fd.totalDelta += other.totalDelta
+}
+
+// Grow increases the number of retained directions by dl, extending the
+// buffer. Existing sketch content is preserved.
+func (fd *FrequentDirections) Grow(dl int) {
+	if dl <= 0 {
+		return
+	}
+	newEll := fd.ell + dl
+	nb := mat.New(2*newEll, fd.d)
+	for i := 0; i < fd.nextZero; i++ {
+		copy(nb.Row(i), fd.buffer.Row(i))
+	}
+	fd.buffer = nb
+	fd.ell = newEll
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,96 @@
+package sketch
+
+import (
+	"math"
+
+	"arams/internal/mat"
+)
+
+// CovErr returns the covariance error ‖AᵀA − BᵀB‖₂ of a sketch B with
+// respect to data A, the quantity bounded by ‖A‖_F²/ℓ in the Frequent
+// Directions guarantee. The spectral norm is computed by power
+// iteration on the implicit operator v ↦ Aᵀ(Av) − Bᵀ(Bv), so no d×d
+// matrix is ever formed.
+func CovErr(a, b *mat.Matrix) float64 {
+	if a.ColsN != b.ColsN {
+		panic("sketch: CovErr dimension mismatch")
+	}
+	d := a.ColsN
+	// Deterministic start vector; re-seed once if unlucky.
+	v := make([]float64, d)
+	for i := range v {
+		v[i] = 1 / math.Sqrt(float64(d))
+	}
+	var lambda float64
+	const iters = 200
+	for it := 0; it < iters; it++ {
+		w := applySymDiff(a, b, v)
+		norm := mat.Norm2(w)
+		if norm == 0 {
+			return 0
+		}
+		for i := range w {
+			w[i] /= norm
+		}
+		// Rayleigh-style estimate: |λ| ≈ ‖(AᵀA−BᵀB)v‖ as v converges.
+		if it > 4 && math.Abs(norm-lambda) <= 1e-10*math.Max(norm, 1e-300) {
+			return norm
+		}
+		lambda = norm
+		v = w
+	}
+	return lambda
+}
+
+// applySymDiff computes (AᵀA − BᵀB)·v without materializing either Gram
+// matrix.
+func applySymDiff(a, b *mat.Matrix, v []float64) []float64 {
+	av := mat.MulVec(a, v)
+	out := mat.MulTVec(a, av)
+	bv := mat.MulVec(b, v)
+	btbv := mat.MulTVec(b, bv)
+	for i := range out {
+		out[i] -= btbv[i]
+	}
+	return out
+}
+
+// ProjErrSq returns ‖A − A·VᵀV‖_F², the squared reconstruction error of
+// projecting the rows of A onto the row space of vt (k×d with
+// orthonormal rows). Computed streaming one row at a time:
+// ‖a − VᵀVa‖² = ‖a‖² − ‖Va‖² for orthonormal V rows.
+func ProjErrSq(a, vt *mat.Matrix) float64 {
+	if vt.RowsN == 0 {
+		return a.FrobeniusNormSq()
+	}
+	if a.ColsN != vt.ColsN {
+		panic("sketch: ProjErrSq dimension mismatch")
+	}
+	var total float64
+	for i := 0; i < a.RowsN; i++ {
+		row := a.Row(i)
+		c := mat.MulVec(vt, row)
+		r := mat.Norm2Sq(row) - mat.Norm2Sq(c)
+		if r > 0 {
+			total += r
+		}
+	}
+	return total
+}
+
+// RelProjErr returns the relative projection error
+// ‖A − A·VᵀV‖_F² / ‖A‖_F², the scale-free error the rank-adaptive
+// variant targets. Returns 0 for an all-zero A.
+func RelProjErr(a, vt *mat.Matrix) float64 {
+	den := a.FrobeniusNormSq()
+	if den == 0 {
+		return 0
+	}
+	return ProjErrSq(a, vt) / den
+}
+
+// FDBound returns the theoretical Frequent Directions covariance-error
+// bound ‖A‖_F²/ℓ for data a and sketch size ell.
+func FDBound(a *mat.Matrix, ell int) float64 {
+	return a.FrobeniusNormSq() / float64(ell)
+}

@@ -1,0 +1,175 @@
+package sketch
+
+import (
+	"math"
+	"testing"
+
+	"arams/internal/mat"
+	"arams/internal/rng"
+)
+
+func TestPrioritySamplerKeepsM(t *testing.T) {
+	g := rng.New(20)
+	ps := NewPrioritySampler(5, g)
+	for i := 0; i < 100; i++ {
+		ps.PushWeight(1+g.Float64(), i)
+	}
+	idx := ps.Indices()
+	if len(idx) != 5 {
+		t.Fatalf("kept %d items, want 5", len(idx))
+	}
+	for i := 1; i < len(idx); i++ {
+		if idx[i] <= idx[i-1] {
+			t.Fatal("indices not in ascending stream order")
+		}
+	}
+	if ps.Seen() != 100 {
+		t.Fatalf("Seen = %d", ps.Seen())
+	}
+}
+
+func TestPrioritySamplerUnderfull(t *testing.T) {
+	g := rng.New(21)
+	ps := NewPrioritySampler(10, g)
+	for i := 0; i < 4; i++ {
+		ps.PushWeight(float64(i+1), i)
+	}
+	if got := len(ps.Indices()); got != 4 {
+		t.Fatalf("underfull sampler kept %d, want all 4", got)
+	}
+	if ps.Threshold() != 0 {
+		t.Fatalf("underfull threshold = %v, want 0", ps.Threshold())
+	}
+	// Estimate equals exact sum when everything is kept.
+	if got := ps.EstimateSum(); math.Abs(got-10) > 1e-12 {
+		t.Fatalf("underfull EstimateSum = %v, want 10", got)
+	}
+}
+
+func TestPrioritySamplingUnbiased(t *testing.T) {
+	// E[Σ max(wᵢ, τ)] = Σ wᵢ — the Duffield-Lund-Thorup guarantee.
+	weights := make([]float64, 200)
+	var total float64
+	base := rng.New(22)
+	for i := range weights {
+		weights[i] = base.Exp() * 10
+		total += weights[i]
+	}
+	const trials = 3000
+	var sum float64
+	for trial := 0; trial < trials; trial++ {
+		g := rng.NewStream(uint64(trial), 777)
+		ps := NewPrioritySampler(30, g)
+		for i, w := range weights {
+			ps.PushWeight(w, i)
+		}
+		sum += ps.EstimateSum()
+	}
+	meanEst := sum / trials
+	if rel := math.Abs(meanEst-total) / total; rel > 0.05 {
+		t.Fatalf("priority-sampling estimator biased: mean %v vs true %v (rel %v)", meanEst, total, rel)
+	}
+}
+
+func TestPrioritySamplerFavorsHeavyRows(t *testing.T) {
+	// With a handful of very heavy rows, the sampler should almost
+	// always keep them.
+	const trials = 200
+	kept := 0
+	for trial := 0; trial < trials; trial++ {
+		g := rng.NewStream(uint64(trial), 31)
+		ps := NewPrioritySampler(10, g)
+		for i := 0; i < 100; i++ {
+			w := 1.0
+			if i == 42 {
+				w = 1000
+			}
+			ps.PushWeight(w, i)
+		}
+		for _, idx := range ps.Indices() {
+			if idx == 42 {
+				kept++
+				break
+			}
+		}
+	}
+	if kept < trials*95/100 {
+		t.Fatalf("heavy row kept only %d/%d times", kept, trials)
+	}
+}
+
+func TestPushRowZeroWeightSkipped(t *testing.T) {
+	g := rng.New(23)
+	ps := NewPrioritySampler(3, g)
+	ps.PushRow([]float64{0, 0, 0})
+	ps.PushRow([]float64{1, 0, 0})
+	rows := ps.Rows(3)
+	if rows.RowsN != 1 {
+		t.Fatalf("zero row not skipped: kept %d", rows.RowsN)
+	}
+}
+
+func TestSampleRowsShapes(t *testing.T) {
+	g := rng.New(24)
+	x := mat.RandGaussian(50, 8, g)
+	sel := SampleRows(x, 0.5, g)
+	if sel.RowsN != 25 || sel.ColsN != 8 {
+		t.Fatalf("SampleRows shape %d×%d", sel.RowsN, sel.ColsN)
+	}
+	// beta >= 1 passes everything through.
+	all := SampleRows(x, 1.0, g)
+	if !all.Equal(x, 0) {
+		t.Fatal("beta=1 did not return the full matrix")
+	}
+}
+
+func TestSampleRowsKeepsStreamOrder(t *testing.T) {
+	g := rng.New(25)
+	// Rows with strictly increasing norms: row i is (i+1)·e₀.
+	x := mat.New(30, 4)
+	for i := 0; i < 30; i++ {
+		x.Set(i, 0, float64(i+1))
+	}
+	sel := SampleRows(x, 0.3, g)
+	prev := 0.0
+	for i := 0; i < sel.RowsN; i++ {
+		v := sel.At(i, 0)
+		if v <= prev {
+			t.Fatalf("selected rows out of stream order: %v after %v", v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestSampleRowsInvalidBetaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("beta=0 did not panic")
+		}
+	}()
+	SampleRows(mat.New(3, 3), 0, rng.New(1))
+}
+
+func TestSamplerPanicsOnZeroCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("m=0 did not panic")
+		}
+	}()
+	NewPrioritySampler(0, rng.New(1))
+}
+
+func TestARAMSSamplingImprovesSpeedNotMuchError(t *testing.T) {
+	// Sanity check of §IV-B: sampling 80% of a low-rank-dominated
+	// stream leaves the sketch error in the same regime.
+	nRows, d := 300, 30
+	g := rng.New(26)
+	x := mat.RandGaussian(nRows, d, g)
+	full := Run(x, Config{Ell0: 10, Beta: 1, Seed: 1})
+	sampled := Run(x, Config{Ell0: 10, Beta: 0.8, Seed: 1})
+	eFull := CovErr(x, full)
+	eSampled := CovErr(x, sampled)
+	if eSampled > 3*eFull+1e-9 {
+		t.Fatalf("sampled error %v blew up vs full %v", eSampled, eFull)
+	}
+}

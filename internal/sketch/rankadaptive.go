@@ -1,0 +1,179 @@
+package sketch
+
+import (
+	"fmt"
+
+	"arams/internal/mat"
+	"arams/internal/rng"
+)
+
+// RankAdaptiveFD implements Algorithm 2 of the paper: a Frequent
+// Directions sketch whose number of retained directions ℓ grows
+// adaptively so that the estimated relative reconstruction error of the
+// most recent data stays below a user-specified threshold ε — the
+// practitioner specifies a target error instead of a rank.
+//
+// After each rotation, the probe heuristic (Algorithm 1) estimates the
+// reconstruction error of the last ℓ processed rows against the sketch
+// basis, reusing the right singular vectors the rotation just computed,
+// so the heuristic adds no extra SVD. If the error exceeds ε and enough
+// rows remain in the stream (rowsLeft > ℓ+ν, the paper's canRankAdapt
+// guard, which prevents growing right before the data runs out and
+// leaving zero rows in the sketch), ℓ increases by ν at the start of
+// the next cycle.
+type RankAdaptiveFD struct {
+	fd        *FrequentDirections
+	nu        int     // probe count and rank increment (paper uses ν for both)
+	eps       float64 // relative reconstruction-error threshold
+	estimator EstimatorKind
+	g         *rng.RNG
+
+	// recent is a ring of the last ℓ appended rows, consulted by the
+	// heuristic. Stored as row copies to stay independent of callers'
+	// buffers.
+	recent [][]float64
+
+	increaseEll bool
+	rowsLeft    int // optional stream-length hint; -1 if unknown
+	grows       int // number of rank increases performed
+}
+
+// NewRankAdaptiveFD creates a rank-adaptive sketch starting at ell0
+// directions over d features, targeting relative error eps, with nu
+// Gaussian probes per estimate (nu is also the rank increment, as in
+// the paper). totalRows is the expected stream length used by the
+// canRankAdapt guard; pass <= 0 when the stream length is unknown, in
+// which case the guard always allows growth.
+func NewRankAdaptiveFD(ell0, d, nu int, eps float64, totalRows int, g *rng.RNG) *RankAdaptiveFD {
+	if nu <= 0 {
+		panic(fmt.Sprintf("sketch: nu must be positive, got %d", nu))
+	}
+	if eps <= 0 {
+		panic(fmt.Sprintf("sketch: eps must be positive, got %v", eps))
+	}
+	if totalRows <= 0 {
+		totalRows = -1
+	}
+	r := &RankAdaptiveFD{
+		fd:       NewFrequentDirections(ell0, d, Options{}),
+		nu:       nu,
+		eps:      eps,
+		g:        g,
+		rowsLeft: totalRows,
+	}
+	return r
+}
+
+// SetEstimator selects the Frobenius-norm estimator used by the
+// rank-adaptation heuristic (default GaussianProbe, as in the paper;
+// Hutchinson and HutchPP are the future-work alternatives it cites).
+func (r *RankAdaptiveFD) SetEstimator(kind EstimatorKind) { r.estimator = kind }
+
+// Ell returns the current number of retained directions.
+func (r *RankAdaptiveFD) Ell() int { return r.fd.Ell() }
+
+// Grows returns how many times the rank was increased.
+func (r *RankAdaptiveFD) Grows() int { return r.grows }
+
+// FD exposes the underlying sketch (for merge and basis extraction).
+func (r *RankAdaptiveFD) FD() *FrequentDirections { return r.fd }
+
+// Sketch returns the current sketch matrix.
+func (r *RankAdaptiveFD) Sketch() *mat.Matrix { return r.fd.Sketch() }
+
+// Basis returns the top-k right singular vectors of the sketch.
+func (r *RankAdaptiveFD) Basis(k int) *mat.Matrix { return r.fd.Basis(k) }
+
+// Append adds one row to the sketch, applying the rank-adaptation
+// bookkeeping of Algorithm 2 around the underlying fast-FD buffer.
+func (r *RankAdaptiveFD) Append(row []float64) {
+	fd := r.fd
+	if fd.nextZero == fd.buffer.RowsN {
+		canAdapt := r.canRankAdapt()
+		if r.increaseEll && canAdapt {
+			// Grow ℓ by ν; the buffer gains 2ν rows so this append
+			// proceeds without a rotation, exactly line 10–12 of Alg. 2.
+			fd.Grow(r.nu)
+			r.increaseEll = false
+		} else {
+			fd.rotate()
+			if canAdapt {
+				// Estimate the reconstruction error of the most recent
+				// ℓ rows using the Vᵀ computed by the rotation we just
+				// did (no extra SVD).
+				x := r.recentMatrix()
+				basis := r.currentBasis()
+				if x.RowsN > 0 && EstimateRelResidualKind(r.estimator, x, basis, r.nu, r.g) > r.eps {
+					r.increaseEll = true
+					r.grows++
+				}
+			}
+		}
+	}
+	copy(fd.buffer.Row(fd.nextZero), row)
+	fd.nextZero++
+	fd.seen++
+	r.push(row)
+	if r.rowsLeft > 0 {
+		r.rowsLeft--
+	}
+}
+
+// AppendMatrix adds every row of x.
+func (r *RankAdaptiveFD) AppendMatrix(x *mat.Matrix) {
+	for i := 0; i < x.RowsN; i++ {
+		r.Append(x.Row(i))
+	}
+}
+
+// canRankAdapt mirrors line 8 of Algorithm 2: growth is permitted only
+// when more than ℓ+ν rows remain, so the enlarged buffer can still be
+// filled before the stream ends.
+func (r *RankAdaptiveFD) canRankAdapt() bool {
+	if r.rowsLeft < 0 {
+		return true
+	}
+	return r.rowsLeft > r.fd.Ell()+r.nu
+}
+
+// currentBasis returns the sketch's right-singular-vector basis from
+// the most recent rotation, truncated to the retained rank.
+func (r *RankAdaptiveFD) currentBasis() *mat.Matrix {
+	fd := r.fd
+	if fd.lastVt == nil {
+		return mat.New(0, fd.d)
+	}
+	k := min(fd.Ell(), fd.lastVt.RowsN)
+	out := mat.New(k, fd.d)
+	for i := 0; i < k; i++ {
+		copy(out.Row(i), fd.lastVt.Row(i))
+	}
+	return out
+}
+
+// push records a row in the recent-rows ring (capacity ℓ).
+func (r *RankAdaptiveFD) push(row []float64) {
+	cap := r.fd.Ell()
+	cp := append([]float64(nil), row...)
+	r.recent = append(r.recent, cp)
+	if len(r.recent) > cap {
+		r.recent = r.recent[len(r.recent)-cap:]
+	}
+}
+
+// recentMatrix snapshots the recent-rows ring as a matrix.
+func (r *RankAdaptiveFD) recentMatrix() *mat.Matrix {
+	if len(r.recent) == 0 {
+		return mat.New(0, r.fd.d)
+	}
+	return mat.FromRows(r.recent)
+}
+
+// RunRankAdaptiveFD sketches the whole matrix x with Algorithm 2 and
+// returns the final sketch. It is the batch entry point matching the
+// paper's RankAdaptFD(X, ν, ε) signature.
+func RunRankAdaptiveFD(x *mat.Matrix, ell0, nu int, eps float64, g *rng.RNG) *mat.Matrix {
+	r := NewRankAdaptiveFD(ell0, x.ColsN, nu, eps, x.RowsN, g)
+	r.AppendMatrix(x)
+	return r.Sketch()
+}

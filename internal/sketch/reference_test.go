@@ -1,0 +1,124 @@
+package sketch
+
+import (
+	"math"
+	"testing"
+
+	"arams/internal/mat"
+	"arams/internal/rng"
+)
+
+// naiveFD is the textbook Frequent Directions algorithm (Liberty 2013):
+// an (ℓ+1)-row buffer rotated after every single insertion. It is too
+// slow for production but serves as the ground-truth reference for the
+// fast 2ℓ-buffer variant.
+func naiveFD(a *mat.Matrix, ell int) *mat.Matrix {
+	d := a.ColsN
+	buf := mat.New(ell+1, d)
+	next := 0
+	for i := 0; i < a.RowsN; i++ {
+		if next == ell+1 {
+			shrinkNaive(buf, ell)
+			next = ell
+		}
+		copy(buf.Row(next), a.Row(i))
+		next++
+	}
+	if next == ell+1 {
+		shrinkNaive(buf, ell)
+	}
+	out := mat.New(ell, d)
+	for i := 0; i < ell; i++ {
+		copy(out.Row(i), buf.Row(i))
+	}
+	return out
+}
+
+func shrinkNaive(buf *mat.Matrix, ell int) {
+	_, sigma, vt := mat.SVD(buf)
+	var delta float64
+	if ell < len(sigma) {
+		delta = sigma[ell] * sigma[ell]
+	}
+	buf.Zero()
+	for i := 0; i < ell && i < len(sigma); i++ {
+		s2 := sigma[i]*sigma[i] - delta
+		if s2 <= 0 {
+			break
+		}
+		s := math.Sqrt(s2)
+		dst := buf.Row(i)
+		src := vt.Row(i)
+		for j := range dst {
+			dst[j] = s * src[j]
+		}
+	}
+}
+
+func TestFastFDMatchesNaiveReference(t *testing.T) {
+	g := rng.New(60)
+	for _, tc := range []struct{ n, d, ell int }{
+		{60, 15, 4}, {120, 25, 8},
+	} {
+		a := mat.RandGaussian(tc.n, tc.d, g)
+		ref := naiveFD(a, tc.ell)
+		fast := NewFrequentDirections(tc.ell, tc.d, Options{})
+		fast.AppendMatrix(a)
+		b := fast.Sketch()
+
+		eRef := CovErr(a, ref)
+		eFast := CovErr(a, b)
+		bound := FDBound(a, tc.ell)
+		if eRef > bound*(1+1e-9) {
+			t.Fatalf("%+v: naive reference violates its own bound?! %v > %v", tc, eRef, bound)
+		}
+		if eFast > bound*(1+1e-9) {
+			t.Fatalf("%+v: fast FD violates the bound: %v > %v", tc, eFast, bound)
+		}
+		// Fast FD rotates less often and can only be within a modest
+		// factor of the per-row reference.
+		if eFast > 3*eRef+1e-12 && eRef > 1e-12 {
+			t.Fatalf("%+v: fast FD error %v far above reference %v", tc, eFast, eRef)
+		}
+	}
+}
+
+func TestNaiveAndFastCaptureSameSubspace(t *testing.T) {
+	// On effectively low-rank data both variants must recover the same
+	// dominant row space.
+	g := rng.New(61)
+	// Rank-3 data with noise.
+	base := mat.RandGaussian(3, 20, g)
+	a := mat.New(80, 20)
+	for i := 0; i < 80; i++ {
+		w := []float64{g.Norm(), g.Norm(), g.Norm()}
+		row := a.Row(i)
+		for k := 0; k < 3; k++ {
+			for j := 0; j < 20; j++ {
+				row[j] += w[k] * base.At(k, j)
+			}
+		}
+		for j := range row {
+			row[j] += 0.01 * g.Norm()
+		}
+	}
+	ref := naiveFD(a, 6)
+	fast := NewFrequentDirections(6, 20, Options{})
+	fast.AppendMatrix(a)
+
+	_, _, vtRef := mat.SVDGram(ref)
+	vtFast := fast.Basis(3)
+	refBasis := mat.New(3, 20)
+	for i := 0; i < 3; i++ {
+		copy(refBasis.Row(i), vtRef.Row(i))
+	}
+	// Principal angles: ‖V_fast·V_refᵀ‖ should be ≈ orthonormal (all
+	// singular values ≈ 1).
+	cross := mat.MulABt(vtFast, refBasis)
+	_, s, _ := mat.SVD(cross)
+	for i, v := range s {
+		if v < 0.99 {
+			t.Fatalf("principal angle %d: cos = %v, subspaces disagree", i, v)
+		}
+	}
+}

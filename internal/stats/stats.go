@@ -1,0 +1,105 @@
+// Package stats provides the small statistical utilities the experiment
+// harness and examples share: correlation coefficients, rank
+// transforms, and order statistics.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean (0 for an empty slice).
+func Mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// Variance returns the population variance (0 for fewer than 1 value).
+func Variance(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	m := Mean(v)
+	var s float64
+	for _, x := range v {
+		s += (x - m) * (x - m)
+	}
+	return s / float64(len(v))
+}
+
+// Pearson returns the Pearson correlation of two equal-length
+// sequences; 0 when either is constant.
+func Pearson(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("stats: Pearson length mismatch")
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	ma, mb := Mean(a), Mean(b)
+	var cov, va, vb float64
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
+// Spearman returns the Spearman rank correlation of two equal-length
+// sequences.
+func Spearman(a, b []float64) float64 {
+	return Pearson(Ranks(a), Ranks(b))
+}
+
+// Ranks returns the 0-based rank of each value (ties broken by
+// position, matching a stable sort).
+func Ranks(v []float64) []float64 {
+	idx := make([]int, len(v))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return v[idx[a]] < v[idx[b]] })
+	out := make([]float64, len(v))
+	for r, i := range idx {
+		out[i] = float64(r)
+	}
+	return out
+}
+
+// Median returns the middle order statistic (upper median for even
+// lengths; 0 for empty input). The input is not modified.
+func Median(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	return Quantile(v, 0.5)
+}
+
+// Quantile returns the q-th order statistic (nearest-rank), q in
+// [0, 1]. The input is not modified.
+func Quantile(v []float64, q float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), v...)
+	sort.Float64s(cp)
+	i := int(q * float64(len(cp)))
+	if i >= len(cp) {
+		i = len(cp) - 1
+	}
+	if i < 0 {
+		i = 0
+	}
+	return cp[i]
+}

@@ -1,0 +1,83 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMeanVariance(t *testing.T) {
+	v := []float64{1, 2, 3, 4}
+	if got := Mean(v); got != 2.5 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := Variance(v); math.Abs(got-1.25) > 1e-12 {
+		t.Fatalf("Variance = %v", got)
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 {
+		t.Fatal("empty input not zero")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	b := []float64{2, 4, 6, 8, 10}
+	if got := Pearson(a, b); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("perfect correlation = %v", got)
+	}
+	c := []float64{5, 4, 3, 2, 1}
+	if got := Pearson(a, c); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("perfect anticorrelation = %v", got)
+	}
+	constant := []float64{7, 7, 7, 7, 7}
+	if got := Pearson(a, constant); got != 0 {
+		t.Fatalf("constant input correlation = %v", got)
+	}
+}
+
+func TestPearsonMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatch did not panic")
+		}
+	}()
+	Pearson([]float64{1}, []float64{1, 2})
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	// Any monotone transform gives ρ = 1.
+	a := []float64{1, 2, 3, 4, 5}
+	b := []float64{1, 8, 27, 64, 125} // cubed: nonlinear but monotone
+	if got := Spearman(a, b); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("Spearman of monotone transform = %v", got)
+	}
+}
+
+func TestRanks(t *testing.T) {
+	got := Ranks([]float64{30, 10, 20})
+	want := []float64{2, 0, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ranks = %v", got)
+		}
+	}
+}
+
+func TestMedianQuantile(t *testing.T) {
+	v := []float64{5, 1, 3, 2, 4}
+	if got := Median(v); got != 3 {
+		t.Fatalf("Median = %v", got)
+	}
+	if got := Quantile(v, 0); got != 1 {
+		t.Fatalf("Quantile(0) = %v", got)
+	}
+	if got := Quantile(v, 0.99); got != 5 {
+		t.Fatalf("Quantile(0.99) = %v", got)
+	}
+	if Median(nil) != 0 {
+		t.Fatal("empty median not zero")
+	}
+	// Input unchanged.
+	if v[0] != 5 {
+		t.Fatal("Quantile mutated its input")
+	}
+}

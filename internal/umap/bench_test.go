@@ -1,0 +1,39 @@
+package umap
+
+import (
+	"testing"
+
+	"arams/internal/knn"
+	"arams/internal/mat"
+	"arams/internal/rng"
+)
+
+func BenchmarkFuzzyGraph(b *testing.B) {
+	g := rng.New(1)
+	x := mat.RandGaussian(400, 12, g)
+	kg := knn.BruteForce(x, 15)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = BuildFuzzyGraph(kg)
+	}
+}
+
+func BenchmarkFitSmall(b *testing.B) {
+	g := rng.New(2)
+	x := mat.RandGaussian(200, 10, g)
+	cfg := Config{NNeighbors: 15, NEpochs: 100, Seed: 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Fit(x, cfg)
+	}
+}
+
+func BenchmarkSpectralInit(b *testing.B) {
+	g := rng.New(4)
+	x := mat.RandGaussian(300, 8, g)
+	fg := BuildFuzzyGraph(knn.BruteForce(x, 10))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = spectralInit(fg, 2, rng.New(5))
+	}
+}

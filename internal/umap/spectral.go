@@ -1,0 +1,158 @@
+package umap
+
+import (
+	"math"
+
+	"arams/internal/mat"
+	"arams/internal/rng"
+)
+
+// Init selects the embedding initialization strategy.
+type Init int
+
+const (
+	// InitPCA seeds the layout with the input's principal components —
+	// fast and deterministic (the package default).
+	InitPCA Init = iota
+	// InitSpectral seeds with the bottom eigenvectors of the fuzzy
+	// graph's normalized Laplacian, the reference implementation's
+	// default. Computed by block power iteration on the normalized
+	// adjacency, so no dense n×n matrix is formed.
+	InitSpectral
+	// InitRandom seeds with small Gaussian noise.
+	InitRandom
+)
+
+// spectralInit computes the k nontrivial bottom eigenvectors of the
+// symmetric normalized Laplacian L = I − D^{−1/2} W D^{−1/2} of the
+// fuzzy graph, which are the top eigenvectors of M = D^{−1/2} W D^{−1/2}
+// after the trivial D^{1/2}·1 direction. Orthogonal (block power)
+// iteration against the known trivial eigenvector converges quickly
+// because UMAP graphs have strong spectral gaps; the embedding is
+// rescaled to the usual ±10 box.
+func spectralInit(fg *FuzzyGraph, k int, g *rng.RNG) *mat.Matrix {
+	n := fg.N
+	emb := mat.New(n, k)
+	if n == 0 || len(fg.Heads) == 0 {
+		for i := 0; i < n; i++ {
+			for j := 0; j < k; j++ {
+				emb.Set(i, j, 1e-4*g.Norm())
+			}
+		}
+		return emb
+	}
+
+	// Degree vector (sum of incident weights, both directions).
+	deg := make([]float64, n)
+	for e := range fg.Heads {
+		deg[fg.Heads[e]] += fg.Weights[e]
+		deg[fg.Tails[e]] += fg.Weights[e]
+	}
+	invSqrt := make([]float64, n)
+	for i, d := range deg {
+		if d > 0 {
+			invSqrt[i] = 1 / math.Sqrt(d)
+		}
+	}
+	// Trivial top eigenvector of M: proportional to D^{1/2}·1.
+	trivial := make([]float64, n)
+	var tnorm float64
+	for i, d := range deg {
+		trivial[i] = math.Sqrt(d)
+		tnorm += d
+	}
+	tnorm = math.Sqrt(tnorm)
+	if tnorm > 0 {
+		for i := range trivial {
+			trivial[i] /= tnorm
+		}
+	}
+
+	// matvec: y = M x over the edge list.
+	matvec := func(x, y []float64) {
+		for i := range y {
+			y[i] = 0
+		}
+		for e := range fg.Heads {
+			h, t := fg.Heads[e], fg.Tails[e]
+			w := fg.Weights[e] * invSqrt[h] * invSqrt[t]
+			y[h] += w * x[t]
+			y[t] += w * x[h]
+		}
+	}
+
+	// Block power iteration on k vectors, deflating the trivial one.
+	block := make([][]float64, k)
+	for j := range block {
+		block[j] = make([]float64, n)
+		for i := range block[j] {
+			block[j][i] = g.Norm()
+		}
+	}
+	tmp := make([]float64, n)
+	const iters = 150
+	for it := 0; it < iters; it++ {
+		for j := range block {
+			matvec(block[j], tmp)
+			// Shift by +I keeps eigenvalues positive (M's spectrum is
+			// in [−1, 1]), accelerating convergence to the top.
+			for i := range tmp {
+				tmp[i] += block[j][i]
+			}
+			copy(block[j], tmp)
+		}
+		orthonormalizeAgainst(block, trivial)
+	}
+
+	for j := 0; j < k; j++ {
+		// Rescale each coordinate to ~±10.
+		var maxAbs float64
+		for i := 0; i < n; i++ {
+			if a := math.Abs(block[j][i]); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		scale := 1.0
+		if maxAbs > 0 {
+			scale = 10 / maxAbs
+		}
+		for i := 0; i < n; i++ {
+			emb.Set(i, j, block[j][i]*scale+1e-4*g.Norm())
+		}
+	}
+	return emb
+}
+
+// orthonormalizeAgainst performs modified Gram–Schmidt on the block,
+// first deflating the given unit vector from every column.
+func orthonormalizeAgainst(block [][]float64, unit []float64) {
+	for j := range block {
+		v := block[j]
+		// Remove the trivial direction.
+		var dot float64
+		for i := range v {
+			dot += v[i] * unit[i]
+		}
+		for i := range v {
+			v[i] -= dot * unit[i]
+		}
+		// Remove earlier block vectors.
+		for p := 0; p < j; p++ {
+			var d float64
+			for i := range v {
+				d += v[i] * block[p][i]
+			}
+			for i := range v {
+				v[i] -= d * block[p][i]
+			}
+		}
+		// Normalize (re-randomizing a vanished vector is unnecessary:
+		// the jitter added at output time breaks exact degeneracy).
+		norm := mat.Norm2(v)
+		if norm > 0 {
+			for i := range v {
+				v[i] /= norm
+			}
+		}
+	}
+}

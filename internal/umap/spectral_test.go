@@ -1,0 +1,84 @@
+package umap
+
+import (
+	"math"
+	"testing"
+
+	"arams/internal/knn"
+	"arams/internal/mat"
+	"arams/internal/rng"
+)
+
+func TestSpectralInitSeparatesComponents(t *testing.T) {
+	// Two disconnected graph components must land at different
+	// spectral coordinates: the second eigenvector of the Laplacian is
+	// the component indicator.
+	x, labels := twoClusters(40, 4, 50, 100)
+	fg := BuildFuzzyGraph(knn.BruteForce(x, 6))
+	emb := spectralInit(fg, 2, rng.New(1))
+	sep := clusterSeparation(emb, labels)
+	if sep < 1.5 {
+		t.Fatalf("spectral init did not separate components: score %v", sep)
+	}
+}
+
+func TestSpectralInitShapesAndScale(t *testing.T) {
+	g := rng.New(2)
+	x := mat.RandGaussian(50, 5, g)
+	fg := BuildFuzzyGraph(knn.BruteForce(x, 8))
+	emb := spectralInit(fg, 3, rng.New(3))
+	if emb.RowsN != 50 || emb.ColsN != 3 {
+		t.Fatalf("shape %d×%d", emb.RowsN, emb.ColsN)
+	}
+	if emb.HasNaN() {
+		t.Fatal("spectral init has NaN")
+	}
+	if mx := emb.MaxAbs(); mx > 10.5 || mx < 1 {
+		t.Fatalf("scale off: max |coord| = %v", mx)
+	}
+}
+
+func TestSpectralInitOrthogonalToTrivial(t *testing.T) {
+	// The init vectors must be orthogonal to D^{1/2}·1, otherwise the
+	// layout starts with a global offset mode.
+	g := rng.New(4)
+	x := mat.RandGaussian(60, 4, g)
+	fg := BuildFuzzyGraph(knn.BruteForce(x, 6))
+	deg := make([]float64, fg.N)
+	for e := range fg.Heads {
+		deg[fg.Heads[e]] += fg.Weights[e]
+		deg[fg.Tails[e]] += fg.Weights[e]
+	}
+	emb := spectralInit(fg, 2, rng.New(5))
+	for j := 0; j < 2; j++ {
+		var dot, norm float64
+		for i := 0; i < fg.N; i++ {
+			dot += emb.At(i, j) * math.Sqrt(deg[i])
+			norm += emb.At(i, j) * emb.At(i, j)
+		}
+		// Jitter breaks exact orthogonality; demand near-orthogonal.
+		if math.Abs(dot)/math.Sqrt(norm) > 0.2 {
+			t.Fatalf("component %d not orthogonal to trivial: %v", j, dot)
+		}
+	}
+}
+
+func TestFitAllInitMethods(t *testing.T) {
+	x, labels := twoClusters(50, 4, 12, 101)
+	for _, init := range []Init{InitPCA, InitSpectral, InitRandom} {
+		emb := Fit(x, Config{NNeighbors: 10, NEpochs: 300, InitMethod: init, Seed: 6})
+		if emb.HasNaN() {
+			t.Fatalf("init %d: NaN in embedding", init)
+		}
+		if sep := clusterSeparation(emb, labels); sep < 1.2 {
+			t.Errorf("init %d: clusters not separated (score %v)", init, sep)
+		}
+	}
+}
+
+func TestSpectralInitEmptyGraph(t *testing.T) {
+	emb := spectralInit(&FuzzyGraph{N: 5}, 2, rng.New(7))
+	if emb.RowsN != 5 || emb.HasNaN() {
+		t.Fatal("empty-graph spectral init broken")
+	}
+}

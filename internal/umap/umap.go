@@ -1,0 +1,256 @@
+// Package umap implements Uniform Manifold Approximation and
+// Projection (McInnes, Healy, Saul & Großberger 2018) — the 2-D
+// visualization stage of the paper's pipeline. It follows the reference
+// algorithm: exact kNN graph, smooth-kNN distance calibration, fuzzy
+// simplicial set construction with probabilistic t-conorm
+// symmetrization, and stochastic gradient descent on the cross-entropy
+// layout objective with negative sampling.
+//
+// The implementation is deterministic for a fixed seed: the SGD loop is
+// single-goroutine (the kNN stage, which dominates at pipeline sizes,
+// is parallel), so repeated runs produce identical embeddings.
+package umap
+
+import (
+	"fmt"
+	"math"
+
+	"arams/internal/knn"
+	"arams/internal/mat"
+	"arams/internal/rng"
+)
+
+// Config holds UMAP hyperparameters; zero values select the reference
+// defaults.
+type Config struct {
+	NNeighbors         int     // default 15
+	NComponents        int     // default 2
+	MinDist            float64 // default 0.1
+	Spread             float64 // default 1.0
+	NEpochs            int     // default: 500 for n<10000, else 200
+	NegativeSampleRate int     // default 5
+	LearningRate       float64 // default 1.0
+	// InitMethod selects the layout initialization: InitPCA (default),
+	// InitSpectral (Laplacian eigenmaps, the reference default), or
+	// InitRandom.
+	InitMethod Init
+	Seed       uint64
+}
+
+func (c Config) withDefaults(n int) Config {
+	if c.NNeighbors <= 0 {
+		c.NNeighbors = 15
+	}
+	if c.NNeighbors >= n {
+		c.NNeighbors = n - 1
+	}
+	if c.NComponents <= 0 {
+		c.NComponents = 2
+	}
+	if c.MinDist <= 0 {
+		c.MinDist = 0.1
+	}
+	if c.Spread <= 0 {
+		c.Spread = 1.0
+	}
+	if c.NEpochs <= 0 {
+		if n < 10000 {
+			c.NEpochs = 500
+		} else {
+			c.NEpochs = 200
+		}
+	}
+	if c.NegativeSampleRate <= 0 {
+		c.NegativeSampleRate = 5
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 1.0
+	}
+	return c
+}
+
+// FuzzyGraph is the symmetrized fuzzy simplicial set: a weighted
+// undirected graph in coordinate (edge-list) form.
+type FuzzyGraph struct {
+	N       int
+	Heads   []int
+	Tails   []int
+	Weights []float64
+}
+
+// smoothKNN computes, for each point, the local connectivity offset ρᵢ
+// (distance to the nearest neighbor) and the bandwidth σᵢ solving
+//
+//	Σⱼ exp(−max(0, dᵢⱼ−ρᵢ)/σᵢ) = log₂(k)
+//
+// by bisection, exactly the smooth-kNN-distance calibration of the
+// UMAP paper.
+func smoothKNN(g *knn.Graph) (rho, sigma []float64) {
+	n := len(g.Neighbors)
+	rho = make([]float64, n)
+	sigma = make([]float64, n)
+	target := math.Log2(float64(g.K))
+	if target <= 0 {
+		target = 1e-3
+	}
+	const (
+		tol      = 1e-5
+		maxIters = 64
+	)
+	for i := 0; i < n; i++ {
+		nbs := g.Neighbors[i]
+		if len(nbs) == 0 {
+			sigma[i] = 1
+			continue
+		}
+		// ρ: smallest nonzero neighbor distance (duplicates give 0).
+		for _, nb := range nbs {
+			if nb.Dist > 0 {
+				rho[i] = nb.Dist
+				break
+			}
+		}
+		lo, hi, mid := 0.0, math.Inf(1), 1.0
+		for it := 0; it < maxIters; it++ {
+			var psum float64
+			for _, nb := range nbs {
+				d := nb.Dist - rho[i]
+				if d <= 0 {
+					psum++
+				} else {
+					psum += math.Exp(-d / mid)
+				}
+			}
+			if math.Abs(psum-target) < tol {
+				break
+			}
+			if psum > target {
+				hi = mid
+				mid = (lo + hi) / 2
+			} else {
+				lo = mid
+				if math.IsInf(hi, 1) {
+					mid *= 2
+				} else {
+					mid = (lo + hi) / 2
+				}
+			}
+		}
+		// Bandwidth floor relative to the mean neighbor distance,
+		// preventing degenerate σ for isolated points (reference
+		// implementation's MIN_K_DIST_SCALE guard).
+		var mean float64
+		for _, nb := range nbs {
+			mean += nb.Dist
+		}
+		mean /= float64(len(nbs))
+		if rho[i] > 0 {
+			if floor := 1e-3 * mean; mid < floor {
+				mid = floor
+			}
+		}
+		sigma[i] = mid
+	}
+	return rho, sigma
+}
+
+// BuildFuzzyGraph constructs the symmetrized fuzzy simplicial set from
+// a kNN graph: directed memberships wᵢⱼ = exp(−max(0,dᵢⱼ−ρᵢ)/σᵢ),
+// symmetrized by the probabilistic t-conorm W + Wᵀ − W∘Wᵀ.
+func BuildFuzzyGraph(g *knn.Graph) *FuzzyGraph {
+	n := len(g.Neighbors)
+	rho, sigma := smoothKNN(g)
+	// Directed weights in a map keyed by (i, j).
+	type key struct{ i, j int }
+	directed := make(map[key]float64, n*g.K)
+	for i := 0; i < n; i++ {
+		for _, nb := range g.Neighbors[i] {
+			d := nb.Dist - rho[i]
+			w := 1.0
+			if d > 0 && sigma[i] > 0 {
+				w = math.Exp(-d / sigma[i])
+			}
+			directed[key{i, nb.Index}] = w
+		}
+	}
+	// Emit undirected edges in deterministic (point, neighbor) order so
+	// the SGD schedule — and therefore the embedding — is reproducible
+	// for a fixed seed.
+	fg := &FuzzyGraph{N: n}
+	seen := make(map[key]bool, len(directed))
+	for i := 0; i < n; i++ {
+		for _, nb := range g.Neighbors[i] {
+			k := key{i, nb.Index}
+			rk := key{nb.Index, i}
+			if seen[k] || seen[rk] {
+				continue
+			}
+			seen[k] = true
+			w := directed[k]
+			wT := directed[rk] // zero if absent
+			sym := w + wT - w*wT
+			if sym <= 0 {
+				continue
+			}
+			fg.Heads = append(fg.Heads, k.i)
+			fg.Tails = append(fg.Tails, k.j)
+			fg.Weights = append(fg.Weights, sym)
+		}
+	}
+	return fg
+}
+
+// MaxWeight returns the largest edge weight (0 for an empty graph).
+func (fg *FuzzyGraph) MaxWeight() float64 {
+	var mx float64
+	for _, w := range fg.Weights {
+		if w > mx {
+			mx = w
+		}
+	}
+	return mx
+}
+
+// Fit computes the UMAP embedding of the rows of x.
+func Fit(x *mat.Matrix, cfg Config) *mat.Matrix {
+	n := x.RowsN
+	if n == 0 {
+		return mat.New(0, max(cfg.NComponents, 2))
+	}
+	cfg = cfg.withDefaults(n)
+	if n == 1 {
+		return mat.New(1, cfg.NComponents)
+	}
+	if cfg.NNeighbors < 1 {
+		panic(fmt.Sprintf("umap: need at least 2 points per neighborhood, n=%d", n))
+	}
+	g := knn.BruteForce(x, cfg.NNeighbors)
+	fg := BuildFuzzyGraph(g)
+	var emb *mat.Matrix
+	switch cfg.InitMethod {
+	case InitSpectral:
+		emb = spectralInit(fg, cfg.NComponents, rng.New(cfg.Seed))
+	case InitRandom:
+		emb = randomInit(n, cfg.NComponents, rng.New(cfg.Seed))
+	default:
+		emb = initEmbedding(x, cfg)
+	}
+	optimizeLayout(emb, fg, cfg)
+	return emb
+}
+
+// randomInit seeds the layout with small Gaussian coordinates.
+func randomInit(n, k int, g *rng.RNG) *mat.Matrix {
+	emb := mat.New(n, k)
+	for i := range emb.Data {
+		emb.Data[i] = 10 * g.Norm()
+	}
+	return emb
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

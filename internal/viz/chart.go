@@ -1,0 +1,209 @@
+package viz
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"io"
+	"math"
+)
+
+// Chart is a multi-series XY plot (lines + markers) with optional
+// logarithmic axes — the renderer behind the regenerated Fig. 1–3
+// curves (error vs runtime, scaling, error vs cores).
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	LogX   bool
+	LogY   bool
+	Series []Series
+}
+
+// Series is one labeled curve.
+type Series struct {
+	Name string    `json:"name"`
+	X    []float64 `json:"x"`
+	Y    []float64 `json:"y"`
+}
+
+// AddSeries appends a curve; x and y must have equal length.
+func (c *Chart) AddSeries(name string, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("viz: series %q has %d x but %d y", name, len(x), len(y)))
+	}
+	c.Series = append(c.Series, Series{Name: name, X: x, Y: y})
+}
+
+// WriteHTML renders the chart as a standalone page.
+func (c *Chart) WriteHTML(w io.Writer) error {
+	// Drop non-positive values on log axes so the JS never sees
+	// log(0); keep the series aligned.
+	series := make([]Series, 0, len(c.Series))
+	for _, s := range c.Series {
+		fs := Series{Name: s.Name}
+		for i := range s.X {
+			if c.LogX && s.X[i] <= 0 {
+				continue
+			}
+			if c.LogY && s.Y[i] <= 0 {
+				continue
+			}
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) ||
+				math.IsInf(s.X[i], 0) || math.IsInf(s.Y[i], 0) {
+				continue
+			}
+			fs.X = append(fs.X, s.X[i])
+			fs.Y = append(fs.Y, s.Y[i])
+		}
+		series = append(series, fs)
+	}
+	data, err := json.Marshal(series)
+	if err != nil {
+		return fmt.Errorf("viz: marshal chart: %w", err)
+	}
+	return chartTmpl.Execute(w, map[string]interface{}{
+		"Title":  c.Title,
+		"XLabel": c.XLabel,
+		"YLabel": c.YLabel,
+		"LogX":   c.LogX,
+		"LogY":   c.LogY,
+		"Data":   template.JS(data),
+	})
+}
+
+var chartTmpl = template.Must(template.New("chart").Parse(`<!DOCTYPE html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>{{.Title}}</title>
+<style>
+  body { font-family: sans-serif; margin: 20px; background: #fafafa; }
+  h1 { font-size: 18px; }
+  #wrap { position: relative; display: inline-block; }
+  canvas { border: 1px solid #ccc; background: white; }
+  #tip { position: absolute; display: none; pointer-events: none;
+         background: rgba(0,0,0,0.85); color: white; padding: 4px 8px;
+         border-radius: 4px; font-size: 12px; white-space: pre; }
+  #legend { margin-top: 8px; font-size: 13px; }
+  .chip { display: inline-block; width: 18px; height: 3px; margin-right: 4px;
+          vertical-align: middle; }
+</style>
+</head>
+<body>
+<h1>{{.Title}}</h1>
+<div id="wrap">
+  <canvas id="c" width="900" height="560"></canvas>
+  <div id="tip"></div>
+</div>
+<div id="legend"></div>
+<script>
+const series = {{.Data}};
+const logX = {{.LogX}}, logY = {{.LogY}};
+const xlabel = {{.XLabel}}, ylabel = {{.YLabel}};
+const canvas = document.getElementById('c');
+const ctx = canvas.getContext('2d');
+const tip = document.getElementById('tip');
+const M = {l: 70, r: 20, t: 15, b: 45};
+const W = canvas.width - M.l - M.r, H = canvas.height - M.t - M.b;
+function tx(v) { return logX ? Math.log10(v) : v; }
+function ty(v) { return logY ? Math.log10(v) : v; }
+let x0 = Infinity, x1 = -Infinity, y0 = Infinity, y1 = -Infinity;
+for (const s of series) for (let i = 0; i < s.x.length; i++) {
+  x0 = Math.min(x0, tx(s.x[i])); x1 = Math.max(x1, tx(s.x[i]));
+  y0 = Math.min(y0, ty(s.y[i])); y1 = Math.max(y1, ty(s.y[i]));
+}
+if (!isFinite(x0)) { x0 = 0; x1 = 1; y0 = 0; y1 = 1; }
+if (x1 === x0) { x1 = x0 + 1; }
+if (y1 === y0) { y1 = y0 + 1; }
+const px = (x1 - x0) * 0.05, py = (y1 - y0) * 0.08;
+x0 -= px; x1 += px; y0 -= py; y1 += py;
+function sx(v) { return M.l + (tx(v) - x0) / (x1 - x0) * W; }
+function sy(v) { return M.t + H - (ty(v) - y0) / (y1 - y0) * H; }
+function color(i) {
+  const hues = [210, 25, 120, 280, 55, 0, 170, 320];
+  return 'hsl(' + hues[i % hues.length] + ',70%,45%)';
+}
+function fmtTick(v, log) {
+  const val = log ? Math.pow(10, v) : v;
+  if (Math.abs(val) >= 1e4 || (Math.abs(val) < 1e-2 && val !== 0)) return val.toExponential(0);
+  return +val.toPrecision(3);
+}
+function draw() {
+  ctx.clearRect(0, 0, canvas.width, canvas.height);
+  // Axes and grid.
+  ctx.strokeStyle = '#eee';
+  ctx.fillStyle = '#444';
+  ctx.font = '11px sans-serif';
+  const nTicks = 6;
+  for (let i = 0; i <= nTicks; i++) {
+    const gx = M.l + i / nTicks * W;
+    const gy = M.t + i / nTicks * H;
+    ctx.beginPath(); ctx.moveTo(gx, M.t); ctx.lineTo(gx, M.t + H); ctx.stroke();
+    ctx.beginPath(); ctx.moveTo(M.l, gy); ctx.lineTo(M.l + W, gy); ctx.stroke();
+    const xv = x0 + i / nTicks * (x1 - x0);
+    const yv = y1 - i / nTicks * (y1 - y0);
+    ctx.textAlign = 'center';
+    ctx.fillText(fmtTick(xv, logX), gx, M.t + H + 16);
+    ctx.textAlign = 'right';
+    ctx.fillText(fmtTick(yv, logY), M.l - 6, gy + 4);
+  }
+  ctx.strokeStyle = '#888';
+  ctx.strokeRect(M.l, M.t, W, H);
+  ctx.textAlign = 'center';
+  ctx.fillText(xlabel, M.l + W / 2, canvas.height - 8);
+  ctx.save();
+  ctx.translate(14, M.t + H / 2); ctx.rotate(-Math.PI / 2);
+  ctx.fillText(ylabel, 0, 0);
+  ctx.restore();
+  // Series.
+  series.forEach((s, si) => {
+    ctx.strokeStyle = ctx.fillStyle = color(si);
+    ctx.lineWidth = 1.6;
+    ctx.beginPath();
+    for (let i = 0; i < s.x.length; i++) {
+      const X = sx(s.x[i]), Y = sy(s.y[i]);
+      if (i === 0) ctx.moveTo(X, Y); else ctx.lineTo(X, Y);
+    }
+    ctx.stroke();
+    for (let i = 0; i < s.x.length; i++) {
+      ctx.beginPath();
+      ctx.arc(sx(s.x[i]), sy(s.y[i]), 3, 0, 2 * Math.PI);
+      ctx.fill();
+    }
+  });
+}
+draw();
+const legend = document.getElementById('legend');
+series.forEach((s, si) => {
+  const span = document.createElement('span');
+  span.style.marginRight = '14px';
+  span.innerHTML = '<span class="chip" style="background:' + color(si) + '"></span>' + s.name;
+  legend.appendChild(span);
+});
+canvas.addEventListener('mousemove', ev => {
+  const r = canvas.getBoundingClientRect();
+  const mx = ev.clientX - r.left, my = ev.clientY - r.top;
+  let best = null, bd = 100;
+  series.forEach((s, si) => {
+    for (let i = 0; i < s.x.length; i++) {
+      const dx = sx(s.x[i]) - mx, dy = sy(s.y[i]) - my;
+      const d = dx * dx + dy * dy;
+      if (d < bd) { bd = d; best = {s: s, i: i}; }
+    }
+  });
+  if (best) {
+    tip.style.display = 'block';
+    tip.style.left = (mx + 12) + 'px';
+    tip.style.top = (my + 12) + 'px';
+    tip.textContent = best.s.name + '\n' + xlabel + ': ' + best.s.x[best.i] +
+      '\n' + ylabel + ': ' + best.s.y[best.i];
+  } else {
+    tip.style.display = 'none';
+  }
+});
+canvas.addEventListener('mouseleave', () => { tip.style.display = 'none'; });
+</script>
+</body>
+</html>
+`))

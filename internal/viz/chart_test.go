@@ -1,0 +1,57 @@
+package viz
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestChartWriteHTML(t *testing.T) {
+	c := &Chart{Title: "scaling", XLabel: "cores", YLabel: "ms", LogX: true, LogY: true}
+	c.AddSeries("tree", []float64{1, 2, 4}, []float64{100, 55, 30})
+	c.AddSeries("serial", []float64{1, 2, 4}, []float64{100, 70, 80})
+	var buf bytes.Buffer
+	if err := c.WriteHTML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	html := buf.String()
+	// html/template renders booleans in JS context with padding spaces.
+	for _, want := range []string{"scaling", "tree", "serial", "cores", "logX =  true"} {
+		if !strings.Contains(html, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestChartFiltersInvalidOnLogAxes(t *testing.T) {
+	c := &Chart{Title: "t", LogY: true}
+	c.AddSeries("s", []float64{1, 2, 3, 4}, []float64{10, 0, -5, math.NaN()})
+	var buf bytes.Buffer
+	if err := c.WriteHTML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	html := buf.String()
+	// Only the (1, 10) point survives.
+	if strings.Contains(html, "-5") || strings.Contains(html, "NaN") {
+		t.Fatal("invalid log-axis points not filtered")
+	}
+}
+
+func TestChartMismatchedSeriesPanics(t *testing.T) {
+	c := &Chart{}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched series did not panic")
+		}
+	}()
+	c.AddSeries("bad", []float64{1, 2}, []float64{1})
+}
+
+func TestChartEmpty(t *testing.T) {
+	c := &Chart{Title: "empty"}
+	var buf bytes.Buffer
+	if err := c.WriteHTML(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,114 @@
+package viz
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"io"
+	"math"
+)
+
+// ReachabilityPlot renders an OPTICS reachability plot — the bar chart
+// whose valleys are clusters (Ankerst et al.'s signature visualization)
+// — as a self-contained interactive HTML page with hover readout.
+type ReachabilityPlot struct {
+	Title  string
+	Values []float64 // reachability in cluster order (+Inf allowed)
+	Labels []int     // cluster label per ordered position (may be nil)
+}
+
+type reachBar struct {
+	V     float64 `json:"v"`
+	Inf   bool    `json:"inf"`
+	Label int     `json:"label"`
+}
+
+// WriteHTML renders the plot.
+func (p *ReachabilityPlot) WriteHTML(w io.Writer) error {
+	bars := make([]reachBar, len(p.Values))
+	for i, v := range p.Values {
+		b := reachBar{Label: -1}
+		if math.IsInf(v, 1) {
+			b.Inf = true
+		} else {
+			b.V = v
+		}
+		if p.Labels != nil {
+			b.Label = p.Labels[i]
+		}
+		bars[i] = b
+	}
+	data, err := json.Marshal(bars)
+	if err != nil {
+		return fmt.Errorf("viz: marshal reachability: %w", err)
+	}
+	return reachTmpl.Execute(w, map[string]interface{}{
+		"Title": p.Title,
+		"Data":  template.JS(data),
+		"N":     len(bars),
+	})
+}
+
+var reachTmpl = template.Must(template.New("reach").Parse(`<!DOCTYPE html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>{{.Title}}</title>
+<style>
+  body { font-family: sans-serif; margin: 20px; background: #fafafa; }
+  h1 { font-size: 18px; }
+  #wrap { position: relative; display: inline-block; }
+  canvas { border: 1px solid #ccc; background: white; }
+  #tip { position: absolute; display: none; pointer-events: none;
+         background: rgba(0,0,0,0.85); color: white; padding: 4px 8px;
+         border-radius: 4px; font-size: 12px; white-space: pre; }
+</style>
+</head>
+<body>
+<h1>{{.Title}}</h1>
+<div class="sub">{{.N}} points in cluster order; valleys are clusters, tall bars separate them</div>
+<div id="wrap">
+  <canvas id="c" width="1000" height="360"></canvas>
+  <div id="tip"></div>
+</div>
+<script>
+const bars = {{.Data}};
+const canvas = document.getElementById('c');
+const ctx = canvas.getContext('2d');
+const tip = document.getElementById('tip');
+function color(label) {
+  if (label < 0) return '#999999';
+  const hues = [210, 25, 120, 280, 55, 0, 170, 320, 90, 240];
+  return 'hsl(' + hues[label % hues.length] + ',70%,45%)';
+}
+let maxV = 0;
+for (const b of bars) if (!b.inf && b.v > maxV) maxV = b.v;
+if (maxV === 0) maxV = 1;
+const bw = canvas.width / Math.max(bars.length, 1);
+function draw() {
+  ctx.clearRect(0, 0, canvas.width, canvas.height);
+  bars.forEach((b, i) => {
+    const v = b.inf ? maxV * 1.05 : b.v;
+    const h = v / (maxV * 1.1) * canvas.height;
+    ctx.fillStyle = b.inf ? '#222222' : color(b.label);
+    ctx.fillRect(i * bw, canvas.height - h, Math.max(bw - 0.5, 0.5), h);
+  });
+}
+draw();
+canvas.addEventListener('mousemove', ev => {
+  const r = canvas.getBoundingClientRect();
+  const i = Math.floor((ev.clientX - r.left) / bw);
+  if (i < 0 || i >= bars.length) { tip.style.display = 'none'; return; }
+  const b = bars[i];
+  tip.style.display = 'block';
+  tip.style.left = (ev.clientX - r.left + 12) + 'px';
+  tip.style.top = (ev.clientY - r.top - 24) + 'px';
+  tip.textContent = 'position ' + i + '\nreachability ' +
+    (b.inf ? 'undefined' : b.v.toFixed(4)) +
+    '\ncluster ' + (b.label < 0 ? 'noise' : b.label);
+});
+canvas.addEventListener('mouseleave', () => { tip.style.display = 'none'; });
+</script>
+</body>
+</html>
+`))

@@ -1,0 +1,50 @@
+package viz
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestReachabilityPlotHTML(t *testing.T) {
+	p := &ReachabilityPlot{
+		Title:  "run 510 reachability",
+		Values: []float64{math.Inf(1), 0.2, 0.3, 5.0, 0.25, 0.22},
+		Labels: []int{-1, 0, 0, -1, 1, 1},
+	}
+	var buf bytes.Buffer
+	if err := p.WriteHTML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	html := buf.String()
+	for _, want := range []string{
+		"run 510 reachability",
+		`"inf":true`,
+		`"label":1`,
+		"mousemove",
+	} {
+		if !strings.Contains(html, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestReachabilityPlotNilLabels(t *testing.T) {
+	p := &ReachabilityPlot{Title: "t", Values: []float64{1, 2, 3}}
+	var buf bytes.Buffer
+	if err := p.WriteHTML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"label":-1`) {
+		t.Fatal("nil labels should default to noise")
+	}
+}
+
+func TestReachabilityPlotEmpty(t *testing.T) {
+	p := &ReachabilityPlot{Title: "empty"}
+	var buf bytes.Buffer
+	if err := p.WriteHTML(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

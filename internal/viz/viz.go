@@ -1,0 +1,198 @@
+// Package viz renders the pipeline's 2-D embeddings as self-contained
+// interactive HTML files — the counterpart of the Bokeh HTML output the
+// paper's artifact produces for Figs. 5 and 6 ("the html files should
+// be interactive with hover tooltip functionality"). The generated page
+// needs no external assets: points are embedded as JSON, drawn on a
+// canvas, colored by cluster label, with pan/zoom and a hover tooltip
+// showing each shot's metadata.
+package viz
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"io"
+
+	"arams/internal/mat"
+)
+
+// Point is one embedded observation.
+type Point struct {
+	X       float64 `json:"x"`
+	Y       float64 `json:"y"`
+	Label   int     `json:"label"` // cluster label; −1 = noise
+	Tooltip string  `json:"tip"`   // free-form hover text
+}
+
+// Plot is a scatter plot specification.
+type Plot struct {
+	Title    string
+	Subtitle string
+	Points   []Point
+}
+
+// FromEmbedding assembles a Plot from an n×2 embedding, cluster labels,
+// and per-point tooltips (any of labels/tips may be nil).
+func FromEmbedding(title string, emb *mat.Matrix, labels []int, tips []string) *Plot {
+	if emb.ColsN < 2 {
+		panic(fmt.Sprintf("viz: embedding must have >= 2 columns, has %d", emb.ColsN))
+	}
+	p := &Plot{Title: title, Points: make([]Point, emb.RowsN)}
+	for i := 0; i < emb.RowsN; i++ {
+		pt := Point{X: emb.At(i, 0), Y: emb.At(i, 1), Label: -1}
+		if labels != nil {
+			pt.Label = labels[i]
+		}
+		if tips != nil {
+			pt.Tooltip = tips[i]
+		} else {
+			pt.Tooltip = fmt.Sprintf("#%d", i)
+		}
+		p.Points[i] = pt
+	}
+	return p
+}
+
+// WriteHTML renders the plot as a standalone HTML page.
+func (p *Plot) WriteHTML(w io.Writer) error {
+	data, err := json.Marshal(p.Points)
+	if err != nil {
+		return fmt.Errorf("viz: marshal points: %w", err)
+	}
+	return pageTmpl.Execute(w, map[string]interface{}{
+		"Title":    p.Title,
+		"Subtitle": p.Subtitle,
+		"Data":     template.JS(data),
+		"N":        len(p.Points),
+	})
+}
+
+var pageTmpl = template.Must(template.New("page").Parse(`<!DOCTYPE html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>{{.Title}}</title>
+<style>
+  body { font-family: sans-serif; margin: 20px; background: #fafafa; }
+  h1 { font-size: 18px; margin-bottom: 2px; }
+  .sub { color: #666; font-size: 13px; margin-bottom: 10px; }
+  #wrap { position: relative; display: inline-block; }
+  canvas { border: 1px solid #ccc; background: white; cursor: crosshair; }
+  #tip { position: absolute; display: none; pointer-events: none;
+         background: rgba(0,0,0,0.85); color: white; padding: 4px 8px;
+         border-radius: 4px; font-size: 12px; white-space: pre; z-index: 10; }
+  #legend { margin-top: 8px; font-size: 12px; }
+  .chip { display: inline-block; width: 10px; height: 10px;
+          border-radius: 5px; margin-right: 3px; }
+</style>
+</head>
+<body>
+<h1>{{.Title}}</h1>
+<div class="sub">{{.Subtitle}} &mdash; {{.N}} points; scroll to zoom, drag to pan, hover for details</div>
+<div id="wrap">
+  <canvas id="c" width="900" height="640"></canvas>
+  <div id="tip"></div>
+</div>
+<div id="legend"></div>
+<script>
+const pts = {{.Data}};
+const canvas = document.getElementById('c');
+const ctx = canvas.getContext('2d');
+const tip = document.getElementById('tip');
+
+// Color palette: noise gray, clusters cycle through distinct hues.
+function color(label) {
+  if (label < 0) return '#bbbbbb';
+  const hues = [210, 25, 120, 280, 55, 0, 170, 320, 90, 240];
+  return 'hsl(' + hues[label % hues.length] + ',70%,45%)';
+}
+
+// Data bounds with margin.
+let minX = Infinity, maxX = -Infinity, minY = Infinity, maxY = -Infinity;
+for (const p of pts) {
+  minX = Math.min(minX, p.x); maxX = Math.max(maxX, p.x);
+  minY = Math.min(minY, p.y); maxY = Math.max(maxY, p.y);
+}
+if (!isFinite(minX)) { minX = 0; maxX = 1; minY = 0; maxY = 1; }
+const padX = (maxX - minX || 1) * 0.05, padY = (maxY - minY || 1) * 0.05;
+minX -= padX; maxX += padX; minY -= padY; maxY += padY;
+
+let view = {x0: minX, x1: maxX, y0: minY, y1: maxY};
+function sx(x) { return (x - view.x0) / (view.x1 - view.x0) * canvas.width; }
+function sy(y) { return canvas.height - (y - view.y0) / (view.y1 - view.y0) * canvas.height; }
+
+function draw() {
+  ctx.clearRect(0, 0, canvas.width, canvas.height);
+  for (const p of pts) {
+    ctx.fillStyle = color(p.label);
+    ctx.beginPath();
+    ctx.arc(sx(p.x), sy(p.y), 3.2, 0, 2 * Math.PI);
+    ctx.fill();
+  }
+}
+draw();
+
+// Legend.
+const labels = [...new Set(pts.map(p => p.label))].sort((a, b) => a - b);
+const legend = document.getElementById('legend');
+for (const l of labels) {
+  const span = document.createElement('span');
+  span.style.marginRight = '12px';
+  span.innerHTML = '<span class="chip" style="background:' + color(l) + '"></span>' +
+    (l < 0 ? 'noise' : 'cluster ' + l) +
+    ' (' + pts.filter(p => p.label === l).length + ')';
+  legend.appendChild(span);
+}
+
+// Hover tooltip: nearest point within 8 px.
+canvas.addEventListener('mousemove', ev => {
+  const r = canvas.getBoundingClientRect();
+  const mx = ev.clientX - r.left, my = ev.clientY - r.top;
+  let best = null, bestD = 64;
+  for (const p of pts) {
+    const dx = sx(p.x) - mx, dy = sy(p.y) - my;
+    const d = dx * dx + dy * dy;
+    if (d < bestD) { bestD = d; best = p; }
+  }
+  if (best) {
+    tip.style.display = 'block';
+    tip.style.left = (mx + 12) + 'px';
+    tip.style.top = (my + 12) + 'px';
+    tip.textContent = best.tip + '\n(' + best.x.toFixed(2) + ', ' + best.y.toFixed(2) +
+      ')\ncluster: ' + (best.label < 0 ? 'noise' : best.label);
+  } else {
+    tip.style.display = 'none';
+  }
+});
+canvas.addEventListener('mouseleave', () => { tip.style.display = 'none'; });
+
+// Zoom (wheel) and pan (drag).
+canvas.addEventListener('wheel', ev => {
+  ev.preventDefault();
+  const r = canvas.getBoundingClientRect();
+  const fx = (ev.clientX - r.left) / canvas.width;
+  const fy = 1 - (ev.clientY - r.top) / canvas.height;
+  const cx = view.x0 + fx * (view.x1 - view.x0);
+  const cy = view.y0 + fy * (view.y1 - view.y0);
+  const s = ev.deltaY > 0 ? 1.15 : 1 / 1.15;
+  view = {
+    x0: cx - (cx - view.x0) * s, x1: cx + (view.x1 - cx) * s,
+    y0: cy - (cy - view.y0) * s, y1: cy + (view.y1 - cy) * s,
+  };
+  draw();
+});
+let drag = null;
+canvas.addEventListener('mousedown', ev => { drag = {x: ev.clientX, y: ev.clientY}; });
+window.addEventListener('mouseup', () => { drag = null; });
+window.addEventListener('mousemove', ev => {
+  if (!drag) return;
+  const dx = (ev.clientX - drag.x) / canvas.width * (view.x1 - view.x0);
+  const dy = (ev.clientY - drag.y) / canvas.height * (view.y1 - view.y0);
+  view.x0 -= dx; view.x1 -= dx; view.y0 += dy; view.y1 += dy;
+  drag = {x: ev.clientX, y: ev.clientY};
+  draw();
+});
+</script>
+</body>
+</html>
+`))

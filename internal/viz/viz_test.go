@@ -1,0 +1,96 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"arams/internal/mat"
+)
+
+func sampleEmbedding() *mat.Matrix {
+	return mat.FromRows([][]float64{
+		{0, 0}, {1, 1}, {2, 0.5}, {-1, 3},
+	})
+}
+
+func TestFromEmbedding(t *testing.T) {
+	emb := sampleEmbedding()
+	p := FromEmbedding("test", emb, []int{0, 0, 1, -1}, []string{"a", "b", "c", "d"})
+	if len(p.Points) != 4 {
+		t.Fatalf("points = %d", len(p.Points))
+	}
+	if p.Points[2].Label != 1 || p.Points[2].Tooltip != "c" {
+		t.Fatalf("point 2 wrong: %+v", p.Points[2])
+	}
+	if p.Points[3].X != -1 || p.Points[3].Y != 3 {
+		t.Fatalf("coords wrong: %+v", p.Points[3])
+	}
+}
+
+func TestFromEmbeddingDefaults(t *testing.T) {
+	p := FromEmbedding("t", sampleEmbedding(), nil, nil)
+	if p.Points[0].Label != -1 {
+		t.Fatal("nil labels should default to noise")
+	}
+	if p.Points[1].Tooltip != "#1" {
+		t.Fatalf("default tooltip = %q", p.Points[1].Tooltip)
+	}
+}
+
+func TestWriteHTML(t *testing.T) {
+	p := FromEmbedding("Beam run 510", sampleEmbedding(), []int{0, 1, 1, -1},
+		[]string{"shot 1", "shot 2", "shot 3", "shot 4"})
+	p.Subtitle = "simulated"
+	var buf bytes.Buffer
+	if err := p.WriteHTML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	html := buf.String()
+	for _, want := range []string{
+		"<!DOCTYPE html>",
+		"Beam run 510",
+		"simulated",
+		"shot 3",
+		`"label":1`,
+		"canvas",
+		"mousemove", // tooltip machinery present
+		"wheel",     // zoom machinery present
+	} {
+		if !strings.Contains(html, want) {
+			t.Errorf("HTML missing %q", want)
+		}
+	}
+}
+
+func TestWriteHTMLEscapesTooltip(t *testing.T) {
+	p := FromEmbedding("t", mat.FromRows([][]float64{{0, 0}}), nil,
+		[]string{`</script><script>alert(1)</script>`})
+	var buf bytes.Buffer
+	if err := p.WriteHTML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "</script><script>alert(1)") {
+		t.Fatal("tooltip not escaped — script injection possible")
+	}
+}
+
+func TestWriteHTMLEmpty(t *testing.T) {
+	p := &Plot{Title: "empty"}
+	var buf bytes.Buffer
+	if err := p.WriteHTML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "empty") {
+		t.Fatal("empty plot missing title")
+	}
+}
+
+func TestFromEmbeddingPanicsOn1D(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("1-D embedding did not panic")
+		}
+	}()
+	FromEmbedding("t", mat.New(3, 1), nil, nil)
+}
