@@ -4,21 +4,33 @@
 // clusters with OPTICS, and writes an interactive HTML embedding with
 // hover tooltips (the Bokeh-HTML analog of Figs. 5 and 6).
 //
+// With -listen the process also serves the live observability
+// endpoints of internal/obs — /metrics (Prometheus text),
+// /metrics.json, /healthz, /statusz (live dashboard), and
+// /debug/pprof/ — and stays up after the run completes so the
+// per-stage histograms and sketch gauges can be scraped.
+//
 // Usage:
 //
 //	lclssim -kind diffraction -out run.lcls
-//	lclsmon -in run.lcls -html embedding.html
+//	lclsmon -in run.lcls -html embedding.html -listen :9090
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
+	"log/slog"
 	"math"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"arams/internal/imgproc"
 	"arams/internal/lcls"
+	"arams/internal/obs"
 	"arams/internal/optics"
 	"arams/internal/pipeline"
 	"arams/internal/sketch"
@@ -37,19 +49,26 @@ func main() {
 	useHDBSCAN := flag.Bool("hdbscan", false, "cluster with HDBSCAN* instead of OPTICS")
 	reach := flag.String("reach", "", "also write the OPTICS reachability plot to this HTML path")
 	seed := flag.Uint64("seed", 1, "RNG seed")
+	listen := flag.String("listen", "", "serve /metrics, /statusz, /debug/pprof on this address (e.g. :9090)")
+	verbosity := flag.Int("v", 0, "log verbosity: 0=info, 1=debug")
 	flag.Parse()
+
+	setupLogging(*verbosity)
+	hold := serveObs(*listen)
 
 	f, err := os.Open(*in)
 	if err != nil {
-		log.Fatal(err)
+		fatal("opening run file", err)
 	}
 	run, err := lcls.ReadRun(f)
 	f.Close()
 	if err != nil {
-		log.Fatalf("lclsmon: reading %s: %v", *in, err)
+		fatal(fmt.Sprintf("reading %s", *in), err)
 	}
-	fmt.Printf("run %s:%d detector %q — %d frames of %d×%d\n",
-		run.Experiment, run.RunNumber, run.Detector, run.Len(), run.Width, run.Height)
+	slog.Info("run loaded",
+		"experiment", run.Experiment, "run", run.RunNumber,
+		"detector", run.Detector, "frames", run.Len(),
+		"width", run.Width, "height", run.Height)
 
 	scfg := sketch.Config{Ell0: *ell, Beta: *beta, Seed: *seed}
 	if *eps > 0 {
@@ -66,15 +85,23 @@ func main() {
 		UseHDBSCAN: *useHDBSCAN,
 	})
 
-	fmt.Printf("sketch: %d directions, %.0f frames/s; total %v\n",
-		res.Basis.RowsN, res.SketchThroughput, res.TotalTime.Round(1e6))
-	fmt.Printf("clusters: %d (%d noise points)\n",
-		optics.NumClusters(res.Labels), countNoise(res.Labels))
-	if hasLabels(run.Labels) {
-		fmt.Printf("agreement with stored labels: ARI %.3f\n",
-			optics.ARI(res.Labels, run.Labels))
+	slog.Info("pipeline complete",
+		"directions", res.Basis.RowsN,
+		"frames_per_sec", fmt.Sprintf("%.0f", res.SketchThroughput),
+		"preprocess", res.PreprocessTime.Round(1e6),
+		"sketch_merge", res.SketchTime.Round(1e6),
+		"total", res.TotalTime.Round(1e6))
+	for stage, d := range res.StageTimes {
+		slog.Debug("stage timing", "stage", stage, "duration", d.Round(1e6))
 	}
-	fmt.Printf("top residual outliers: %v\n", res.ResidualOutliers)
+	slog.Info("clustering",
+		"clusters", optics.NumClusters(res.Labels),
+		"noise_points", countNoise(res.Labels))
+	if hasLabels(run.Labels) {
+		slog.Info("label agreement", "ari",
+			fmt.Sprintf("%.3f", optics.ARI(res.Labels, run.Labels)))
+	}
+	slog.Info("residual outliers", "top", fmt.Sprint(res.ResidualOutliers))
 
 	tips := make([]string, run.Len())
 	for i := range tips {
@@ -85,17 +112,10 @@ func main() {
 		fmt.Sprintf("%s run %d — latent embedding", run.Experiment, run.RunNumber),
 		res.Embedding, res.Labels, tips)
 	plot.Subtitle = fmt.Sprintf("%d frames, detector %s", run.Len(), run.Detector)
-	out, err := os.Create(*html)
-	if err != nil {
-		log.Fatal(err)
+	if err := writeHTML(*html, plot.WriteHTML); err != nil {
+		fatal("writing embedding HTML", err)
 	}
-	if err := plot.WriteHTML(out); err != nil {
-		log.Fatal(err)
-	}
-	if err := out.Close(); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("interactive embedding written to %s\n", *html)
+	slog.Info("embedding written", "path", *html)
 
 	if *reach != "" {
 		opt := optics.Run(res.Embedding, 5, math.Inf(1))
@@ -108,18 +128,67 @@ func main() {
 			Values: opt.ReachabilityInOrder(),
 			Labels: ordLabels,
 		}
-		rf, err := os.Create(*reach)
-		if err != nil {
-			log.Fatal(err)
+		if err := writeHTML(*reach, rp.WriteHTML); err != nil {
+			fatal("writing reachability HTML", err)
 		}
-		if err := rp.WriteHTML(rf); err != nil {
-			log.Fatal(err)
-		}
-		if err := rf.Close(); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("reachability plot written to %s\n", *reach)
+		slog.Info("reachability plot written", "path", *reach)
 	}
+
+	hold()
+}
+
+// setupLogging installs a slog text handler on stderr at the level the
+// -v flag selects.
+func setupLogging(verbosity int) {
+	level := slog.LevelInfo
+	if verbosity >= 1 {
+		level = slog.LevelDebug
+	}
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})))
+}
+
+// serveObs starts the observability server when addr is non-empty and
+// returns a function that blocks until SIGINT/SIGTERM so the endpoints
+// outlive the run; with no address it returns a no-op.
+func serveObs(addr string) (hold func()) {
+	if addr == "" {
+		return func() {}
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal("starting observability server", err)
+	}
+	slog.Info("observability server listening",
+		"addr", ln.Addr().String(),
+		"endpoints", "/metrics /metrics.json /healthz /statusz /debug/pprof/")
+	go func() {
+		if err := (&http.Server{Handler: obs.Handler()}).Serve(ln); err != nil {
+			slog.Error("observability server stopped", "err", err)
+		}
+	}()
+	return func() {
+		slog.Info("run complete; still serving observability endpoints — Ctrl-C to exit")
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		<-ch
+	}
+}
+
+func writeHTML(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(msg string, err error) {
+	slog.Error(msg, "err", err)
+	os.Exit(1)
 }
 
 func countNoise(labels []int) int {

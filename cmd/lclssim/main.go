@@ -3,6 +3,11 @@
 // offline analysis tools (the counterpart of the paper artifact's
 // genData.py, but for detector images rather than synthetic matrices).
 //
+// With -listen the process serves the internal/obs observability
+// endpoints (/metrics, /metrics.json, /healthz, /statusz,
+// /debug/pprof/) and stays up after writing the run so generator
+// timings can be scraped.
+//
 // Usage:
 //
 //	lclssim -kind beam -frames 500 -size 64 -out run.lcls
@@ -11,11 +16,15 @@ package main
 
 import (
 	"flag"
-	"fmt"
-	"log"
+	"log/slog"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"arams/internal/lcls"
+	"arams/internal/obs"
 )
 
 func main() {
@@ -27,8 +36,40 @@ func main() {
 	exp := flag.String("experiment", "xppc00121", "experiment name stored in the header")
 	runNum := flag.Int("run", 510, "run number stored in the header")
 	exotic := flag.Float64("exotic", 0.02, "fraction of exotic shots (beam runs)")
+	listen := flag.String("listen", "", "serve /metrics, /statusz, /debug/pprof on this address (e.g. :9091)")
+	verbosity := flag.Int("v", 0, "log verbosity: 0=info, 1=debug")
 	flag.Parse()
 
+	level := slog.LevelInfo
+	if *verbosity >= 1 {
+		level = slog.LevelDebug
+	}
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})))
+
+	hold := func() {}
+	if *listen != "" {
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			fatal("starting observability server", err)
+		}
+		slog.Info("observability server listening",
+			"addr", ln.Addr().String(),
+			"endpoints", "/metrics /metrics.json /healthz /statusz /debug/pprof/")
+		go func() {
+			if err := (&http.Server{Handler: obs.Handler()}).Serve(ln); err != nil {
+				slog.Error("observability server stopped", "err", err)
+			}
+		}()
+		hold = func() {
+			slog.Info("generation complete; still serving observability endpoints — Ctrl-C to exit")
+			ch := make(chan os.Signal, 1)
+			signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+			<-ch
+		}
+	}
+
+	genSpan := obs.StartSpan("generate")
+	framesGenerated := obs.Default().Counter("arams_sim_frames_total")
 	run := &lcls.Run{Experiment: *exp, RunNumber: *runNum}
 	switch *kind {
 	case "beam":
@@ -43,6 +84,7 @@ func main() {
 				label = 1
 			}
 			run.Append(f.Image, label)
+			framesGenerated.Inc()
 		}
 	case "diffraction":
 		run.Detector = lcls.AreaDetector
@@ -52,23 +94,39 @@ func main() {
 		fs, labels := dg.Generate(*frames)
 		for i, f := range fs {
 			run.Append(f.Image, labels[i])
+			framesGenerated.Inc()
 		}
 	default:
-		log.Fatalf("lclssim: unknown kind %q (want beam or diffraction)", *kind)
+		slog.Error("unknown kind (want beam or diffraction)", "kind", *kind)
+		os.Exit(1)
 	}
+	genDur := genSpan.End()
+	slog.Debug("generation finished", "duration", genDur.Round(1e6))
 
+	writeSpan := obs.StartSpan("write_run")
 	f, err := os.Create(*out)
 	if err != nil {
-		log.Fatal(err)
+		fatal("creating output file", err)
 	}
 	n, err := run.WriteTo(f)
 	if err != nil {
-		log.Fatal(err)
+		fatal("writing run", err)
 	}
 	if err := f.Close(); err != nil {
-		log.Fatal(err)
+		fatal("closing run file", err)
 	}
-	fmt.Printf("wrote %s run %s:%d — %d frames of %d×%d (%.1f MB) to %s\n",
-		*kind, run.Experiment, run.RunNumber, run.Len(), *size, *size,
-		float64(n)/1e6, *out)
+	writeSpan.End()
+
+	slog.Info("run written",
+		"kind", *kind, "experiment", run.Experiment, "run", run.RunNumber,
+		"frames", run.Len(), "size", *size,
+		"megabytes", float64(n)/1e6, "path", *out,
+		"generate", genDur.Round(1e6))
+
+	hold()
+}
+
+func fatal(msg string, err error) {
+	slog.Error(msg, "err", err)
+	os.Exit(1)
 }

@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"strconv"
+	"time"
+)
+
+// fmtFloat renders a float the way the Prometheus text format expects.
+func fmtFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelsWith renders the metric's labels plus one extra pair (used for
+// the histogram le label); extraKey == "" appends nothing.
+func labelsWith(md *meta, extraKey, extraVal string) string {
+	if extraKey == "" {
+		return md.labelString()
+	}
+	ls := append(append([]Label(nil), md.labels...), L(extraKey, extraVal))
+	tmp := meta{labels: ls}
+	return tmp.labelString()
+}
+
+// WritePrometheus writes every metric in the Prometheus text
+// exposition format (version 0.0.4), followed by a small set of
+// process metrics (uptime, goroutines, memory).
+func (r *Registry) WritePrometheus(w io.Writer) {
+	lastType := ""
+	r.each(func(m interface{}) {
+		md := metaOf(m)
+		if md.name != lastType {
+			fmt.Fprintf(w, "# TYPE %s %s\n", md.name, md.kind)
+			lastType = md.name
+		}
+		switch v := m.(type) {
+		case *Counter:
+			fmt.Fprintf(w, "%s%s %s\n", md.name, md.labelString(), fmtFloat(v.Value()))
+		case *Gauge:
+			fmt.Fprintf(w, "%s%s %s\n", md.name, md.labelString(), fmtFloat(v.Value()))
+		case *Histogram:
+			s := v.Snapshot()
+			var cum uint64
+			for i, c := range s.Counts {
+				cum += c
+				le := "+Inf"
+				if i < len(s.Bounds) {
+					le = fmtFloat(s.Bounds[i])
+				}
+				fmt.Fprintf(w, "%s_bucket%s %d\n", md.name, labelsWith(md, "le", le), cum)
+			}
+			fmt.Fprintf(w, "%s_sum%s %s\n", md.name, md.labelString(), fmtFloat(s.Sum))
+			fmt.Fprintf(w, "%s_count%s %d\n", md.name, md.labelString(), s.Count)
+		}
+	})
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Fprintf(w, "# TYPE process_uptime_seconds gauge\nprocess_uptime_seconds %s\n",
+		fmtFloat(r.Uptime().Seconds()))
+	fmt.Fprintf(w, "# TYPE go_goroutines gauge\ngo_goroutines %d\n", runtime.NumGoroutine())
+	fmt.Fprintf(w, "# TYPE go_memstats_alloc_bytes gauge\ngo_memstats_alloc_bytes %d\n", ms.Alloc)
+	fmt.Fprintf(w, "# TYPE go_memstats_sys_bytes gauge\ngo_memstats_sys_bytes %d\n", ms.Sys)
+	fmt.Fprintf(w, "# TYPE go_gc_cycles_total counter\ngo_gc_cycles_total %d\n", ms.NumGC)
+}
+
+// jsonMetric is one scalar metric in the JSON exposition.
+type jsonMetric struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+}
+
+// jsonHistogram is one histogram in the JSON exposition.
+type jsonHistogram struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Count  uint64            `json:"count"`
+	Sum    float64           `json:"sum"`
+	Min    float64           `json:"min"`
+	Max    float64           `json:"max"`
+	Mean   float64           `json:"mean"`
+	P50    float64           `json:"p50"`
+	P90    float64           `json:"p90"`
+	P99    float64           `json:"p99"`
+}
+
+type jsonSpan struct {
+	Name       string  `json:"name"`
+	Start      string  `json:"start"`
+	DurationMS float64 `json:"duration_ms"`
+}
+
+type jsonDump struct {
+	UptimeSeconds float64         `json:"uptime_seconds"`
+	Goroutines    int             `json:"goroutines"`
+	AllocBytes    uint64          `json:"alloc_bytes"`
+	SysBytes      uint64          `json:"sys_bytes"`
+	GCCycles      uint32          `json:"gc_cycles"`
+	Counters      []jsonMetric    `json:"counters"`
+	Gauges        []jsonMetric    `json:"gauges"`
+	Histograms    []jsonHistogram `json:"histograms"`
+	Spans         []jsonSpan      `json:"spans"`
+}
+
+func labelMap(md *meta) map[string]string {
+	if len(md.labels) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(md.labels))
+	for _, l := range md.labels {
+		out[l.Key] = l.Value
+	}
+	return out
+}
+
+// jsonSafe maps NaN/Inf (invalid in JSON) to 0.
+func jsonSafe(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
+
+// WriteJSON writes the whole registry — process stats, every metric
+// with quantile summaries, and the recent-span ring — as one JSON
+// document (the payload behind /metrics.json and the /statusz page).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	dump := jsonDump{
+		UptimeSeconds: r.Uptime().Seconds(),
+		Goroutines:    runtime.NumGoroutine(),
+		Counters:      []jsonMetric{},
+		Gauges:        []jsonMetric{},
+		Histograms:    []jsonHistogram{},
+		Spans:         []jsonSpan{},
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	dump.AllocBytes = ms.Alloc
+	dump.SysBytes = ms.Sys
+	dump.GCCycles = ms.NumGC
+
+	r.each(func(m interface{}) {
+		md := metaOf(m)
+		switch v := m.(type) {
+		case *Counter:
+			dump.Counters = append(dump.Counters, jsonMetric{Name: md.name, Labels: labelMap(md), Value: v.Value()})
+		case *Gauge:
+			dump.Gauges = append(dump.Gauges, jsonMetric{Name: md.name, Labels: labelMap(md), Value: v.Value()})
+		case *Histogram:
+			s := v.Snapshot()
+			dump.Histograms = append(dump.Histograms, jsonHistogram{
+				Name:   md.name,
+				Labels: labelMap(md),
+				Count:  s.Count,
+				Sum:    jsonSafe(s.Sum),
+				Min:    jsonSafe(s.Min),
+				Max:    jsonSafe(s.Max),
+				Mean:   jsonSafe(s.Mean()),
+				P50:    jsonSafe(s.Quantile(0.50)),
+				P90:    jsonSafe(s.Quantile(0.90)),
+				P99:    jsonSafe(s.Quantile(0.99)),
+			})
+		}
+	})
+	for _, sp := range r.Spans() {
+		dump.Spans = append(dump.Spans, jsonSpan{
+			Name:       sp.Name,
+			Start:      sp.Start.Format(time.RFC3339Nano),
+			DurationMS: float64(sp.Duration) / float64(time.Millisecond),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(dump)
+}

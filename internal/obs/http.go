@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"path/filepath"
+)
+
+// Handler returns the observability endpoint set for the registry:
+//
+//	/metrics       Prometheus text exposition
+//	/metrics.json  full JSON dump (metrics + quantiles + span ring)
+//	/healthz       liveness probe ("ok")
+//	/statusz       self-contained live HTML dashboard
+//	/debug/pprof/  the standard net/http/pprof profiles
+//
+// The root path redirects to /statusz.
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if err := r.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		name := filepath.Base(os.Args[0])
+		fmt.Fprintf(w, statuszHTML, name, name)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		http.Redirect(w, req, "/statusz", http.StatusFound)
+	})
+	return mux
+}
+
+// Handler returns the endpoint set for the default registry.
+func Handler() http.Handler { return Default().Handler() }
+
+// statuszHTML is the self-contained dashboard: it polls /metrics.json
+// every 2s and renders stage timings, sketch state, and recent spans.
+// The single %s is the program name.
+const statuszHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>%s — statusz</title>
+<style>
+  body { font: 13px/1.5 system-ui, sans-serif; margin: 1.5em auto; max-width: 72em; color: #222; padding: 0 1em; }
+  h1 { font-size: 1.3em; } h2 { font-size: 1.05em; margin-top: 1.6em; border-bottom: 1px solid #ddd; padding-bottom: .2em; }
+  table { border-collapse: collapse; width: 100%%; }
+  th, td { text-align: left; padding: .25em .7em; border-bottom: 1px solid #eee; font-variant-numeric: tabular-nums; }
+  th { background: #f6f6f6; font-weight: 600; }
+  td.num, th.num { text-align: right; }
+  .muted { color: #888; }
+  code { background: #f3f3f3; padding: 0 .25em; border-radius: 3px; }
+  #err { color: #b00; }
+</style>
+</head>
+<body>
+<h1>%s <span class="muted" id="uptime"></span></h1>
+<p class="muted">live view — refreshes every 2s ·
+  <a href="/metrics">/metrics</a> · <a href="/metrics.json">/metrics.json</a> ·
+  <a href="/debug/pprof/">/debug/pprof/</a> · <a href="/healthz">/healthz</a>
+  <span id="err"></span></p>
+<h2>Process</h2><table id="proc"></table>
+<h2>Stage timings</h2><table id="hist"></table>
+<h2>Counters</h2><table id="counters"></table>
+<h2>Gauges</h2><table id="gauges"></table>
+<h2>Recent spans</h2><table id="spans"></table>
+<script>
+function fmtDur(s) {
+  if (!isFinite(s)) return "-";
+  if (s < 1e-3) return (s*1e6).toFixed(1) + "µs";
+  if (s < 1) return (s*1e3).toFixed(2) + "ms";
+  if (s < 120) return s.toFixed(3) + "s";
+  return (s/60).toFixed(1) + "m";
+}
+function fmtBytes(b) {
+  const u = ["B","KiB","MiB","GiB"]; let i = 0;
+  while (b >= 1024 && i < u.length-1) { b /= 1024; i++; }
+  return b.toFixed(1) + " " + u[i];
+}
+function label(m) {
+  let l = m.name;
+  if (m.labels) l += "{" + Object.entries(m.labels).map(([k,v]) => k+'="'+v+'"').join(",") + "}";
+  return l;
+}
+function rows(id, header, body) {
+  document.getElementById(id).innerHTML =
+    "<tr>" + header.map(h => "<th" + (h[1]?' class="num"':"") + ">" + h[0] + "</th>").join("") + "</tr>" +
+    body.join("");
+}
+async function tick() {
+  let d;
+  try {
+    d = await (await fetch("/metrics.json")).json();
+    document.getElementById("err").textContent = "";
+  } catch (e) {
+    document.getElementById("err").textContent = " — fetch failed: " + e;
+    return;
+  }
+  document.getElementById("uptime").textContent = "up " + fmtDur(d.uptime_seconds);
+  rows("proc", [["stat"],["value",1]], [
+    ["goroutines", d.goroutines],
+    ["heap alloc", fmtBytes(d.alloc_bytes)],
+    ["sys", fmtBytes(d.sys_bytes)],
+    ["gc cycles", d.gc_cycles],
+  ].map(r => "<tr><td>"+r[0]+'</td><td class="num">'+r[1]+"</td></tr>"));
+  rows("hist", [["histogram"],["count",1],["mean",1],["p50",1],["p90",1],["p99",1],["max",1]],
+    d.histograms.map(h => "<tr><td><code>"+label(h)+"</code></td>"+
+      [h.count, fmtDur(h.mean), fmtDur(h.p50), fmtDur(h.p90), fmtDur(h.p99), fmtDur(h.max)]
+        .map(v => '<td class="num">'+v+"</td>").join("")+"</tr>"));
+  rows("counters", [["counter"],["value",1]],
+    d.counters.map(c => "<tr><td><code>"+label(c)+'</code></td><td class="num">'+c.value+"</td></tr>"));
+  rows("gauges", [["gauge"],["value",1]],
+    d.gauges.map(g => "<tr><td><code>"+label(g)+'</code></td><td class="num">'+g.value+"</td></tr>"));
+  rows("spans", [["span"],["start"],["duration",1]],
+    d.spans.slice(0, 40).map(s => "<tr><td><code>"+s.name+"</code></td><td>"+s.start+
+      '</td><td class="num">'+fmtDur(s.duration_ms/1e3)+"</td></tr>"));
+}
+tick();
+setInterval(tick, 2000);
+</script>
+</body>
+</html>
+`

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits_total").Add(2)
+	r.StartSpan("pca").End()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	get := func(path string) (int, string, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+	}
+
+	code, body, ctype := get("/metrics")
+	if code != 200 || !strings.Contains(body, "hits_total 2") {
+		t.Fatalf("/metrics: code=%d body=%q", code, body)
+	}
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Fatalf("/metrics content-type = %q", ctype)
+	}
+	if !strings.Contains(body, StageHistogramName+`_bucket{stage="pca"`) {
+		t.Fatalf("/metrics missing stage histogram:\n%s", body)
+	}
+
+	code, body, ctype = get("/metrics.json")
+	if code != 200 || !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("/metrics.json: code=%d ctype=%q", code, ctype)
+	}
+	if !json.Valid([]byte(body)) {
+		t.Fatalf("/metrics.json not valid JSON: %s", body)
+	}
+
+	code, body, _ = get("/healthz")
+	if code != 200 || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("/healthz: code=%d body=%q", code, body)
+	}
+
+	code, body, ctype = get("/statusz")
+	if code != 200 || !strings.HasPrefix(ctype, "text/html") ||
+		!strings.Contains(body, "<html") || !strings.Contains(body, "/metrics.json") {
+		t.Fatalf("/statusz: code=%d ctype=%q", code, ctype)
+	}
+
+	code, body, _ = get("/debug/pprof/")
+	if code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/: code=%d", code)
+	}
+
+	if code, _, _ = get("/nosuch"); code != 404 {
+		t.Fatalf("/nosuch: code=%d, want 404", code)
+	}
+
+	// Root redirects to /statusz (client follows it).
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Request.URL.Path != "/statusz" {
+		t.Fatalf("root landed on %s, want /statusz", resp.Request.URL.Path)
+	}
+}

@@ -1,0 +1,199 @@
+// Package obs is the repository's stdlib-only observability layer: a
+// process-global registry of counters, gauges, and histograms (with
+// streaming quantile estimates), plus lightweight span tracing that
+// feeds per-stage duration histograms and an in-memory trace ring.
+//
+// The paper's system is an *online* monitor — frames stream through
+// preprocess → ARAMS sketch → merge → PCA → UMAP → OPTICS/ABOD at the
+// machine repetition rate — so the pipeline itself must be observable
+// while it runs. Every hot layer of this repository records into the
+// default registry, and cmd/lclsmon / cmd/lclssim expose it over HTTP
+// (see Handler): Prometheus text at /metrics, JSON at /metrics.json,
+// a self-contained live dashboard at /statusz, and net/http/pprof at
+// /debug/pprof/.
+//
+// Recording is cheap by design: counters and gauges are single atomic
+// words, histograms take a short mutex, and spans cost one time.Now
+// per edge — safe to leave enabled in production paths.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Label is one key="value" pair attached to a metric.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// meta is the identity shared by every metric kind.
+type meta struct {
+	name   string
+	labels []Label
+	kind   string // "counter" | "gauge" | "histogram"
+}
+
+// labelString renders {k="v",...} or "" for no labels.
+func (m *meta) labelString() string {
+	if len(m.labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range m.labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// id is the registry key: name plus canonically-sorted labels.
+func metricID(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(a, b int) bool { return ls[a].Key < ls[b].Key })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('|')
+	for _, l := range ls {
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// Registry holds a set of named metrics and a ring of recent spans.
+// All methods are safe for concurrent use.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]interface{} // id → *Counter | *Gauge | *Histogram
+	kinds   map[string]string      // metric name → kind (one kind per name)
+	start   time.Time
+	ring    spanRing
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		metrics: make(map[string]interface{}),
+		kinds:   make(map[string]string),
+		start:   time.Now(),
+		ring:    newSpanRing(defaultRingCap),
+	}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-global registry every package in this
+// repository records into.
+func Default() *Registry { return defaultRegistry }
+
+// lookup returns the metric registered under (name, labels), creating
+// it with mk when absent. It panics if the name is already registered
+// with a different kind — Prometheus requires one kind per name.
+func (r *Registry) lookup(name, kind string, labels []Label, mk func(meta) interface{}) interface{} {
+	id := metricID(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[id]; ok {
+		return m
+	}
+	if k, ok := r.kinds[name]; ok && k != kind {
+		panic(fmt.Sprintf("obs: metric %q already registered as %s, requested %s", name, k, kind))
+	}
+	m := mk(meta{name: name, labels: append([]Label(nil), labels...), kind: kind})
+	r.metrics[id] = m
+	r.kinds[name] = kind
+	return m
+}
+
+// Counter returns (registering on first use) the counter with the
+// given name and labels.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	return r.lookup(name, "counter", labels, func(md meta) interface{} {
+		return &Counter{md: md}
+	}).(*Counter)
+}
+
+// Gauge returns (registering on first use) the gauge with the given
+// name and labels.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	return r.lookup(name, "gauge", labels, func(md meta) interface{} {
+		return &Gauge{md: md}
+	}).(*Gauge)
+}
+
+// Histogram returns (registering on first use) a histogram with the
+// default duration-oriented buckets (seconds, ~5µs to 5min).
+func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
+	return r.HistogramBuckets(name, nil, labels...)
+}
+
+// HistogramBuckets is Histogram with explicit bucket upper bounds
+// (ascending). nil selects the default duration buckets.
+func (r *Registry) HistogramBuckets(name string, bounds []float64, labels ...Label) *Histogram {
+	return r.lookup(name, "histogram", labels, func(md meta) interface{} {
+		return newHistogram(md, bounds)
+	}).(*Histogram)
+}
+
+// each snapshots the metric set (sorted by name then label string) and
+// calls fn for every metric outside the registry lock.
+func (r *Registry) each(fn func(interface{})) {
+	r.mu.Lock()
+	ms := make([]interface{}, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		ms = append(ms, m)
+	}
+	r.mu.Unlock()
+	sort.Slice(ms, func(a, b int) bool {
+		ma, mb := metaOf(ms[a]), metaOf(ms[b])
+		if ma.name != mb.name {
+			return ma.name < mb.name
+		}
+		return ma.labelString() < mb.labelString()
+	})
+	for _, m := range ms {
+		fn(m)
+	}
+}
+
+func metaOf(m interface{}) *meta {
+	switch v := m.(type) {
+	case *Counter:
+		return &v.md
+	case *Gauge:
+		return &v.md
+	case *Histogram:
+		return &v.md
+	}
+	panic("obs: unknown metric type")
+}
+
+// Uptime is the time since the registry was created (process start for
+// the default registry).
+func (r *Registry) Uptime() time.Duration { return time.Since(r.start) }
+
+// Reset drops every metric and recorded span. Intended for tests.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	r.metrics = make(map[string]interface{})
+	r.kinds = make(map[string]string)
+	r.mu.Unlock()
+	r.ring.reset()
+}

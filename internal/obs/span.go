@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// StageHistogramName is the histogram every span records into, with a
+// stage="<span name>" label — so /metrics carries one duration
+// histogram per pipeline stage.
+const StageHistogramName = "arams_stage_duration_seconds"
+
+const defaultRingCap = 256
+
+// Span measures one timed unit of work (a pipeline stage, a merge
+// round, a snapshot). Obtain with StartSpan, finish with End.
+type Span struct {
+	r     *Registry
+	name  string
+	start time.Time
+}
+
+// StartSpan begins a span on the registry.
+func (r *Registry) StartSpan(name string) Span {
+	return Span{r: r, name: name, start: time.Now()}
+}
+
+// StartSpan begins a span on the default registry.
+func StartSpan(name string) Span { return Default().StartSpan(name) }
+
+// End finishes the span: the duration is recorded into the per-stage
+// histogram and appended to the in-memory trace ring. It returns the
+// measured duration so callers can reuse it for their own accounting.
+func (s Span) End() time.Duration {
+	d := time.Since(s.start)
+	if s.r == nil {
+		return d
+	}
+	s.r.Histogram(StageHistogramName, L("stage", s.name)).Observe(d.Seconds())
+	s.r.ring.add(SpanRecord{Name: s.name, Start: s.start, Duration: d})
+	return d
+}
+
+// SpanRecord is one completed span held in the trace ring.
+type SpanRecord struct {
+	Name     string        `json:"name"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration"`
+}
+
+// Spans returns the most recently completed spans, newest first, up to
+// the ring capacity.
+func (r *Registry) Spans() []SpanRecord { return r.ring.snapshot() }
+
+// spanRing is a fixed-capacity ring of completed spans.
+type spanRing struct {
+	mu   sync.Mutex
+	buf  []SpanRecord
+	next int
+	n    int
+}
+
+func newSpanRing(capacity int) spanRing {
+	return spanRing{buf: make([]SpanRecord, capacity)}
+}
+
+func (sr *spanRing) add(rec SpanRecord) {
+	sr.mu.Lock()
+	sr.buf[sr.next] = rec
+	sr.next = (sr.next + 1) % len(sr.buf)
+	if sr.n < len(sr.buf) {
+		sr.n++
+	}
+	sr.mu.Unlock()
+}
+
+func (sr *spanRing) snapshot() []SpanRecord {
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	out := make([]SpanRecord, 0, sr.n)
+	for i := 0; i < sr.n; i++ {
+		idx := (sr.next - 1 - i + len(sr.buf)) % len(sr.buf)
+		out = append(out, sr.buf[idx])
+	}
+	return out
+}
+
+func (sr *spanRing) reset() {
+	sr.mu.Lock()
+	sr.next, sr.n = 0, 0
+	sr.mu.Unlock()
+}

@@ -19,7 +19,20 @@ import (
 	"time"
 
 	"arams/internal/mat"
+	"arams/internal/obs"
 	"arams/internal/sketch"
+)
+
+// Merge-phase observability: Run/RunArity record "sketch" and "merge"
+// stage spans (plus one "merge_round" span per tree level) and bump
+// these totals. RunSimulated is a measurement harness and stays
+// silent so it never pollutes the live histograms.
+var (
+	obsRunsTotal        = obs.Default().Counter("arams_parallel_runs_total")
+	obsLocalRotations   = obs.Default().Counter("arams_parallel_local_rotations_total")
+	obsMergeRotations   = obs.Default().Counter("arams_parallel_merge_rotations_total")
+	obsMergeRoundsTotal = obs.Default().Counter("arams_parallel_merge_rounds_total")
+	obsWorkersGauge     = obs.Default().Gauge("arams_parallel_workers")
 )
 
 // MergeStrategy selects how per-shard sketches are combined.
@@ -98,8 +111,11 @@ func RunArity(shards []*mat.Matrix, mk Sketcher, strategy MergeStrategy, arity i
 		panic("parallel: tree arity must be >= 2")
 	}
 	stats := Stats{Workers: len(shards)}
+	obsRunsTotal.Inc()
+	obsWorkersGauge.SetInt(len(shards))
 	start := time.Now()
 
+	spSketch := obs.StartSpan("sketch")
 	local := make([]*sketch.FrequentDirections, len(shards))
 	localTimes := make([]time.Duration, len(shards))
 	var wg sync.WaitGroup
@@ -115,7 +131,7 @@ func RunArity(shards []*mat.Matrix, mk Sketcher, strategy MergeStrategy, arity i
 		}(i, shard)
 	}
 	wg.Wait()
-	stats.SketchTime = time.Since(start)
+	stats.SketchTime = spSketch.End()
 	var slowestLocal time.Duration
 	for i, fd := range local {
 		stats.LocalRotations += fd.Rotations()
@@ -123,8 +139,9 @@ func RunArity(shards []*mat.Matrix, mk Sketcher, strategy MergeStrategy, arity i
 			slowestLocal = localTimes[i]
 		}
 	}
+	obsLocalRotations.Add(float64(stats.LocalRotations))
 
-	mergeStart := time.Now()
+	spMerge := obs.StartSpan("merge")
 	var global *sketch.FrequentDirections
 	var mergeCrit time.Duration
 	switch strategy {
@@ -136,8 +153,10 @@ func RunArity(shards []*mat.Matrix, mk Sketcher, strategy MergeStrategy, arity i
 	default:
 		panic("parallel: unknown merge strategy")
 	}
-	stats.MergeTime = time.Since(mergeStart)
+	stats.MergeTime = spMerge.End()
 	stats.MergeRotations = global.Rotations() - stats.LocalRotations
+	obsMergeRotations.Add(float64(stats.MergeRotations))
+	obsMergeRoundsTotal.Add(float64(stats.MergeRounds))
 	stats.CriticalPath = slowestLocal + mergeCrit
 	stats.Total = time.Since(start)
 	return global, stats
@@ -153,6 +172,7 @@ func treeMerge(fds []*sketch.FrequentDirections, arity int) (*sketch.FrequentDir
 	var critical time.Duration
 	for len(fds) > 1 {
 		rounds++
+		spRound := obs.StartSpan("merge_round")
 		groups := (len(fds) + arity - 1) / arity
 		next := make([]*sketch.FrequentDirections, groups)
 		times := make([]time.Duration, groups)
@@ -177,6 +197,7 @@ func treeMerge(fds []*sketch.FrequentDirections, arity int) (*sketch.FrequentDir
 			}(gIdx, lo, hi)
 		}
 		wg.Wait()
+		spRound.End()
 		var slowest time.Duration
 		for _, t := range times {
 			if t > slowest {

@@ -2,14 +2,29 @@ package pipeline
 
 import (
 	"sync"
+	"time"
 
 	"arams/internal/abod"
 	"arams/internal/imgproc"
 	"arams/internal/mat"
+	"arams/internal/obs"
 	"arams/internal/optics"
 	"arams/internal/pca"
 	"arams/internal/sketch"
 	"arams/internal/umap"
+)
+
+// Online-monitor observability: per-frame ingest latency, live window
+// and sketch-rank gauges, and full-vs-quick snapshot counters. A
+// QuickSnapshot that falls back to a refit increments both counters —
+// the "full" count is refits, the "quick" count is calls.
+var (
+	obsIngestLatency = obs.Default().Histogram("arams_monitor_ingest_seconds")
+	obsFramesTotal   = obs.Default().Counter("arams_monitor_frames_total")
+	obsWindowSize    = obs.Default().Gauge("arams_monitor_window_size")
+	obsMonitorEll    = obs.Default().Gauge("arams_monitor_sketch_ell")
+	obsSnapFull      = obs.Default().Counter("arams_monitor_snapshots_total", obs.L("kind", "full"))
+	obsSnapQuick     = obs.Default().Counter("arams_monitor_snapshots_total", obs.L("kind", "quick"))
 )
 
 // Monitor is the online form of the pipeline: frames stream in
@@ -56,11 +71,11 @@ func NewMonitor(cfg Config, window int) *Monitor {
 // Ingest preprocesses one frame and feeds it to the sketch. tag is an
 // arbitrary caller identifier returned with snapshot rows.
 func (m *Monitor) Ingest(im *imgproc.Image, tag int) {
+	start := time.Now()
 	pre := m.cfg.Pre.Apply(im)
 	vec := append([]float64(nil), pre.Flatten()...)
 
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if m.arams == nil {
 		m.arams = sketch.NewARAMS(m.cfg.Sketch, len(vec), 0)
 	}
@@ -71,6 +86,13 @@ func (m *Monitor) Ingest(im *imgproc.Image, tag int) {
 		m.recent = m.recent[len(m.recent)-m.window:]
 	}
 	m.ingests++
+	window, ell := len(m.recent), m.arams.Ell()
+	m.mu.Unlock()
+
+	obsFramesTotal.Inc()
+	obsWindowSize.SetInt(window)
+	obsMonitorEll.SetInt(ell)
+	obsIngestLatency.Observe(time.Since(start).Seconds())
 }
 
 // Ingested returns the number of frames consumed so far.
@@ -108,6 +130,9 @@ type Snapshot struct {
 // exists yet or the sketch rank changed (which invalidates the latent
 // space). The clustering and anomaly stages run as usual.
 func (m *Monitor) QuickSnapshot() *Snapshot {
+	obsSnapQuick.Inc()
+	sp := obs.StartSpan("quicksnapshot")
+	defer sp.End()
 	m.mu.Lock()
 	model := m.cachedModel
 	ell := 0
@@ -139,6 +164,9 @@ func (m *Monitor) QuickSnapshot() *Snapshot {
 // subsequent QuickSnapshot calls. It returns nil when nothing has been
 // ingested yet.
 func (m *Monitor) Snapshot() *Snapshot {
+	obsSnapFull.Inc()
+	sp := obs.StartSpan("snapshot")
+	defer sp.End()
 	x, tags, basis, ell := m.windowState()
 	if x == nil {
 		return nil
@@ -153,6 +181,7 @@ func (m *Monitor) Snapshot() *Snapshot {
 			snap.Labels[i] = optics.Noise
 		}
 		snap.OutlierScores = make([]float64, n)
+		snap.Outliers = []int{}
 		return snap
 	}
 	proj := pca.NewProjector(basis)

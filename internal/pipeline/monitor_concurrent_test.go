@@ -1,0 +1,92 @@
+package pipeline
+
+import (
+	"sync"
+	"testing"
+
+	"arams/internal/imgproc"
+	"arams/internal/rng"
+	"arams/internal/sketch"
+	"arams/internal/umap"
+)
+
+// TestMonitorConcurrentSnapshots exercises the documented concurrency
+// contract — one producer ingesting while two callers alternate
+// Snapshot and QuickSnapshot — so the cachedModel/cachedEll handoff
+// between the two snapshot paths runs under the race detector.
+func TestMonitorConcurrentSnapshots(t *testing.T) {
+	cfg := Config{
+		Sketch: sketch.Config{Ell0: 4, Seed: 40},
+		UMAP:   umap.Config{NNeighbors: 4, NEpochs: 5, Seed: 41},
+		MinPts: 3,
+	}
+	m := NewMonitor(cfg, 24)
+	g := rng.New(42)
+
+	const frames = 90
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		for i := 0; i < frames; i++ {
+			im := imgproc.NewImage(6, 6)
+			for p := range im.Pix {
+				im.Pix[p] = g.Float64()
+			}
+			m.Ingest(im, i)
+		}
+	}()
+
+	snapshotter := func(quick bool) {
+		defer wg.Done()
+		last := false
+		for {
+			select {
+			case <-done:
+				// Producer finished: take one final snapshot so each
+				// path runs at least once even if ingest outran us.
+				if last {
+					return
+				}
+				last = true
+			default:
+			}
+			var snap *Snapshot
+			if quick {
+				snap = m.QuickSnapshot()
+			} else {
+				snap = m.Snapshot()
+			}
+			if snap == nil {
+				continue // nothing ingested yet
+			}
+			if snap.Embedding == nil || snap.Embedding.RowsN != len(snap.Tags) {
+				t.Errorf("snapshot shape mismatch: %d embedding rows, %d tags",
+					snap.Embedding.RowsN, len(snap.Tags))
+				return
+			}
+			if snap.Embedding.HasNaN() {
+				t.Error("snapshot embedding has NaN")
+				return
+			}
+		}
+	}
+	wg.Add(2)
+	go snapshotter(false)
+	go snapshotter(true)
+	wg.Wait()
+
+	if got := m.Ingested(); got != frames {
+		t.Fatalf("ingested = %d, want %d", got, frames)
+	}
+	final := m.Snapshot()
+	if final == nil || len(final.Tags) != 24 {
+		t.Fatalf("final snapshot window = %v, want 24 tags", final)
+	}
+	if final.Outliers == nil {
+		t.Fatal("final snapshot Outliers is nil")
+	}
+}

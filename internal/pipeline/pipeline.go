@@ -14,12 +14,18 @@ import (
 	"arams/internal/hdbscan"
 	"arams/internal/imgproc"
 	"arams/internal/mat"
+	"arams/internal/obs"
 	"arams/internal/optics"
 	"arams/internal/parallel"
 	"arams/internal/pca"
 	"arams/internal/sketch"
 	"arams/internal/umap"
 )
+
+// Pipeline-level observability: one counter per entry point plus the
+// per-stage duration histograms fed by obs spans (stage names
+// preprocess, sketch, merge, pca, umap, cluster, abod, residuals).
+var obsRuns = obs.Default().Counter("arams_pipeline_runs_total")
 
 // Config parameterizes the full pipeline. Zero values select sensible
 // defaults for every stage.
@@ -114,8 +120,20 @@ type Result struct {
 	ResidualOutliers []int
 	// ParallelStats reports the sketch/merge phase accounting.
 	ParallelStats parallel.Stats
-	// SketchThroughput is frames/second through preprocessing+sketch.
+	// SketchThroughput is frames/second through the sketch+merge phase
+	// (it excludes preprocessing; see PreprocessTime).
 	SketchThroughput float64
+	// PreprocessTime is the wall time of the per-frame preprocessing
+	// loop. Zero when the caller entered below preprocessing (e.g.
+	// ProcessMatrix on an already-flattened matrix).
+	PreprocessTime time.Duration
+	// SketchTime is the wall time of the sketch+merge phase.
+	SketchTime time.Duration
+	// StageTimes maps each executed stage ("preprocess", "sketch",
+	// "merge", "pca", "umap", "cluster", "abod", "residuals") to its
+	// wall time, so PreprocessTime + SketchTime + the visualization
+	// stages reconcile with TotalTime.
+	StageTimes map[string]time.Duration
 	// TotalTime is the wall time of the full run.
 	TotalTime time.Duration
 }
@@ -125,12 +143,17 @@ func Process(frames []*imgproc.Image, cfg Config) *Result {
 	cfg = cfg.withDefaults()
 	start := time.Now()
 
+	sp := obs.StartSpan("preprocess")
 	pre := make([]*imgproc.Image, len(frames))
 	for i, f := range frames {
 		pre[i] = cfg.Pre.Apply(f)
 	}
 	x := imgproc.ToMatrix(pre)
+	preDur := sp.End()
+
 	res := ProcessMatrix(x, cfg)
+	res.PreprocessTime = preDur
+	res.StageTimes["preprocess"] = preDur
 	res.TotalTime = time.Since(start)
 	return res
 }
@@ -139,10 +162,12 @@ func Process(frames []*imgproc.Image, cfg Config) *Result {
 // (rows are observations).
 func ProcessMatrix(x *mat.Matrix, cfg Config) *Result {
 	cfg = cfg.withDefaults()
+	obsRuns.Inc()
 	start := time.Now()
 	res := &Result{}
 
-	// Stage 1: parallel ARAMS sketch with merge.
+	// Stage 1: parallel ARAMS sketch with merge. parallel.Run records
+	// the "sketch" and "merge" spans; its Stats give the split.
 	shards := parallel.SplitRows(x, cfg.Workers)
 	sketcher := func(shard *mat.Matrix) *sketch.FrequentDirections {
 		a := sketch.NewARAMS(cfg.Sketch, shard.ColsN, shard.RowsN)
@@ -152,9 +177,9 @@ func ProcessMatrix(x *mat.Matrix, cfg Config) *Result {
 	global, stats := parallel.Run(shards, sketcher, cfg.Merge)
 	res.ParallelStats = stats
 	res.Sketch = global.Sketch()
-	sketchElapsed := time.Since(start)
-	if sketchElapsed > 0 {
-		res.SketchThroughput = float64(x.RowsN) / sketchElapsed.Seconds()
+	res.SketchTime = stats.Total
+	if stats.Total > 0 {
+		res.SketchThroughput = float64(x.RowsN) / stats.Total.Seconds()
 	}
 
 	// Stages 2–5: projection, UMAP, OPTICS, anomaly detection.
@@ -166,7 +191,10 @@ func ProcessMatrix(x *mat.Matrix, cfg Config) *Result {
 	viz := ProcessMatrixWithBasis(x, basis, cfg)
 	viz.Sketch = res.Sketch
 	viz.ParallelStats = res.ParallelStats
+	viz.SketchTime = res.SketchTime
 	viz.SketchThroughput = res.SketchThroughput
+	viz.StageTimes["sketch"] = stats.SketchTime
+	viz.StageTimes["merge"] = stats.MergeTime
 	viz.TotalTime = time.Since(start)
 	return viz
 }
@@ -178,8 +206,11 @@ func ProcessMatrix(x *mat.Matrix, cfg Config) *Result {
 func ProcessMatrixWithBasis(x, basis *mat.Matrix, cfg Config) *Result {
 	cfg = cfg.withDefaults()
 	start := time.Now()
-	res := &Result{Basis: basis}
+	res := &Result{Basis: basis, StageTimes: make(map[string]time.Duration)}
 	if basis.RowsN == 0 {
+		// Degenerate basis (all-zero sketch): every downstream artifact
+		// is present but empty, so callers and the JSON/HTML expositions
+		// never see a nil slice on this path.
 		res.Latent = mat.New(x.RowsN, 0)
 		res.Embedding = mat.New(x.RowsN, 2)
 		res.Labels = make([]int, x.RowsN)
@@ -187,18 +218,30 @@ func ProcessMatrixWithBasis(x, basis *mat.Matrix, cfg Config) *Result {
 			res.Labels[i] = optics.Noise
 		}
 		res.OutlierScores = make([]float64, x.RowsN)
+		res.Outliers = []int{}
 		res.Residuals = make([]float64, x.RowsN)
+		res.ResidualOutliers = []int{}
 		res.TotalTime = time.Since(start)
 		return res
 	}
+
+	stage := func(name string, fn func()) {
+		sp := obs.StartSpan(name)
+		fn()
+		res.StageTimes[name] = sp.End()
+	}
 	proj := pca.NewProjector(basis)
-	res.Latent = proj.Project(x)
-	res.Embedding = umap.Fit(res.Latent, cfg.UMAP)
-	res.Labels = clusterEmbedding(res.Embedding, cfg)
-	res.OutlierScores = abod.Scores(res.Embedding, cfg.ABODNeighbors)
-	res.Outliers = abod.Outliers(res.OutlierScores, cfg.Contamination)
-	res.Residuals = residuals(x, basis)
-	res.ResidualOutliers = topResiduals(res.Residuals, cfg.Contamination)
+	stage("pca", func() { res.Latent = proj.Project(x) })
+	stage("umap", func() { res.Embedding = umap.Fit(res.Latent, cfg.UMAP) })
+	stage("cluster", func() { res.Labels = clusterEmbedding(res.Embedding, cfg) })
+	stage("abod", func() {
+		res.OutlierScores = abod.Scores(res.Embedding, cfg.ABODNeighbors)
+		res.Outliers = abod.Outliers(res.OutlierScores, cfg.Contamination)
+	})
+	stage("residuals", func() {
+		res.Residuals = residuals(x, basis)
+		res.ResidualOutliers = topResiduals(res.Residuals, cfg.Contamination)
+	})
 	res.TotalTime = time.Since(start)
 	return res
 }

@@ -54,6 +54,43 @@ func TestProcessShapes(t *testing.T) {
 	}
 }
 
+func TestProcessTimingAccounting(t *testing.T) {
+	frames := imagesOf(beamFrames(100, 7))
+	res := Process(frames, Config{
+		Pre:    imgproc.Preprocessor{Normalize: true},
+		Sketch: sketch.Config{Ell0: 10, Seed: 8},
+		UMAP:   umap.Config{NEpochs: 40, Seed: 9},
+	})
+	if res.PreprocessTime <= 0 {
+		t.Fatal("PreprocessTime not measured")
+	}
+	if res.SketchTime <= 0 {
+		t.Fatal("SketchTime not measured")
+	}
+	// Throughput must be derived from the sketch phase alone, not from
+	// a clock started before preprocessing.
+	want := float64(100) / res.SketchTime.Seconds()
+	if math.Abs(res.SketchThroughput-want) > 1e-6*want {
+		t.Fatalf("SketchThroughput = %v, want rows/SketchTime = %v", res.SketchThroughput, want)
+	}
+	// The stage ledger must cover every stage and stay within the
+	// total: preprocess + sketch phase + visualization stages ≤ total.
+	for _, stage := range []string{"preprocess", "sketch", "merge", "pca", "umap", "cluster", "abod", "residuals"} {
+		if _, ok := res.StageTimes[stage]; !ok {
+			t.Fatalf("StageTimes missing %q: %v", stage, res.StageTimes)
+		}
+	}
+	sum := res.PreprocessTime + res.SketchTime +
+		res.StageTimes["pca"] + res.StageTimes["umap"] +
+		res.StageTimes["cluster"] + res.StageTimes["abod"] + res.StageTimes["residuals"]
+	if sum > res.TotalTime*2 {
+		t.Fatalf("stage times (%v) wildly exceed total (%v)", sum, res.TotalTime)
+	}
+	if res.TotalTime < res.PreprocessTime || res.TotalTime < res.SketchTime {
+		t.Fatal("TotalTime smaller than a component stage")
+	}
+}
+
 func TestProcessParallelMatchesShape(t *testing.T) {
 	frames := imagesOf(beamFrames(160, 4))
 	cfg := Config{

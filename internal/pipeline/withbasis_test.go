@@ -46,6 +46,21 @@ func TestProcessMatrixWithEmptyBasis(t *testing.T) {
 	if res.Embedding.RowsN != 10 {
 		t.Fatal("embedding rows wrong")
 	}
+	// Every slice artifact must be non-nil on the degenerate path so
+	// CLI output and JSON exposition stay consistent with the normal
+	// path (empty, not absent).
+	if res.Outliers == nil || len(res.Outliers) != 0 {
+		t.Fatalf("Outliers = %#v, want empty non-nil slice", res.Outliers)
+	}
+	if res.ResidualOutliers == nil || len(res.ResidualOutliers) != 0 {
+		t.Fatalf("ResidualOutliers = %#v, want empty non-nil slice", res.ResidualOutliers)
+	}
+	if res.OutlierScores == nil || res.Residuals == nil {
+		t.Fatal("OutlierScores/Residuals must be allocated")
+	}
+	if res.StageTimes == nil {
+		t.Fatal("StageTimes must be allocated")
+	}
 }
 
 func TestProcessClusterEpsPath(t *testing.T) {

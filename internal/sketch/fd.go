@@ -17,6 +17,20 @@ import (
 	"math"
 
 	"arams/internal/mat"
+	"arams/internal/obs"
+)
+
+// Sketch-health observability. Rotations happen once every ℓ appended
+// rows (never per row), so the atomic adds below are off the per-row
+// hot path. The ℓ gauge is last-writer-wins across concurrent shards:
+// a live view of "a current sketch rank", exact when one sketch is
+// active (the Monitor case).
+var (
+	obsRotations   = obs.Default().Counter("arams_sketch_rotations_total")
+	obsShrinkDelta = obs.Default().Counter("arams_sketch_shrink_delta_total")
+	obsMerges      = obs.Default().Counter("arams_sketch_merges_total")
+	obsGrows       = obs.Default().Counter("arams_sketch_rank_grow_events_total")
+	obsEllGauge    = obs.Default().Gauge("arams_sketch_ell")
 )
 
 // SVDBackend selects the factorization used in the FD rotation step.
@@ -144,6 +158,9 @@ func (fd *FrequentDirections) rotate() {
 	fd.rotations++
 	fd.lastSigma = sigma
 	fd.lastVt = vt
+	obsRotations.Inc()
+	obsShrinkDelta.Add(delta)
+	obsEllGauge.SetInt(fd.ell)
 }
 
 // Compact forces a final rotation if more than ℓ rows are occupied, so
@@ -277,6 +294,7 @@ func (fd *FrequentDirections) Merge(other *FrequentDirections) {
 	fd.seen += other.seen - appended
 	fd.rotations += other.rotations
 	fd.totalDelta += other.totalDelta
+	obsMerges.Inc()
 }
 
 // Grow increases the number of retained directions by dl, extending the
@@ -292,6 +310,8 @@ func (fd *FrequentDirections) Grow(dl int) {
 	}
 	fd.buffer = nb
 	fd.ell = newEll
+	obsGrows.Inc()
+	obsEllGauge.SetInt(fd.ell)
 }
 
 func min(a, b int) int {

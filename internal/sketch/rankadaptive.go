@@ -4,8 +4,14 @@ import (
 	"fmt"
 
 	"arams/internal/mat"
+	"arams/internal/obs"
 	"arams/internal/rng"
 )
+
+// obsRankAdapts counts heuristic-triggered rank increases (Alg. 2
+// line 9: estimated error above ε), as opposed to merge-driven Grow
+// calls, which only arams_sketch_rank_grow_events_total sees.
+var obsRankAdapts = obs.Default().Counter("arams_sketch_rank_adaptations_total")
 
 // RankAdaptiveFD implements Algorithm 2 of the paper: a Frequent
 // Directions sketch whose number of retained directions ℓ grows
@@ -106,6 +112,7 @@ func (r *RankAdaptiveFD) Append(row []float64) {
 				if x.RowsN > 0 && EstimateRelResidualKind(r.estimator, x, basis, r.nu, r.g) > r.eps {
 					r.increaseEll = true
 					r.grows++
+					obsRankAdapts.Inc()
 				}
 			}
 		}
