@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"testing"
+
+	"arams/internal/mat"
+	"arams/internal/rng"
+)
+
+// Kernel microbenchmarks: every entry times the pre-PR reference
+// kernel (kept verbatim in internal/mat/reference.go) against the
+// cache-blocked replacement on the same input, so BENCH_kernels.json
+// records the speedup of the execution-layer rewrite on the shapes the
+// FD hot path actually runs — 2ℓ×d rotation buffers with d ≫ 2ℓ.
+
+// KernelResult is one reference-vs-blocked comparison.
+type KernelResult struct {
+	Kernel      string  `json:"kernel"`
+	Shape       string  `json:"shape"`
+	RefNsOp     int64   `json:"ref_ns_op"`
+	NewNsOp     int64   `json:"new_ns_op"`
+	Speedup     float64 `json:"speedup"`
+	NewAllocsOp int64   `json:"new_allocs_op"`
+	NewBytesOp  int64   `json:"new_bytes_op"`
+}
+
+// KernelReport is the full sweep, serialized to BENCH_kernels.json.
+type KernelReport struct {
+	PoolWorkers int            `json:"pool_workers"`
+	Results     []KernelResult `json:"results"`
+}
+
+// WriteJSON serializes the report with stable indentation.
+func (r *KernelReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// bench runs fn under the testing harness and returns its result.
+func benchKernel(fn func()) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			fn()
+		}
+	})
+}
+
+func kernelEntry(kernel, shape string, ref, blocked func()) KernelResult {
+	rr := benchKernel(ref)
+	nr := benchKernel(blocked)
+	speedup := 0.0
+	if nr.NsPerOp() > 0 {
+		speedup = float64(rr.NsPerOp()) / float64(nr.NsPerOp())
+	}
+	return KernelResult{
+		Kernel:      kernel,
+		Shape:       shape,
+		RefNsOp:     rr.NsPerOp(),
+		NewNsOp:     nr.NsPerOp(),
+		Speedup:     speedup,
+		NewAllocsOp: nr.AllocsPerOp(),
+		NewBytesOp:  nr.AllocedBytesPerOp(),
+	}
+}
+
+// KernelSweep times the reference and blocked kernels on FD-relevant
+// shapes. quick restricts the sweep to two entries for the CI smoke
+// job; the full sweep backs the checked-in BENCH_kernels.json.
+func KernelSweep(seed uint64, quick bool) (*KernelReport, *Table) {
+	g := rng.New(seed)
+	report := &KernelReport{PoolWorkers: mat.Workers()}
+
+	gramShapes := [][2]int{{64, 4096}, {128, 4096}, {64, 16384}}
+	if quick {
+		gramShapes = [][2]int{{64, 2048}}
+	}
+	for _, sh := range gramShapes {
+		m, d := sh[0], sh[1]
+		a := mat.RandGaussian(m, d, g)
+		out := mat.New(m, m)
+		report.Results = append(report.Results, kernelEntry(
+			"gram", fmt.Sprintf("%dx%d", m, d),
+			func() { _ = mat.RefGram(a) },
+			func() { mat.GramTo(out, a) },
+		))
+	}
+
+	svdShapes := [][2]int{{64, 4096}}
+	if quick {
+		svdShapes = [][2]int{{64, 2048}}
+	}
+	for _, sh := range svdShapes {
+		m, d := sh[0], sh[1]
+		a := mat.RandGaussian(m, d, g)
+		sigma := make([]float64, m)
+		vt := mat.New(m, d)
+		report.Results = append(report.Results, kernelEntry(
+			"svdgram", fmt.Sprintf("%dx%d", m, d),
+			func() { _, _, _ = mat.RefSVDGram(a) },
+			func() { sigma = mat.SVDGramTo(a, sigma, vt) },
+		))
+	}
+
+	if !quick {
+		// The PCA projection shape (window×d · basisᵀ) and the Vᵀ
+		// rebuild inside the rotation (m×m · m×d).
+		x := mat.RandGaussian(1024, 4096, g)
+		basis := mat.RandGaussian(20, 4096, g)
+		dst := mat.New(1024, 20)
+		report.Results = append(report.Results, kernelEntry(
+			"mulabt", "1024x4096x20",
+			func() { _ = mat.RefMulABt(x, basis) },
+			func() { mat.MulABtTo(dst, x, basis) },
+		))
+
+		coef := mat.RandGaussian(64, 64, g)
+		wide := mat.RandGaussian(64, 4096, g)
+		prod := mat.New(64, 4096)
+		ref := mat.New(64, 4096)
+		report.Results = append(report.Results, kernelEntry(
+			"mul", "64x64x4096",
+			func() { mat.RefMulTo(ref, coef, wide) },
+			func() { mat.MulTo(prod, coef, wide) },
+		))
+	}
+
+	t := &Table{
+		Title: "Kernel microbenchmarks: reference vs cache-blocked",
+		Note: "speedup = ref/new wall time per op; the svdgram row is the FD " +
+			"rotation hot path and must show 0 allocs/op",
+		Header: []string{"kernel", "shape", "ref ns/op", "new ns/op", "speedup", "allocs/op", "B/op"},
+	}
+	for _, r := range report.Results {
+		t.Append(r.Kernel, r.Shape, r.RefNsOp, r.NewNsOp, r.Speedup, r.NewAllocsOp, r.NewBytesOp)
+	}
+	return report, t
+}

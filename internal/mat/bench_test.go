@@ -67,3 +67,67 @@ func BenchmarkSVDGramWideBuffer(b *testing.B) {
 		_, _, _ = SVDGram(buf)
 	}
 }
+
+// BenchmarkGramRotationShape compares the pre-PR reference kernel with
+// the cache-blocked kernel on FD-rotation-shaped inputs (2ℓ×d, d ≫ 2ℓ)
+// — the shapes behind BENCH_kernels.json.
+func BenchmarkGramRotationShape(b *testing.B) {
+	g := rng.New(7)
+	for _, sh := range [][2]int{{64, 4096}, {128, 4096}, {64, 16384}} {
+		a := RandGaussian(sh[0], sh[1], g)
+		out := New(sh[0], sh[0])
+		b.Run(fmt.Sprintf("ref_%dx%d", sh[0], sh[1]), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = RefGram(a)
+			}
+		})
+		b.Run(fmt.Sprintf("tiled_%dx%d", sh[0], sh[1]), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				GramTo(out, a)
+			}
+		})
+	}
+}
+
+// BenchmarkSVDGramRotation measures the full rotation decomposition:
+// the reference allocating path versus the pooled SVDGramTo. The pooled
+// variant must report zero allocs/op — that is the acceptance bar for
+// the FD hot path.
+func BenchmarkSVDGramRotation(b *testing.B) {
+	g := rng.New(8)
+	a := RandGaussian(64, 4096, g)
+	sigma := make([]float64, 64)
+	vt := New(64, 4096)
+	b.Run("ref_64x4096", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, _, _ = RefSVDGram(a)
+		}
+	})
+	b.Run("pooled_64x4096", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sigma = SVDGramTo(a, sigma, vt)
+		}
+	})
+}
+
+func BenchmarkMulABtProjectionShape(b *testing.B) {
+	g := rng.New(9)
+	// The PCA projection shape: window×d times k×d transposed.
+	x := RandGaussian(1024, 4096, g)
+	basis := RandGaussian(20, 4096, g)
+	dst := New(1024, 20)
+	b.Run("ref", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = RefMulABt(x, basis)
+		}
+	})
+	b.Run("tiled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			MulABtTo(dst, x, basis)
+		}
+	})
+}

@@ -2,13 +2,14 @@ package mat
 
 import (
 	"math"
-	"runtime"
-	"sync"
+	"time"
 )
 
-// parallelThreshold is the minimum number of multiply-adds before Mul
-// spreads work across goroutines; below it the scheduling overhead
-// dominates.
+// parallelThreshold is the minimum number of multiply-adds before a
+// kernel spreads work across the shared pool; below it the dispatch
+// overhead dominates and the serial tiled fast path runs on the
+// calling goroutine — which is what every 2ℓ×2ℓ product of the FD
+// rotation hits.
 const parallelThreshold = 1 << 18
 
 // Mul returns a*b. Panics if the inner dimensions disagree.
@@ -22,52 +23,102 @@ func Mul(a, b *Matrix) *Matrix {
 }
 
 // MulTo computes dst = a*b, reusing dst's storage. dst must not alias a
-// or b.
+// or b. Small products run serially on the calling goroutine; large
+// ones split across the shared worker pool by destination rows.
 func MulTo(dst, a, b *Matrix) {
 	if a.ColsN != b.RowsN || dst.RowsN != a.RowsN || dst.ColsN != b.ColsN {
 		panic("mat: MulTo shape mismatch")
 	}
-	dst.Zero()
-	work := a.RowsN * a.ColsN * b.ColsN
-	if work < parallelThreshold || a.RowsN == 1 {
-		mulRange(dst, a, b, 0, a.RowsN)
-		return
+	start := time.Now()
+	rows := a.RowsN
+	work := rows * a.ColsN * b.ColsN
+	if work < parallelThreshold || rows < 2 || Workers() == 1 {
+		mulRangeTiled(dst, a, b, 0, rows)
+	} else {
+		minChunk := minChunkRows(work, rows)
+		ParallelFor(rows, minChunk, func(lo, hi int) {
+			mulRangeTiled(dst, a, b, lo, hi)
+		})
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > a.RowsN {
-		workers = a.RowsN
-	}
-	var wg sync.WaitGroup
-	chunk := (a.RowsN + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := min(lo+chunk, a.RowsN)
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			mulRange(dst, a, b, lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	observeSince(obsKernelMul, start)
 }
 
-// mulRange computes rows [lo, hi) of dst = a*b using the i-k-j loop
-// order, which streams both b and dst rows contiguously.
-func mulRange(dst, a, b *Matrix, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		ai := a.Row(i)
-		di := dst.Row(i)
-		for k, aik := range ai {
-			if aik == 0 {
-				continue
-			}
-			bk := b.Row(k)
-			axpy(aik, bk, di)
-		}
+// MulABt returns a*bᵀ, streaming rows of both operands; this is the
+// cache-friendly product for computing projections of wide buffers.
+func MulABt(a, b *Matrix) *Matrix {
+	if a.ColsN != b.ColsN {
+		panic("mat: MulABt inner dimension mismatch")
 	}
+	out := New(a.RowsN, b.RowsN)
+	MulABtTo(out, a, b)
+	return out
+}
+
+// MulABtTo computes dst = a*bᵀ into caller-owned storage (dst must be
+// a.Rows × b.Rows and must not alias a or b).
+func MulABtTo(dst, a, b *Matrix) {
+	if a.ColsN != b.ColsN || dst.RowsN != a.RowsN || dst.ColsN != b.RowsN {
+		panic("mat: MulABtTo shape mismatch")
+	}
+	start := time.Now()
+	rows := a.RowsN
+	work := rows * b.RowsN * a.ColsN
+	if work < parallelThreshold || rows < 2 || Workers() == 1 {
+		mulABtRangeTiled(dst, a, b, 0, rows)
+	} else {
+		minChunk := minChunkRows(work, rows)
+		ParallelFor(rows, minChunk, func(lo, hi int) {
+			mulABtRangeTiled(dst, a, b, lo, hi)
+		})
+	}
+	observeSince(obsKernelMulABt, start)
+}
+
+// Gram returns a*aᵀ (the small Gram matrix of a short-and-wide buffer),
+// exploiting symmetry so only the upper triangle is computed.
+func Gram(a *Matrix) *Matrix {
+	out := New(a.RowsN, a.RowsN)
+	GramTo(out, a)
+	return out
+}
+
+// GramTo computes dst = a*aᵀ into caller-owned storage (dst must be
+// a.Rows × a.Rows and must not alias a). Only the upper triangle is
+// computed by the tiled kernel; the lower triangle is mirrored.
+func GramTo(dst, a *Matrix) {
+	if dst.RowsN != a.RowsN || dst.ColsN != a.RowsN {
+		panic("mat: GramTo shape mismatch")
+	}
+	m := a.RowsN
+	if m == 0 {
+		return
+	}
+	start := time.Now()
+	work := m * m * a.ColsN / 2
+	if work < parallelThreshold || m < 2 || Workers() == 1 {
+		gramRange(dst, a, 0, m)
+	} else {
+		minChunk := minChunkRows(work, m)
+		ParallelFor(m, minChunk, func(lo, hi int) {
+			gramRange(dst, a, lo, hi)
+		})
+	}
+	mirrorLower(dst)
+	observeSince(obsKernelGram, start)
+}
+
+// minChunkRows sizes parallel-for chunks so each carries at least
+// parallelThreshold multiply-adds.
+func minChunkRows(work, rows int) int {
+	perRow := work / rows
+	if perRow <= 0 {
+		return rows
+	}
+	mc := (parallelThreshold + perRow - 1) / perRow
+	if mc < 1 {
+		mc = 1
+	}
+	return mc
 }
 
 // axpy computes y += alpha*x with 4-way unrolling.
@@ -158,80 +209,6 @@ func MulTVec(a *Matrix, x []float64) []float64 {
 			axpy(x[i], a.Row(i), out)
 		}
 	}
-	return out
-}
-
-// MulABt returns a*bᵀ, streaming rows of both operands; this is the
-// cache-friendly product for computing Gram matrices of wide buffers.
-func MulABt(a, b *Matrix) *Matrix {
-	if a.ColsN != b.ColsN {
-		panic("mat: MulABt inner dimension mismatch")
-	}
-	out := New(a.RowsN, b.RowsN)
-	work := a.RowsN * b.RowsN * a.ColsN
-	if work < parallelThreshold {
-		mulABtRange(out, a, b, 0, a.RowsN)
-		return out
-	}
-	workers := min(runtime.GOMAXPROCS(0), a.RowsN)
-	var wg sync.WaitGroup
-	chunk := (a.RowsN + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, min((w+1)*chunk, a.RowsN)
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			mulABtRange(out, a, b, lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
-	return out
-}
-
-func mulABtRange(dst, a, b *Matrix, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		ai := a.Row(i)
-		di := dst.Row(i)
-		for j := 0; j < b.RowsN; j++ {
-			di[j] = Dot(ai, b.Row(j))
-		}
-	}
-}
-
-// Gram returns a*aᵀ (the small Gram matrix of a short-and-wide buffer),
-// exploiting symmetry so only the upper triangle is computed.
-func Gram(a *Matrix) *Matrix {
-	out := New(a.RowsN, a.RowsN)
-	workers := min(runtime.GOMAXPROCS(0), a.RowsN)
-	if a.RowsN*a.RowsN*a.ColsN < parallelThreshold {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	go func() {
-		for i := 0; i < a.RowsN; i++ {
-			next <- i
-		}
-		close(next)
-	}()
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				ai := a.Row(i)
-				for j := i; j < a.RowsN; j++ {
-					v := Dot(ai, a.Row(j))
-					out.Set(i, j, v)
-					out.Set(j, i, v)
-				}
-			}
-		}()
-	}
-	wg.Wait()
 	return out
 }
 

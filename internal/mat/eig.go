@@ -2,8 +2,18 @@ package mat
 
 import (
 	"math"
-	"sort"
+	"time"
 )
+
+// eigMaxSweeps bounds the cyclic-Jacobi iteration; convergence is
+// quadratic once rotations get small, so real inputs finish in a
+// handful of sweeps.
+const eigMaxSweeps = 64
+
+// eigParallelMinN is the matrix order below which the parallel
+// round-robin sweep is never worth its coordination overhead; the
+// 2ℓ×2ℓ Gram matrices of typical FD rotations stay serial.
+const eigParallelMinN = 96
 
 // EigSym computes the full eigendecomposition of a symmetric n×n matrix
 // a using the cyclic Jacobi method: a = v * diag(vals) * vᵀ with the
@@ -14,23 +24,57 @@ import (
 // matrices this package decomposes are small (Gram matrices of sketch
 // buffers, at most a few hundred rows) and Jacobi delivers high relative
 // accuracy for the small eigenvalues that the Frequent Directions shrink
-// step subtracts.
+// step subtracts. Large decompositions run the round-robin ordering,
+// whose disjoint rotation pairs spread across the shared worker pool.
 func EigSym(a *Matrix) (vals []float64, v *Matrix) {
 	n := a.RowsN
 	if n != a.ColsN {
 		panic("mat: EigSym needs a square matrix")
 	}
-	w := a.Clone()
-	v = Eye(n)
+	v = New(n, n)
 	if n == 0 {
+		setIdentity(v)
 		return nil, v
 	}
-	if n == 1 {
-		return []float64{w.At(0, 0)}, v
-	}
+	w := a.Clone()
+	vals = make([]float64, n)
+	eigSymInto(w, v, vals)
+	return vals, v
+}
 
-	const maxSweeps = 64
-	for sweep := 0; sweep < maxSweeps; sweep++ {
+// eigSymInto runs the Jacobi eigendecomposition in caller-owned
+// storage: w (destroyed), v (overwritten with eigenvectors), and vals
+// (filled with descending eigenvalues). It performs no heap
+// allocations on the serial path, which is what the pooled FD rotation
+// relies on.
+func eigSymInto(w, v *Matrix, vals []float64) {
+	start := time.Now()
+	n := w.RowsN
+	setIdentity(v)
+	if n == 0 {
+		return
+	}
+	if n == 1 {
+		vals[0] = w.At(0, 0)
+		return
+	}
+	if n >= eigParallelMinN && Workers() > 1 {
+		eigSweepsParallel(w, v)
+	} else {
+		eigSweepsSerial(w, v)
+	}
+	for i := 0; i < n; i++ {
+		vals[i] = w.At(i, i)
+	}
+	sortEigenpairs(vals, v)
+	observeSince(obsKernelEig, start)
+}
+
+// eigSweepsSerial is the classic cyclic ordering: every (p, q) pair in
+// row-major order, repeated until the off-diagonal mass is negligible.
+func eigSweepsSerial(w, v *Matrix) {
+	n := w.RowsN
+	for sweep := 0; sweep < eigMaxSweeps; sweep++ {
 		off := offDiagNorm(w)
 		if off == 0 {
 			break
@@ -55,40 +99,188 @@ func EigSym(a *Matrix) (vals []float64, v *Matrix) {
 					w.Set(q, p, 0)
 					continue
 				}
-				// Stable computation of the rotation (Golub & Van Loan).
-				theta := (aqq - app) / (2 * apq)
-				var t float64
-				if theta >= 0 {
-					t = 1 / (theta + math.Sqrt(1+theta*theta))
-				} else {
-					t = -1 / (-theta + math.Sqrt(1+theta*theta))
-				}
-				c := 1 / math.Sqrt(1+t*t)
-				s := t * c
+				c, s := jacobiAngle(app, aqq, apq)
 				applyJacobi(w, v, p, q, c, s)
 			}
 		}
 	}
+}
 
-	vals = make([]float64, n)
-	for i := 0; i < n; i++ {
-		vals[i] = w.At(i, i)
+// eigSweepsParallel runs the round-robin (chess tournament) ordering:
+// each of the n−1 rounds per sweep pairs every index exactly once, the
+// pairs are disjoint, and one round's rotations commute — so the row
+// phase and the column phase each fan out over the pool with a barrier
+// between them. Rotation angles for a round are computed up front from
+// the round-start matrix, which is what makes the phases exact (the
+// product of disjoint plane rotations applied as JᵀAJ).
+func eigSweepsParallel(w, v *Matrix) {
+	n := w.RowsN
+	np := n
+	if np%2 == 1 {
+		np++ // pad with a bye
 	}
-	// Sort eigenpairs by descending eigenvalue.
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
+	players := make([]int, np)
+	for i := range players {
+		players[i] = i
 	}
-	sort.Slice(idx, func(i, j int) bool { return vals[idx[i]] > vals[idx[j]] })
-	sortedVals := make([]float64, n)
-	sortedV := New(n, n)
-	for newCol, oldCol := range idx {
-		sortedVals[newCol] = vals[oldCol]
-		for i := 0; i < n; i++ {
-			sortedV.Set(i, newCol, v.At(i, oldCol))
+	if np > n {
+		players[np-1] = -1
+	}
+	half := np / 2
+	ps := make([]int, half)
+	qs := make([]int, half)
+	cs := make([]float64, half)
+	sn := make([]float64, half)
+	active := make([]bool, half)
+
+	for sweep := 0; sweep < eigMaxSweeps; sweep++ {
+		off := offDiagNorm(w)
+		if off == 0 {
+			break
+		}
+		scale := w.MaxAbs()
+		if off <= 1e-30*scale*float64(n) {
+			break
+		}
+		for round := 0; round < np-1; round++ {
+			nact := 0
+			for k := 0; k < half; k++ {
+				active[k] = false
+				p, q := players[k], players[np-1-k]
+				if p < 0 || q < 0 {
+					continue
+				}
+				if p > q {
+					p, q = q, p
+				}
+				apq := w.At(p, q)
+				if apq == 0 {
+					continue
+				}
+				app := w.At(p, p)
+				aqq := w.At(q, q)
+				if math.Abs(apq) <= 1e-18*(math.Abs(app)+math.Abs(aqq)) {
+					w.Set(p, q, 0)
+					w.Set(q, p, 0)
+					continue
+				}
+				cs[k], sn[k] = jacobiAngle(app, aqq, apq)
+				ps[k], qs[k] = p, q
+				active[k] = true
+				nact++
+			}
+			if nact > 0 {
+				ParallelFor(half, 1, func(lo, hi int) {
+					for k := lo; k < hi; k++ {
+						if active[k] {
+							rotateRows(w, ps[k], qs[k], cs[k], sn[k])
+						}
+					}
+				})
+				ParallelFor(half, 1, func(lo, hi int) {
+					for k := lo; k < hi; k++ {
+						if active[k] {
+							rotateCols(w, v, ps[k], qs[k], cs[k], sn[k])
+							w.Set(ps[k], qs[k], 0)
+							w.Set(qs[k], ps[k], 0)
+						}
+					}
+				})
+			}
+			rotatePlayers(players)
 		}
 	}
-	return sortedVals, sortedV
+}
+
+// jacobiAngle returns the stable (c, s) of the rotation annihilating
+// apq (Golub & Van Loan).
+func jacobiAngle(app, aqq, apq float64) (c, s float64) {
+	theta := (aqq - app) / (2 * apq)
+	var t float64
+	if theta >= 0 {
+		t = 1 / (theta + math.Sqrt(1+theta*theta))
+	} else {
+		t = -1 / (-theta + math.Sqrt(1+theta*theta))
+	}
+	c = 1 / math.Sqrt(1+t*t)
+	s = t * c
+	return c, s
+}
+
+// rotateRows applies the left half of the similarity transform,
+// w ← Jᵀw: rows p and q are recombined, other rows untouched.
+func rotateRows(w *Matrix, p, q int, c, s float64) {
+	rp := w.Row(p)
+	rq := w.Row(q)
+	for j := range rp {
+		wp := rp[j]
+		wq := rq[j]
+		rp[j] = c*wp - s*wq
+		rq[j] = s*wp + c*wq
+	}
+}
+
+// rotateCols applies the right half, w ← wJ, and accumulates the
+// eigenvector rotation v ← vJ. Columns p and q only.
+func rotateCols(w, v *Matrix, p, q int, c, s float64) {
+	n := w.RowsN
+	for i := 0; i < n; i++ {
+		wp := w.At(i, p)
+		wq := w.At(i, q)
+		w.Set(i, p, c*wp-s*wq)
+		w.Set(i, q, s*wp+c*wq)
+	}
+	for i := 0; i < v.RowsN; i++ {
+		vp := v.At(i, p)
+		vq := v.At(i, q)
+		v.Set(i, p, c*vp-s*vq)
+		v.Set(i, q, s*vp+c*vq)
+	}
+}
+
+// rotatePlayers advances the round-robin schedule: index 0 is fixed,
+// the rest rotate one position.
+func rotatePlayers(players []int) {
+	np := len(players)
+	last := players[np-1]
+	copy(players[2:], players[1:np-1])
+	players[1] = last
+}
+
+// sortEigenpairs orders (vals, columns of v) by descending eigenvalue
+// in place with a selection sort — no allocation, and n is at most a
+// few hundred.
+func sortEigenpairs(vals []float64, v *Matrix) {
+	n := len(vals)
+	for j := 0; j < n; j++ {
+		mx := j
+		for k := j + 1; k < n; k++ {
+			if vals[k] > vals[mx] {
+				mx = k
+			}
+		}
+		if mx != j {
+			vals[j], vals[mx] = vals[mx], vals[j]
+			for i := 0; i < v.RowsN; i++ {
+				t := v.At(i, j)
+				v.Set(i, j, v.At(i, mx))
+				v.Set(i, mx, t)
+			}
+		}
+	}
+}
+
+// setIdentity overwrites m with the identity.
+func setIdentity(m *Matrix) {
+	for i := 0; i < m.RowsN; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] = 0
+		}
+		if i < m.ColsN {
+			row[i] = 1
+		}
+	}
 }
 
 // applyJacobi applies the rotation J(p,q,c,s) as w = JᵀwJ and v = vJ.

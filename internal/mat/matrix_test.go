@@ -138,9 +138,9 @@ func TestMulParallelPath(t *testing.T) {
 	b := RandGaussian(80, 100, g)
 	got := Mul(a, b)
 	small := New(128, 100)
-	mulRange(small, a, b, 0, 128)
+	RefMulTo(small, a, b)
 	if !got.Equal(small, 1e-12) {
-		t.Fatal("parallel Mul disagrees with serial path")
+		t.Fatal("parallel Mul disagrees with reference kernel")
 	}
 }
 

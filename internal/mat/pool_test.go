@@ -1,0 +1,89 @@
+package mat
+
+import (
+	"sync"
+	"testing"
+
+	"arams/internal/rng"
+)
+
+// TestParallelForOnMultiWorkerPool exercises the chunking, enqueueing,
+// and inline-fallback logic against a private 4-worker pool, so the
+// multi-worker path runs (and runs under -race) even on a single-core
+// host where the shared pool degrades to serial.
+func TestParallelForOnMultiWorkerPool(t *testing.T) {
+	queue := newPoolQueue(4)
+	for _, n := range []int{1, 7, 64, 1000, 4097} {
+		marks := make([]int32, n)
+		parallelForOn(4, queue, n, 8, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				marks[i]++
+			}
+		})
+		for i, m := range marks {
+			if m != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, m)
+			}
+		}
+	}
+}
+
+// TestParallelForConcurrentCallers floods a small private pool from
+// many goroutines at once, forcing the full-queue inline fallback while
+// the race detector watches the WaitGroup handoff.
+func TestParallelForConcurrentCallers(t *testing.T) {
+	queue := newPoolQueue(2)
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for iter := 0; iter < 20; iter++ {
+				n := 257 + 13*c
+				sum := make([]int64, n)
+				parallelForOn(2, queue, n, 4, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						sum[i] = int64(i)
+					}
+				})
+				for i := range sum {
+					if sum[i] != int64(i) {
+						t.Errorf("caller %d: index %d not written", c, i)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+// TestConcurrentSketchKernels runs the pooled Gram-SVD rotation kernel
+// from several goroutines over independent inputs — the "multiple
+// sketches sharing the process pool" scenario. Under -race this guards
+// the sync.Pool scratch reuse inside SVDGramTo.
+func TestConcurrentSketchKernels(t *testing.T) {
+	const workers = 6
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			g := rng.New(300 + uint64(w))
+			a := RandGaussian(24, 600, g)
+			_, sWant, _ := RefSVDGram(a)
+			vt := New(24, 600)
+			for iter := 0; iter < 10; iter++ {
+				s := SVDGramTo(a, nil, vt)
+				for i := range s {
+					d := s[i] - sWant[i]
+					if d > 1e-9*(1+sWant[0]) || d < -1e-9*(1+sWant[0]) {
+						t.Errorf("worker %d iter %d: σ[%d] drifted: %g vs %g", w, iter, i, s[i], sWant[i])
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

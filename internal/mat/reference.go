@@ -1,0 +1,177 @@
+package mat
+
+import (
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Reference kernels: the straightforward implementations that MulTo,
+// MulABt, and Gram shipped with before the tiled execution layer.
+// They are kept for two jobs — property tests assert the tiled kernels
+// match them to 1e-12, and the BENCH_kernels.json baseline measures
+// the tiled kernels against them — so they must stay byte-for-byte
+// faithful to the originals (including the per-call goroutines and the
+// Gram feeder channel whose overhead the pool was built to remove).
+
+// RefMulTo computes dst = a*b with the pre-tiling kernel: i-k-j axpy
+// order, one ad-hoc goroutine per row chunk above the parallel
+// threshold.
+func RefMulTo(dst, a, b *Matrix) {
+	if a.ColsN != b.RowsN || dst.RowsN != a.RowsN || dst.ColsN != b.ColsN {
+		panic("mat: RefMulTo shape mismatch")
+	}
+	dst.Zero()
+	work := a.RowsN * a.ColsN * b.ColsN
+	if work < parallelThreshold || a.RowsN == 1 {
+		refMulRange(dst, a, b, 0, a.RowsN)
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > a.RowsN {
+		workers = a.RowsN
+	}
+	var wg sync.WaitGroup
+	chunk := (a.RowsN + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, a.RowsN)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			refMulRange(dst, a, b, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func refMulRange(dst, a, b *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		ai := a.Row(i)
+		di := dst.Row(i)
+		for k, aik := range ai {
+			if aik == 0 {
+				continue
+			}
+			bk := b.Row(k)
+			axpy(aik, bk, di)
+		}
+	}
+}
+
+// RefMulABt computes a*bᵀ with the pre-tiling kernel: one Dot per
+// output element, ad-hoc goroutines above the parallel threshold.
+func RefMulABt(a, b *Matrix) *Matrix {
+	if a.ColsN != b.ColsN {
+		panic("mat: RefMulABt inner dimension mismatch")
+	}
+	out := New(a.RowsN, b.RowsN)
+	work := a.RowsN * b.RowsN * a.ColsN
+	if work < parallelThreshold {
+		refMulABtRange(out, a, b, 0, a.RowsN)
+		return out
+	}
+	workers := min(runtime.GOMAXPROCS(0), a.RowsN)
+	var wg sync.WaitGroup
+	chunk := (a.RowsN + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, min((w+1)*chunk, a.RowsN)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			refMulABtRange(out, a, b, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+func refMulABtRange(dst, a, b *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		ai := a.Row(i)
+		di := dst.Row(i)
+		for j := 0; j < b.RowsN; j++ {
+			di[j] = Dot(ai, b.Row(j))
+		}
+	}
+}
+
+// RefGram computes a*aᵀ with the pre-tiling kernel: one Dot per upper
+// triangle element, rows handed to workers through a feeder channel
+// (launched even for tiny matrices — the overhead the pool removed).
+func RefGram(a *Matrix) *Matrix {
+	out := New(a.RowsN, a.RowsN)
+	workers := min(runtime.GOMAXPROCS(0), a.RowsN)
+	if a.RowsN*a.RowsN*a.ColsN < parallelThreshold {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	go func() {
+		for i := 0; i < a.RowsN; i++ {
+			next <- i
+		}
+		close(next)
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				ai := a.Row(i)
+				for j := i; j < a.RowsN; j++ {
+					v := Dot(ai, a.Row(j))
+					out.Set(i, j, v)
+					out.Set(j, i, v)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// RefSVDGram computes the Gram-trick thin SVD with the pre-pooling
+// flow: RefGram, an allocating eigendecomposition, and the per-k axpy
+// reconstruction of vt — one fresh m×d vt allocation per call. It is
+// the baseline the pooled SVDGramTo path is benchmarked against.
+func RefSVDGram(a *Matrix) (u *Matrix, s []float64, vt *Matrix) {
+	m, d := a.Dims()
+	g := RefGram(a)
+	vals, uu := EigSym(g)
+	s = make([]float64, m)
+	var maxVal float64
+	if len(vals) > 0 && vals[0] > 0 {
+		maxVal = vals[0]
+	}
+	for i, v := range vals {
+		if v < 0 {
+			v = 0
+		}
+		s[i] = math.Sqrt(v)
+	}
+	u = uu
+	vt = New(m, d)
+	tol := 1e-14 * math.Sqrt(maxVal)
+	for i := 0; i < m; i++ {
+		if s[i] <= tol {
+			continue
+		}
+		inv := 1 / s[i]
+		row := vt.Row(i)
+		for k := 0; k < m; k++ {
+			c := u.At(k, i) * inv
+			if c == 0 {
+				continue
+			}
+			axpy(c, a.Row(k), row)
+		}
+	}
+	return u, s, vt
+}

@@ -3,7 +3,15 @@ package mat
 import (
 	"math"
 	"sort"
+	"time"
 )
+
+// svdMaxSweeps bounds the one-sided Jacobi iteration.
+const svdMaxSweeps = 60
+
+// svdParallelMinN is the minimum column count before the one-sided
+// Jacobi sweep fans its disjoint column pairs across the worker pool.
+const svdParallelMinN = 48
 
 // SVD computes the thin singular value decomposition a = u*diag(s)*vt
 // of an m×n matrix using the one-sided Jacobi method. With k = min(m,n),
@@ -13,8 +21,12 @@ import (
 // One-sided Jacobi applies plane rotations to pairs of columns until all
 // columns are mutually orthogonal; it is simple, backward stable, and
 // achieves high relative accuracy, which matters because Frequent
-// Directions subtracts the smallest retained singular value.
+// Directions subtracts the smallest retained singular value. Column
+// pairs within a round-robin round are disjoint, so large
+// decompositions rotate them concurrently on the shared pool.
 func SVD(a *Matrix) (u *Matrix, s []float64, vt *Matrix) {
+	start := time.Now()
+	defer observeSince(obsKernelSVD, start)
 	m, n := a.Dims()
 	if m >= n {
 		return svdTall(a)
@@ -33,55 +45,10 @@ func svdTall(a *Matrix) (u *Matrix, s []float64, vt *Matrix) {
 		return New(m, 0), nil, New(0, 0)
 	}
 
-	const maxSweeps = 60
-	// Columns are rotated in place; convergence when every pair is
-	// numerically orthogonal.
-	for sweep := 0; sweep < maxSweeps; sweep++ {
-		rotated := false
-		for p := 0; p < n-1; p++ {
-			for q := p + 1; q < n; q++ {
-				var alpha, beta, gamma float64 // ‖p‖², ‖q‖², <p,q>
-				for i := 0; i < m; i++ {
-					wp := w.At(i, p)
-					wq := w.At(i, q)
-					alpha += wp * wp
-					beta += wq * wq
-					gamma += wp * wq
-				}
-				if gamma == 0 {
-					continue
-				}
-				// Orthogonal enough relative to the column scales?
-				if math.Abs(gamma) <= 1e-15*math.Sqrt(alpha*beta) {
-					continue
-				}
-				rotated = true
-				zeta := (beta - alpha) / (2 * gamma)
-				var t float64
-				if zeta >= 0 {
-					t = 1 / (zeta + math.Sqrt(1+zeta*zeta))
-				} else {
-					t = -1 / (-zeta + math.Sqrt(1+zeta*zeta))
-				}
-				c := 1 / math.Sqrt(1+t*t)
-				sn := t * c
-				for i := 0; i < m; i++ {
-					wp := w.At(i, p)
-					wq := w.At(i, q)
-					w.Set(i, p, c*wp-sn*wq)
-					w.Set(i, q, sn*wp+c*wq)
-				}
-				for i := 0; i < n; i++ {
-					vp := v.At(i, p)
-					vq := v.At(i, q)
-					v.Set(i, p, c*vp-sn*vq)
-					v.Set(i, q, sn*vp+c*vq)
-				}
-			}
-		}
-		if !rotated {
-			break
-		}
+	if n >= svdParallelMinN && m*n >= parallelThreshold && Workers() > 1 {
+		svdSweepsParallel(w, v)
+	} else {
+		svdSweepsSerial(w, v)
 	}
 
 	// Column norms are the singular values; normalized columns form U.
@@ -124,6 +91,116 @@ func svdTall(a *Matrix) (u *Matrix, s []float64, vt *Matrix) {
 	return u, sorted, vt
 }
 
+// svdRotatePair orthogonalizes columns p and q of w (accumulating the
+// rotation into v) and reports whether it rotated. It touches only
+// those two columns, which is what makes disjoint pairs parallel-safe.
+func svdRotatePair(w, v *Matrix, p, q int) bool {
+	m, n := w.Dims()
+	var alpha, beta, gamma float64 // ‖p‖², ‖q‖², <p,q>
+	for i := 0; i < m; i++ {
+		wp := w.At(i, p)
+		wq := w.At(i, q)
+		alpha += wp * wp
+		beta += wq * wq
+		gamma += wp * wq
+	}
+	if gamma == 0 {
+		return false
+	}
+	// Orthogonal enough relative to the column scales?
+	if math.Abs(gamma) <= 1e-15*math.Sqrt(alpha*beta) {
+		return false
+	}
+	zeta := (beta - alpha) / (2 * gamma)
+	var t float64
+	if zeta >= 0 {
+		t = 1 / (zeta + math.Sqrt(1+zeta*zeta))
+	} else {
+		t = -1 / (-zeta + math.Sqrt(1+zeta*zeta))
+	}
+	c := 1 / math.Sqrt(1+t*t)
+	sn := t * c
+	for i := 0; i < m; i++ {
+		wp := w.At(i, p)
+		wq := w.At(i, q)
+		w.Set(i, p, c*wp-sn*wq)
+		w.Set(i, q, sn*wp+c*wq)
+	}
+	for i := 0; i < n; i++ {
+		vp := v.At(i, p)
+		vq := v.At(i, q)
+		v.Set(i, p, c*vp-sn*vq)
+		v.Set(i, q, sn*vp+c*vq)
+	}
+	return true
+}
+
+// svdSweepsSerial is the classic cyclic pair ordering.
+func svdSweepsSerial(w, v *Matrix) {
+	n := w.ColsN
+	for sweep := 0; sweep < svdMaxSweeps; sweep++ {
+		rotated := false
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				if svdRotatePair(w, v, p, q) {
+					rotated = true
+				}
+			}
+		}
+		if !rotated {
+			break
+		}
+	}
+}
+
+// svdSweepsParallel runs the round-robin ordering; the pairs of one
+// round touch disjoint columns, so each round fans out over the pool.
+// Unlike the two-sided eigensolver no phase split is needed — a
+// one-sided rotation reads and writes only its own two columns.
+func svdSweepsParallel(w, v *Matrix) {
+	n := w.ColsN
+	np := n
+	if np%2 == 1 {
+		np++
+	}
+	players := make([]int, np)
+	for i := range players {
+		players[i] = i
+	}
+	if np > n {
+		players[np-1] = -1
+	}
+	half := np / 2
+	rotatedPair := make([]bool, half)
+	for sweep := 0; sweep < svdMaxSweeps; sweep++ {
+		rotated := false
+		for round := 0; round < np-1; round++ {
+			ParallelFor(half, 1, func(lo, hi int) {
+				for k := lo; k < hi; k++ {
+					p, q := players[k], players[np-1-k]
+					if p < 0 || q < 0 {
+						rotatedPair[k] = false
+						continue
+					}
+					if p > q {
+						p, q = q, p
+					}
+					rotatedPair[k] = svdRotatePair(w, v, p, q)
+				}
+			})
+			for _, r := range rotatedPair {
+				if r {
+					rotated = true
+				}
+			}
+			rotatePlayers(players)
+		}
+		if !rotated {
+			break
+		}
+	}
+}
+
 // SVDGram computes the thin SVD of a short-and-wide m×d matrix
 // (m << d) through the m×m Gram matrix G = a*aᵀ: eigendecomposing G
 // gives U and Σ², and the right singular vectors follow from
@@ -135,38 +212,80 @@ func svdTall(a *Matrix) (u *Matrix, s []float64, vt *Matrix) {
 // zero anyway.
 func SVDGram(a *Matrix) (u *Matrix, s []float64, vt *Matrix) {
 	m, d := a.Dims()
-	g := Gram(a)
-	vals, uu := EigSym(g)
 	s = make([]float64, m)
-	var maxVal float64
-	if len(vals) > 0 && vals[0] > 0 {
-		maxVal = vals[0]
+	vt = New(m, d)
+	u = New(m, m)
+	svdGramCore(a, s, vt, u)
+	return u, s, vt
+}
+
+// SVDGramTo is SVDGram without the left factor, writing into
+// caller-owned storage: sigma must have capacity >= m (it is resized
+// and returned), vt must be m×d. All internal workspace — the Gram
+// matrix, the eigensolver state, and the back-substitution
+// coefficients — comes from a process-wide pool, so steady-state calls
+// perform zero heap allocations. This is the FD rotation entry point.
+func SVDGramTo(a *Matrix, sigma []float64, vt *Matrix) []float64 {
+	m := a.RowsN
+	if cap(sigma) < m {
+		sigma = make([]float64, m)
 	}
-	for i, v := range vals {
+	sigma = sigma[:m]
+	svdGramCore(a, sigma, vt, nil)
+	return sigma
+}
+
+// svdGramCore runs the Gram-trick SVD: s and vt are caller storage,
+// u is filled with the left singular vectors when non-nil.
+func svdGramCore(a *Matrix, s []float64, vt *Matrix, u *Matrix) {
+	start := time.Now()
+	m, d := a.Dims()
+	if vt.RowsN != m || vt.ColsN != d {
+		panic("mat: SVDGram vt shape mismatch")
+	}
+	sc := grabSVDScratch()
+	sc.g = ensureMat(sc.g, m, m)
+	GramTo(sc.g, a)
+	sc.v = ensureMat(sc.v, m, m)
+	sc.vals = ensureFloats(sc.vals, m)
+	// The eigensolver destroys its input; g is not needed afterwards.
+	eigSymInto(sc.g, sc.v, sc.vals)
+
+	var maxVal float64
+	if m > 0 && sc.vals[0] > 0 {
+		maxVal = sc.vals[0]
+	}
+	for i, v := range sc.vals {
 		if v < 0 {
 			v = 0 // clamp tiny negative eigenvalues from roundoff
 		}
 		s[i] = math.Sqrt(v)
 	}
-	u = uu
-	vt = New(m, d)
-	// vt[i,:] = (1/s[i]) * u[:,i]ᵀ * a
+	// vt = Σ⁻¹ Uᵀ a as one blocked product: build the m×m coefficient
+	// matrix C with C[i,k] = U[k,i]/σᵢ (zero rows for numerically zero
+	// σᵢ) and multiply. MulTo zeroes vt, so the sub-tolerance rows come
+	// out as the documented zero rows.
+	sc.coef = ensureMat(sc.coef, m, m)
 	tol := 1e-14 * math.Sqrt(maxVal)
 	for i := 0; i < m; i++ {
+		row := sc.coef.Row(i)
 		if s[i] <= tol {
+			for k := range row {
+				row[k] = 0
+			}
 			continue
 		}
 		inv := 1 / s[i]
-		row := vt.Row(i)
 		for k := 0; k < m; k++ {
-			c := u.At(k, i) * inv
-			if c == 0 {
-				continue
-			}
-			axpy(c, a.Row(k), row)
+			row[k] = sc.v.At(k, i) * inv
 		}
 	}
-	return u, s, vt
+	MulTo(vt, sc.coef, a)
+	if u != nil {
+		u.CopyFrom(sc.v)
+	}
+	releaseSVDScratch(sc)
+	observeSince(obsKernelSVDG, start)
 }
 
 // TruncateSVD returns the first k columns of u, entries of s, and rows

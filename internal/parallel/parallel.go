@@ -110,6 +110,9 @@ func RunArity(shards []*mat.Matrix, mk Sketcher, strategy MergeStrategy, arity i
 	if arity < 2 {
 		panic("parallel: tree arity must be >= 2")
 	}
+	if allShardsEmpty(shards) {
+		return emptyRun(shards, mk)
+	}
 	stats := Stats{Workers: len(shards)}
 	obsRunsTotal.Inc()
 	obsWorkersGauge.SetInt(len(shards))
@@ -244,6 +247,9 @@ func RunSimulatedArity(shards []*mat.Matrix, mk Sketcher, strategy MergeStrategy
 	if arity < 2 {
 		panic("parallel: tree arity must be >= 2")
 	}
+	if allShardsEmpty(shards) {
+		return emptyRun(shards, mk)
+	}
 	stats := Stats{Workers: len(shards)}
 	var work time.Duration
 
@@ -318,8 +324,34 @@ func RunSimulatedArity(shards []*mat.Matrix, mk Sketcher, strategy MergeStrategy
 	return global, stats
 }
 
+// allShardsEmpty reports whether no shard carries any rows — the
+// degenerate input the run entry points short-circuit.
+func allShardsEmpty(shards []*mat.Matrix) bool {
+	for _, s := range shards {
+		if s.RowsN > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// emptyRun is the deterministic short-circuit for all-empty input:
+// build one sketch from the (empty) first shard, skip the worker
+// goroutines and every merge, and report zero-duration stats. Without
+// this, a 0-row dataset took the full fan-out/merge machinery for no
+// work, and a 0×0 input panicked deep inside a worker goroutine instead
+// of in the caller's stack (NewFrequentDirections still rejects d = 0,
+// but now synchronously, with a clear message).
+func emptyRun(shards []*mat.Matrix, mk Sketcher) (*sketch.FrequentDirections, Stats) {
+	fd := mk(shards[0])
+	fd.Compact()
+	return fd, Stats{Workers: len(shards)}
+}
+
 // SplitRows partitions x into p contiguous row blocks of near-equal
-// size (views, no copy). p is clamped to the number of rows.
+// size (views, no copy). p is clamped to the number of rows; a 0-row
+// input yields a single empty shard, which Run and RunSimulated
+// short-circuit.
 func SplitRows(x *mat.Matrix, p int) []*mat.Matrix {
 	if p < 1 {
 		panic("parallel: SplitRows needs p >= 1")

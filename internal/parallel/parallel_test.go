@@ -157,3 +157,56 @@ func TestStrategyString(t *testing.T) {
 		t.Fatal("strategy names wrong")
 	}
 }
+
+func TestDegenerateInputs(t *testing.T) {
+	// Table over the two degenerate shapes: a 0-row dataset (Run must
+	// short-circuit to an empty sketch instead of fanning out over
+	// nothing) and fewer rows than workers (SplitRows clamps p).
+	mk := FDSketcher(4, sketch.Options{})
+	cases := []struct {
+		name       string
+		rows, p    int
+		wantShards int
+	}{
+		{"zero-rows", 0, 4, 1},
+		{"rows-less-than-p", 3, 8, 3},
+		{"one-row", 1, 6, 1},
+	}
+	for _, tc := range cases {
+		for _, strat := range []MergeStrategy{TreeMerge, SerialMerge} {
+			x := testMatrix(tc.rows, 5, 21)
+			shards := SplitRows(x, tc.p)
+			if len(shards) != tc.wantShards {
+				t.Fatalf("%s: SplitRows gave %d shards, want %d", tc.name, len(shards), tc.wantShards)
+			}
+			for _, run := range []func([]*mat.Matrix, Sketcher, MergeStrategy) (*sketch.FrequentDirections, Stats){Run, RunSimulated} {
+				global, stats := run(shards, mk, strat)
+				if global.Seen() != tc.rows {
+					t.Fatalf("%s/%v: Seen = %d, want %d", tc.name, strat, global.Seen(), tc.rows)
+				}
+				if stats.Workers != tc.wantShards {
+					t.Fatalf("%s/%v: Workers = %d, want %d", tc.name, strat, stats.Workers, tc.wantShards)
+				}
+				b := global.Sketch()
+				if b.RowsN != 4 || b.ColsN != 5 || b.HasNaN() {
+					t.Fatalf("%s/%v: sketch shape %d×%d", tc.name, strat, b.RowsN, b.ColsN)
+				}
+			}
+		}
+	}
+}
+
+func TestRunAllEmptyShardsDeterministic(t *testing.T) {
+	// Every shard empty: no merges, no rotations, zero-duration stats.
+	shards := []*mat.Matrix{mat.New(0, 7), mat.New(0, 7), mat.New(0, 7)}
+	global, stats := Run(shards, FDSketcher(3, sketch.Options{}), TreeMerge)
+	if global.Seen() != 0 || global.Rotations() != 0 {
+		t.Fatalf("empty run did work: seen=%d rotations=%d", global.Seen(), global.Rotations())
+	}
+	if stats.MergeRounds != 0 || stats.MergeRotations != 0 {
+		t.Fatalf("empty run reported merges: %+v", stats)
+	}
+	if b := global.Sketch(); b.ColsN != 7 {
+		t.Fatalf("empty run sketch d = %d, want 7", b.ColsN)
+	}
+}

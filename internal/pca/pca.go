@@ -50,6 +50,16 @@ func (p *Projector) Project(x *mat.Matrix) *mat.Matrix {
 	return mat.MulABt(x, p.basis)
 }
 
+// ProjectInto is Project writing into caller-owned dst (n×k), so a
+// live monitor can project every refresh into the same buffer without
+// allocating. dst must not alias x.
+func (p *Projector) ProjectInto(dst, x *mat.Matrix) {
+	if x.ColsN != p.basis.ColsN {
+		panic("pca: Project dimension mismatch")
+	}
+	mat.MulABtTo(dst, x, p.basis)
+}
+
 // Reconstruct maps latent coordinates back to the original space:
 // x̂ = z·V for latent rows z (n×k).
 func (p *Projector) Reconstruct(z *mat.Matrix) *mat.Matrix {

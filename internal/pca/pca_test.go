@@ -108,3 +108,20 @@ func TestProjectDimMismatchPanics(t *testing.T) {
 	}()
 	p.Project(mat.New(3, 9))
 }
+
+func TestProjectIntoMatchesProject(t *testing.T) {
+	g := rng.New(31)
+	x := mat.RandGaussian(40, 25, g)
+	basis := mat.RandOrthonormalCols(25, 6, g).T()
+	p := NewProjector(basis)
+	want := p.Project(x)
+	dst := mat.New(40, 6)
+	// Pre-fill with garbage: ProjectInto must fully overwrite dst.
+	for i := range dst.Data {
+		dst.Data[i] = math.NaN()
+	}
+	p.ProjectInto(dst, x)
+	if !dst.Equal(want, 1e-12) {
+		t.Fatal("ProjectInto disagrees with Project")
+	}
+}

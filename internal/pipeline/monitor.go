@@ -133,25 +133,26 @@ func (m *Monitor) QuickSnapshot() *Snapshot {
 	obsSnapQuick.Inc()
 	sp := obs.StartSpan("quicksnapshot")
 	defer sp.End()
+	// Capture the cached model AND the window/basis/rank under one lock
+	// acquisition. The earlier check-then-act version released the lock
+	// between reading the model and copying the window, so a concurrent
+	// Ingest could grow the sketch rank in the gap and the stale model
+	// would be applied to a latent space of a different dimension.
 	m.mu.Lock()
 	model := m.cachedModel
-	ell := 0
-	if m.arams != nil {
-		ell = m.arams.Ell()
-	}
-	stale := model == nil || m.cachedEll != ell
+	cachedEll := m.cachedEll
+	x, tags, basis, ell := m.windowStateLocked()
 	m.mu.Unlock()
-	if stale {
-		return m.Snapshot()
-	}
-	x, tags, basis, ell2 := m.windowState()
 	if x == nil {
 		return nil
 	}
-	snap := &Snapshot{Tags: tags, Ell: ell2}
-	if basis.RowsN == 0 {
+	if model == nil || cachedEll != ell || basis.RowsN == 0 ||
+		basis.RowsN != model.InputDim() {
+		// No model yet, the rank changed since the fit, or the basis
+		// rank no longer matches the model's input width: refit.
 		return m.Snapshot()
 	}
+	snap := &Snapshot{Tags: tags, Ell: ell}
 	proj := pca.NewProjector(basis)
 	snap.Latent = proj.Project(x)
 	snap.Embedding = model.Transform(snap.Latent)
@@ -202,6 +203,13 @@ func (m *Monitor) Snapshot() *Snapshot {
 func (m *Monitor) windowState() (x *mat.Matrix, tags []int, basis *mat.Matrix, ell int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	return m.windowStateLocked()
+}
+
+// windowStateLocked is windowState for callers already holding m.mu,
+// so snapshot paths can read the window together with other guarded
+// state in a single critical section.
+func (m *Monitor) windowStateLocked() (x *mat.Matrix, tags []int, basis *mat.Matrix, ell int) {
 	if m.arams == nil || len(m.recent) == 0 {
 		return nil, nil, nil, 0
 	}

@@ -90,3 +90,84 @@ func TestMonitorConcurrentSnapshots(t *testing.T) {
 		t.Fatal("final snapshot Outliers is nil")
 	}
 }
+
+// TestMonitorQuickSnapshotRankGrowthHammer drives the exact interleaving
+// behind the QuickSnapshot check-then-act race: a rank-adaptive sketch
+// fed full-rank frames grows ℓ while several goroutines hammer
+// QuickSnapshot. With the old two-lock version, an Ingest between the
+// staleness check and the window copy could hand a freshly-widened basis
+// to a model fitted at the old rank, and Transform would panic on the
+// dimension mismatch. Run under -race this also validates the locking.
+func TestMonitorQuickSnapshotRankGrowthHammer(t *testing.T) {
+	cfg := Config{
+		Sketch: sketch.Config{
+			Ell0:         2,
+			Nu:           2,
+			Eps:          0.05,
+			RankAdaptive: true,
+			Seed:         50,
+		},
+		UMAP:   umap.Config{NNeighbors: 3, NEpochs: 5, Seed: 51},
+		MinPts: 3,
+	}
+	m := NewMonitor(cfg, 16)
+	g := rng.New(52)
+
+	const frames = 120
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		for i := 0; i < frames; i++ {
+			// Full-rank Gaussian frames keep the residual estimate above
+			// Eps, so the sketch rank keeps growing throughout the run.
+			im := imgproc.NewImage(8, 8)
+			for p := range im.Pix {
+				im.Pix[p] = g.Norm()
+			}
+			m.Ingest(im, i)
+		}
+	}()
+
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			last := false
+			for {
+				select {
+				case <-done:
+					if last {
+						return
+					}
+					last = true
+				default:
+				}
+				snap := m.QuickSnapshot()
+				if snap == nil {
+					continue
+				}
+				if snap.Embedding == nil || snap.Embedding.RowsN != len(snap.Tags) {
+					t.Errorf("snapshot shape mismatch: %d embedding rows, %d tags",
+						snap.Embedding.RowsN, len(snap.Tags))
+					return
+				}
+				if snap.Embedding.HasNaN() {
+					t.Error("snapshot embedding has NaN")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := m.Ingested(); got != frames {
+		t.Fatalf("ingested = %d, want %d", got, frames)
+	}
+	if ell := m.Ell(); ell <= cfg.Sketch.Ell0 {
+		t.Fatalf("sketch rank never grew (ℓ = %d); the hammer exercised nothing", ell)
+	}
+}

@@ -239,7 +239,7 @@ func ProcessMatrixWithBasis(x, basis *mat.Matrix, cfg Config) *Result {
 		res.Outliers = abod.Outliers(res.OutlierScores, cfg.Contamination)
 	})
 	stage("residuals", func() {
-		res.Residuals = residuals(x, basis)
+		res.Residuals = residuals(x, res.Latent)
 		res.ResidualOutliers = topResiduals(res.Residuals, cfg.Contamination)
 	})
 	res.TotalTime = time.Since(start)
@@ -259,18 +259,19 @@ func clusterEmbedding(emb *mat.Matrix, cfg Config) []int {
 	return opt.ExtractXi(cfg.Xi, cfg.MinPts, cfg.MinClusterSize)
 }
 
-// residuals returns per-row relative reconstruction errors against a
-// basis with orthonormal rows.
-func residuals(x, basis *mat.Matrix) []float64 {
+// residuals returns per-row relative reconstruction errors from the
+// already-computed latent projection: row i of latent holds the basis
+// coefficients of row i of x (the basis rows are orthonormal), so
+// ‖x − VᵀVx‖² = ‖x‖² − ‖c‖² with no further matrix-vector products —
+// the PCA stage's blocked MulABt already did that work once.
+func residuals(x, latent *mat.Matrix) []float64 {
 	out := make([]float64, x.RowsN)
 	for i := 0; i < x.RowsN; i++ {
-		row := x.Row(i)
-		den := mat.Norm2Sq(row)
+		den := mat.Norm2Sq(x.Row(i))
 		if den == 0 {
 			continue
 		}
-		c := mat.MulVec(basis, row)
-		r := den - mat.Norm2Sq(c)
+		r := den - mat.Norm2Sq(latent.Row(i))
 		if r < 0 {
 			r = 0
 		}

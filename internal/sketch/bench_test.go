@@ -67,3 +67,28 @@ func BenchmarkEstimators(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkFDRotateSteadyState measures one full shrink cycle (ℓ
+// appends + the rotation they trigger) after warmup. With the pooled
+// Gram-SVD path and fd-owned σ/Vᵀ buffers the steady state must report
+// zero allocs/op — the rotation runs at the machine repetition rate.
+func BenchmarkFDRotateSteadyState(b *testing.B) {
+	const ell, d = 32, 4096
+	g := rng.New(7)
+	row := make([]float64, d)
+	for i := range row {
+		row[i] = g.Norm()
+	}
+	fd := NewFrequentDirections(ell, d, Options{})
+	// Warm up past the first rotation so buffers exist.
+	for i := 0; i < 3*ell; i++ {
+		fd.Append(row)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < ell; j++ {
+			fd.Append(row)
+		}
+	}
+}

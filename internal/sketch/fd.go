@@ -70,6 +70,17 @@ type FrequentDirections struct {
 	// about is never needed.
 	lastSigma []float64
 	lastVt    *mat.Matrix
+	// dirty records that the buffer changed (Append/Grow/Merge) after
+	// lastSigma/lastVt were computed, so Basis must re-decompose
+	// instead of serving the stale factors.
+	dirty bool
+
+	// Owned storage reused across rotations so the steady-state rotate
+	// path performs zero heap allocations: vtBuf backs lastVt on the
+	// Gram path, filledView is the reusable header for the occupied
+	// buffer prefix.
+	vtBuf      mat.Matrix
+	filledView mat.Matrix
 }
 
 // NewFrequentDirections creates a sketch with ℓ retained directions
@@ -112,6 +123,7 @@ func (fd *FrequentDirections) Append(row []float64) {
 	copy(fd.buffer.Row(fd.nextZero), row)
 	fd.nextZero++
 	fd.seen++
+	fd.dirty = true
 }
 
 // AppendMatrix adds every row of x to the sketch.
@@ -125,14 +137,18 @@ func (fd *FrequentDirections) AppendMatrix(x *mat.Matrix) {
 // from all squared singular values, and rewrite the buffer as
 // √(Σ²−δI)·Vᵀ with the last ℓ rows zeroed.
 func (fd *FrequentDirections) rotate() {
-	filled := fd.buffer.Rows(0, fd.nextZero)
+	filled := fd.filled(fd.nextZero)
 	var sigma []float64
 	var vt *mat.Matrix
 	switch fd.opts.Backend {
 	case JacobiSVD:
 		_, sigma, vt = mat.SVD(filled)
 	default:
-		_, sigma, vt = mat.SVDGram(filled)
+		// Pooled Gram-trick path: sigma and vt live in fd-owned storage
+		// reused across rotations, so the steady-state shrink performs
+		// zero heap allocations.
+		vt = fd.ensureVtBuf(filled.RowsN)
+		sigma = mat.SVDGramTo(filled, fd.lastSigma[:0], vt)
 	}
 
 	var delta float64
@@ -158,6 +174,10 @@ func (fd *FrequentDirections) rotate() {
 	fd.rotations++
 	fd.lastSigma = sigma
 	fd.lastVt = vt
+	// The rewritten buffer is √(Σ²−δI)·Vᵀ, whose right singular vectors
+	// are exactly the rows of vt we just computed — the factors are
+	// current again.
+	fd.dirty = false
 	obsRotations.Inc()
 	obsShrinkDelta.Add(delta)
 	obsEllGauge.SetInt(fd.ell)
@@ -233,13 +253,18 @@ func (fd *FrequentDirections) CompensatedCovErr(a *mat.Matrix, fraction float64)
 // into latent space. k is clamped to the numerical rank of the sketch.
 func (fd *FrequentDirections) Basis(k int) *mat.Matrix {
 	fd.Compact()
-	if fd.lastVt == nil {
-		// No rotation has happened yet (fewer than 2ℓ rows appended):
-		// decompose what we have.
-		filled := fd.buffer.Rows(0, max(fd.nextZero, 1))
-		_, sigma, vt := mat.SVDGram(filled)
-		fd.lastSigma = sigma
+	if fd.lastVt == nil || fd.dirty {
+		// Either no decomposition exists yet, or rows were appended since
+		// the last one without filling the buffer (Compact only rotates
+		// past ℓ occupied rows). Serving the old factors here was the
+		// stale-basis bug: a Basis call, then fewer than ℓ appended rows,
+		// then a second Basis call returned a basis ignoring those rows.
+		// Recompute from the live buffer instead.
+		filled := fd.filled(max(fd.nextZero, 1))
+		vt := fd.ensureVtBuf(filled.RowsN)
+		fd.lastSigma = mat.SVDGramTo(filled, fd.lastSigma[:0], vt)
 		fd.lastVt = vt
+		fd.dirty = false
 	}
 	rank := 0
 	var sMax float64
@@ -310,8 +335,39 @@ func (fd *FrequentDirections) Grow(dl int) {
 	}
 	fd.buffer = nb
 	fd.ell = newEll
+	fd.dirty = true
 	obsGrows.Inc()
 	obsEllGauge.SetInt(fd.ell)
+}
+
+// filled returns an m×d view of the occupied buffer prefix through a
+// reusable header, so the rotation path allocates nothing.
+func (fd *FrequentDirections) filled(m int) *mat.Matrix {
+	fd.filledView = mat.Matrix{
+		RowsN:  m,
+		ColsN:  fd.d,
+		Stride: fd.buffer.Stride,
+		Data:   fd.buffer.Data[:(m-1)*fd.buffer.Stride+fd.d],
+	}
+	return &fd.filledView
+}
+
+// ensureVtBuf resizes the owned right-singular-vector buffer to m×d,
+// reusing its backing array when capacity allows. It allocates at the
+// full 2ℓ row capacity on first use so later rotations never grow it.
+func (fd *FrequentDirections) ensureVtBuf(m int) *mat.Matrix {
+	if cap(fd.vtBuf.Data) < m*fd.d {
+		rows := max(m, 2*fd.ell)
+		fd.vtBuf = mat.Matrix{
+			RowsN:  rows,
+			ColsN:  fd.d,
+			Stride: fd.d,
+			Data:   make([]float64, rows*fd.d),
+		}
+	}
+	fd.vtBuf.RowsN, fd.vtBuf.ColsN, fd.vtBuf.Stride = m, fd.d, fd.d
+	fd.vtBuf.Data = fd.vtBuf.Data[:m*fd.d]
+	return &fd.vtBuf
 }
 
 func min(a, b int) int {

@@ -288,3 +288,66 @@ func TestBasisClampsToRank(t *testing.T) {
 		t.Fatalf("Basis returned %d rows for rank-2 data", vt.RowsN)
 	}
 }
+
+func TestBasisReflectsRowsAppendedAfterBasisCall(t *testing.T) {
+	// Regression test for the stale-basis bug: a Basis call caches the
+	// decomposition, and appending fewer than ℓ further rows never
+	// triggers a rotation (Compact only rotates past ℓ occupied rows),
+	// so a second Basis call used to serve the cached factors and
+	// silently ignore the new rows.
+	const ell, d = 8, 30
+	fd := NewFrequentDirections(ell, d, Options{})
+	row := make([]float64, d)
+	for i := 0; i < 3; i++ {
+		for j := range row {
+			row[j] = 0
+		}
+		row[i] = 2
+		fd.Append(row)
+	}
+	b1 := fd.Basis(3)
+	if b1.RowsN != 3 {
+		t.Fatalf("first Basis: %d rows, want 3", b1.RowsN)
+	}
+
+	// Fewer than ℓ new rows, all along feature 10 and dominant in norm:
+	// the top singular vector of the updated sketch is ±e₁₀.
+	for i := 0; i < 3; i++ {
+		for j := range row {
+			row[j] = 0
+		}
+		row[10] = 5
+		fd.Append(row)
+	}
+	b2 := fd.Basis(1)
+	if b2.RowsN != 1 {
+		t.Fatalf("second Basis: %d rows, want 1", b2.RowsN)
+	}
+	if got := math.Abs(b2.At(0, 10)); got < 0.99 {
+		t.Fatalf("stale basis: top direction has |component on feature 10| = %v, want ≈1 — rows appended between Basis calls were ignored", got)
+	}
+}
+
+func TestBasisReflectsMergeBetweenCalls(t *testing.T) {
+	// Merge folds rows in through Append, so it must dirty the cached
+	// decomposition exactly like a direct Append does.
+	const ell, d = 6, 20
+	fd := NewFrequentDirections(ell, d, Options{})
+	row := make([]float64, d)
+	row[0] = 1
+	fd.Append(row)
+	_ = fd.Basis(1)
+
+	other := NewFrequentDirections(ell, d, Options{})
+	for j := range row {
+		row[j] = 0
+	}
+	row[7] = 9
+	other.Append(row)
+	fd.Merge(other)
+
+	b := fd.Basis(1)
+	if got := math.Abs(b.At(0, 7)); got < 0.99 {
+		t.Fatalf("basis ignores merged rows: |component on feature 7| = %v", got)
+	}
+}

@@ -30,6 +30,11 @@ func FitModel(x *mat.Matrix, cfg Config) *Model {
 // Embedding returns the training embedding (shared storage).
 func (m *Model) Embedding() *mat.Matrix { return m.emb }
 
+// InputDim returns the feature dimension the model was fitted on;
+// Transform panics on rows of any other width, so callers reusing a
+// cached model check this first.
+func (m *Model) InputDim() int { return m.train.ColsN }
+
 // Transform places the rows of x into the fitted embedding: each new
 // point starts at the distance-weighted mean of its training
 // neighbors' embedded positions and is refined by a short SGD with
