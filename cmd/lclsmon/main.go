@@ -10,13 +10,23 @@
 // /debug/pprof/ — and stays up after the run completes so the
 // per-stage histograms and sketch gauges can be scraped.
 //
+// With -checkpoint-dir the run switches to streaming mode: frames are
+// ingested one at a time through pipeline.Monitor, the full monitor
+// state (sketch, RNG positions, sliding window) is checkpointed
+// atomically every -checkpoint-every frames, and -restore resumes a
+// killed run from the last checkpoint, bit-exact, before ingesting the
+// remaining frames.
+//
 // Usage:
 //
 //	lclssim -kind diffraction -out run.lcls
 //	lclsmon -in run.lcls -html embedding.html -listen :9090
+//	lclsmon -in run.lcls -checkpoint-dir ckpt -checkpoint-every 256
+//	lclsmon -in run.lcls -checkpoint-dir ckpt -restore
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -26,8 +36,10 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 
+	"arams/internal/ckpt"
 	"arams/internal/imgproc"
 	"arams/internal/lcls"
 	"arams/internal/obs"
@@ -50,11 +62,19 @@ func main() {
 	reach := flag.String("reach", "", "also write the OPTICS reachability plot to this HTML path")
 	seed := flag.Uint64("seed", 1, "RNG seed")
 	listen := flag.String("listen", "", "serve /metrics, /statusz, /debug/pprof on this address (e.g. :9090)")
+	ckptDir := flag.String("checkpoint-dir", "", "streaming mode: checkpoint monitor state into this directory")
+	ckptEvery := flag.Int("checkpoint-every", 256, "streaming mode: checkpoint every N ingested frames")
+	restore := flag.Bool("restore", false, "resume from the checkpoint in -checkpoint-dir before ingesting")
+	window := flag.Int("window", 0, "streaming mode: snapshot window size (0 = whole run)")
 	verbosity := flag.Int("v", 0, "log verbosity: 0=info, 1=debug")
 	flag.Parse()
 
 	setupLogging(*verbosity)
 	hold := serveObs(*listen)
+
+	if *restore && *ckptDir == "" {
+		fatal("flag error", errors.New("-restore requires -checkpoint-dir"))
+	}
 
 	f, err := os.Open(*in)
 	if err != nil {
@@ -76,14 +96,28 @@ func main() {
 		scfg.Eps = *eps
 		scfg.Nu = 10
 	}
-	res := pipeline.Process(run.Frames, pipeline.Config{
+	cfg := pipeline.Config{
 		Pre:        imgproc.Preprocessor{Normalize: true},
 		Sketch:     scfg,
 		Workers:    *workers,
 		LatentDim:  *latent,
 		UMAP:       umap.Config{NNeighbors: 20, NEpochs: 200, Seed: *seed + 1},
 		UseHDBSCAN: *useHDBSCAN,
-	})
+	}
+
+	if *ckptDir != "" {
+		runStreaming(run, cfg, streamOpts{
+			dir:     *ckptDir,
+			every:   *ckptEvery,
+			restore: *restore,
+			window:  *window,
+			html:    *html,
+		})
+		hold()
+		return
+	}
+
+	res := pipeline.Process(run.Frames, cfg)
 
 	slog.Info("pipeline complete",
 		"directions", res.Basis.RowsN,
@@ -135,6 +169,110 @@ func main() {
 	}
 
 	hold()
+}
+
+// streamOpts bundles the streaming-mode flags.
+type streamOpts struct {
+	dir     string
+	every   int
+	restore bool
+	window  int
+	html    string
+}
+
+// runStreaming is the fault-tolerant path: frames stream one-by-one
+// through a pipeline.Monitor, the monitor state is checkpointed
+// atomically every opts.every frames, and with opts.restore the stream
+// resumes at the frame index recorded in the last checkpoint. The final
+// snapshot over the sliding window is written as the embedding HTML.
+func runStreaming(run *lcls.Run, cfg pipeline.Config, opts streamOpts) {
+	window := opts.window
+	if window <= 0 || window > run.Len() {
+		window = run.Len()
+	}
+	if err := os.MkdirAll(opts.dir, 0o755); err != nil {
+		fatal("creating checkpoint directory", err)
+	}
+	path := filepath.Join(opts.dir, "lclsmon.ckpt")
+
+	var m *pipeline.Monitor
+	start := 0
+	if opts.restore {
+		state, err := ckpt.Load(path)
+		switch {
+		case err == nil:
+			ms, ok := state.(*pipeline.MonitorState)
+			if !ok {
+				fatal("restoring checkpoint", fmt.Errorf("%s holds %T, not a monitor state", path, state))
+			}
+			m, err = pipeline.NewMonitorFromState(cfg, ms)
+			if err != nil {
+				fatal("restoring checkpoint", err)
+			}
+			start = ms.Ingests
+			if start > run.Len() {
+				fatal("restoring checkpoint", fmt.Errorf(
+					"checkpoint records %d ingests but the run has only %d frames", start, run.Len()))
+			}
+			slog.Info("restored from checkpoint",
+				"path", path, "resume_frame", start, "window_frames", len(ms.Frames))
+		case errors.Is(err, os.ErrNotExist):
+			slog.Info("no checkpoint to restore; starting fresh", "path", path)
+		default:
+			fatal("restoring checkpoint", err)
+		}
+	}
+	if m == nil {
+		m = pipeline.NewMonitor(cfg, window)
+	}
+
+	for i := start; i < run.Len(); i++ {
+		m.Ingest(run.Frames[i], i)
+		if opts.every > 0 && (i+1)%opts.every == 0 {
+			if err := ckpt.Save(path, m.State()); err != nil {
+				slog.Error("checkpoint failed", "frame", i+1, "err", err)
+			} else {
+				slog.Debug("checkpoint written", "frame", i+1, "path", path)
+			}
+		}
+	}
+	// Final checkpoint so a restart after a completed stream is a no-op.
+	if err := ckpt.Save(path, m.State()); err != nil {
+		slog.Error("final checkpoint failed", "err", err)
+	}
+	slog.Info("stream complete",
+		"frames", m.Ingested(), "resumed_at", start, "directions", m.Ell(), "checkpoint", path)
+
+	snap := m.Snapshot()
+	if snap == nil {
+		slog.Info("nothing ingested; no embedding written")
+		return
+	}
+	slog.Info("clustering",
+		"clusters", optics.NumClusters(snap.Labels),
+		"noise_points", countNoise(snap.Labels))
+	if hasLabels(run.Labels) {
+		stored := make([]int, len(snap.Tags))
+		for i, tag := range snap.Tags {
+			stored[i] = run.Labels[tag]
+		}
+		slog.Info("label agreement (window)", "ari",
+			fmt.Sprintf("%.3f", optics.ARI(snap.Labels, stored)))
+	}
+
+	tips := make([]string, len(snap.Tags))
+	for i, tag := range snap.Tags {
+		tips[i] = fmt.Sprintf("frame %d\nstored label %d", tag, run.Labels[tag])
+	}
+	plot := viz.FromEmbedding(
+		fmt.Sprintf("%s run %d — streaming embedding", run.Experiment, run.RunNumber),
+		snap.Embedding, snap.Labels, tips)
+	plot.Subtitle = fmt.Sprintf("%d frames in window of %d ingested, detector %s",
+		len(snap.Tags), m.Ingested(), run.Detector)
+	if err := writeHTML(opts.html, plot.WriteHTML); err != nil {
+		fatal("writing embedding HTML", err)
+	}
+	slog.Info("embedding written", "path", opts.html)
 }
 
 // setupLogging installs a slog text handler on stderr at the level the

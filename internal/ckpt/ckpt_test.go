@@ -1,0 +1,385 @@
+package ckpt
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"arams/internal/imgproc"
+	"arams/internal/mat"
+	"arams/internal/pipeline"
+	"arams/internal/rng"
+	"arams/internal/sketch"
+)
+
+// testFD builds a sketch with non-trivial state: several rotations, a
+// partially filled buffer, and accumulated shrinkage.
+func testFD(t *testing.T) *sketch.FrequentDirections {
+	t.Helper()
+	g := rng.New(7)
+	fd := sketch.NewFrequentDirections(6, 12, sketch.Options{})
+	for i := 0; i < 40; i++ {
+		row := make([]float64, 12)
+		for j := range row {
+			row[j] = g.Norm()
+		}
+		fd.Append(row)
+	}
+	return fd
+}
+
+func testARAMS(t *testing.T, rankAdaptive bool) *sketch.ARAMS {
+	t.Helper()
+	cfg := sketch.Config{Ell0: 5, Nu: 4, Beta: 0.8, Seed: 11}
+	if rankAdaptive {
+		cfg.RankAdaptive = true
+		cfg.Eps = 0.3
+	}
+	a := sketch.NewARAMS(cfg, 10, 200)
+	g := rng.New(3)
+	batch := mat.New(60, 10)
+	for i := range batch.Data {
+		batch.Data[i] = g.Norm()
+	}
+	a.ProcessBatch(batch)
+	return a
+}
+
+func testMonitor(t *testing.T, frames int) *pipeline.Monitor {
+	t.Helper()
+	m := pipeline.NewMonitor(pipeline.Config{
+		Sketch: sketch.Config{Ell0: 4, Beta: 0.9, Seed: 5},
+	}, 16)
+	g := rng.New(9)
+	for i := 0; i < frames; i++ {
+		im := imgproc.NewImage(4, 4)
+		for p := range im.Pix {
+			im.Pix[p] = g.Float64()
+		}
+		m.Ingest(im, i)
+	}
+	return m
+}
+
+// states returns one populated snapshot of every checkpointable kind.
+func states(t *testing.T) []any {
+	t.Helper()
+	fd := testFD(t).State()
+
+	raInner := sketch.NewRankAdaptiveFD(4, 8, 3, 0.2, 500, rng.New(2))
+	g := rng.New(4)
+	for i := 0; i < 30; i++ {
+		row := make([]float64, 8)
+		for j := range row {
+			row[j] = g.Norm()
+		}
+		raInner.Append(row)
+	}
+	ra := raInner.State()
+
+	ps := sketch.NewPrioritySampler(5, rng.New(6))
+	for i := 0; i < 20; i++ {
+		row := make([]float64, 3)
+		for j := range row {
+			row[j] = g.Norm()
+		}
+		ps.PushRow(row)
+	}
+	pri := ps.State()
+
+	ar := testARAMS(t, true).State()
+	arFixed := testARAMS(t, false).State()
+	mon := testMonitor(t, 12).State()
+	return []any{&fd, &ra, &pri, &ar, &arFixed, mon}
+}
+
+// TestRoundTripCanonical checks the codec invariant the fuzz target
+// also drives: encode → decode → re-encode is byte-identical for every
+// kind.
+func TestRoundTripCanonical(t *testing.T) {
+	for _, s := range states(t) {
+		b1, err := Marshal(s)
+		if err != nil {
+			t.Fatalf("marshal %T: %v", s, err)
+		}
+		back, err := Unmarshal(b1)
+		if err != nil {
+			t.Fatalf("unmarshal %T: %v", s, err)
+		}
+		b2, err := Marshal(back)
+		if err != nil {
+			t.Fatalf("re-marshal %T: %v", back, err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Errorf("%T: re-encoded frame differs (%d vs %d bytes)", s, len(b1), len(b2))
+		}
+	}
+}
+
+// TestRestoredFDResumesBitExact appends the same suffix to an original
+// sketch and to its checkpoint-restored copy and requires identical
+// results — the property that makes crash-restart invisible.
+func TestRestoredFDResumesBitExact(t *testing.T) {
+	fd := testFD(t)
+	b, err := Marshal(fd.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := sketch.NewFDFromState(*back.(*sketch.FDState))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g := rng.New(99)
+	suffix := make([][]float64, 25)
+	for i := range suffix {
+		suffix[i] = make([]float64, 12)
+		for j := range suffix[i] {
+			suffix[i][j] = g.Norm()
+		}
+	}
+	for _, row := range suffix {
+		fd.Append(row)
+		restored.Append(row)
+	}
+	a, bM := fd.Sketch(), restored.Sketch()
+	for i := range a.Data {
+		if a.Data[i] != bM.Data[i] {
+			t.Fatalf("restored sketch diverged at element %d: %v vs %v", i, a.Data[i], bM.Data[i])
+		}
+	}
+	if fd.Seen() != restored.Seen() || fd.Rotations() != restored.Rotations() {
+		t.Fatalf("counters diverged: seen %d/%d rotations %d/%d",
+			fd.Seen(), restored.Seen(), fd.Rotations(), restored.Rotations())
+	}
+}
+
+// TestRestoredARAMSResumesBitExact does the same through the full
+// ARAMS stack (priority sampling + rank adaptation), which also
+// exercises the RNG state restore: the sampler draws must line up.
+func TestRestoredARAMSResumesBitExact(t *testing.T) {
+	a := testARAMS(t, true)
+	b, err := Marshal(a.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := sketch.NewARAMSFromState(*back.(*sketch.ARAMSState))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g := rng.New(123)
+	batch := mat.New(50, 10)
+	for i := range batch.Data {
+		batch.Data[i] = g.Norm()
+	}
+	a.ProcessBatch(batch)
+	restored.ProcessBatch(batch)
+	s1, s2 := a.Sketch(), restored.Sketch()
+	if s1.RowsN != s2.RowsN {
+		t.Fatalf("sketch shapes diverged: %d vs %d rows", s1.RowsN, s2.RowsN)
+	}
+	for i := range s1.Data {
+		if s1.Data[i] != s2.Data[i] {
+			t.Fatalf("restored ARAMS diverged at element %d: %v vs %v", i, s1.Data[i], s2.Data[i])
+		}
+	}
+	if a.Ell() != restored.Ell() {
+		t.Fatalf("rank diverged: %d vs %d", a.Ell(), restored.Ell())
+	}
+}
+
+// TestRestoredPriorityResumesBitExact replays a suffix through a
+// restored sampler and requires identical selections and estimates.
+func TestRestoredPriorityResumesBitExact(t *testing.T) {
+	g := rng.New(21)
+	ps := sketch.NewPrioritySampler(6, rng.New(8))
+	feed := func(p *sketch.PrioritySampler, n int, gen *rng.RNG) {
+		for i := 0; i < n; i++ {
+			row := []float64{gen.Norm(), gen.Norm()}
+			p.PushRow(row)
+		}
+	}
+	feed(ps, 30, g)
+
+	b, err := Marshal(ps.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := sketch.NewPriorityFromState(*back.(*sketch.PriorityState))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gA, gB := rng.New(77), rng.New(77)
+	feed(ps, 30, gA)
+	feed(restored, 30, gB)
+	ia, ib := ps.Indices(), restored.Indices()
+	if len(ia) != len(ib) {
+		t.Fatalf("selection sizes diverged: %d vs %d", len(ia), len(ib))
+	}
+	for i := range ia {
+		if ia[i] != ib[i] {
+			t.Fatalf("selection diverged at %d: %d vs %d", i, ia[i], ib[i])
+		}
+	}
+	if ps.EstimateSum() != restored.EstimateSum() {
+		t.Fatalf("estimates diverged: %v vs %v", ps.EstimateSum(), restored.EstimateSum())
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	valid, err := Marshal(testFD(t).State())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("empty", func(t *testing.T) {
+		if _, err := Unmarshal(nil); !errors.Is(err, ErrTruncated) {
+			t.Errorf("got %v, want ErrTruncated", err)
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		b := append([]byte(nil), valid...)
+		b[0] ^= 0xff
+		if _, err := Unmarshal(b); !errors.Is(err, ErrBadMagic) {
+			t.Errorf("got %v, want ErrBadMagic", err)
+		}
+	})
+	t.Run("future version", func(t *testing.T) {
+		b := append([]byte(nil), valid...)
+		b[4] = 99
+		if _, err := Unmarshal(b); !errors.Is(err, ErrVersion) {
+			t.Errorf("got %v, want ErrVersion", err)
+		}
+	})
+	t.Run("payload flip", func(t *testing.T) {
+		b := append([]byte(nil), valid...)
+		b[len(b)/2] ^= 0x40
+		if _, err := Unmarshal(b); !errors.Is(err, ErrChecksum) {
+			t.Errorf("got %v, want ErrChecksum", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		if _, err := Unmarshal(valid[:len(valid)-3]); !errors.Is(err, ErrTruncated) {
+			t.Errorf("got %v, want ErrTruncated", err)
+		}
+	})
+	t.Run("unknown kind", func(t *testing.T) {
+		// Rebuild the frame with a bogus kind so the checksum is valid.
+		payloadLen := len(valid) - headerLen - trailerLen
+		bad := frame(Kind(42), valid[headerLen:headerLen+payloadLen])
+		if _, err := Unmarshal(bad); !errors.Is(err, ErrBadKind) {
+			t.Errorf("got %v, want ErrBadKind", err)
+		}
+	})
+}
+
+func TestSaveLoadAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sketch.ckpt")
+	fd := testFD(t)
+	if err := Save(path, fd.State()); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite with a second checkpoint; the rename must replace, and
+	// no temp files may linger.
+	fdRow := make([]float64, 12)
+	fdRow[0] = 1
+	fd.Append(fdRow)
+	if err := Save(path, fd.State()); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("expected only the checkpoint in %s, found %d entries", dir, len(entries))
+	}
+
+	state, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := state.(*sketch.FDState)
+	if !ok {
+		t.Fatalf("loaded %T, want *sketch.FDState", state)
+	}
+	if got.Seen != fd.Seen() {
+		t.Fatalf("loaded Seen=%d, want %d", got.Seen, fd.Seen())
+	}
+}
+
+func TestLoadRejectsCorruptFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sketch.ckpt")
+	if err := Save(path, testFD(t).State()); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[headerLen+5] ^= 0x01
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("got %v, want ErrChecksum", err)
+	}
+}
+
+func TestMonitorStateRoundTrip(t *testing.T) {
+	m := testMonitor(t, 10)
+	b, err := Marshal(m.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := back.(*pipeline.MonitorState)
+	restored, err := pipeline.NewMonitorFromState(pipeline.Config{
+		Sketch: sketch.Config{Ell0: 4, Beta: 0.9, Seed: 5},
+	}, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Ingested() != m.Ingested() || restored.Ell() != m.Ell() {
+		t.Fatalf("restored monitor state mismatch: ingests %d/%d ell %d/%d",
+			restored.Ingested(), m.Ingested(), restored.Ell(), m.Ell())
+	}
+}
+
+func TestPeek(t *testing.T) {
+	b, err := Marshal(testFD(t).State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := Peek(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Kind != KindFD || h.Version != Version || !h.ChecksumOK {
+		t.Fatalf("unexpected header %+v", h)
+	}
+	if h.PayloadLen != uint64(len(b)-headerLen-trailerLen) {
+		t.Fatalf("payload length %d != %d", h.PayloadLen, len(b)-headerLen-trailerLen)
+	}
+}

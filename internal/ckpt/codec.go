@@ -1,0 +1,302 @@
+package ckpt
+
+import (
+	"fmt"
+
+	"arams/internal/pipeline"
+	"arams/internal/rng"
+	"arams/internal/sketch"
+)
+
+// Marshal encodes a state snapshot as one checkpoint frame. Accepted
+// types (pointers or values where noted):
+//
+//	sketch.FDState / *sketch.FDState                     → KindFD
+//	sketch.RankAdaptiveState / *sketch.RankAdaptiveState → KindRankAdaptive
+//	sketch.PriorityState / *sketch.PriorityState         → KindPriority
+//	sketch.ARAMSState / *sketch.ARAMSState               → KindARAMS
+//	*pipeline.MonitorState                               → KindMonitor
+func Marshal(state any) ([]byte, error) {
+	e := &enc{}
+	switch s := state.(type) {
+	case sketch.FDState:
+		encodeFD(e, &s)
+		return frame(KindFD, e.b), nil
+	case *sketch.FDState:
+		encodeFD(e, s)
+		return frame(KindFD, e.b), nil
+	case sketch.RankAdaptiveState:
+		encodeRankAdaptive(e, &s)
+		return frame(KindRankAdaptive, e.b), nil
+	case *sketch.RankAdaptiveState:
+		encodeRankAdaptive(e, s)
+		return frame(KindRankAdaptive, e.b), nil
+	case sketch.PriorityState:
+		encodePriority(e, &s)
+		return frame(KindPriority, e.b), nil
+	case *sketch.PriorityState:
+		encodePriority(e, s)
+		return frame(KindPriority, e.b), nil
+	case sketch.ARAMSState:
+		if err := encodeARAMS(e, &s); err != nil {
+			return nil, err
+		}
+		return frame(KindARAMS, e.b), nil
+	case *sketch.ARAMSState:
+		if err := encodeARAMS(e, s); err != nil {
+			return nil, err
+		}
+		return frame(KindARAMS, e.b), nil
+	case *pipeline.MonitorState:
+		if err := encodeMonitor(e, s); err != nil {
+			return nil, err
+		}
+		return frame(KindMonitor, e.b), nil
+	default:
+		return nil, fmt.Errorf("ckpt: cannot marshal %T", state)
+	}
+}
+
+// Unmarshal decodes one checkpoint frame. It returns one of
+// *sketch.FDState, *sketch.RankAdaptiveState, *sketch.PriorityState,
+// *sketch.ARAMSState, *pipeline.MonitorState.
+func Unmarshal(b []byte) (any, error) {
+	kind, payload, err := unframe(b)
+	if err != nil {
+		return nil, err
+	}
+	d := &dec{b: payload}
+	var state any
+	switch kind {
+	case KindFD:
+		state = decodeFD(d)
+	case KindRankAdaptive:
+		state = decodeRankAdaptive(d)
+	case KindPriority:
+		state = decodePriority(d)
+	case KindARAMS:
+		state = decodeARAMS(d)
+	case KindMonitor:
+		state = decodeMonitor(d)
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrBadKind, uint32(kind))
+	}
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	return state, nil
+}
+
+// --- FrequentDirections ---
+
+func encodeFD(e *enc, s *sketch.FDState) {
+	e.i64(s.Ell)
+	e.i64(s.D)
+	e.i64(int(s.Backend))
+	e.i64(s.NextZero)
+	e.i64(s.Rotations)
+	e.i64(s.Seen)
+	e.f64(s.TotalDelta)
+	e.floats(s.Buffer)
+}
+
+func decodeFD(d *dec) *sketch.FDState {
+	s := &sketch.FDState{
+		Ell:      d.i64(),
+		D:        d.i64(),
+		Backend:  sketch.SVDBackend(d.i64()),
+		NextZero: d.i64(),
+	}
+	s.Rotations = d.i64()
+	s.Seen = d.i64()
+	s.TotalDelta = d.f64()
+	s.Buffer = d.floats()
+	return s
+}
+
+// --- RNG ---
+
+func encodeRNG(e *enc, s rng.State) {
+	e.u64(s.Hi)
+	e.u64(s.Lo)
+	e.u64(s.IncHi)
+	e.u64(s.IncLo)
+	e.bool(s.HaveGauss)
+	e.f64(s.Gauss)
+}
+
+func decodeRNG(d *dec) rng.State {
+	return rng.State{
+		Hi:        d.u64(),
+		Lo:        d.u64(),
+		IncHi:     d.u64(),
+		IncLo:     d.u64(),
+		HaveGauss: d.bool(),
+		Gauss:     d.f64(),
+	}
+}
+
+// --- RankAdaptiveFD ---
+
+func encodeRankAdaptive(e *enc, s *sketch.RankAdaptiveState) {
+	encodeFD(e, &s.FD)
+	e.i64(s.Nu)
+	e.f64(s.Eps)
+	e.i64(int(s.Estimator))
+	encodeRNG(e, s.RNG)
+	e.i64(len(s.Recent))
+	for _, row := range s.Recent {
+		e.floats(row)
+	}
+	e.bool(s.IncreaseEll)
+	e.i64(s.RowsLeft)
+	e.i64(s.Grows)
+}
+
+func decodeRankAdaptive(d *dec) *sketch.RankAdaptiveState {
+	s := &sketch.RankAdaptiveState{FD: *decodeFD(d)}
+	s.Nu = d.i64()
+	s.Eps = d.f64()
+	s.Estimator = sketch.EstimatorKind(d.i64())
+	s.RNG = decodeRNG(d)
+	// Each ring row costs at least a length prefix (8 bytes).
+	n := d.count(8)
+	if n > 0 {
+		s.Recent = make([][]float64, n)
+		for i := range s.Recent {
+			s.Recent[i] = d.floats()
+		}
+	}
+	s.IncreaseEll = d.bool()
+	s.RowsLeft = d.i64()
+	s.Grows = d.i64()
+	return s
+}
+
+// --- PrioritySampler ---
+
+func encodePriority(e *enc, s *sketch.PriorityState) {
+	e.i64(s.M)
+	e.i64(s.Seen)
+	encodeRNG(e, s.RNG)
+	e.i64(len(s.Entries))
+	for _, ent := range s.Entries {
+		e.f64(ent.Priority)
+		e.f64(ent.Weight)
+		e.i64(ent.Index)
+		e.bool(ent.Row != nil)
+		if ent.Row != nil {
+			e.floats(ent.Row)
+		}
+	}
+}
+
+func decodePriority(d *dec) *sketch.PriorityState {
+	s := &sketch.PriorityState{
+		M:    d.i64(),
+		Seen: d.i64(),
+		RNG:  decodeRNG(d),
+	}
+	// Each entry costs at least priority+weight+index+hasRow (25 bytes).
+	n := d.count(25)
+	if n > 0 {
+		s.Entries = make([]sketch.PriorityEntry, n)
+		for i := range s.Entries {
+			ent := &s.Entries[i]
+			ent.Priority = d.f64()
+			ent.Weight = d.f64()
+			ent.Index = d.i64()
+			if d.bool() {
+				ent.Row = d.floats()
+				if ent.Row == nil && d.err == nil {
+					// A present-but-empty row re-encodes identically to a
+					// nil row only if we keep it non-nil.
+					ent.Row = []float64{}
+				}
+			}
+		}
+	}
+	return s
+}
+
+// --- ARAMS ---
+
+func encodeARAMS(e *enc, s *sketch.ARAMSState) error {
+	e.i64(s.Cfg.Ell0)
+	e.i64(s.Cfg.Nu)
+	e.f64(s.Cfg.Eps)
+	e.f64(s.Cfg.Beta)
+	e.bool(s.Cfg.RankAdaptive)
+	e.i64(int(s.Cfg.Estimator))
+	e.u64(s.Cfg.Seed)
+	e.i64(s.D)
+	encodeRNG(e, s.RNG)
+	switch {
+	case s.RankAdaptive != nil && s.FD == nil:
+		e.bool(true)
+		encodeRankAdaptive(e, s.RankAdaptive)
+	case s.FD != nil && s.RankAdaptive == nil:
+		e.bool(false)
+		encodeFD(e, s.FD)
+	default:
+		return fmt.Errorf("ckpt: ARAMS state must carry exactly one sketch variant")
+	}
+	return nil
+}
+
+func decodeARAMS(d *dec) *sketch.ARAMSState {
+	s := &sketch.ARAMSState{}
+	s.Cfg.Ell0 = d.i64()
+	s.Cfg.Nu = d.i64()
+	s.Cfg.Eps = d.f64()
+	s.Cfg.Beta = d.f64()
+	s.Cfg.RankAdaptive = d.bool()
+	s.Cfg.Estimator = sketch.EstimatorKind(d.i64())
+	s.Cfg.Seed = d.u64()
+	s.D = d.i64()
+	s.RNG = decodeRNG(d)
+	if d.bool() {
+		s.RankAdaptive = decodeRankAdaptive(d)
+	} else {
+		s.FD = decodeFD(d)
+	}
+	return s
+}
+
+// --- Monitor ---
+
+func encodeMonitor(e *enc, s *pipeline.MonitorState) error {
+	e.i64(s.Window)
+	e.i64(s.Ingests)
+	e.i64(len(s.Frames))
+	for _, f := range s.Frames {
+		e.i64(f.Tag)
+		e.floats(f.Vec)
+	}
+	if s.Sketch != nil {
+		e.bool(true)
+		return encodeARAMS(e, s.Sketch)
+	}
+	e.bool(false)
+	return nil
+}
+
+func decodeMonitor(d *dec) *pipeline.MonitorState {
+	s := &pipeline.MonitorState{
+		Window:  d.i64(),
+		Ingests: d.i64(),
+	}
+	// Each frame costs at least tag + vector length prefix (16 bytes).
+	n := d.count(16)
+	if n > 0 {
+		s.Frames = make([]pipeline.FrameState, n)
+		for i := range s.Frames {
+			s.Frames[i].Tag = d.i64()
+			s.Frames[i].Vec = d.floats()
+		}
+	}
+	if d.bool() {
+		s.Sketch = decodeARAMS(d)
+	}
+	return s
+}

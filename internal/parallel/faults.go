@@ -1,0 +1,304 @@
+package parallel
+
+import (
+	"errors"
+	"math"
+	"time"
+
+	"arams/internal/mat"
+	"arams/internal/obs"
+	"arams/internal/rng"
+	"arams/internal/sketch"
+)
+
+// Fault-tolerance observability: every tree-merge leg, its failures
+// and retries, the recoveries that re-sketched a leg's shards, and the
+// full drops to serial merging. These are the counters the acceptance
+// chaos tests scrape from /metrics.
+var (
+	obsMergeLegs       = obs.Default().Counter("arams_parallel_merge_legs_total")
+	obsLegFailures     = obs.Default().Counter("arams_parallel_merge_leg_failures_total")
+	obsLegRetries      = obs.Default().Counter("arams_parallel_merge_leg_retries_total")
+	obsLegResketches   = obs.Default().Counter("arams_parallel_merge_leg_resketch_total")
+	obsSerialFallbacks = obs.Default().Counter("arams_parallel_serial_fallbacks_total")
+	obsLegSeconds      = obs.Default().Histogram("arams_parallel_merge_leg_seconds")
+)
+
+// Faults configures deterministic fault injection for tree-merge legs:
+// each leg attempt may fail outright, stall, or corrupt its output,
+// with probabilities drawn from a seeded per-leg RNG stream — the same
+// (Seed, round, group) always produces the same fault pattern, so a
+// chaotic run is exactly reproducible. Fault injection exists to prove
+// the recovery machinery: because FD sketches are mergeable summaries,
+// any leg can be lost and re-computed without breaking the covariance
+// bound, and the chaos tests assert exactly that.
+type Faults struct {
+	// FailProb is the per-attempt probability that the leg errors after
+	// doing its work (a crashed worker).
+	FailProb float64
+	// DelayProb is the per-attempt probability that the leg stalls for
+	// Delay before finishing (a straggler; combine with
+	// Retry.LegTimeout to turn stragglers into failures).
+	DelayProb float64
+	// Delay is the injected stall duration (default 1ms).
+	Delay time.Duration
+	// CorruptProb is the per-attempt probability that the leg's output
+	// sketch is poisoned with a NaN (a torn buffer); the validation
+	// pass detects it and the leg is retried.
+	CorruptProb float64
+	// Seed feeds the per-leg RNG streams.
+	Seed uint64
+}
+
+// Retry configures the per-leg retry/timeout/backoff policy and the
+// degradation thresholds. The zero value means: 3 attempts per leg,
+// 200µs base backoff (doubling per retry), no timeout, and a drop to
+// serial merging after 2 legs exhaust their retries.
+type Retry struct {
+	// MaxAttempts is the number of tries per leg before the leg is
+	// declared lost and recovered by re-sketching (default 3).
+	MaxAttempts int
+	// Backoff is the sleep before the first retry; it doubles on each
+	// subsequent retry (default 200µs).
+	Backoff time.Duration
+	// LegTimeout bounds one attempt's wall time; 0 disables. An
+	// attempt that exceeds it counts as a failure.
+	LegTimeout time.Duration
+	// MaxFailedLegs is how many legs may exhaust their retries before
+	// the run degrades to a serial fold of the surviving sketches, with
+	// no further fault exposure (default 2).
+	MaxFailedLegs int
+}
+
+func (r Retry) withDefaults() Retry {
+	if r.MaxAttempts <= 0 {
+		r.MaxAttempts = 3
+	}
+	if r.Backoff <= 0 {
+		r.Backoff = 200 * time.Microsecond
+	}
+	if r.MaxFailedLegs <= 0 {
+		r.MaxFailedLegs = 2
+	}
+	return r
+}
+
+// Option configures a Run/RunArity call.
+type Option func(*runOptions)
+
+// WithFaults enables deterministic fault injection on tree-merge legs.
+func WithFaults(f Faults) Option {
+	return func(o *runOptions) {
+		if f.Delay <= 0 {
+			f.Delay = time.Millisecond
+		}
+		o.faults = &f
+	}
+}
+
+// WithRetry overrides the leg retry/timeout/degradation policy.
+func WithRetry(r Retry) Option {
+	return func(o *runOptions) {
+		o.retry = r.withDefaults()
+		o.retrySet = true
+	}
+}
+
+type runOptions struct {
+	faults   *Faults
+	retry    Retry
+	retrySet bool
+}
+
+func newRunOptions(options []Option) *runOptions {
+	o := &runOptions{retry: Retry{}.withDefaults()}
+	for _, fn := range options {
+		fn(o)
+	}
+	return o
+}
+
+// guarded reports whether legs must run on the clone-validate-retry
+// path: with fault injection on, or with a timeout that can fail an
+// otherwise infallible in-process merge.
+func (o *runOptions) guarded() bool {
+	return o != nil && (o.faults != nil || (o.retrySet && o.retry.LegTimeout > 0))
+}
+
+// mergeNode is one operand of the merge tree: a sketch plus the
+// indices of the original shards it summarizes, kept so a lost leg can
+// be recomputed from its source data.
+type mergeNode struct {
+	fd     *sketch.FrequentDirections
+	shards []int
+}
+
+// mergeEnv carries the per-run context the merge tree needs for
+// recovery and accounting.
+type mergeEnv struct {
+	shards []*mat.Matrix
+	mk     Sketcher
+	opts   *runOptions
+	stats  *Stats
+}
+
+// legReport is one leg's accounting, reduced into RoundStats after the
+// round's barrier.
+type legReport struct {
+	failures int
+	retries  int
+	resketch bool
+	duration time.Duration
+}
+
+var errLegFailed = errors.New("parallel: injected leg failure")
+var errLegCorrupt = errors.New("parallel: merge leg produced a corrupt sketch")
+var errLegTimeout = errors.New("parallel: merge leg timed out")
+
+// runLeg folds group[1:] into group[0] and returns the resulting node.
+// On the guarded path every attempt works on a clone of the
+// accumulator, validates the result, and retries with exponential
+// backoff; a leg that exhausts its attempts is recovered by
+// re-sketching its shards serially — the mergeability guarantee makes
+// the recomputed sketch interchangeable with the lost one.
+func runLeg(round, gIdx int, group []*mergeNode, env *mergeEnv) (*mergeNode, legReport) {
+	var rep legReport
+	covered := coveredShards(group)
+	t0 := time.Now()
+	defer func() {
+		rep.duration = time.Since(t0)
+		obsLegSeconds.Observe(rep.duration.Seconds())
+	}()
+	obsMergeLegs.Inc()
+
+	if !env.opts.guarded() {
+		// Fast path: in-process merges cannot fail, so fold in place
+		// with zero copies, exactly the pre-fault-tolerance behavior.
+		acc := group[0].fd
+		for _, nd := range group[1:] {
+			acc.Merge(nd.fd)
+			acc.Compact()
+		}
+		return &mergeNode{fd: acc, shards: covered}, rep
+	}
+
+	retry := env.opts.retry
+	var legRNG *rng.RNG
+	if env.opts.faults != nil {
+		// One independent stream per (round, group): the fault pattern
+		// is a pure function of the seed and the leg's tree position,
+		// never of goroutine scheduling.
+		legRNG = rng.NewStream(env.opts.faults.Seed, uint64(round)<<32|uint64(gIdx))
+	}
+	backoff := retry.Backoff
+	for attempt := 0; attempt < retry.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			rep.retries++
+			obsLegRetries.Inc()
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		fd, err := attemptLeg(group, env.opts.faults, legRNG, retry.LegTimeout)
+		if err == nil {
+			return &mergeNode{fd: fd, shards: covered}, rep
+		}
+		rep.failures++
+		obsLegFailures.Inc()
+	}
+
+	// Retries exhausted: the leg is lost. Recover it from source data —
+	// re-sketch every covered shard serially and fold the fresh
+	// sketches together. This path takes no fault injection; it is the
+	// reliable degraded mode.
+	rep.resketch = true
+	obsLegResketches.Inc()
+	return &mergeNode{fd: resketchShards(covered, env), shards: covered}, rep
+}
+
+// attemptLeg performs one guarded merge attempt on a clone of the
+// accumulator. Fault decisions are drawn up front (a fixed number of
+// draws per attempt keeps the stream aligned across retries), the
+// merge runs — under a timeout when configured — and the result is
+// validated before it may replace the real accumulator.
+func attemptLeg(group []*mergeNode, faults *Faults, legRNG *rng.RNG, timeout time.Duration) (*sketch.FrequentDirections, error) {
+	var injectFail, injectDelay, injectCorrupt bool
+	if faults != nil {
+		injectFail = legRNG.Float64() < faults.FailProb
+		injectDelay = legRNG.Float64() < faults.DelayProb
+		injectCorrupt = legRNG.Float64() < faults.CorruptProb
+	}
+
+	work := func() (*sketch.FrequentDirections, error) {
+		acc := group[0].fd.Clone()
+		for _, nd := range group[1:] {
+			acc.Merge(nd.fd)
+			acc.Compact()
+		}
+		if injectDelay {
+			time.Sleep(faults.Delay)
+		}
+		if injectFail {
+			return nil, errLegFailed
+		}
+		if injectCorrupt {
+			acc.CorruptForTest(math.NaN())
+		}
+		if !acc.Finite() {
+			return nil, errLegCorrupt
+		}
+		return acc, nil
+	}
+
+	if timeout <= 0 {
+		return work()
+	}
+	type result struct {
+		fd  *sketch.FrequentDirections
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		fd, err := work()
+		done <- result{fd, err}
+	}()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case r := <-done:
+		return r.fd, r.err
+	case <-timer.C:
+		// The straggler goroutine finishes into the buffered channel
+		// and is collected; its clone never escapes.
+		return nil, errLegTimeout
+	}
+}
+
+// resketchShards rebuilds a sketch of the given shards from scratch,
+// serially — the recovery path for a lost merge leg.
+func resketchShards(covered []int, env *mergeEnv) *sketch.FrequentDirections {
+	var acc *sketch.FrequentDirections
+	for _, si := range covered {
+		fd := env.mk(env.shards[si])
+		fd.Compact()
+		if acc == nil {
+			acc = fd
+		} else {
+			acc.Merge(fd)
+			acc.Compact()
+		}
+	}
+	return acc
+}
+
+// coveredShards concatenates the shard index sets of a merge group.
+func coveredShards(group []*mergeNode) []int {
+	n := 0
+	for _, nd := range group {
+		n += len(nd.shards)
+	}
+	out := make([]int, 0, n)
+	for _, nd := range group {
+		out = append(out, nd.shards...)
+	}
+	return out
+}

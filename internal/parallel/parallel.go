@@ -59,15 +59,45 @@ func (s MergeStrategy) String() string {
 	}
 }
 
+// RoundStats is one tree level's merge-leg accounting. A leg is a
+// group fold of two or more sketches; pass-through singletons are not
+// legs. Failures counts failed attempts (injected faults, detected
+// corruption, timeouts), Retries the re-attempts after them, and
+// Resketches the legs that exhausted their retries and were recovered
+// by re-sketching their shards from source data.
+type RoundStats struct {
+	Legs       int
+	Failures   int
+	Retries    int
+	Resketches int
+	// Slowest is the round's slowest leg — its critical-path term.
+	Slowest time.Duration
+}
+
 // Stats reports the work performed by a parallel sketch run.
 type Stats struct {
 	Workers        int
-	LocalRotations int           // SVD rotations during per-shard sketching
-	MergeRotations int           // SVD rotations during merging
+	LocalRotations int // SVD rotations during per-shard sketching
+	// MergeRotations is the rotation count attributed to merging; when
+	// a lost leg was recovered, the recovery's re-sketch rotations are
+	// included here (the original shard pass was already billed to
+	// LocalRotations even though its result was discarded).
+	MergeRotations int
 	MergeRounds    int           // tree levels (1 chain for serial)
 	SketchTime     time.Duration // wall time of the shard-sketch phase
 	MergeTime      time.Duration // wall time of the merge phase
 	Total          time.Duration
+	// Rounds is the per-tree-level leg accounting (nil for serial
+	// merge and for RunSimulated).
+	Rounds []RoundStats
+	// LegFailures/LegRetries/Resketches aggregate Rounds; non-zero only
+	// under fault injection or leg timeouts.
+	LegFailures int
+	LegRetries  int
+	Resketches  int
+	// SerialFallback records that repeated leg losses degraded the run
+	// to a serial fold of the surviving sketches.
+	SerialFallback bool
 	// CriticalPath is the strong-scaling runtime on ideal hardware: the
 	// slowest single worker's sketch time, plus — for the tree — the
 	// sum over merge levels of each level's slowest merge, or — for the
@@ -95,15 +125,18 @@ func FDSketcher(ell int, opts sketch.Options) Sketcher {
 // Run sketches every shard concurrently (one goroutine per shard) and
 // merges the per-shard sketches with the chosen strategy (binary tree
 // for TreeMerge). It returns the global sketch and run statistics.
-func Run(shards []*mat.Matrix, mk Sketcher, strategy MergeStrategy) (*sketch.FrequentDirections, Stats) {
-	return RunArity(shards, mk, strategy, 2)
+// Options (WithFaults, WithRetry) configure the fault-tolerance layer
+// around tree-merge legs; with none, legs fold in place with zero
+// overhead.
+func Run(shards []*mat.Matrix, mk Sketcher, strategy MergeStrategy, options ...Option) (*sketch.FrequentDirections, Stats) {
+	return RunArity(shards, mk, strategy, 2, options...)
 }
 
 // RunArity is Run with a configurable tree arity: each tree level
 // groups `arity` sketches and folds each group with arity−1 sequential
 // merges, groups running concurrently — the general branching factor of
 // the appendix's mergeability proof. Arity is ignored for SerialMerge.
-func RunArity(shards []*mat.Matrix, mk Sketcher, strategy MergeStrategy, arity int) (*sketch.FrequentDirections, Stats) {
+func RunArity(shards []*mat.Matrix, mk Sketcher, strategy MergeStrategy, arity int, options ...Option) (*sketch.FrequentDirections, Stats) {
 	if len(shards) == 0 {
 		panic("parallel: no shards")
 	}
@@ -113,6 +146,7 @@ func RunArity(shards []*mat.Matrix, mk Sketcher, strategy MergeStrategy, arity i
 	if allShardsEmpty(shards) {
 		return emptyRun(shards, mk)
 	}
+	opts := newRunOptions(options)
 	stats := Stats{Workers: len(shards)}
 	obsRunsTotal.Inc()
 	obsWorkersGauge.SetInt(len(shards))
@@ -149,7 +183,12 @@ func RunArity(shards []*mat.Matrix, mk Sketcher, strategy MergeStrategy, arity i
 	var mergeCrit time.Duration
 	switch strategy {
 	case TreeMerge:
-		global, stats.MergeRounds, mergeCrit = treeMerge(local, arity)
+		nodes := make([]*mergeNode, len(local))
+		for i, fd := range local {
+			nodes[i] = &mergeNode{fd: fd, shards: []int{i}}
+		}
+		env := &mergeEnv{shards: shards, mk: mk, opts: opts, stats: &stats}
+		global, stats.MergeRounds, mergeCrit = treeMerge(nodes, arity, env)
 	case SerialMerge:
 		global, mergeCrit = serialMerge(local)
 		stats.MergeRounds = len(local) - 1
@@ -165,52 +204,88 @@ func RunArity(shards []*mat.Matrix, mk Sketcher, strategy MergeStrategy, arity i
 	return global, stats
 }
 
-// treeMerge reduces sketches in groups of `arity`; groups within one
-// round run concurrently, mirroring simultaneous MPI exchanges across
-// ranks, while the arity−1 merges inside a group are sequential. The
-// returned duration is the merge critical path: the sum over rounds of
-// each round's slowest group fold.
-func treeMerge(fds []*sketch.FrequentDirections, arity int) (*sketch.FrequentDirections, int, time.Duration) {
+// treeMerge reduces merge nodes in groups of `arity`; groups within
+// one round run concurrently, mirroring simultaneous MPI exchanges
+// across ranks, while the arity−1 merges inside a group are sequential
+// (one leg). Legs run through runLeg, which adds retry/timeout/
+// recovery semantics when the run is configured with WithFaults or
+// WithRetry; when too many legs are lost, the remaining nodes are
+// folded serially with no further fault exposure. The returned
+// duration is the merge critical path: the sum over rounds of each
+// round's slowest leg.
+func treeMerge(nodes []*mergeNode, arity int, env *mergeEnv) (*sketch.FrequentDirections, int, time.Duration) {
 	rounds := 0
 	var critical time.Duration
-	for len(fds) > 1 {
+	for len(nodes) > 1 {
+		if env.stats.Resketches > env.opts.retry.MaxFailedLegs {
+			// Too many lost legs: degrade to one serial fold of the
+			// surviving sketches — slower, but with no concurrent legs
+			// left to lose.
+			env.stats.SerialFallback = true
+			obsSerialFallbacks.Inc()
+			rounds++
+			t0 := time.Now()
+			acc := nodes[0].fd
+			for _, nd := range nodes[1:] {
+				acc.Merge(nd.fd)
+				acc.Compact()
+			}
+			d := time.Since(t0)
+			critical += d
+			env.stats.Rounds = append(env.stats.Rounds,
+				RoundStats{Legs: 1, Slowest: d})
+			return acc, rounds, critical
+		}
+
 		rounds++
 		spRound := obs.StartSpan("merge_round")
-		groups := (len(fds) + arity - 1) / arity
-		next := make([]*sketch.FrequentDirections, groups)
-		times := make([]time.Duration, groups)
+		groups := (len(nodes) + arity - 1) / arity
+		next := make([]*mergeNode, groups)
+		reports := make([]legReport, groups)
+		isLeg := make([]bool, groups)
 		var wg sync.WaitGroup
 		for gIdx := 0; gIdx < groups; gIdx++ {
 			lo := gIdx * arity
 			hi := lo + arity
-			if hi > len(fds) {
-				hi = len(fds)
+			if hi > len(nodes) {
+				hi = len(nodes)
 			}
+			if hi-lo == 1 {
+				next[gIdx] = nodes[lo] // pass-through, not a leg
+				continue
+			}
+			isLeg[gIdx] = true
 			wg.Add(1)
 			go func(gIdx, lo, hi int) {
 				defer wg.Done()
-				t0 := time.Now()
-				acc := fds[lo]
-				for i := lo + 1; i < hi; i++ {
-					acc.Merge(fds[i])
-					acc.Compact()
-				}
-				times[gIdx] = time.Since(t0)
-				next[gIdx] = acc
+				next[gIdx], reports[gIdx] = runLeg(rounds-1, gIdx, nodes[lo:hi], env)
 			}(gIdx, lo, hi)
 		}
 		wg.Wait()
 		spRound.End()
-		var slowest time.Duration
-		for _, t := range times {
-			if t > slowest {
-				slowest = t
+		rs := RoundStats{}
+		for gIdx, rep := range reports {
+			if !isLeg[gIdx] {
+				continue
+			}
+			rs.Legs++
+			rs.Failures += rep.failures
+			rs.Retries += rep.retries
+			if rep.resketch {
+				rs.Resketches++
+			}
+			if rep.duration > rs.Slowest {
+				rs.Slowest = rep.duration
 			}
 		}
-		critical += slowest
-		fds = next
+		env.stats.Rounds = append(env.stats.Rounds, rs)
+		env.stats.LegFailures += rs.Failures
+		env.stats.LegRetries += rs.Retries
+		env.stats.Resketches += rs.Resketches
+		critical += rs.Slowest
+		nodes = next
 	}
-	return fds[0], rounds, critical
+	return nodes[0].fd, rounds, critical
 }
 
 // serialMerge folds all sketches into the first, one at a time; every

@@ -179,7 +179,12 @@ func TestDegenerateInputs(t *testing.T) {
 			if len(shards) != tc.wantShards {
 				t.Fatalf("%s: SplitRows gave %d shards, want %d", tc.name, len(shards), tc.wantShards)
 			}
-			for _, run := range []func([]*mat.Matrix, Sketcher, MergeStrategy) (*sketch.FrequentDirections, Stats){Run, RunSimulated} {
+			for _, run := range []func([]*mat.Matrix, Sketcher, MergeStrategy) (*sketch.FrequentDirections, Stats){
+				func(s []*mat.Matrix, mk Sketcher, strat MergeStrategy) (*sketch.FrequentDirections, Stats) {
+					return Run(s, mk, strat)
+				},
+				RunSimulated,
+			} {
 				global, stats := run(shards, mk, strat)
 				if global.Seen() != tc.rows {
 					t.Fatalf("%s/%v: Seen = %d, want %d", tc.name, strat, global.Seen(), tc.rows)

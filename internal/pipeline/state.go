@@ -1,0 +1,90 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"arams/internal/sketch"
+)
+
+// FrameState is one preprocessed frame retained in the Monitor's
+// sliding window.
+type FrameState struct {
+	Vec []float64
+	Tag int
+}
+
+// MonitorState is a checkpointable snapshot of a Monitor: the sliding
+// window of preprocessed frames plus the full ARAMS sketch state. The
+// cached UMAP model is deliberately excluded — it is a pure
+// acceleration cache, and a restored monitor refits it on the first
+// full Snapshot. The pipeline Config is not serialized either; the
+// operator supplies the same Config on restart (it contains the
+// preprocessing chain and clustering parameters, which are code-level
+// choices, not stream state).
+type MonitorState struct {
+	Window  int
+	Ingests int
+	Frames  []FrameState
+	// Sketch is nil when nothing has been ingested yet.
+	Sketch *sketch.ARAMSState
+}
+
+// State captures the monitor's current state under its lock, so it is
+// safe to call concurrently with Ingest and Snapshot.
+func (m *Monitor) State() *MonitorState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := &MonitorState{
+		Window:  m.window,
+		Ingests: m.ingests,
+		Frames:  make([]FrameState, len(m.recent)),
+	}
+	for i, rf := range m.recent {
+		s.Frames[i] = FrameState{Vec: append([]float64(nil), rf.vec...), Tag: rf.tag}
+	}
+	if m.arams != nil {
+		as := m.arams.State()
+		s.Sketch = &as
+	}
+	return s
+}
+
+// NewMonitorFromState rebuilds a monitor from a snapshot, resuming the
+// stream exactly where the checkpoint left off. cfg must match the
+// configuration of the monitor that produced the snapshot; the sketch
+// dimension is cross-checked against the stored frames.
+func NewMonitorFromState(cfg Config, s *MonitorState) (*Monitor, error) {
+	if s == nil {
+		return nil, fmt.Errorf("pipeline: nil monitor state")
+	}
+	if s.Window <= 0 {
+		return nil, fmt.Errorf("pipeline: monitor state has window=%d", s.Window)
+	}
+	if s.Ingests < len(s.Frames) || len(s.Frames) > s.Window {
+		return nil, fmt.Errorf("pipeline: monitor state has %d frames for window=%d ingests=%d",
+			len(s.Frames), s.Window, s.Ingests)
+	}
+	if s.Sketch == nil && (s.Ingests > 0 || len(s.Frames) > 0) {
+		return nil, fmt.Errorf("pipeline: monitor state has %d ingests but no sketch", s.Ingests)
+	}
+	m := NewMonitor(cfg, s.Window)
+	if s.Sketch != nil {
+		a, err := sketch.NewARAMSFromState(*s.Sketch)
+		if err != nil {
+			return nil, err
+		}
+		for i, f := range s.Frames {
+			if len(f.Vec) != s.Sketch.D {
+				return nil, fmt.Errorf("pipeline: monitor state frame %d has %d features, sketch expects %d",
+					i, len(f.Vec), s.Sketch.D)
+			}
+		}
+		m.arams = a
+	}
+	m.recent = make([]*recentFrame, len(s.Frames))
+	for i, f := range s.Frames {
+		m.recent[i] = &recentFrame{vec: append([]float64(nil), f.Vec...), tag: f.Tag}
+	}
+	m.ingests = s.Ingests
+	return m, nil
+}

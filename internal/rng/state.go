@@ -1,0 +1,40 @@
+package rng
+
+// State is a complete snapshot of a generator, exposed so checkpoint
+// code can persist and restore the exact stream position. Restoring a
+// State and continuing to draw produces the identical sequence the
+// original generator would have produced, which is what makes a
+// restored sketch bit-reproducible: the priority-sampling and
+// probe draws after a restart match the uninterrupted run.
+type State struct {
+	Hi, Lo       uint64 // 128-bit LCG state
+	IncHi, IncLo uint64 // stream increment
+	HaveGauss    bool   // a spare Marsaglia deviate is cached
+	Gauss        float64
+}
+
+// State captures the generator's current state.
+func (r *RNG) State() State {
+	return State{
+		Hi: r.hi, Lo: r.lo,
+		IncHi: r.incHi, IncLo: r.incLo,
+		HaveGauss: r.haveGauss, Gauss: r.gauss,
+	}
+}
+
+// FromState reconstructs a generator from a snapshot. Valid returns
+// false for states whose increment is even (impossible for any
+// generator built by this package), which a caller restoring from an
+// untrusted checkpoint should treat as corruption.
+func FromState(s State) *RNG {
+	return &RNG{
+		hi: s.Hi, lo: s.Lo,
+		incHi: s.IncHi, incLo: s.IncLo,
+		haveGauss: s.HaveGauss, gauss: s.Gauss,
+	}
+}
+
+// Valid reports whether the state could have been produced by a
+// generator from this package: the LCG increment's low word must be
+// odd.
+func (s State) Valid() bool { return s.IncLo&1 == 1 }

@@ -1,0 +1,331 @@
+package sketch
+
+import (
+	"fmt"
+	"math"
+
+	"arams/internal/rng"
+)
+
+// This file defines exported state snapshots for every stateful
+// sketching structure, plus the constructors that rebuild a live
+// structure from a snapshot. They are the boundary between the
+// algorithms and internal/ckpt: the snapshot types carry plain data
+// only, the binary layout lives entirely in ckpt, and restoring a
+// snapshot then continuing the stream reproduces the uninterrupted
+// run bit-for-bit (RNG positions included).
+//
+// Constructors validate their input and return errors rather than
+// panicking, because snapshots may arrive from a checkpoint file that
+// passed its checksum but was written by a buggy or hostile producer.
+
+// FDState is a snapshot of a FrequentDirections sketch. Buffer holds
+// the occupied prefix of the 2ℓ×d buffer (NextZero rows, row-major);
+// the rows beyond it are zero by construction and are not stored. The
+// cached SVD factors are deliberately not part of the state: they are
+// recomputed deterministically from the buffer on first use after a
+// restore.
+type FDState struct {
+	Ell        int
+	D          int
+	Backend    SVDBackend
+	NextZero   int
+	Rotations  int
+	Seen       int
+	TotalDelta float64
+	Buffer     []float64 // NextZero×D occupied prefix, row-major
+}
+
+// State captures the sketch's current state.
+func (fd *FrequentDirections) State() FDState {
+	s := FDState{
+		Ell:        fd.ell,
+		D:          fd.d,
+		Backend:    fd.opts.Backend,
+		NextZero:   fd.nextZero,
+		Rotations:  fd.rotations,
+		Seen:       fd.seen,
+		TotalDelta: fd.totalDelta,
+		Buffer:     make([]float64, fd.nextZero*fd.d),
+	}
+	for i := 0; i < fd.nextZero; i++ {
+		copy(s.Buffer[i*fd.d:(i+1)*fd.d], fd.buffer.Row(i))
+	}
+	return s
+}
+
+// NewFDFromState rebuilds a sketch from a snapshot. The restored
+// sketch is marked dirty so Basis recomputes its factors from the
+// buffer instead of trusting anything stale.
+func NewFDFromState(s FDState) (*FrequentDirections, error) {
+	if s.Ell <= 0 || s.D <= 0 {
+		return nil, fmt.Errorf("sketch: FD state has invalid dimensions ℓ=%d d=%d", s.Ell, s.D)
+	}
+	if s.NextZero < 0 || s.NextZero > 2*s.Ell {
+		return nil, fmt.Errorf("sketch: FD state nextZero=%d out of range [0, %d]", s.NextZero, 2*s.Ell)
+	}
+	if len(s.Buffer) != s.NextZero*s.D {
+		return nil, fmt.Errorf("sketch: FD state buffer length %d != %d×%d", len(s.Buffer), s.NextZero, s.D)
+	}
+	if s.Rotations < 0 || s.Seen < 0 {
+		return nil, fmt.Errorf("sketch: FD state has negative counters (rotations=%d seen=%d)", s.Rotations, s.Seen)
+	}
+	if s.Backend != GramSVD && s.Backend != JacobiSVD {
+		return nil, fmt.Errorf("sketch: FD state has unknown SVD backend %d", int(s.Backend))
+	}
+	if math.IsNaN(s.TotalDelta) || math.IsInf(s.TotalDelta, 0) || s.TotalDelta < 0 {
+		return nil, fmt.Errorf("sketch: FD state has invalid total delta %v", s.TotalDelta)
+	}
+	fd := NewFrequentDirections(s.Ell, s.D, Options{Backend: s.Backend})
+	for i := 0; i < s.NextZero; i++ {
+		copy(fd.buffer.Row(i), s.Buffer[i*s.D:(i+1)*s.D])
+	}
+	fd.nextZero = s.NextZero
+	fd.rotations = s.Rotations
+	fd.seen = s.Seen
+	fd.totalDelta = s.TotalDelta
+	fd.dirty = true
+	return fd, nil
+}
+
+// Clone returns an independent deep copy of the sketch. The clone is
+// marked dirty so it never shares cached SVD factors with the
+// original; package parallel clones merge-leg accumulators so a failed
+// or corrupted leg attempt can be retried from pristine input.
+func (fd *FrequentDirections) Clone() *FrequentDirections {
+	return &FrequentDirections{
+		ell:        fd.ell,
+		d:          fd.d,
+		opts:       fd.opts,
+		buffer:     fd.buffer.Clone(),
+		nextZero:   fd.nextZero,
+		rotations:  fd.rotations,
+		seen:       fd.seen,
+		totalDelta: fd.totalDelta,
+		dirty:      true,
+	}
+}
+
+// RankAdaptiveState is a snapshot of a RankAdaptiveFD: the underlying
+// FD state plus the rank-adaptation bookkeeping of Algorithm 2 and the
+// probe RNG position.
+type RankAdaptiveState struct {
+	FD          FDState
+	Nu          int
+	Eps         float64
+	Estimator   EstimatorKind
+	RNG         rng.State
+	Recent      [][]float64 // ring of last ≤ℓ rows, oldest first, each of length D
+	IncreaseEll bool
+	RowsLeft    int // -1 when the stream length is unknown
+	Grows       int
+}
+
+// State captures the rank-adaptive sketch's current state.
+func (r *RankAdaptiveFD) State() RankAdaptiveState {
+	recent := make([][]float64, len(r.recent))
+	for i, row := range r.recent {
+		recent[i] = append([]float64(nil), row...)
+	}
+	return RankAdaptiveState{
+		FD:          r.fd.State(),
+		Nu:          r.nu,
+		Eps:         r.eps,
+		Estimator:   r.estimator,
+		RNG:         r.g.State(),
+		Recent:      recent,
+		IncreaseEll: r.increaseEll,
+		RowsLeft:    r.rowsLeft,
+		Grows:       r.grows,
+	}
+}
+
+// NewRankAdaptiveFromState rebuilds a rank-adaptive sketch from a
+// snapshot.
+func NewRankAdaptiveFromState(s RankAdaptiveState) (*RankAdaptiveFD, error) {
+	fd, err := NewFDFromState(s.FD)
+	if err != nil {
+		return nil, err
+	}
+	if s.Nu <= 0 {
+		return nil, fmt.Errorf("sketch: rank-adaptive state has nu=%d", s.Nu)
+	}
+	if !(s.Eps > 0) || math.IsInf(s.Eps, 0) {
+		return nil, fmt.Errorf("sketch: rank-adaptive state has eps=%v", s.Eps)
+	}
+	if s.Estimator < GaussianProbe || s.Estimator > HutchPP {
+		return nil, fmt.Errorf("sketch: rank-adaptive state has unknown estimator %d", int(s.Estimator))
+	}
+	if !s.RNG.Valid() {
+		return nil, fmt.Errorf("sketch: rank-adaptive state has invalid RNG state")
+	}
+	if len(s.Recent) > fd.Ell() {
+		return nil, fmt.Errorf("sketch: rank-adaptive state recent ring %d exceeds ℓ=%d", len(s.Recent), fd.Ell())
+	}
+	if s.RowsLeft < -1 || s.Grows < 0 {
+		return nil, fmt.Errorf("sketch: rank-adaptive state has invalid counters (rowsLeft=%d grows=%d)", s.RowsLeft, s.Grows)
+	}
+	recent := make([][]float64, len(s.Recent))
+	for i, row := range s.Recent {
+		if len(row) != fd.Dim() {
+			return nil, fmt.Errorf("sketch: rank-adaptive state recent row %d has length %d != d=%d", i, len(row), fd.Dim())
+		}
+		recent[i] = append([]float64(nil), row...)
+	}
+	return &RankAdaptiveFD{
+		fd:          fd,
+		nu:          s.Nu,
+		eps:         s.Eps,
+		estimator:   s.Estimator,
+		g:           rng.FromState(s.RNG),
+		recent:      recent,
+		increaseEll: s.IncreaseEll,
+		rowsLeft:    s.RowsLeft,
+		grows:       s.Grows,
+	}, nil
+}
+
+// PriorityEntry is one heap slot of a PrioritySampler snapshot. Row is
+// nil for weight-only streams.
+type PriorityEntry struct {
+	Priority float64
+	Weight   float64
+	Index    int
+	Row      []float64
+}
+
+// PriorityState is a snapshot of a PrioritySampler. Entries preserve
+// the internal heap order so a restored sampler's future evictions
+// match the original exactly.
+type PriorityState struct {
+	M       int
+	Seen    int
+	RNG     rng.State
+	Entries []PriorityEntry
+}
+
+// State captures the sampler's current state.
+func (p *PrioritySampler) State() PriorityState {
+	entries := make([]PriorityEntry, len(p.heap))
+	for i, e := range p.heap {
+		var row []float64
+		if e.row != nil {
+			row = append([]float64(nil), e.row...)
+		}
+		entries[i] = PriorityEntry{Priority: e.priority, Weight: e.weight, Index: e.index, Row: row}
+	}
+	return PriorityState{M: p.m, Seen: p.seen, RNG: p.g.State(), Entries: entries}
+}
+
+// NewPriorityFromState rebuilds a sampler from a snapshot.
+func NewPriorityFromState(s PriorityState) (*PrioritySampler, error) {
+	if s.M <= 0 {
+		return nil, fmt.Errorf("sketch: priority state has m=%d", s.M)
+	}
+	if s.Seen < 0 || len(s.Entries) > s.M+1 {
+		return nil, fmt.Errorf("sketch: priority state has seen=%d, %d entries for m=%d", s.Seen, len(s.Entries), s.M)
+	}
+	if !s.RNG.Valid() {
+		return nil, fmt.Errorf("sketch: priority state has invalid RNG state")
+	}
+	heap := make([]entry, len(s.Entries))
+	for i, e := range s.Entries {
+		if math.IsNaN(e.Priority) || math.IsNaN(e.Weight) || e.Index < 0 || e.Index >= s.Seen {
+			return nil, fmt.Errorf("sketch: priority state entry %d is invalid", i)
+		}
+		var row []float64
+		if e.Row != nil {
+			row = append([]float64(nil), e.Row...)
+		}
+		heap[i] = entry{priority: e.Priority, weight: e.Weight, index: e.Index, row: row}
+	}
+	return &PrioritySampler{m: s.M, g: rng.FromState(s.RNG), heap: heap, seen: s.Seen}, nil
+}
+
+// ARAMSState is a snapshot of a streaming ARAMS sketcher: the
+// configuration, the batch-sampler RNG position, and exactly one of
+// the two sketch variants.
+type ARAMSState struct {
+	Cfg Config
+	D   int
+	RNG rng.State
+	// RankAdaptive is non-nil when Cfg.RankAdaptive, FD otherwise.
+	RankAdaptive *RankAdaptiveState
+	FD           *FDState
+}
+
+// State captures the sketcher's current state.
+func (a *ARAMS) State() ARAMSState {
+	s := ARAMSState{Cfg: a.cfg, D: a.d, RNG: a.g.State()}
+	if a.rafd != nil {
+		ra := a.rafd.State()
+		s.RankAdaptive = &ra
+	} else {
+		fd := a.fd.State()
+		s.FD = &fd
+	}
+	return s
+}
+
+// NewARAMSFromState rebuilds a streaming sketcher from a snapshot.
+func NewARAMSFromState(s ARAMSState) (*ARAMS, error) {
+	if s.D <= 0 {
+		return nil, fmt.Errorf("sketch: ARAMS state has d=%d", s.D)
+	}
+	if s.Cfg.Ell0 <= 0 {
+		return nil, fmt.Errorf("sketch: ARAMS state has Ell0=%d", s.Cfg.Ell0)
+	}
+	if !s.RNG.Valid() {
+		return nil, fmt.Errorf("sketch: ARAMS state has invalid RNG state")
+	}
+	a := &ARAMS{cfg: s.Cfg, d: s.D, g: rng.FromState(s.RNG)}
+	switch {
+	case s.Cfg.RankAdaptive && s.RankAdaptive != nil && s.FD == nil:
+		rafd, err := NewRankAdaptiveFromState(*s.RankAdaptive)
+		if err != nil {
+			return nil, err
+		}
+		if rafd.fd.Dim() != s.D {
+			return nil, fmt.Errorf("sketch: ARAMS state dimension %d != inner sketch dimension %d", s.D, rafd.fd.Dim())
+		}
+		a.rafd = rafd
+	case !s.Cfg.RankAdaptive && s.FD != nil && s.RankAdaptive == nil:
+		fd, err := NewFDFromState(*s.FD)
+		if err != nil {
+			return nil, err
+		}
+		if fd.Dim() != s.D {
+			return nil, fmt.Errorf("sketch: ARAMS state dimension %d != inner sketch dimension %d", s.D, fd.Dim())
+		}
+		a.fd = fd
+	default:
+		return nil, fmt.Errorf("sketch: ARAMS state variant does not match Cfg.RankAdaptive=%v", s.Cfg.RankAdaptive)
+	}
+	return a, nil
+}
+
+// CorruptForTest deliberately poisons one buffer value. It exists so
+// the fault-injection harness in package parallel can simulate a
+// corrupted merge leg through the public API; it is not used by any
+// production path.
+func (fd *FrequentDirections) CorruptForTest(v float64) {
+	if fd.nextZero == 0 {
+		fd.nextZero = 1
+	}
+	fd.buffer.Row(0)[0] = v
+	fd.dirty = true
+}
+
+// Finite reports whether every occupied buffer value is finite — the
+// validation the merge-leg retry path runs to detect a corrupted
+// sketch before folding it into the global summary.
+func (fd *FrequentDirections) Finite() bool {
+	for i := 0; i < fd.nextZero; i++ {
+		for _, v := range fd.buffer.Row(i) {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+	}
+	return true
+}
