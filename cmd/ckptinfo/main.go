@@ -1,17 +1,22 @@
 // Command ckptinfo inspects ARAMS checkpoint files: it prints the
 // frame header (version, kind, payload size, checksum verdict) and a
 // per-kind summary of the decoded state — the operator's first stop
-// when deciding whether a checkpoint is safe to restore from.
+// when deciding whether a checkpoint is safe to restore from. The
+// summary includes the sketch's error-bound certificate (accumulated
+// shrinkage mass and the relative covariance bound), so "how accurate
+// was the sketch at this checkpoint" is answerable offline.
 //
 // Usage:
 //
 //	ckptinfo ckpt/lclsmon.ckpt [more.ckpt ...]
+//	ckptinfo -json ckpt/lclsmon.ckpt   # machine-readable, one JSON object per file
 //
 // Exit status is non-zero if any file fails to decode, so the tool can
 // gate a restore in a restart script.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,8 +27,9 @@ import (
 )
 
 func main() {
+	jsonOut := flag.Bool("json", false, "emit one JSON object per file instead of text")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s <checkpoint-file> [...]\n", os.Args[0])
+		fmt.Fprintf(os.Stderr, "usage: %s [-json] <checkpoint-file> [...]\n", os.Args[0])
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -33,7 +39,13 @@ func main() {
 	}
 	bad := 0
 	for _, path := range flag.Args() {
-		if err := describe(path); err != nil {
+		var err error
+		if *jsonOut {
+			err = describeJSON(path)
+		} else {
+			err = describe(path)
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
 			bad++
 		}
@@ -85,6 +97,15 @@ func describeState(state any, indent string) {
 		} else {
 			describeARAMS(s.Sketch, indent)
 		}
+		if s.Audit != nil {
+			fmt.Printf("%saudit:    %d batches audited, %d alarms, detectors %s/%s\n",
+				indent, s.Audit.Batches, s.Audit.Alarms,
+				s.Audit.Residual.Kind, s.Audit.Accept.Kind)
+		}
+		if s.Journal != nil {
+			fmt.Printf("%sjournal:  seq %d, %d events retained\n",
+				indent, s.Journal.Seq, len(s.Journal.Events))
+		}
 	default:
 		fmt.Printf("%sstate:    %T (no summary available)\n", indent, s)
 	}
@@ -95,6 +116,10 @@ func describeFD(s *sketch.FDState, indent string) {
 		indent, s.Ell, s.D, s.NextZero, 2*s.Ell, s.Rotations, s.Seen)
 	fmt.Printf("%serror:    accumulated shrinkage Δ=%.6g (covariance bound ‖AᵀA−BᵀB‖₂ ≤ Δ)\n",
 		indent, s.TotalDelta)
+	if s.FrobMass > 0 {
+		fmt.Printf("%s          stream energy ‖A‖_F²=%.6g, relative bound %.6g, a-priori %.6g\n",
+			indent, s.FrobMass, s.TotalDelta/s.FrobMass, s.FrobMass/float64(s.Ell))
+	}
 }
 
 func describeRankAdaptive(s *sketch.RankAdaptiveState, indent string) {
@@ -111,5 +136,128 @@ func describeARAMS(s *sketch.ARAMSState, indent string) {
 		describeRankAdaptive(s.RankAdaptive, indent)
 	case s.FD != nil:
 		describeFD(s.FD, indent)
+	}
+}
+
+// --- JSON output ---
+
+// jsonCert is the certificate block of the JSON exposition, derived
+// from an FDState exactly like audit.Certificate derives it from a
+// live sketch.
+type jsonCert struct {
+	Ell          int     `json:"ell"`
+	Dim          int     `json:"dim"`
+	RowsSeen     int     `json:"rows_seen"`
+	Rotations    int     `json:"rotations"`
+	ShrinkMass   float64 `json:"shrink_mass"`
+	FrobMass     float64 `json:"frob_mass"`
+	CovBound     float64 `json:"cov_bound"`
+	RelBound     float64 `json:"rel_bound"`
+	AprioriBound float64 `json:"apriori_bound"`
+}
+
+type jsonInfo struct {
+	Path       string `json:"path"`
+	Bytes      int    `json:"bytes"`
+	Version    uint32 `json:"version"`
+	Kind       string `json:"kind"`
+	PayloadLen uint64 `json:"payload_len"`
+	ChecksumOK bool   `json:"checksum_ok"`
+
+	Certificate *jsonCert `json:"certificate,omitempty"`
+	RankGrows   *int      `json:"rank_grows,omitempty"`
+	Beta        *float64  `json:"beta,omitempty"`
+
+	MonitorIngests *int   `json:"monitor_ingests,omitempty"`
+	MonitorWindow  *int   `json:"monitor_window,omitempty"`
+	MonitorFrames  *int   `json:"monitor_frames,omitempty"`
+	AuditBatches   *int64 `json:"audit_batches,omitempty"`
+	AuditAlarms    *int64 `json:"audit_alarms,omitempty"`
+	JournalSeq     *int64 `json:"journal_seq,omitempty"`
+	JournalEvents  *int   `json:"journal_events,omitempty"`
+
+	SamplerEntries *int `json:"sampler_entries,omitempty"`
+}
+
+func certOf(s *sketch.FDState) *jsonCert {
+	c := &jsonCert{
+		Ell: s.Ell, Dim: s.D, RowsSeen: s.Seen, Rotations: s.Rotations,
+		ShrinkMass: s.TotalDelta, FrobMass: s.FrobMass, CovBound: s.TotalDelta,
+	}
+	if s.FrobMass > 0 {
+		c.RelBound = s.TotalDelta / s.FrobMass
+		if s.Ell > 0 {
+			c.AprioriBound = s.FrobMass / float64(s.Ell)
+		}
+	}
+	return c
+}
+
+// describeJSON emits one machine-readable JSON object for the file on
+// stdout.
+func describeJSON(path string) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	h, err := ckpt.Peek(b)
+	if err != nil {
+		return err
+	}
+	info := jsonInfo{
+		Path: path, Bytes: len(b),
+		Version: h.Version, Kind: h.Kind.String(),
+		PayloadLen: h.PayloadLen, ChecksumOK: h.ChecksumOK,
+	}
+	state, err := ckpt.Unmarshal(b)
+	if err != nil {
+		return err
+	}
+	fillJSON(&info, state)
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(info)
+}
+
+func fillJSON(info *jsonInfo, state any) {
+	intp := func(v int) *int { return &v }
+	switch s := state.(type) {
+	case *sketch.FDState:
+		info.Certificate = certOf(s)
+	case *sketch.RankAdaptiveState:
+		info.Certificate = certOf(&s.FD)
+		info.RankGrows = intp(s.Grows)
+	case *sketch.PriorityState:
+		info.SamplerEntries = intp(len(s.Entries))
+	case *sketch.ARAMSState:
+		fillARAMS(info, s)
+	case *pipeline.MonitorState:
+		info.MonitorIngests = intp(s.Ingests)
+		info.MonitorWindow = intp(s.Window)
+		info.MonitorFrames = intp(len(s.Frames))
+		if s.Sketch != nil {
+			fillARAMS(info, s.Sketch)
+		}
+		if s.Audit != nil {
+			info.AuditBatches = &s.Audit.Batches
+			info.AuditAlarms = &s.Audit.Alarms
+		}
+		if s.Journal != nil {
+			info.JournalSeq = &s.Journal.Seq
+			n := len(s.Journal.Events)
+			info.JournalEvents = &n
+		}
+	}
+}
+
+func fillARAMS(info *jsonInfo, s *sketch.ARAMSState) {
+	info.Beta = &s.Cfg.Beta
+	switch {
+	case s.RankAdaptive != nil:
+		info.Certificate = certOf(&s.RankAdaptive.FD)
+		g := s.RankAdaptive.Grows
+		info.RankGrows = &g
+	case s.FD != nil:
+		info.Certificate = certOf(s.FD)
 	}
 }

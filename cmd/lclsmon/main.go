@@ -39,6 +39,7 @@ import (
 	"path/filepath"
 	"syscall"
 
+	"arams/internal/audit"
 	"arams/internal/ckpt"
 	"arams/internal/imgproc"
 	"arams/internal/lcls"
@@ -66,10 +67,14 @@ func main() {
 	ckptEvery := flag.Int("checkpoint-every", 256, "streaming mode: checkpoint every N ingested frames")
 	restore := flag.Bool("restore", false, "resume from the checkpoint in -checkpoint-dir before ingesting")
 	window := flag.Int("window", 0, "streaming mode: snapshot window size (0 = whole run)")
+	auditLog := flag.String("audit-log", "", "append audit journal events to this JSONL file")
+	alarmThreshold := flag.Float64("alarm-threshold", 0.5, "Page-Hinkley λ for the residual drift detector")
+	auditEvery := flag.Int("audit-every", 32, "streaming mode: audit the sketch every N frames")
 	verbosity := flag.Int("v", 0, "log verbosity: 0=info, 1=debug")
 	flag.Parse()
 
 	setupLogging(*verbosity)
+	auditor := setupAudit(*auditLog, *alarmThreshold)
 	hold := serveObs(*listen)
 
 	if *restore && *ckptDir == "" {
@@ -103,6 +108,8 @@ func main() {
 		LatentDim:  *latent,
 		UMAP:       umap.Config{NNeighbors: 20, NEpochs: 200, Seed: *seed + 1},
 		UseHDBSCAN: *useHDBSCAN,
+		Audit:      auditor,
+		AuditEvery: *auditEvery,
 	}
 
 	if *ckptDir != "" {
@@ -119,6 +126,12 @@ func main() {
 
 	res := pipeline.Process(run.Frames, cfg)
 
+	cert := res.ParallelStats.Certificate
+	slog.Info("sketch certificate",
+		"rows", cert.Rows, "ell", cert.Ell, "rotations", cert.Rotations,
+		"cov_bound", fmt.Sprintf("%.6g", cert.CovBound()),
+		"rel_bound", fmt.Sprintf("%.6g", cert.RelBound()),
+		"apriori_bound", fmt.Sprintf("%.6g", cert.AprioriBound()))
 	slog.Info("pipeline complete",
 		"directions", res.Basis.RowsN,
 		"frames_per_sec", fmt.Sprintf("%.0f", res.SketchThroughput),
@@ -233,12 +246,15 @@ func runStreaming(run *lcls.Run, cfg pipeline.Config, opts streamOpts) {
 				slog.Error("checkpoint failed", "frame", i+1, "err", err)
 			} else {
 				slog.Debug("checkpoint written", "frame", i+1, "path", path)
+				journalSave(cfg, i+1)
 			}
 		}
 	}
 	// Final checkpoint so a restart after a completed stream is a no-op.
 	if err := ckpt.Save(path, m.State()); err != nil {
 		slog.Error("final checkpoint failed", "err", err)
+	} else {
+		journalSave(cfg, m.Ingested())
 	}
 	slog.Info("stream complete",
 		"frames", m.Ingested(), "resumed_at", start, "directions", m.Ell(), "checkpoint", path)
@@ -275,6 +291,50 @@ func runStreaming(run *lcls.Run, cfg pipeline.Config, opts streamOpts) {
 	slog.Info("embedding written", "path", opts.html)
 }
 
+// setupAudit builds the run's sketch-quality auditor: a Page-Hinkley
+// residual detector with the -alarm-threshold λ, alarms logged via
+// slog, an optional JSONL journal sink, and the /audit endpoint
+// mounted on the observability mux. Audit events also land in the
+// journal the endpoint serves.
+func setupAudit(logPath string, lambda float64) *audit.Auditor {
+	journal := audit.Default()
+	if logPath != "" {
+		f, err := os.OpenFile(logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal("opening audit log", err)
+		}
+		// The sink stays attached for the process lifetime; the OS
+		// closes it on exit, and JSONL appends are line-atomic.
+		journal.SetSink(f)
+		slog.Info("audit journal sink attached", "path", logPath)
+	}
+	// The drift allowance scales with the alarm threshold so one knob
+	// tunes the detector: a sustained shift a tenth of λ per batch is
+	// treated as drift, anything smaller as noise.
+	auditor := audit.New(audit.Config{
+		Residual: audit.NewPageHinkley(lambda/10, lambda),
+		Journal:  journal,
+		OnAlarm: func(a audit.Alarm) {
+			slog.Warn("sketch drift alarm",
+				"signal", a.Signal, "value", fmt.Sprintf("%.6g", a.Value),
+				"batch", a.Batch, "journal_seq", a.Seq)
+		},
+	})
+	obs.Handle("/audit", audit.Handler(auditor, journal))
+	return auditor
+}
+
+// journalSave records a checkpoint-save event in the audit journal.
+// The event lands after the saved snapshot was cut, so a checkpoint
+// never contains its own save event.
+func journalSave(cfg pipeline.Config, frame int) {
+	if cfg.Audit == nil {
+		return
+	}
+	cfg.Audit.Journal().Record(audit.KindCheckpointSave,
+		"monitor state checkpointed", audit.A("frame", float64(frame)))
+}
+
 // setupLogging installs a slog text handler on stderr at the level the
 // -v flag selects.
 func setupLogging(verbosity int) {
@@ -298,7 +358,7 @@ func serveObs(addr string) (hold func()) {
 	}
 	slog.Info("observability server listening",
 		"addr", ln.Addr().String(),
-		"endpoints", "/metrics /metrics.json /healthz /statusz /debug/pprof/")
+		"endpoints", "/metrics /metrics.json /healthz /statusz /audit /debug/pprof/")
 	go func() {
 		if err := (&http.Server{Handler: obs.Handler()}).Serve(ln); err != nil {
 			slog.Error("observability server stopped", "err", err)

@@ -23,6 +23,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"arams/internal/audit"
 	"arams/internal/lcls"
 	"arams/internal/obs"
 )
@@ -52,9 +53,12 @@ func main() {
 		if err != nil {
 			fatal("starting observability server", err)
 		}
+		// Journal-only audit surface: the simulator has no sketch to
+		// certify, but events other tooling records still show up.
+		obs.Handle("/audit", audit.Handler(nil, nil))
 		slog.Info("observability server listening",
 			"addr", ln.Addr().String(),
-			"endpoints", "/metrics /metrics.json /healthz /statusz /debug/pprof/")
+			"endpoints", "/metrics /metrics.json /healthz /statusz /audit /debug/pprof/")
 		go func() {
 			if err := (&http.Server{Handler: obs.Handler()}).Serve(ln); err != nil {
 				slog.Error("observability server stopped", "err", err)

@@ -1,0 +1,185 @@
+package audit_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"arams/internal/audit"
+	"arams/internal/mat"
+	"arams/internal/rng"
+	"arams/internal/sketch"
+)
+
+// certSlack is the numeric headroom allowed between the exact spectral
+// norm (power iteration, ~1e-10 relative) and the certified bound,
+// scaled by the stream energy so the tolerance is meaningful at any
+// data scale.
+func certSlack(c audit.Certificate) float64 { return 1e-8 * (1 + c.FrobMass) }
+
+// TestCertificateSerialFDGroundTruth checks the certificate against
+// exact arithmetic: for a serially-built Frequent Directions sketch,
+// the true ‖AᵀA − BᵀB‖₂ (no sampling, computed by power iteration on
+// the full data) must not exceed the certified CovBound, which in turn
+// must not exceed the a-priori ‖A‖_F²/ℓ worst case.
+func TestCertificateSerialFDGroundTruth(t *testing.T) {
+	for _, tc := range []struct{ n, d, ell int }{
+		{80, 8, 4},
+		{150, 12, 6},
+		{200, 20, 5},
+		{64, 6, 3},
+	} {
+		g := rng.New(uint64(tc.n*1000 + tc.d))
+		x := mat.RandGaussian(tc.n, tc.d, g)
+		fd := sketch.NewFrequentDirections(tc.ell, tc.d, sketch.Options{})
+		fd.AppendMatrix(x)
+		cert := audit.FromSketch(fd)
+
+		exact := sketch.CovErr(x, fd.Sketch())
+		if exact > cert.CovBound()+certSlack(cert) {
+			t.Fatalf("n=%d d=%d ℓ=%d: exact error %v exceeds certified bound %v",
+				tc.n, tc.d, tc.ell, exact, cert.CovBound())
+		}
+		if cert.CovBound() > cert.AprioriBound()+certSlack(cert) {
+			t.Fatalf("online bound %v exceeds a-priori bound %v", cert.CovBound(), cert.AprioriBound())
+		}
+		wantMass := x.FrobeniusNormSq()
+		if math.Abs(cert.FrobMass-wantMass) > 1e-9*(1+wantMass) {
+			t.Fatalf("FrobMass = %v, want ‖A‖_F² = %v", cert.FrobMass, wantMass)
+		}
+		if cert.Rows != tc.n || cert.Dim != tc.d || cert.Ell != tc.ell {
+			t.Fatalf("certificate shape %d×%d ℓ=%d, want %d×%d ℓ=%d",
+				cert.Rows, cert.Dim, cert.Ell, tc.n, tc.d, tc.ell)
+		}
+		if got, want := cert.RelBound(), cert.ShrinkMass/cert.FrobMass; got != want {
+			t.Fatalf("RelBound = %v, want %v", got, want)
+		}
+		if got, want := cert.Tightening(), cert.CovBound()/cert.AprioriBound(); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("Tightening = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestCertificateRankAdaptiveGroundTruth runs the same exactness check
+// through the rank-adaptive ARAMS stack (β = 1, so no sampling: the
+// sketch summarizes exactly the data we compare against). Rank growth
+// must not break the certified bound.
+func TestCertificateRankAdaptiveGroundTruth(t *testing.T) {
+	const n, d = 240, 16
+	g := rng.New(42)
+	x := mat.RandGaussian(n, d, g)
+	a := sketch.NewARAMS(sketch.Config{
+		Ell0: 4, Beta: 1, Seed: 9, RankAdaptive: true, Eps: 0.2, Nu: 4,
+	}, d, n)
+	// Feed in uneven batches so growth happens mid-stream.
+	for lo := 0; lo < n; {
+		hi := lo + 30
+		if hi > n {
+			hi = n
+		}
+		a.ProcessBatch(x.Rows(lo, hi))
+		lo = hi
+	}
+	cert := audit.FromSketch(a.FD())
+	exact := sketch.CovErr(x, a.Sketch())
+	if exact > cert.CovBound()+certSlack(cert) {
+		t.Fatalf("rank-adaptive exact error %v exceeds certified bound %v (ℓ ended at %d)",
+			exact, cert.CovBound(), cert.Ell)
+	}
+	wantMass := x.FrobeniusNormSq()
+	if math.Abs(cert.FrobMass-wantMass) > 1e-9*(1+wantMass) {
+		t.Fatalf("rank-adaptive FrobMass = %v, want %v", cert.FrobMass, wantMass)
+	}
+	if cert.Rows != n {
+		t.Fatalf("rank-adaptive certificate rows = %d, want %d", cert.Rows, n)
+	}
+}
+
+// TestCertificateEmptySketch pins the degenerate case: a sketch that
+// has seen nothing certifies a zero bound with no NaNs anywhere.
+func TestCertificateEmptySketch(t *testing.T) {
+	fd := sketch.NewFrequentDirections(4, 8, sketch.Options{})
+	cert := audit.FromSketch(fd)
+	for name, v := range map[string]float64{
+		"CovBound":     cert.CovBound(),
+		"RelBound":     cert.RelBound(),
+		"AprioriBound": cert.AprioriBound(),
+		"Tightening":   cert.Tightening(),
+	} {
+		if v != 0 || math.IsNaN(v) {
+			t.Fatalf("empty sketch %s = %v, want 0", name, v)
+		}
+	}
+}
+
+// TestCertificateCompose checks the mergeability composition: the
+// composed child statement is a valid conservative account of the
+// merged sketch — masses and rows add, and the live merged sketch's
+// shrinkage is at least the composed children's (merge rotations only
+// add shrinkage).
+func TestCertificateCompose(t *testing.T) {
+	const n, d, ell = 180, 10, 5
+	g := rng.New(7)
+	x := mat.RandGaussian(n, d, g)
+	cuts := []int{0, 50, 130, n}
+
+	var children []audit.Certificate
+	var shards []*sketch.FrequentDirections
+	for i := 0; i+1 < len(cuts); i++ {
+		fd := sketch.NewFrequentDirections(ell, d, sketch.Options{})
+		fd.AppendMatrix(x.Rows(cuts[i], cuts[i+1]))
+		shards = append(shards, fd)
+		children = append(children, audit.FromSketch(fd))
+	}
+	composed := audit.Compose(children...)
+	if composed.Rows != n {
+		t.Fatalf("composed rows = %d, want %d", composed.Rows, n)
+	}
+	wantMass := x.FrobeniusNormSq()
+	if math.Abs(composed.FrobMass-wantMass) > 1e-9*(1+wantMass) {
+		t.Fatalf("composed FrobMass = %v, want %v", composed.FrobMass, wantMass)
+	}
+	var wantShrink float64
+	for _, c := range children {
+		wantShrink += c.ShrinkMass
+	}
+	if math.Abs(composed.ShrinkMass-wantShrink) > 1e-12*(1+wantShrink) {
+		t.Fatalf("composed ShrinkMass = %v, want Σ children = %v", composed.ShrinkMass, wantShrink)
+	}
+
+	acc := shards[0]
+	for _, fd := range shards[1:] {
+		acc.Merge(fd)
+		acc.Compact()
+	}
+	merged := audit.FromSketch(acc)
+	if merged.ShrinkMass < composed.ShrinkMass-1e-12*(1+composed.ShrinkMass) {
+		t.Fatalf("merged ShrinkMass %v below composed children %v — merge lost shrinkage",
+			merged.ShrinkMass, composed.ShrinkMass)
+	}
+	if math.Abs(merged.FrobMass-composed.FrobMass) > 1e-9*(1+wantMass) {
+		t.Fatalf("merged FrobMass %v != composed %v", merged.FrobMass, composed.FrobMass)
+	}
+	if merged.Rows != composed.Rows {
+		t.Fatalf("merged rows %d != composed %d", merged.Rows, composed.Rows)
+	}
+	// The merged sketch's certificate still bounds the exact error.
+	exact := sketch.CovErr(x, acc.Sketch())
+	if exact > merged.CovBound()+certSlack(merged) {
+		t.Fatalf("merged exact error %v exceeds bound %v", exact, merged.CovBound())
+	}
+}
+
+// TestComposeTracksMaxima pins the non-additive fields: rank and
+// dimension compose as maxima, the timestamp as the latest.
+func TestComposeTracksMaxima(t *testing.T) {
+	t1 := time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)
+	t2 := t1.Add(time.Hour)
+	c := audit.Compose(
+		audit.Certificate{Ell: 4, Dim: 8, Time: t2},
+		audit.Certificate{Ell: 9, Dim: 6, Time: t1},
+	)
+	if c.Ell != 9 || c.Dim != 8 || !c.Time.Equal(t2) {
+		t.Fatalf("composed ℓ=%d dim=%d time=%v, want ℓ=9 dim=8 time=%v", c.Ell, c.Dim, c.Time, t2)
+	}
+}

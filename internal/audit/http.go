@@ -1,0 +1,100 @@
+package audit
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"text/tabwriter"
+)
+
+// auditDump is the JSON document served at /audit.
+type auditDump struct {
+	// Certificate is the most recent error-bound certificate, with the
+	// derived bounds pre-computed for consumers.
+	Certificate  Certificate `json:"certificate"`
+	CovBound     float64     `json:"cov_bound"`
+	RelBound     float64     `json:"rel_bound"`
+	AprioriBound float64     `json:"apriori_bound"`
+	Tightening   float64     `json:"tightening"`
+	Batches      int64       `json:"batches"`
+	Alarms       int64       `json:"alarms"`
+	Events       []Event     `json:"events"`
+}
+
+// Handler serves the audit surface: the current certificate plus the
+// journal, as JSON by default or a human-readable table with
+// ?format=table. Query parameters: kind (filter one event kind),
+// since (sequence floor), n (last N events; default 100, 0 = all).
+// auditor may be nil (journal-only processes); journal may be nil to
+// use the default journal.
+func Handler(auditor *Auditor, journal *Journal) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		j := journal
+		if j == nil {
+			if auditor != nil {
+				j = auditor.Journal()
+			} else {
+				j = Default()
+			}
+		}
+		q := Query{Kind: EventKind(req.URL.Query().Get("kind")), Last: 100}
+		if s := req.URL.Query().Get("n"); s != "" {
+			if n, err := strconv.Atoi(s); err == nil && n >= 0 {
+				q.Last = n
+			}
+		}
+		if s := req.URL.Query().Get("since"); s != "" {
+			if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+				q.SinceSeq = n
+			}
+		}
+		dump := auditDump{Events: j.Query(q)}
+		if auditor != nil {
+			c := auditor.LastCertificate()
+			dump.Certificate = c
+			dump.CovBound = c.CovBound()
+			dump.RelBound = c.RelBound()
+			dump.AprioriBound = c.AprioriBound()
+			dump.Tightening = c.Tightening()
+			dump.Batches = auditor.Batches()
+			dump.Alarms = auditor.Alarms()
+		}
+		if req.URL.Query().Get("format") == "table" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			writeTable(w, dump)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(dump); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
+func writeTable(w http.ResponseWriter, d auditDump) {
+	fmt.Fprintf(w, "sketch-quality audit\n\n")
+	fmt.Fprintf(w, "certificate: rows=%d dim=%d ell=%d rotations=%d\n",
+		d.Certificate.Rows, d.Certificate.Dim, d.Certificate.Ell, d.Certificate.Rotations)
+	fmt.Fprintf(w, "  ‖AᵀA−BᵀB‖₂ ≤ %.6g   (relative: %.6g of stream energy,"+
+		" a-priori %.6g, tightening %.3g)\n",
+		d.CovBound, d.RelBound, d.AprioriBound, d.Tightening)
+	fmt.Fprintf(w, "batches audited: %d   alarms: %d\n\n", d.Batches, d.Alarms)
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "SEQ\tTIME\tKIND\tMESSAGE\tATTRS")
+	for _, ev := range d.Events {
+		attrs := ""
+		for i, a := range ev.Attrs {
+			if i > 0 {
+				attrs += " "
+			}
+			attrs += fmt.Sprintf("%s=%.6g", a.Key, a.Val)
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%s\t%s\n",
+			ev.Seq, ev.Time.Format("15:04:05.000"), ev.Kind, ev.Msg, attrs)
+	}
+	tw.Flush()
+}

@@ -9,7 +9,7 @@
 // Frame layout (all integers little-endian):
 //
 //	offset 0   magic   "ACKP" (4 bytes)
-//	offset 4   version uint32 (currently 1)
+//	offset 4   version uint32 (currently 2)
 //	offset 8   kind    uint32 (which state type the payload holds)
 //	offset 12  length  uint64 (payload byte count)
 //	offset 20  payload (type-specific field stream, see codec.go)
@@ -34,9 +34,12 @@ import (
 // Magic is the frame signature "ACKP".
 const Magic = uint32('A') | uint32('C')<<8 | uint32('K')<<16 | uint32('P')<<24
 
-// Version is the current frame version. Decoders reject frames from a
+// Version is the current frame version. Decoders accept every version
+// up to and including this one — version 2 added the FD Frobenius-mass
+// field (error-bound certificates) and the monitor's audit state, both
+// decoded as absent from version-1 frames — and reject frames from a
 // newer version rather than guessing at their layout.
-const Version = 1
+const Version = 2
 
 // headerLen is magic+version+kind+length; trailerLen is the CRC.
 const (
@@ -110,7 +113,7 @@ func Peek(b []byte) (Header, error) {
 		Kind:       Kind(binary.LittleEndian.Uint32(b[8:12])),
 		PayloadLen: binary.LittleEndian.Uint64(b[12:20]),
 	}
-	if h.Version != Version {
+	if h.Version < 1 || h.Version > Version {
 		return h, fmt.Errorf("%w: %d", ErrVersion, h.Version)
 	}
 	if h.PayloadLen > maxPayload || uint64(len(b)) != headerLen+h.PayloadLen+trailerLen {
@@ -137,14 +140,15 @@ func frame(kind Kind, payload []byte) []byte {
 	return out
 }
 
-// unframe validates the header and checksum and returns the kind and
-// payload bytes.
-func unframe(b []byte) (Kind, []byte, error) {
+// unframe validates the header and checksum and returns the header and
+// payload bytes (the header carries the frame version the decoder
+// branches on for pre-v2 layouts).
+func unframe(b []byte) (Header, []byte, error) {
 	h, err := Peek(b)
 	if err != nil {
-		return 0, nil, err
+		return Header{}, nil, err
 	}
-	return h.Kind, b[headerLen : headerLen+int(h.PayloadLen)], nil
+	return h, b[headerLen : headerLen+int(h.PayloadLen)], nil
 }
 
 // Encode writes state as one checkpoint frame to w. See Marshal for
@@ -198,10 +202,20 @@ func (e *enc) floats(v []float64) {
 	}
 }
 
+// str writes a length-prefixed UTF-8 string (added in frame version 2
+// for the audit journal).
+func (e *enc) str(v string) {
+	e.i64(len(v))
+	e.b = append(e.b, v...)
+}
+
 type dec struct {
 	b   []byte
 	off int
 	err error
+	// ver is the frame version being decoded; fields added in later
+	// versions are skipped when decoding older frames.
+	ver uint32
 }
 
 func (d *dec) fail(format string, args ...any) {
@@ -281,6 +295,17 @@ func (d *dec) floats() []float64 {
 		return nil
 	}
 	return out
+}
+
+// str reads a length-prefixed string.
+func (d *dec) str() string {
+	n := d.count(1)
+	if d.err != nil || n == 0 {
+		return ""
+	}
+	v := string(d.b[d.off : d.off+n])
+	d.off += n
+	return v
 }
 
 // finish verifies the whole payload was consumed — trailing garbage

@@ -7,8 +7,10 @@ import (
 	"path/filepath"
 	"testing"
 
+	"arams/internal/audit"
 	"arams/internal/imgproc"
 	"arams/internal/mat"
+	"arams/internal/obs"
 	"arams/internal/pipeline"
 	"arams/internal/rng"
 	"arams/internal/sketch"
@@ -63,6 +65,33 @@ func testMonitor(t *testing.T, frames int) *pipeline.Monitor {
 	return m
 }
 
+// testMonitorAudited is testMonitor with the quality-audit layer
+// attached, so its MonitorState carries populated Audit (detector
+// internals) and Journal (event ring) sections for the codec to cover.
+func testMonitorAudited(t *testing.T, frames int) *pipeline.Monitor {
+	t.Helper()
+	aud := audit.New(audit.Config{
+		Journal:   audit.NewJournal(32),
+		Registry:  obs.NewRegistry(),
+		Residual:  audit.NewCUSUM(0.05, 0.5),
+		CertEvery: 1,
+	})
+	m := pipeline.NewMonitor(pipeline.Config{
+		Sketch:     sketch.Config{Ell0: 4, Beta: 0.9, Seed: 5},
+		Audit:      aud,
+		AuditEvery: 4,
+	}, 16)
+	g := rng.New(9)
+	for i := 0; i < frames; i++ {
+		im := imgproc.NewImage(4, 4)
+		for p := range im.Pix {
+			im.Pix[p] = g.Float64()
+		}
+		m.Ingest(im, i)
+	}
+	return m
+}
+
 // states returns one populated snapshot of every checkpointable kind.
 func states(t *testing.T) []any {
 	t.Helper()
@@ -92,7 +121,11 @@ func states(t *testing.T) []any {
 	ar := testARAMS(t, true).State()
 	arFixed := testARAMS(t, false).State()
 	mon := testMonitor(t, 12).State()
-	return []any{&fd, &ra, &pri, &ar, &arFixed, mon}
+	monAudited := testMonitorAudited(t, 12).State()
+	if monAudited.Audit == nil || monAudited.Journal == nil || len(monAudited.Journal.Events) == 0 {
+		t.Fatal("audited monitor snapshot is missing audit/journal state")
+	}
+	return []any{&fd, &ra, &pri, &ar, &arFixed, mon, monAudited}
 }
 
 // TestRoundTripCanonical checks the codec invariant the fuzz target

@@ -2,7 +2,9 @@ package ckpt
 
 import (
 	"fmt"
+	"time"
 
+	"arams/internal/audit"
 	"arams/internal/pipeline"
 	"arams/internal/rng"
 	"arams/internal/sketch"
@@ -61,11 +63,12 @@ func Marshal(state any) ([]byte, error) {
 // *sketch.FDState, *sketch.RankAdaptiveState, *sketch.PriorityState,
 // *sketch.ARAMSState, *pipeline.MonitorState.
 func Unmarshal(b []byte) (any, error) {
-	kind, payload, err := unframe(b)
+	h, payload, err := unframe(b)
 	if err != nil {
 		return nil, err
 	}
-	d := &dec{b: payload}
+	kind := h.Kind
+	d := &dec{b: payload, ver: h.Version}
 	var state any
 	switch kind {
 	case KindFD:
@@ -97,6 +100,7 @@ func encodeFD(e *enc, s *sketch.FDState) {
 	e.i64(s.Rotations)
 	e.i64(s.Seen)
 	e.f64(s.TotalDelta)
+	e.f64(s.FrobMass) // frame version 2+
 	e.floats(s.Buffer)
 }
 
@@ -110,6 +114,9 @@ func decodeFD(d *dec) *sketch.FDState {
 	s.Rotations = d.i64()
 	s.Seen = d.i64()
 	s.TotalDelta = d.f64()
+	if d.ver >= 2 {
+		s.FrobMass = d.f64()
+	}
 	s.Buffer = d.floats()
 	return s
 }
@@ -275,9 +282,22 @@ func encodeMonitor(e *enc, s *pipeline.MonitorState) error {
 	}
 	if s.Sketch != nil {
 		e.bool(true)
-		return encodeARAMS(e, s.Sketch)
+		if err := encodeARAMS(e, s.Sketch); err != nil {
+			return err
+		}
+	} else {
+		e.bool(false)
 	}
-	e.bool(false)
+	// Frame version 2+: optional audit state (drift detectors + event
+	// journal).
+	e.bool(s.Audit != nil)
+	if s.Audit != nil {
+		encodeAuditState(e, s.Audit)
+	}
+	e.bool(s.Journal != nil)
+	if s.Journal != nil {
+		encodeJournal(e, s.Journal)
+	}
 	return nil
 }
 
@@ -297,6 +317,107 @@ func decodeMonitor(d *dec) *pipeline.MonitorState {
 	}
 	if d.bool() {
 		s.Sketch = decodeARAMS(d)
+	}
+	if d.ver >= 2 {
+		if d.bool() {
+			s.Audit = decodeAuditState(d)
+		}
+		if d.bool() {
+			s.Journal = decodeJournal(d)
+		}
+	}
+	return s
+}
+
+// --- audit state (frame version 2+) ---
+
+func encodeDetector(e *enc, s *audit.DetectorState) {
+	e.str(s.Kind)
+	e.f64(s.Thresh)
+	e.f64(s.Slack)
+	e.i64(s.Warmup)
+	e.i64(s.N)
+	e.f64(s.Mean)
+	e.f64(s.Pos)
+	e.f64(s.PosExt)
+	e.f64(s.Neg)
+	e.f64(s.NegExt)
+}
+
+func decodeDetector(d *dec) audit.DetectorState {
+	return audit.DetectorState{
+		Kind:   d.str(),
+		Thresh: d.f64(),
+		Slack:  d.f64(),
+		Warmup: d.i64(),
+		N:      d.i64(),
+		Mean:   d.f64(),
+		Pos:    d.f64(),
+		PosExt: d.f64(),
+		Neg:    d.f64(),
+		NegExt: d.f64(),
+	}
+}
+
+func encodeAuditState(e *enc, s *audit.State) {
+	e.u64(uint64(s.Batches))
+	e.u64(uint64(s.Alarms))
+	encodeDetector(e, &s.Residual)
+	encodeDetector(e, &s.Accept)
+}
+
+func decodeAuditState(d *dec) *audit.State {
+	return &audit.State{
+		Batches:  int64(d.u64()),
+		Alarms:   int64(d.u64()),
+		Residual: decodeDetector(d),
+		Accept:   decodeDetector(d),
+	}
+}
+
+// encodeJournal serializes the retained event ring. Timestamps are
+// stored as Unix nanoseconds, which round-trips exactly (monotonic
+// clock readings are deliberately dropped — a restored process has a
+// different one anyway).
+func encodeJournal(e *enc, s *audit.JournalState) {
+	e.u64(uint64(s.Seq))
+	e.i64(len(s.Events))
+	for _, ev := range s.Events {
+		e.u64(uint64(ev.Seq))
+		e.u64(uint64(ev.Time.UnixNano()))
+		e.str(string(ev.Kind))
+		e.str(ev.Msg)
+		e.i64(len(ev.Attrs))
+		for _, a := range ev.Attrs {
+			e.str(a.Key)
+			e.f64(a.Val)
+		}
+	}
+}
+
+func decodeJournal(d *dec) *audit.JournalState {
+	s := &audit.JournalState{Seq: int64(d.u64())}
+	// Each event costs at least seq+time+2 length prefixes+attr count
+	// (40 bytes).
+	n := d.count(40)
+	if n > 0 {
+		s.Events = make([]audit.Event, n)
+		for i := range s.Events {
+			ev := &s.Events[i]
+			ev.Seq = int64(d.u64())
+			ev.Time = time.Unix(0, int64(d.u64())).UTC()
+			ev.Kind = audit.EventKind(d.str())
+			ev.Msg = d.str()
+			// Each attr costs at least a key length prefix + value.
+			na := d.count(16)
+			if na > 0 {
+				ev.Attrs = make([]audit.Attr, na)
+				for j := range ev.Attrs {
+					ev.Attrs[j].Key = d.str()
+					ev.Attrs[j].Val = d.f64()
+				}
+			}
+		}
 	}
 	return s
 }

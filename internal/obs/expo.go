@@ -103,6 +103,13 @@ type jsonSpan struct {
 	DurationMS float64 `json:"duration_ms"`
 }
 
+// jsonSeries is one time-series ring in the JSON exposition; points
+// are [unix_ms, value] pairs, oldest first.
+type jsonSeries struct {
+	Name   string       `json:"name"`
+	Points [][2]float64 `json:"points"`
+}
+
 type jsonDump struct {
 	UptimeSeconds float64         `json:"uptime_seconds"`
 	Goroutines    int             `json:"goroutines"`
@@ -112,6 +119,7 @@ type jsonDump struct {
 	Counters      []jsonMetric    `json:"counters"`
 	Gauges        []jsonMetric    `json:"gauges"`
 	Histograms    []jsonHistogram `json:"histograms"`
+	Series        []jsonSeries    `json:"series"`
 	Spans         []jsonSpan      `json:"spans"`
 }
 
@@ -144,6 +152,7 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 		Counters:      []jsonMetric{},
 		Gauges:        []jsonMetric{},
 		Histograms:    []jsonHistogram{},
+		Series:        []jsonSeries{},
 		Spans:         []jsonSpan{},
 	}
 	var ms runtime.MemStats
@@ -174,6 +183,14 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 				P99:    jsonSafe(s.Quantile(0.99)),
 			})
 		}
+	})
+	r.eachSeries(func(s *Series) {
+		js := jsonSeries{Name: s.Name(), Points: [][2]float64{}}
+		for _, p := range s.Snapshot() {
+			js.Points = append(js.Points, [2]float64{
+				float64(p.T.UnixMilli()), jsonSafe(p.V)})
+		}
+		dump.Series = append(dump.Series, js)
 	})
 	for _, sp := range r.Spans() {
 		dump.Spans = append(dump.Spans, jsonSpan{

@@ -8,6 +8,22 @@ import (
 	"path/filepath"
 )
 
+// Handle registers an extra endpoint served by Handler alongside the
+// built-in set — the hook subsystems use to mount their own surfaces
+// (e.g. internal/audit's /audit) onto the same listener. Registering
+// the same path again replaces the previous handler.
+func (r *Registry) Handle(path string, h http.Handler) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.extra == nil {
+		r.extra = make(map[string]http.Handler)
+	}
+	r.extra[path] = h
+}
+
+// Handle registers an extra endpoint on the default registry.
+func Handle(path string, h http.Handler) { Default().Handle(path, h) }
+
 // Handler returns the observability endpoint set for the registry:
 //
 //	/metrics       Prometheus text exposition
@@ -16,9 +32,15 @@ import (
 //	/statusz       self-contained live HTML dashboard
 //	/debug/pprof/  the standard net/http/pprof profiles
 //
-// The root path redirects to /statusz.
+// plus any endpoints registered with Handle. The root path redirects
+// to /statusz.
 func (r *Registry) Handler() http.Handler {
 	mux := http.NewServeMux()
+	r.mu.Lock()
+	for path, h := range r.extra {
+		mux.Handle(path, h)
+	}
+	r.mu.Unlock()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		r.WritePrometheus(w)
@@ -80,9 +102,12 @@ const statuszHTML = `<!DOCTYPE html>
 <h1>%s <span class="muted" id="uptime"></span></h1>
 <p class="muted">live view — refreshes every 2s ·
   <a href="/metrics">/metrics</a> · <a href="/metrics.json">/metrics.json</a> ·
+  <a href="/audit">/audit</a> ·
   <a href="/debug/pprof/">/debug/pprof/</a> · <a href="/healthz">/healthz</a>
   <span id="err"></span></p>
 <h2>Process</h2><table id="proc"></table>
+<div id="serieswrap" style="display:none"><h2>Quality history</h2><table id="series"></table></div>
+<div id="ftwrap" style="display:none"><h2>Merge fault tolerance</h2><table id="ft"></table></div>
 <h2>Stage timings</h2><table id="hist"></table>
 <h2>Counters</h2><table id="counters"></table>
 <h2>Gauges</h2><table id="gauges"></table>
@@ -110,6 +135,46 @@ function rows(id, header, body) {
     "<tr>" + header.map(h => "<th" + (h[1]?' class="num"':"") + ">" + h[0] + "</th>").join("") + "</tr>" +
     body.join("");
 }
+// sparkline renders points ([unix_ms, v] pairs) as a tiny inline SVG.
+function sparkline(points) {
+  if (!points || points.length < 2) return '<span class="muted">—</span>';
+  const W = 180, H = 24, n = points.length;
+  let lo = Infinity, hi = -Infinity;
+  for (const p of points) { if (p[1] < lo) lo = p[1]; if (p[1] > hi) hi = p[1]; }
+  const span = (hi - lo) || 1;
+  const pts = points.map((p, i) =>
+    (i*(W-2)/(n-1)+1).toFixed(1) + "," + (H-2-(p[1]-lo)*(H-4)/span).toFixed(1)).join(" ");
+  return '<svg width="'+W+'" height="'+H+'" style="vertical-align:middle">' +
+    '<polyline fill="none" stroke="#36c" stroke-width="1.2" points="'+pts+'"/></svg>';
+}
+function fmtVal(v) {
+  if (!isFinite(v)) return "-";
+  if (v !== 0 && (Math.abs(v) < 1e-3 || Math.abs(v) >= 1e6)) return v.toExponential(3);
+  return +v.toPrecision(6);
+}
+// ftRows extracts the parallel fault-tolerance accounting (satellite:
+// RoundStats were counted but never shown) from counters and gauges.
+function ftRows(d) {
+  const want = {
+    "arams_parallel_merge_legs_total": "merge legs (cumulative)",
+    "arams_parallel_merge_leg_failures_total": "leg failures",
+    "arams_parallel_merge_leg_retries_total": "leg retries",
+    "arams_parallel_merge_leg_resketch_total": "re-sketch recoveries",
+    "arams_parallel_serial_fallbacks_total": "serial fallbacks",
+    "arams_parallel_last_run_rounds": "last run: merge rounds",
+    "arams_parallel_last_run_legs": "last run: legs",
+    "arams_parallel_last_run_failures": "last run: failures",
+    "arams_parallel_last_run_retries": "last run: retries",
+    "arams_parallel_last_run_resketches": "last run: re-sketches",
+    "arams_parallel_last_run_serial_fallback": "last run: degraded to serial",
+  };
+  const out = [];
+  for (const m of d.counters.concat(d.gauges)) {
+    if (want[m.name] !== undefined)
+      out.push("<tr><td>"+want[m.name]+'</td><td class="num">'+m.value+"</td></tr>");
+  }
+  return out;
+}
 async function tick() {
   let d;
   try {
@@ -126,6 +191,17 @@ async function tick() {
     ["sys", fmtBytes(d.sys_bytes)],
     ["gc cycles", d.gc_cycles],
   ].map(r => "<tr><td>"+r[0]+'</td><td class="num">'+r[1]+"</td></tr>"));
+  const sr = d.series || [];
+  document.getElementById("serieswrap").style.display = sr.length ? "" : "none";
+  if (sr.length) {
+    rows("series", [["series"],["history"],["last",1]],
+      sr.map(s => "<tr><td><code>"+s.name+"</code></td><td>"+sparkline(s.points)+
+        '</td><td class="num">'+
+        (s.points.length ? fmtVal(s.points[s.points.length-1][1]) : "-")+"</td></tr>"));
+  }
+  const ft = ftRows(d);
+  document.getElementById("ftwrap").style.display = ft.length ? "" : "none";
+  if (ft.length) rows("ft", [["fault tolerance"],["value",1]], ft);
   rows("hist", [["histogram"],["count",1],["mean",1],["p50",1],["p90",1],["p99",1],["max",1]],
     d.histograms.map(h => "<tr><td><code>"+label(h)+"</code></td>"+
       [h.count, fmtDur(h.mean), fmtDur(h.p50), fmtDur(h.p90), fmtDur(h.p99), fmtDur(h.max)]

@@ -178,9 +178,17 @@ func (s HistogramSnapshot) Mean() float64 {
 // Quantile estimates the q-quantile by locating the bucket holding the
 // q·count-th observation and interpolating linearly inside it; the
 // estimate is clamped to the observed [min, max], which makes it exact
-// for constant streams. Returns NaN when empty.
+// for constant streams. Returns NaN when empty or when q is NaN.
+// Interpolation edges are the observed min/max where they are tighter
+// than the bucket bounds, so a bucket that extends below the smallest
+// observation (including the first bucket, whose lower edge is
+// otherwise unbounded) never drags the estimate outside the data.
+// Infinite observations follow Prometheus's histogram_quantile
+// convention: a rank landing in a bucket with an infinite edge returns
+// the bucket's finite edge instead of interpolating (0·∞ = NaN is the
+// failure mode this avoids).
 func (s HistogramSnapshot) Quantile(q float64) float64 {
-	if s.Count == 0 {
+	if s.Count == 0 || math.IsNaN(q) {
 		return math.NaN()
 	}
 	if q <= 0 {
@@ -197,13 +205,24 @@ func (s HistogramSnapshot) Quantile(q float64) float64 {
 		if float64(cum) < rank || c == 0 {
 			continue
 		}
-		lo := 0.0
-		if i > 0 {
+		lo := s.Min
+		if i > 0 && s.Bounds[i-1] > lo {
 			lo = s.Bounds[i-1]
 		}
 		hi := s.Max
 		if i < len(s.Bounds) && s.Bounds[i] < hi {
 			hi = s.Bounds[i]
+		}
+		switch {
+		case math.IsInf(hi, 1):
+			// Overflow bucket holding a +Inf observation: report the
+			// last finite edge rather than fabricating a value.
+			return lo
+		case math.IsInf(lo, -1):
+			return hi
+		case hi <= lo:
+			// Degenerate bucket (constant stream, or min == max).
+			return lo
 		}
 		frac := (rank - float64(prev)) / float64(c)
 		v := lo + frac*(hi-lo)

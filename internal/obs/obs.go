@@ -19,6 +19,7 @@ package obs
 
 import (
 	"fmt"
+	"net/http"
 	"sort"
 	"strings"
 	"sync"
@@ -41,7 +42,35 @@ type meta struct {
 	kind   string // "counter" | "gauge" | "histogram"
 }
 
-// labelString renders {k="v",...} or "" for no labels.
+// escapeLabelValue escapes a label value per the Prometheus text
+// exposition format (version 0.0.4): only backslash, double-quote, and
+// newline are escaped; every other byte — tabs, control characters,
+// UTF-8 — passes through verbatim. Go's %q is NOT equivalent: it would
+// emit \t, \xNN, and \uNNNN sequences the exposition format treats as
+// a literal backslash followed by junk.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 8)
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
+}
+
+// labelString renders {k="v",...} or "" for no labels, with values
+// escaped for the Prometheus exposition format.
 func (m *meta) labelString() string {
 	if len(m.labels) == 0 {
 		return ""
@@ -52,7 +81,7 @@ func (m *meta) labelString() string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+		fmt.Fprintf(&b, "%s=\"%s\"", l.Key, escapeLabelValue(l.Value))
 	}
 	b.WriteByte('}')
 	return b.String()
@@ -83,6 +112,8 @@ type Registry struct {
 	mu      sync.Mutex
 	metrics map[string]interface{} // id → *Counter | *Gauge | *Histogram
 	kinds   map[string]string      // metric name → kind (one kind per name)
+	series  map[string]*Series     // name → time-series ring
+	extra   map[string]http.Handler
 	start   time.Time
 	ring    spanRing
 }
@@ -189,11 +220,14 @@ func metaOf(m interface{}) *meta {
 // the default registry).
 func (r *Registry) Uptime() time.Duration { return time.Since(r.start) }
 
-// Reset drops every metric and recorded span. Intended for tests.
+// Reset drops every metric, time series, and recorded span. Extra HTTP
+// handlers are kept — they are process wiring, not recorded state.
+// Intended for tests.
 func (r *Registry) Reset() {
 	r.mu.Lock()
 	r.metrics = make(map[string]interface{})
 	r.kinds = make(map[string]string)
+	r.series = nil
 	r.mu.Unlock()
 	r.ring.reset()
 }

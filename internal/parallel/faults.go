@@ -5,6 +5,7 @@ import (
 	"math"
 	"time"
 
+	"arams/internal/audit"
 	"arams/internal/mat"
 	"arams/internal/obs"
 	"arams/internal/rng"
@@ -149,6 +150,11 @@ type legReport struct {
 	retries  int
 	resketch bool
 	duration time.Duration
+	// shrink is the net shrinkage Σδ the leg added to the surviving
+	// sketch (its certificate contribution; negative for a re-sketch
+	// recovery that came back with less accumulated shrinkage than the
+	// children it replaced).
+	shrink float64
 }
 
 var errLegFailed = errors.New("parallel: injected leg failure")
@@ -164,6 +170,12 @@ var errLegTimeout = errors.New("parallel: merge leg timed out")
 func runLeg(round, gIdx int, group []*mergeNode, env *mergeEnv) (*mergeNode, legReport) {
 	var rep legReport
 	covered := coveredShards(group)
+	// groupDelta: the children's combined certificate mass before the
+	// fold; each exit path reports the leg's net shrinkage against it.
+	groupDelta := 0.0
+	for _, nd := range group {
+		groupDelta += nd.fd.Delta()
+	}
 	t0 := time.Now()
 	defer func() {
 		rep.duration = time.Since(t0)
@@ -179,6 +191,7 @@ func runLeg(round, gIdx int, group []*mergeNode, env *mergeEnv) (*mergeNode, leg
 			acc.Merge(nd.fd)
 			acc.Compact()
 		}
+		rep.shrink = acc.Delta() - groupDelta
 		return &mergeNode{fd: acc, shards: covered}, rep
 	}
 
@@ -200,6 +213,7 @@ func runLeg(round, gIdx int, group []*mergeNode, env *mergeEnv) (*mergeNode, leg
 		}
 		fd, err := attemptLeg(group, env.opts.faults, legRNG, retry.LegTimeout)
 		if err == nil {
+			rep.shrink = fd.Delta() - groupDelta
 			return &mergeNode{fd: fd, shards: covered}, rep
 		}
 		rep.failures++
@@ -212,7 +226,16 @@ func runLeg(round, gIdx int, group []*mergeNode, env *mergeEnv) (*mergeNode, leg
 	// reliable degraded mode.
 	rep.resketch = true
 	obsLegResketches.Inc()
-	return &mergeNode{fd: resketchShards(covered, env), shards: covered}, rep
+	fresh := resketchShards(covered, env)
+	rep.shrink = fresh.Delta() - groupDelta
+	audit.Default().Record(audit.KindMergeRecovery,
+		"merge leg lost; re-sketched from source shards",
+		audit.A("round", float64(round)),
+		audit.A("group", float64(gIdx)),
+		audit.A("shards", float64(len(covered))),
+		audit.A("failures", float64(rep.failures)),
+		audit.A("shrink_mass", fresh.Delta()))
+	return &mergeNode{fd: fresh, shards: covered}, rep
 }
 
 // attemptLeg performs one guarded merge attempt on a clone of the

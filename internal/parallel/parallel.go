@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"arams/internal/audit"
 	"arams/internal/mat"
 	"arams/internal/obs"
 	"arams/internal/sketch"
@@ -33,6 +34,19 @@ var (
 	obsMergeRotations   = obs.Default().Counter("arams_parallel_merge_rotations_total")
 	obsMergeRoundsTotal = obs.Default().Counter("arams_parallel_merge_rounds_total")
 	obsWorkersGauge     = obs.Default().Gauge("arams_parallel_workers")
+)
+
+// Last-run gauges: the per-run snapshot /statusz renders in its "merge
+// fault tolerance" section (the cumulative *_total counters above keep
+// growing; these reset every Run so the dashboard answers "what did
+// the most recent run do").
+var (
+	obsLastRounds   = obs.Default().Gauge("arams_parallel_last_run_rounds")
+	obsLastLegs     = obs.Default().Gauge("arams_parallel_last_run_legs")
+	obsLastFailures = obs.Default().Gauge("arams_parallel_last_run_failures")
+	obsLastRetries  = obs.Default().Gauge("arams_parallel_last_run_retries")
+	obsLastResketch = obs.Default().Gauge("arams_parallel_last_run_resketches")
+	obsLastSerialFB = obs.Default().Gauge("arams_parallel_last_run_serial_fallback")
 )
 
 // MergeStrategy selects how per-shard sketches are combined.
@@ -72,6 +86,15 @@ type RoundStats struct {
 	Resketches int
 	// Slowest is the round's slowest leg — its critical-path term.
 	Slowest time.Duration
+	// ShrinkMass is the net shrinkage Σδ this round's legs added to the
+	// surviving sketches — the round's contribution to the error-bound
+	// certificate. Summing it over rounds (plus the per-shard sketch
+	// shrinkage) reproduces the final certificate, which is how the
+	// property tests pin certificate composition across merge legs.
+	// A re-sketch recovery replaces its children's accumulated
+	// shrinkage, so its round reports the net change (possibly
+	// negative).
+	ShrinkMass float64
 }
 
 // Stats reports the work performed by a parallel sketch run.
@@ -98,6 +121,19 @@ type Stats struct {
 	// SerialFallback records that repeated leg losses degraded the run
 	// to a serial fold of the surviving sketches.
 	SerialFallback bool
+	// LocalShrinkMass is the shrinkage Σδ accumulated during the
+	// per-shard sketch phase; MergeShrinkMass is the additional
+	// shrinkage attributed to merging, under the same attribution
+	// convention as MergeRotations (re-sketch recoveries bill their
+	// shrinkage to the merge phase).
+	LocalShrinkMass float64
+	MergeShrinkMass float64
+	// Certificate is the run's final error-bound certificate, cut from
+	// the merged global sketch: ‖AᵀA − BᵀB‖₂ ≤ Certificate.CovBound()
+	// over the concatenation of every shard, whatever merge order,
+	// arity, faults, and recoveries the run took (mergeability makes
+	// the bound compose).
+	Certificate audit.Certificate
 	// CriticalPath is the strong-scaling runtime on ideal hardware: the
 	// slowest single worker's sketch time, plus — for the tree — the
 	// sum over merge levels of each level's slowest merge, or — for the
@@ -172,6 +208,7 @@ func RunArity(shards []*mat.Matrix, mk Sketcher, strategy MergeStrategy, arity i
 	var slowestLocal time.Duration
 	for i, fd := range local {
 		stats.LocalRotations += fd.Rotations()
+		stats.LocalShrinkMass += fd.Delta()
 		if localTimes[i] > slowestLocal {
 			slowestLocal = localTimes[i]
 		}
@@ -197,11 +234,33 @@ func RunArity(shards []*mat.Matrix, mk Sketcher, strategy MergeStrategy, arity i
 	}
 	stats.MergeTime = spMerge.End()
 	stats.MergeRotations = global.Rotations() - stats.LocalRotations
+	stats.MergeShrinkMass = global.Delta() - stats.LocalShrinkMass
+	stats.Certificate = audit.FromSketch(global)
 	obsMergeRotations.Add(float64(stats.MergeRotations))
 	obsMergeRoundsTotal.Add(float64(stats.MergeRounds))
+	publishLastRun(&stats)
 	stats.CriticalPath = slowestLocal + mergeCrit
 	stats.Total = time.Since(start)
 	return global, stats
+}
+
+// publishLastRun exports a run's fault-tolerance accounting to the
+// last-run gauges behind /statusz.
+func publishLastRun(stats *Stats) {
+	legs := 0
+	for _, rs := range stats.Rounds {
+		legs += rs.Legs
+	}
+	obsLastRounds.SetInt(stats.MergeRounds)
+	obsLastLegs.SetInt(legs)
+	obsLastFailures.SetInt(stats.LegFailures)
+	obsLastRetries.SetInt(stats.LegRetries)
+	obsLastResketch.SetInt(stats.Resketches)
+	if stats.SerialFallback {
+		obsLastSerialFB.Set(1)
+	} else {
+		obsLastSerialFB.Set(0)
+	}
 }
 
 // treeMerge reduces merge nodes in groups of `arity`; groups within
@@ -223,8 +282,16 @@ func treeMerge(nodes []*mergeNode, arity int, env *mergeEnv) (*sketch.FrequentDi
 			// left to lose.
 			env.stats.SerialFallback = true
 			obsSerialFallbacks.Inc()
+			audit.Default().Record(audit.KindSerialFallback,
+				"tree merge degraded to serial fold",
+				audit.A("surviving_nodes", float64(len(nodes))),
+				audit.A("lost_legs", float64(env.stats.Resketches)))
 			rounds++
 			t0 := time.Now()
+			before := 0.0
+			for _, nd := range nodes {
+				before += nd.fd.Delta()
+			}
 			acc := nodes[0].fd
 			for _, nd := range nodes[1:] {
 				acc.Merge(nd.fd)
@@ -233,7 +300,7 @@ func treeMerge(nodes []*mergeNode, arity int, env *mergeEnv) (*sketch.FrequentDi
 			d := time.Since(t0)
 			critical += d
 			env.stats.Rounds = append(env.stats.Rounds,
-				RoundStats{Legs: 1, Slowest: d})
+				RoundStats{Legs: 1, Slowest: d, ShrinkMass: acc.Delta() - before})
 			return acc, rounds, critical
 		}
 
@@ -271,6 +338,7 @@ func treeMerge(nodes []*mergeNode, arity int, env *mergeEnv) (*sketch.FrequentDi
 			rs.Legs++
 			rs.Failures += rep.failures
 			rs.Retries += rep.retries
+			rs.ShrinkMass += rep.shrink
 			if rep.resketch {
 				rs.Resketches++
 			}

@@ -12,8 +12,10 @@ import (
 	"sync"
 	"testing"
 
+	"arams/internal/audit"
 	"arams/internal/ckpt"
 	"arams/internal/imgproc"
+	"arams/internal/obs"
 	"arams/internal/pipeline"
 	"arams/internal/rng"
 	"arams/internal/sketch"
@@ -46,20 +48,36 @@ func chaosConfig() pipeline.Config {
 	}
 }
 
+// chaosAuditor builds an isolated auditor for the kill/restore test;
+// CertEvery 1 journals a certificate for every audited batch so the
+// checkpoint carries a populated event ring.
+func chaosAuditor() *audit.Auditor {
+	return audit.New(audit.Config{
+		Journal:   audit.NewJournal(128),
+		Registry:  obs.NewRegistry(),
+		Residual:  audit.NewCUSUM(0.01, 0.5),
+		CertEvery: 1,
+	})
+}
+
 // TestChaosKillRestoreRecovers is the recovery acceptance test: a
 // monitor is killed mid-stream, restored from its last periodic
 // checkpoint, and resumed from the frame index the checkpoint recorded.
 // The recovered run's final sketch must match a never-killed control
-// run bit for bit, and its basis subspace error against the control
-// must be within 1e-9. A concurrent snapshotter hammers State()/Ell()
-// throughout so -race exercises the checkpoint path against live
-// ingestion.
+// run bit for bit — error-bound certificate fields included — and its
+// basis subspace error against the control must be within 1e-9. The
+// audit layer must survive the same round trip: the checkpoint carries
+// the auditor's detector state and the journal ring, and the restored
+// monitor resumes both (plus a journaled checkpoint_restore marker).
+// A concurrent snapshotter hammers State()/Ell() throughout so -race
+// exercises the checkpoint path against live ingestion.
 func TestChaosKillRestoreRecovers(t *testing.T) {
 	const (
 		nFrames    = 60
 		w, h       = 6, 6
 		window     = 16
 		ckptEvery  = 8
+		auditEvery = 8  // audit flush on every checkpoint boundary
 		killAt     = 37 // mid-stream, past the checkpoint at frame 32
 		wantResume = 32 // last checkpoint boundary before the kill
 	)
@@ -74,8 +92,13 @@ func TestChaosKillRestoreRecovers(t *testing.T) {
 	}
 
 	// Victim: ingest with periodic checkpoints and a concurrent reader,
-	// then die at killAt.
-	victim := pipeline.NewMonitor(cfg, window)
+	// then die at killAt. Unlike the control it audits as it goes — the
+	// auditor must not perturb the sketch, and its state must ride the
+	// checkpoint.
+	victimCfg := cfg
+	victimCfg.Audit = chaosAuditor()
+	victimCfg.AuditEvery = auditEvery
+	victim := pipeline.NewMonitor(victimCfg, window)
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
 	wg.Add(1)
@@ -115,13 +138,53 @@ func TestChaosKillRestoreRecovers(t *testing.T) {
 	if ms.Ingests != wantResume {
 		t.Fatalf("checkpoint recorded %d ingests, want %d", ms.Ingests, wantResume)
 	}
-	restored, err := pipeline.NewMonitorFromState(cfg, ms)
+	// The checkpoint must carry the audit state: one audited batch per
+	// auditEvery frames, and a journal with at least those certificates.
+	if ms.Audit == nil || ms.Journal == nil {
+		t.Fatalf("checkpoint lost the audit state: audit=%v journal=%v", ms.Audit, ms.Journal)
+	}
+	if want := int64(wantResume / auditEvery); ms.Audit.Batches != want {
+		t.Fatalf("checkpoint recorded %d audited batches, want %d", ms.Audit.Batches, want)
+	}
+	if ms.Audit.Residual.Kind != "cusum" || ms.Audit.Residual.N != int(ms.Audit.Batches) {
+		t.Fatalf("checkpoint detector state %+v diverged from batch count %d",
+			ms.Audit.Residual, ms.Audit.Batches)
+	}
+	if int64(len(ms.Journal.Events)) < ms.Audit.Batches || ms.Journal.Seq < ms.Audit.Batches {
+		t.Fatalf("checkpoint journal seq=%d events=%d, want ≥ %d certificates",
+			ms.Journal.Seq, len(ms.Journal.Events), ms.Audit.Batches)
+	}
+	savedSeq := ms.Journal.Seq
+
+	restoredCfg := cfg
+	restoredCfg.Audit = chaosAuditor()
+	restoredCfg.AuditEvery = auditEvery
+	restored, err := pipeline.NewMonitorFromState(restoredCfg, ms)
 	if err != nil {
 		t.Fatalf("NewMonitorFromState: %v", err)
+	}
+	// The restored auditor resumed the counters and detector internals,
+	// and journaled the restore itself with continued sequence numbers.
+	if restoredCfg.Audit.Batches() != ms.Audit.Batches {
+		t.Fatalf("restored auditor has %d batches, want %d", restoredCfg.Audit.Batches(), ms.Audit.Batches)
+	}
+	if st := restoredCfg.Audit.State(); st.Residual != ms.Audit.Residual {
+		t.Fatalf("restored detector state %+v != checkpointed %+v", st.Residual, ms.Audit.Residual)
+	}
+	marks := restoredCfg.Audit.Journal().Query(audit.Query{Kind: audit.KindCheckpointRestore})
+	if len(marks) != 1 || marks[0].Seq <= savedSeq {
+		t.Fatalf("checkpoint_restore marker = %+v, want one event with seq > %d", marks, savedSeq)
 	}
 	// Resume the stream exactly where the checkpoint left off.
 	for i := restored.Ingested(); i < nFrames; i++ {
 		restored.Ingest(frames[i], i)
+	}
+	// Auditing resumed mid-stream: flushes at frames 40, 48, 56.
+	if want := int64(56 / auditEvery); restoredCfg.Audit.Batches() != want {
+		t.Fatalf("resumed auditor has %d batches, want %d", restoredCfg.Audit.Batches(), want)
+	}
+	if n := restoredCfg.Audit.State().Residual.N; n != 56/auditEvery {
+		t.Fatalf("resumed detector consumed %d observations, want %d", n, 56/auditEvery)
 	}
 
 	cs, rs := control.State(), restored.State()

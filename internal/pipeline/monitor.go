@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"arams/internal/abod"
+	"arams/internal/audit"
 	"arams/internal/imgproc"
 	"arams/internal/mat"
 	"arams/internal/obs"
@@ -45,6 +46,13 @@ type Monitor struct {
 	recent  []*recentFrame // ring of preprocessed frames, newest last
 	ingests int
 
+	// Audit accumulation: per-frame BatchStats fold into auditAcc and
+	// are flushed to cfg.Audit every cfg.AuditEvery frames, so auditing
+	// adds no linear algebra to the ingest hot path. lastEll tracks
+	// rank growth for journaling.
+	auditAcc sketch.BatchStats
+	lastEll  int
+
 	// Cached UMAP model for QuickSnapshot: new window points are
 	// Transform-ed into the last full embedding instead of refitting,
 	// as long as the sketch rank has not changed.
@@ -78,16 +86,49 @@ func (m *Monitor) Ingest(im *imgproc.Image, tag int) {
 	m.mu.Lock()
 	if m.arams == nil {
 		m.arams = sketch.NewARAMS(m.cfg.Sketch, len(vec), 0)
+		m.lastEll = m.arams.Ell()
 	}
-	m.arams.ProcessBatch(mat.FromData(1, len(vec), vec))
+	bs := m.arams.ProcessBatch(mat.FromData(1, len(vec), vec))
 	cp := recentFrame{vec: vec, tag: tag}
 	m.recent = append(m.recent, &cp)
 	if len(m.recent) > m.window {
 		m.recent = m.recent[len(m.recent)-m.window:]
 	}
 	m.ingests++
-	window, ell := len(m.recent), m.arams.Ell()
+	window, ell, ingests := len(m.recent), m.arams.Ell(), m.ingests
+	grewFrom := 0
+	var flush sketch.BatchStats
+	var flushCert audit.Certificate
+	flushDue := false
+	if m.cfg.Audit != nil {
+		if ell > m.lastEll {
+			grewFrom = m.lastEll
+		}
+		m.auditAcc.Rows += bs.Rows
+		m.auditAcc.Kept += bs.Kept
+		m.auditAcc.TotalMass += bs.TotalMass
+		m.auditAcc.KeptMass += bs.KeptMass
+		m.auditAcc.DeltaAdded += bs.DeltaAdded
+		if ingests%m.cfg.AuditEvery == 0 {
+			flushDue = true
+			flush = m.auditAcc
+			flush.EllBefore, flush.EllAfter = m.auditAcc.EllBefore, ell
+			flushCert = audit.FromSketch(m.arams.FD())
+			m.auditAcc = sketch.BatchStats{EllBefore: ell}
+		}
+	}
+	m.lastEll = ell
 	m.mu.Unlock()
+
+	if grewFrom > 0 {
+		m.cfg.Audit.Journal().Record(audit.KindRankGrow, "sketch rank grew",
+			audit.A("from", float64(grewFrom)),
+			audit.A("to", float64(ell)),
+			audit.A("frames", float64(ingests)))
+	}
+	if flushDue {
+		m.cfg.Audit.ObserveBatch(flush, flushCert)
+	}
 
 	obsFramesTotal.Inc()
 	obsWindowSize.SetInt(window)

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"arams/internal/abod"
+	"arams/internal/audit"
 	"arams/internal/hdbscan"
 	"arams/internal/imgproc"
 	"arams/internal/mat"
@@ -59,6 +60,16 @@ type Config struct {
 	ABODNeighbors int
 	// Contamination is the outlier fraction to flag (default 0.02).
 	Contamination float64
+	// Audit, when set, receives sketch-quality observations: batch
+	// pipeline runs feed one per run (certificate + mean projection
+	// residual), and a Monitor feeds one every AuditEvery ingested
+	// frames plus rank-growth journal events. nil disables auditing.
+	Audit *audit.Auditor
+	// AuditEvery is the Monitor's frame interval between audit points
+	// (default 32). Audit points are cheap — they reuse the per-batch
+	// accounting the sketch already keeps — but an interval keeps the
+	// journal and detector cadence independent of the repetition rate.
+	AuditEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -88,6 +99,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Contamination <= 0 {
 		c.Contamination = 0.02
+	}
+	if c.AuditEvery <= 0 {
+		c.AuditEvery = 32
 	}
 	return c
 }
@@ -195,6 +209,23 @@ func ProcessMatrix(x *mat.Matrix, cfg Config) *Result {
 	viz.SketchThroughput = res.SketchThroughput
 	viz.StageTimes["sketch"] = stats.SketchTime
 	viz.StageTimes["merge"] = stats.MergeTime
+	if cfg.Audit != nil {
+		// One audit point per run: the merged sketch's certificate plus
+		// the mean projection residual the visualization stage already
+		// computed (an exact residual — the batch path can afford it).
+		mean := 0.0
+		if len(viz.Residuals) > 0 {
+			for _, r := range viz.Residuals {
+				mean += r
+			}
+			mean /= float64(len(viz.Residuals))
+		}
+		cfg.Audit.Observe(audit.Observation{
+			Residual:   mean,
+			AcceptRate: math.NaN(), // per-shard sampling stats are not folded
+			Cert:       stats.Certificate,
+		})
+	}
 	viz.TotalTime = time.Since(start)
 	return viz
 }

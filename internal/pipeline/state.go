@@ -3,6 +3,7 @@ package pipeline
 import (
 	"fmt"
 
+	"arams/internal/audit"
 	"arams/internal/sketch"
 )
 
@@ -27,6 +28,16 @@ type MonitorState struct {
 	Frames  []FrameState
 	// Sketch is nil when nothing has been ingested yet.
 	Sketch *sketch.ARAMSState
+	// Audit and Journal carry the quality-auditing state — drift
+	// detector internals and the recent event ring — when the monitor
+	// was configured with an Auditor. Both are nil otherwise, and in
+	// checkpoints written before the audit layer existed (v1 files),
+	// so restore treats nil as "no audit state". The error-bound
+	// certificate itself needs no extra fields here: it is a pure
+	// function of the sketch state (shrinkage and Frobenius mass ride
+	// in FDState).
+	Audit   *audit.State
+	Journal *audit.JournalState
 }
 
 // State captures the monitor's current state under its lock, so it is
@@ -45,6 +56,12 @@ func (m *Monitor) State() *MonitorState {
 	if m.arams != nil {
 		as := m.arams.State()
 		s.Sketch = &as
+	}
+	if m.cfg.Audit != nil {
+		ast := m.cfg.Audit.State()
+		jst := m.cfg.Audit.Journal().State()
+		s.Audit = &ast
+		s.Journal = &jst
 	}
 	return s
 }
@@ -86,5 +103,20 @@ func NewMonitorFromState(cfg Config, s *MonitorState) (*Monitor, error) {
 		m.recent[i] = &recentFrame{vec: append([]float64(nil), f.Vec...), tag: f.Tag}
 	}
 	m.ingests = s.Ingests
+	if m.arams != nil {
+		m.lastEll = m.arams.Ell()
+	}
+	if cfg.Audit != nil {
+		if s.Journal != nil {
+			cfg.Audit.Journal().Restore(*s.Journal)
+		}
+		if s.Audit != nil {
+			cfg.Audit.Restore(*s.Audit)
+		}
+		cfg.Audit.Journal().Record(audit.KindCheckpointRestore,
+			"monitor state restored",
+			audit.A("ingests", float64(s.Ingests)),
+			audit.A("frames", float64(len(s.Frames))))
+	}
 	return m, nil
 }

@@ -74,20 +74,60 @@ func NewARAMS(cfg Config, d, totalRows int) *ARAMS {
 	return a
 }
 
-// ProcessBatch runs one batch through the sampler and into the sketch.
-func (a *ARAMS) ProcessBatch(x *mat.Matrix) {
+// BatchStats summarizes one ProcessBatch call for the audit layer:
+// what the priority sampler kept of the offered rows (counts and
+// squared-Frobenius mass) and how the sketch rank and certified
+// shrinkage Σδ moved while absorbing them. Callers that don't audit
+// simply discard the return value.
+type BatchStats struct {
+	Rows       int     // rows offered to the batch
+	Kept       int     // rows the sampler passed to the sketch
+	TotalMass  float64 // Σ‖row‖² offered
+	KeptMass   float64 // Σ‖row‖² kept
+	EllBefore  int
+	EllAfter   int
+	DeltaAdded float64 // shrinkage mass Σδ this batch added to the certificate
+}
+
+// AcceptRate is the fraction of the offered batch energy the sampler
+// kept (1 for an empty or unsampled batch) — the signal the audit
+// layer's acceptance drift detector watches.
+func (bs BatchStats) AcceptRate() float64 {
+	if bs.TotalMass <= 0 {
+		return 1
+	}
+	return bs.KeptMass / bs.TotalMass
+}
+
+// ProcessBatch runs one batch through the sampler and into the sketch,
+// returning the batch's audit accounting.
+func (a *ARAMS) ProcessBatch(x *mat.Matrix) BatchStats {
 	if x.ColsN != a.d {
 		panic("sketch: ARAMS batch dimension mismatch")
 	}
+	bs := BatchStats{Rows: x.RowsN, EllBefore: a.Ell()}
+	for i := 0; i < x.RowsN; i++ {
+		bs.TotalMass += mat.Norm2Sq(x.Row(i))
+	}
+	deltaBefore := a.FD().Delta()
 	sel := x
 	if a.cfg.Beta < 1 {
 		sel = SampleRows(x, a.cfg.Beta, a.g)
+		for i := 0; i < sel.RowsN; i++ {
+			bs.KeptMass += mat.Norm2Sq(sel.Row(i))
+		}
+	} else {
+		bs.KeptMass = bs.TotalMass
 	}
+	bs.Kept = sel.RowsN
 	if a.rafd != nil {
 		a.rafd.AppendMatrix(sel)
 	} else {
 		a.fd.AppendMatrix(sel)
 	}
+	bs.EllAfter = a.Ell()
+	bs.DeltaAdded = a.FD().Delta() - deltaBefore
+	return bs
 }
 
 // Ell returns the current number of retained directions.

@@ -64,6 +64,7 @@ type FrequentDirections struct {
 	rotations  int     // number of shrink steps performed (for accounting)
 	seen       int     // number of data rows appended
 	totalDelta float64 // cumulative shrinkage Σδ across rotations
+	frobMass   float64 // cumulative ‖A‖_F² of the summarized stream
 
 	// Last rotation's spectrum and right singular vectors, reused by
 	// the rank-adaptation heuristic so the extra SVD the paper warns
@@ -123,6 +124,7 @@ func (fd *FrequentDirections) Append(row []float64) {
 	copy(fd.buffer.Row(fd.nextZero), row)
 	fd.nextZero++
 	fd.seen++
+	fd.frobMass += mat.Norm2Sq(row)
 	fd.dirty = true
 }
 
@@ -204,8 +206,17 @@ func (fd *FrequentDirections) Sketch() *mat.Matrix {
 
 // Delta returns the cumulative shrinkage Σδ applied across rotations —
 // the total squared-singular-value mass subtracted from every retained
-// direction so far.
+// direction so far. By the Frequent Directions guarantee (Liberty 2013)
+// it certifies ‖AᵀA − BᵀB‖₂ ≤ Σδ online, and the mergeability result of
+// Ghashami et al. makes the certificate compose additively under Merge.
 func (fd *FrequentDirections) Delta() float64 { return fd.totalDelta }
+
+// FrobMass returns the accumulated squared Frobenius norm ‖A‖_F² of the
+// stream the sketch summarizes (merge-aware: merging adds the other
+// stream's mass, not the mass of its compressed sketch rows). It scales
+// Delta into the relative certificate Σδ/‖A‖_F² and reproduces the
+// a-priori bound ‖A‖_F²/ℓ.
+func (fd *FrequentDirections) FrobMass() float64 { return fd.frobMass }
 
 // CompensatedCovErr is the covariance error of the δ-compensated
 // estimate AᵀA ≈ BᵀB + Σδ·I (the "FD with compensation" variant of
@@ -306,17 +317,22 @@ func (fd *FrequentDirections) Merge(other *FrequentDirections) {
 	}
 	b := other.Sketch()
 	appended := 0
+	var appendedMass float64
 	for i := 0; i < b.RowsN; i++ {
 		row := b.Row(i)
-		if mat.Norm2Sq(row) == 0 {
+		n2 := mat.Norm2Sq(row)
+		if n2 == 0 {
 			continue // zero rows between rotations would dilute accuracy
 		}
 		fd.Append(row)
 		appended++
+		appendedMass += n2
 	}
 	// Append counted sketch rows as data rows; replace that with the
-	// true number of underlying samples the other sketch summarizes.
+	// true number of underlying samples (and the true stream energy)
+	// the other sketch summarizes.
 	fd.seen += other.seen - appended
+	fd.frobMass += other.frobMass - appendedMass
 	fd.rotations += other.rotations
 	fd.totalDelta += other.totalDelta
 	obsMerges.Inc()

@@ -120,6 +120,7 @@ func (r *RankAdaptiveFD) Append(row []float64) {
 	copy(fd.buffer.Row(fd.nextZero), row)
 	fd.nextZero++
 	fd.seen++
+	fd.frobMass += mat.Norm2Sq(row)
 	fd.dirty = true
 	r.push(row)
 	if r.rowsLeft > 0 {

@@ -33,7 +33,11 @@ type FDState struct {
 	Rotations  int
 	Seen       int
 	TotalDelta float64
-	Buffer     []float64 // NextZero×D occupied prefix, row-major
+	// FrobMass is the accumulated ‖A‖_F² of the summarized stream (zero
+	// when restored from a version-1 checkpoint written before the audit
+	// layer existed; the absolute certificate Σδ is unaffected).
+	FrobMass float64
+	Buffer   []float64 // NextZero×D occupied prefix, row-major
 }
 
 // State captures the sketch's current state.
@@ -46,6 +50,7 @@ func (fd *FrequentDirections) State() FDState {
 		Rotations:  fd.rotations,
 		Seen:       fd.seen,
 		TotalDelta: fd.totalDelta,
+		FrobMass:   fd.frobMass,
 		Buffer:     make([]float64, fd.nextZero*fd.d),
 	}
 	for i := 0; i < fd.nextZero; i++ {
@@ -76,6 +81,9 @@ func NewFDFromState(s FDState) (*FrequentDirections, error) {
 	if math.IsNaN(s.TotalDelta) || math.IsInf(s.TotalDelta, 0) || s.TotalDelta < 0 {
 		return nil, fmt.Errorf("sketch: FD state has invalid total delta %v", s.TotalDelta)
 	}
+	if math.IsNaN(s.FrobMass) || math.IsInf(s.FrobMass, 0) || s.FrobMass < 0 {
+		return nil, fmt.Errorf("sketch: FD state has invalid Frobenius mass %v", s.FrobMass)
+	}
 	fd := NewFrequentDirections(s.Ell, s.D, Options{Backend: s.Backend})
 	for i := 0; i < s.NextZero; i++ {
 		copy(fd.buffer.Row(i), s.Buffer[i*s.D:(i+1)*s.D])
@@ -84,6 +92,7 @@ func NewFDFromState(s FDState) (*FrequentDirections, error) {
 	fd.rotations = s.Rotations
 	fd.seen = s.Seen
 	fd.totalDelta = s.TotalDelta
+	fd.frobMass = s.FrobMass
 	fd.dirty = true
 	return fd, nil
 }
@@ -102,6 +111,7 @@ func (fd *FrequentDirections) Clone() *FrequentDirections {
 		rotations:  fd.rotations,
 		seen:       fd.seen,
 		totalDelta: fd.totalDelta,
+		frobMass:   fd.frobMass,
 		dirty:      true,
 	}
 }
