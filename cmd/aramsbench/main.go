@@ -14,7 +14,9 @@
 //	aramsbench -exp probes          # Alg. 1 probe-count ablation
 //	aramsbench -exp beta            # priority-sampling β ablation
 //	aramsbench -exp kernels         # reference-vs-blocked kernel timings
+//	aramsbench -exp ingest          # sharded-engine ingest throughput
 //	aramsbench -quick               # fast kernel smoke run (CI)
+//	aramsbench -exp ingest -quick   # fast ingest smoke run (CI)
 //	aramsbench -exp fig1 -full      # paper-scale dimensions (slow)
 //	aramsbench -exp fig2 -csv       # emit CSV instead of tables
 package main
@@ -30,19 +32,24 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|fig1sv|fig1|fig2|fig3|fig5|fig6|runtime|probes|beta|estimators|arity|svd|baselines|kernels")
+	exp := flag.String("exp", "all", "experiment: all|fig1sv|fig1|fig2|fig3|fig5|fig6|runtime|probes|beta|estimators|arity|svd|baselines|kernels|ingest")
 	full := flag.Bool("full", false, "use paper-scale dimensions (slow, memory-hungry)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	htmlDir := flag.String("htmldir", "", "also write interactive HTML figures to this directory")
 	seed := flag.Uint64("seed", 1, "base RNG seed")
 	quick := flag.Bool("quick", false, "run a reduced kernel benchmark as a smoke test and exit")
 	kernelOut := flag.String("kernelout", "BENCH_kernels.json", "output path for -exp kernels JSON report (empty to skip)")
+	ingestOut := flag.String("ingestout", "BENCH_ingest.json", "output path for -exp ingest JSON report (empty to skip)")
 	flag.Parse()
 
 	if *quick {
-		// CI smoke: two reduced-shape kernel comparisons, table to
-		// stdout, no file written. Exercises the full harness path in
-		// seconds.
+		// CI smoke: reduced-shape sweeps, table to stdout, no file
+		// written. Exercises the full harness path in seconds.
+		if *exp == "ingest" {
+			_, t := bench.IngestSweep(*seed, true)
+			t.Print(os.Stdout)
+			return
+		}
 		_, t := bench.KernelSweep(*seed, true)
 		t.Print(os.Stdout)
 		return
@@ -133,6 +140,25 @@ func main() {
 				}
 				f.Close()
 				fmt.Fprintf(os.Stderr, "wrote %s\n", *kernelOut)
+			}
+		case "ingest":
+			// Also excluded from -exp all: each shard count runs under
+			// testing.Benchmark, and the artifact is the checked-in
+			// BENCH_ingest.json.
+			report, t := bench.IngestSweep(*seed+7, false)
+			add(t)
+			if *ingestOut != "" {
+				f, err := os.Create(*ingestOut)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "aramsbench: %v\n", err)
+					os.Exit(1)
+				}
+				if err := report.WriteJSON(f); err != nil {
+					fmt.Fprintf(os.Stderr, "aramsbench: %v\n", err)
+					os.Exit(1)
+				}
+				f.Close()
+				fmt.Fprintf(os.Stderr, "wrote %s\n", *ingestOut)
 			}
 		default:
 			fmt.Fprintf(os.Stderr, "aramsbench: unknown experiment %q\n", name)

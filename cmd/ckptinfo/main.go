@@ -92,10 +92,30 @@ func describeState(state any, indent string) {
 	case *pipeline.MonitorState:
 		fmt.Printf("%smonitor:  %d frames ingested, window %d holding %d frames\n",
 			indent, s.Ingests, s.Window, len(s.Frames))
-		if s.Sketch == nil {
+		populated := 0
+		for _, ss := range s.Shards {
+			if ss != nil {
+				populated++
+			}
+		}
+		if populated == 0 {
 			fmt.Printf("%ssketch:   none (nothing ingested yet)\n", indent)
 		} else {
-			describeARAMS(s.Sketch, indent)
+			if len(s.Shards) > 1 {
+				fmt.Printf("%sshards:   %d slots, %d with sketch state\n",
+					indent, len(s.Shards), populated)
+			}
+			for i, ss := range s.Shards {
+				if ss == nil {
+					continue
+				}
+				in := indent
+				if len(s.Shards) > 1 {
+					fmt.Printf("%sshard %d:\n", indent, i)
+					in = indent + "  "
+				}
+				describeARAMS(ss, in)
+			}
 		}
 		if s.Audit != nil {
 			fmt.Printf("%saudit:    %d batches audited, %d alarms, detectors %s/%s\n",
@@ -171,6 +191,7 @@ type jsonInfo struct {
 	MonitorIngests *int   `json:"monitor_ingests,omitempty"`
 	MonitorWindow  *int   `json:"monitor_window,omitempty"`
 	MonitorFrames  *int   `json:"monitor_frames,omitempty"`
+	MonitorShards  *int   `json:"monitor_shards,omitempty"`
 	AuditBatches   *int64 `json:"audit_batches,omitempty"`
 	AuditAlarms    *int64 `json:"audit_alarms,omitempty"`
 	JournalSeq     *int64 `json:"journal_seq,omitempty"`
@@ -235,8 +256,43 @@ func fillJSON(info *jsonInfo, state any) {
 		info.MonitorIngests = intp(s.Ingests)
 		info.MonitorWindow = intp(s.Window)
 		info.MonitorFrames = intp(len(s.Frames))
-		if s.Sketch != nil {
-			fillARAMS(info, s.Sketch)
+		if len(s.Shards) > 1 {
+			info.MonitorShards = intp(len(s.Shards))
+		}
+		// With one shard the certificate block is that sketch's. With
+		// several, certificates compose additively across the merge:
+		// shrinkage/energy/row/rotation ledgers sum, the rank is the max
+		// — the same aggregate a reconcile would certify (the merge's own
+		// shrinkage is not incurred until it runs, so this is the floor
+		// of the restored bound).
+		first := true
+		for _, ss := range s.Shards {
+			if ss == nil {
+				continue
+			}
+			if first {
+				fillARAMS(info, ss)
+				first = false
+				continue
+			}
+			info.RankGrows = nil // per-shard grow counts do not aggregate
+			if fd := aramsFD(ss); fd != nil && info.Certificate != nil {
+				c := info.Certificate
+				c.RowsSeen += fd.Seen
+				c.Rotations += fd.Rotations
+				c.ShrinkMass += fd.TotalDelta
+				c.FrobMass += fd.FrobMass
+				c.CovBound += fd.TotalDelta
+				if fd.Ell > c.Ell {
+					c.Ell = fd.Ell
+				}
+				if c.FrobMass > 0 {
+					c.RelBound = c.ShrinkMass / c.FrobMass
+					if c.Ell > 0 {
+						c.AprioriBound = c.FrobMass / float64(c.Ell)
+					}
+				}
+			}
 		}
 		if s.Audit != nil {
 			info.AuditBatches = &s.Audit.Batches
@@ -248,6 +304,18 @@ func fillJSON(info *jsonInfo, state any) {
 			info.JournalEvents = &n
 		}
 	}
+}
+
+// aramsFD returns the FD ledger inside an ARAMS state, whichever
+// variant carries it.
+func aramsFD(s *sketch.ARAMSState) *sketch.FDState {
+	switch {
+	case s.RankAdaptive != nil:
+		return &s.RankAdaptive.FD
+	case s.FD != nil:
+		return s.FD
+	}
+	return nil
 }
 
 func fillARAMS(info *jsonInfo, s *sketch.ARAMSState) {

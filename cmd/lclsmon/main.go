@@ -11,17 +11,20 @@
 // per-stage histograms and sketch gauges can be scraped.
 //
 // With -checkpoint-dir the run switches to streaming mode: frames are
-// ingested one at a time through pipeline.Monitor, the full monitor
-// state (sketch, RNG positions, sliding window) is checkpointed
-// atomically every -checkpoint-every frames, and -restore resumes a
-// killed run from the last checkpoint, bit-exact, before ingesting the
-// remaining frames.
+// batch-ingested through pipeline.Monitor (backed by the sharded
+// streaming engine — -shards splits the sketch across concurrent
+// shard sketchers, -ingest-buffer sizes the engine's bounded async
+// queue), the full monitor state (per-shard sketches, RNG positions,
+// sliding window) is checkpointed atomically every -checkpoint-every
+// frames, and -restore resumes a killed run from the last checkpoint,
+// bit-exact per shard, before ingesting the remaining frames.
 //
 // Usage:
 //
 //	lclssim -kind diffraction -out run.lcls
 //	lclsmon -in run.lcls -html embedding.html -listen :9090
 //	lclsmon -in run.lcls -checkpoint-dir ckpt -checkpoint-every 256
+//	lclsmon -in run.lcls -checkpoint-dir ckpt -shards 4
 //	lclsmon -in run.lcls -checkpoint-dir ckpt -restore
 package main
 
@@ -67,6 +70,8 @@ func main() {
 	ckptEvery := flag.Int("checkpoint-every", 256, "streaming mode: checkpoint every N ingested frames")
 	restore := flag.Bool("restore", false, "resume from the checkpoint in -checkpoint-dir before ingesting")
 	window := flag.Int("window", 0, "streaming mode: snapshot window size (0 = whole run)")
+	shards := flag.Int("shards", 1, "streaming mode: concurrent sketch shards (1 = serial, bit-exact with previous releases)")
+	ingestBuffer := flag.Int("ingest-buffer", 0, "streaming mode: bounded async ingest queue capacity (0 = engine default)")
 	auditLog := flag.String("audit-log", "", "append audit journal events to this JSONL file")
 	alarmThreshold := flag.Float64("alarm-threshold", 0.5, "Page-Hinkley λ for the residual drift detector")
 	auditEvery := flag.Int("audit-every", 32, "streaming mode: audit the sketch every N frames")
@@ -102,14 +107,16 @@ func main() {
 		scfg.Nu = 10
 	}
 	cfg := pipeline.Config{
-		Pre:        imgproc.Preprocessor{Normalize: true},
-		Sketch:     scfg,
-		Workers:    *workers,
-		LatentDim:  *latent,
-		UMAP:       umap.Config{NNeighbors: 20, NEpochs: 200, Seed: *seed + 1},
-		UseHDBSCAN: *useHDBSCAN,
-		Audit:      auditor,
-		AuditEvery: *auditEvery,
+		Pre:          imgproc.Preprocessor{Normalize: true},
+		Sketch:       scfg,
+		Workers:      *workers,
+		LatentDim:    *latent,
+		UMAP:         umap.Config{NNeighbors: 20, NEpochs: 200, Seed: *seed + 1},
+		UseHDBSCAN:   *useHDBSCAN,
+		Audit:        auditor,
+		AuditEvery:   *auditEvery,
+		Shards:       *shards,
+		IngestBuffer: *ingestBuffer,
 	}
 
 	if *ckptDir != "" {
@@ -193,7 +200,7 @@ type streamOpts struct {
 	html    string
 }
 
-// runStreaming is the fault-tolerant path: frames stream one-by-one
+// runStreaming is the fault-tolerant path: frames stream in batches
 // through a pipeline.Monitor, the monitor state is checkpointed
 // atomically every opts.every frames, and with opts.restore the stream
 // resumes at the frame index recorded in the last checkpoint. The final
@@ -239,14 +246,40 @@ func runStreaming(run *lcls.Run, cfg pipeline.Config, opts streamOpts) {
 		m = pipeline.NewMonitor(cfg, window)
 	}
 
-	for i := start; i < run.Len(); i++ {
-		m.Ingest(run.Frames[i], i)
-		if opts.every > 0 && (i+1)%opts.every == 0 {
+	// Frames are batch-ingested up to the next checkpoint or audit
+	// boundary, whichever comes first: the monitor preprocesses each
+	// batch with the worker pool and fans it out to the shard
+	// sketchers. The engine flushes the auditor at most once per
+	// dispatch, so batches must not span audit periods — a stream
+	// chunked only by the (much larger) checkpoint interval would
+	// starve the drift detectors of samples. Checkpoints still land
+	// exactly on their boundary frames, so resume indices match the
+	// per-frame behavior.
+	auditStep := 0
+	if cfg.Audit != nil {
+		auditStep = cfg.AuditEvery
+	}
+	for i := start; i < run.Len(); {
+		hi := run.Len()
+		for _, step := range []int{opts.every, auditStep} {
+			if step > 0 {
+				if next := i + step - i%step; next < hi {
+					hi = next
+				}
+			}
+		}
+		tags := make([]int, hi-i)
+		for j := range tags {
+			tags[j] = i + j
+		}
+		m.IngestBatch(run.Frames[i:hi], tags)
+		i = hi
+		if opts.every > 0 && i%opts.every == 0 {
 			if err := ckpt.Save(path, m.State()); err != nil {
-				slog.Error("checkpoint failed", "frame", i+1, "err", err)
+				slog.Error("checkpoint failed", "frame", i, "err", err)
 			} else {
-				slog.Debug("checkpoint written", "frame", i+1, "path", path)
-				journalSave(cfg, i+1)
+				slog.Debug("checkpoint written", "frame", i, "path", path)
+				journalSave(cfg, i)
 			}
 		}
 	}

@@ -37,9 +37,12 @@ const Magic = uint32('A') | uint32('C')<<8 | uint32('K')<<16 | uint32('P')<<24
 // Version is the current frame version. Decoders accept every version
 // up to and including this one — version 2 added the FD Frobenius-mass
 // field (error-bound certificates) and the monitor's audit state, both
-// decoded as absent from version-1 frames — and reject frames from a
-// newer version rather than guessing at their layout.
-const Version = 2
+// decoded as absent from version-1 frames; version 3 replaced the
+// monitor's single optional sketch with the streaming engine's
+// positional shard-state list (a v1/v2 monitor frame decodes as a
+// one-shard layout) — and reject frames from a newer version rather
+// than guessing at their layout.
+const Version = 3
 
 // headerLen is magic+version+kind+length; trailerLen is the CRC.
 const (

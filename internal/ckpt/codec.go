@@ -280,13 +280,18 @@ func encodeMonitor(e *enc, s *pipeline.MonitorState) error {
 		e.i64(f.Tag)
 		e.floats(f.Vec)
 	}
-	if s.Sketch != nil {
-		e.bool(true)
-		if err := encodeARAMS(e, s.Sketch); err != nil {
-			return err
+	// Frame version 3+: the shard-state list replaces v1/v2's single
+	// optional sketch. Slots are positional (slot i = engine shard i)
+	// and may be nil for shards that have not received a frame, so each
+	// entry carries a presence bool.
+	e.i64(len(s.Shards))
+	for _, ss := range s.Shards {
+		e.bool(ss != nil)
+		if ss != nil {
+			if err := encodeARAMS(e, ss); err != nil {
+				return err
+			}
 		}
-	} else {
-		e.bool(false)
 	}
 	// Frame version 2+: optional audit state (drift detectors + event
 	// journal).
@@ -315,8 +320,21 @@ func decodeMonitor(d *dec) *pipeline.MonitorState {
 			s.Frames[i].Vec = d.floats()
 		}
 	}
-	if d.bool() {
-		s.Sketch = decodeARAMS(d)
+	if d.ver >= 3 {
+		// Each shard slot costs at least its presence bool (1 byte).
+		ns := d.count(1)
+		if ns > 0 {
+			s.Shards = make([]*sketch.ARAMSState, ns)
+			for i := range s.Shards {
+				if d.bool() {
+					s.Shards[i] = decodeARAMS(d)
+				}
+			}
+		}
+	} else if d.bool() {
+		// v1/v2 checkpoints carried one optional sketch: decode it as a
+		// single-shard layout.
+		s.Shards = []*sketch.ARAMSState{decodeARAMS(d)}
 	}
 	if d.ver >= 2 {
 		if d.bool() {

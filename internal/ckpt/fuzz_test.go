@@ -159,9 +159,17 @@ func stateFromBytes(data []byte) any {
 		s := &pipeline.MonitorState{
 			Window: 1 + p.intn(64), Ingests: p.intn(10000), Frames: frames,
 		}
-		if p.byte()&1 == 1 {
-			ar := p.aramsState()
-			s.Sketch = &ar
+		// Shard layouts: empty, single, or several slots with holes —
+		// nil slots are legal (shards that have not seen a frame yet).
+		ns := p.intn(4)
+		if ns > 0 {
+			s.Shards = make([]*sketch.ARAMSState, ns)
+			for i := range s.Shards {
+				if p.byte()&1 == 1 {
+					ar := p.aramsState()
+					s.Shards[i] = &ar
+				}
+			}
 		}
 		return s
 	default:

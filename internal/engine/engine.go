@@ -1,0 +1,615 @@
+// Package engine is the sharded streaming core of the online monitor:
+// frames enter through a bounded, backpressured ingest queue, are
+// batch-preprocessed on the shared worker pool, routed (round-robin or
+// hash-by-tag) to N independent shard sketchers, and periodically
+// reconciled into one global sketch with the same tree merge the batch
+// pipeline uses — so the error-bound certificate and fault-recovery
+// semantics compose unchanged across shards (FD summaries are
+// mergeable; the merged sketch's Σδ still bounds ‖AᵀA − BᵀB‖₂ over the
+// concatenation of every shard's stream).
+//
+// The engine replaces the lock-per-frame Monitor design: CPU-heavy
+// preprocessing and sketching never run under a global lock. A batch
+// only takes the engine lock for ring/counter bookkeeping, then each
+// shard absorbs its rows under its own lock, so shards sketch
+// concurrently and snapshots interleave with ingest.
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"arams/internal/audit"
+	"arams/internal/imgproc"
+	"arams/internal/mat"
+	"arams/internal/obs"
+	"arams/internal/parallel"
+	"arams/internal/sketch"
+)
+
+// Engine observability: batch ingest latency, live frame/window/rank
+// gauges, queue depth for the async path, and merge lag — how many
+// frames the cached global sketch trails the shards by.
+var (
+	obsIngestLatency = obs.Default().Histogram("arams_engine_ingest_batch_seconds")
+	obsFramesTotal   = obs.Default().Counter("arams_engine_frames_total")
+	obsWindowSize    = obs.Default().Gauge("arams_engine_window_size")
+	obsEngineEll     = obs.Default().Gauge("arams_engine_sketch_ell")
+	obsShardCount    = obs.Default().Gauge("arams_engine_shards")
+	obsQueueDepth    = obs.Default().Gauge("arams_engine_queue_depth")
+	obsMergeLag      = obs.Default().Gauge("arams_engine_merge_lag_frames")
+	obsReconciles    = obs.Default().Counter("arams_engine_reconciles_total")
+)
+
+// Route selects how frames are assigned to shards.
+type Route int
+
+const (
+	// RoundRobin routes frame i (global stream index) to shard i mod N —
+	// deterministic and load-balanced, the default.
+	RoundRobin Route = iota
+	// HashByTag routes by a hash of the caller tag, so frames sharing a
+	// tag (e.g. a pulse-ID class) always land on the same shard.
+	HashByTag
+)
+
+// Config parameterizes the streaming engine.
+type Config struct {
+	// Shards is the number of independent sketchers (default 1; with
+	// one shard the engine is behaviorally identical to the serial
+	// monitor, including RNG consumption and audit cadence).
+	Shards int
+	// IngestBuffer bounds the async Enqueue queue (default 256).
+	// Producers block when it is full — backpressure, not drops.
+	IngestBuffer int
+	// BatchSize caps how many queued frames the pump folds into one
+	// IngestBatch call (default 64).
+	BatchSize int
+	// Route picks the shard-assignment policy.
+	Route Route
+	// ReconcileEvery is the frame interval between proactive shard
+	// reconciles (default 128). Snapshot paths reconcile on demand
+	// regardless, so this only bounds merge lag between snapshots.
+	ReconcileEvery int
+	// Window is the sliding-window size for snapshots (default 1024).
+	Window int
+	// Pre is the per-frame preprocessing chain.
+	Pre imgproc.Preprocessor
+	// Sketch configures each shard's ARAMS sketcher. Shard i > 0
+	// derives its sampling/probe RNG seed from Seed and i so shards
+	// draw independent streams.
+	Sketch sketch.Config
+	// Merge selects the reconcile strategy (default TreeMerge).
+	Merge parallel.MergeStrategy
+	// Audit, when set, receives one batched observation every
+	// AuditEvery frames plus rank-growth journal events, exactly like
+	// the pre-engine Monitor. With multiple shards the certificate
+	// comes from a fresh reconcile.
+	Audit *audit.Auditor
+	// AuditEvery is the frame interval between audit points (default 32).
+	AuditEvery int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.IngestBuffer <= 0 {
+		c.IngestBuffer = 256
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 64
+	}
+	if c.ReconcileEvery <= 0 {
+		c.ReconcileEvery = 128
+	}
+	if c.Window <= 0 {
+		c.Window = 1024
+	}
+	if c.AuditEvery <= 0 {
+		c.AuditEvery = 32
+	}
+	return c
+}
+
+// Frame is one preprocessed frame retained in the sliding window.
+type Frame struct {
+	Vec []float64
+	Tag int
+}
+
+// shard is one independent sketcher. Its lock covers only its own
+// ARAMS state, so shards absorb rows concurrently.
+type shard struct {
+	cfg sketch.Config // per-shard seed already derived
+
+	mu     sync.Mutex
+	arams  *sketch.ARAMS
+	frames int
+	busy   time.Duration // cumulative wall time spent inside absorb
+	gauge  *obs.Gauge
+}
+
+// shardResult is the audit accounting one dispatch returned.
+type shardResult struct {
+	ok    bool
+	stats sketch.BatchStats // folded over this dispatch's rows
+	ell   int
+}
+
+// Engine is the sharded streaming core. It is safe for concurrent
+// producers (Ingest/IngestBatch/Enqueue) and concurrent snapshot and
+// checkpoint readers.
+//
+// Lock order: gate → mu → shard.mu, and globalMu → mu → shard.mu;
+// nothing acquires gate or globalMu while holding mu or a shard lock.
+type Engine struct {
+	cfg Config
+
+	// gate serializes checkpointing against ingest: producers hold it
+	// shared for the handoff, State() takes it exclusively so a
+	// checkpoint sees no torn ring-vs-sketch state.
+	gate sync.RWMutex
+
+	// mu covers the ring, stream counters, and audit accumulator —
+	// pointer bookkeeping only, never linear algebra.
+	mu      sync.Mutex
+	recent  []*Frame
+	ingests int
+
+	// Audit accumulation (see Config.Audit). lastEll tracks the global
+	// max shard rank for rank-growth journaling.
+	auditAcc sketch.BatchStats
+	lastEll  int
+
+	shards []*shard
+
+	// globalMu owns the reconciled global sketch cache and serializes
+	// Basis computations on it (Basis mutates the sketch's internal
+	// factor cache).
+	globalMu sync.Mutex
+	global   *sketch.FrequentDirections
+	globalAt int
+
+	// Async ingest queue (see queue.go).
+	queueMu  sync.Mutex
+	queue    chan qitem
+	pumpDone chan struct{}
+}
+
+// New creates a streaming engine.
+func New(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{cfg: cfg}
+	e.shards = make([]*shard, cfg.Shards)
+	for i := range e.shards {
+		e.shards[i] = &shard{
+			cfg:   ShardSketchConfig(cfg.Sketch, i),
+			gauge: obs.Default().Gauge("arams_engine_shard_frames", obs.L("shard", fmt.Sprint(i))),
+		}
+	}
+	obsShardCount.SetInt(cfg.Shards)
+	return e
+}
+
+// ShardSketchConfig derives shard i's sketch configuration: shard 0
+// keeps the caller's seed verbatim (so a 1-shard engine consumes the
+// RNG stream exactly like the serial monitor did), later shards mix the
+// index in with a SplitMix64 step for independent sampling streams.
+// Exported so benchmarks can replay a single shard's stream standalone.
+func ShardSketchConfig(c sketch.Config, i int) sketch.Config {
+	if i > 0 {
+		c.Seed ^= splitmix64(c.Seed + uint64(i)*0x9e3779b97f4a7c15)
+	}
+	return c
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hashTag is a 64-bit integer hash for HashByTag routing.
+func hashTag(tag int) uint64 { return splitmix64(uint64(int64(tag))) }
+
+// Config returns the engine's effective (defaulted) configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Ingest preprocesses one frame and feeds it to its shard. tag is an
+// arbitrary caller identifier returned with snapshot rows.
+func (e *Engine) Ingest(im *imgproc.Image, tag int) {
+	e.IngestBatch([]*imgproc.Image{im}, []int{tag})
+}
+
+// IngestBatch preprocesses a batch of frames on the shared worker pool
+// and routes them to the shards. tags may be nil (all frames tagged 0);
+// otherwise it must match frames in length. The per-frame lock cost is
+// amortized: one engine-lock acquisition for the whole batch, then each
+// shard absorbs its rows under its own lock only.
+func (e *Engine) IngestBatch(ims []*imgproc.Image, tags []int) {
+	if len(ims) == 0 {
+		return
+	}
+	start := time.Now()
+	vecs := make([][]float64, len(ims))
+	mat.ParallelFor(len(ims), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			pre := e.cfg.Pre.Apply(ims[i])
+			vecs[i] = append([]float64(nil), pre.Flatten()...)
+		}
+	})
+	e.IngestVecs(vecs, tags)
+	obsIngestLatency.Observe(time.Since(start).Seconds())
+}
+
+// IngestVecs feeds already-preprocessed feature vectors to the shards.
+// The engine takes ownership of the vectors (they back both the window
+// ring and the sketch append).
+func (e *Engine) IngestVecs(vecs [][]float64, tags []int) {
+	if len(vecs) == 0 {
+		return
+	}
+	if tags != nil && len(tags) != len(vecs) {
+		panic("engine: tags/frames length mismatch")
+	}
+	e.gate.RLock()
+	defer e.gate.RUnlock()
+
+	n := len(vecs)
+	// Ring append + stream-index assignment: pointer bookkeeping only.
+	e.mu.Lock()
+	base := e.ingests
+	for i, v := range vecs {
+		t := 0
+		if tags != nil {
+			t = tags[i]
+		}
+		e.recent = append(e.recent, &Frame{Vec: v, Tag: t})
+	}
+	if len(e.recent) > e.cfg.Window {
+		e.recent = e.recent[len(e.recent)-e.cfg.Window:]
+	}
+	e.ingests += n
+	window := len(e.recent)
+	e.mu.Unlock()
+
+	// Route and dispatch. With one shard the batch is absorbed inline;
+	// otherwise shards with work run concurrently, each under its own
+	// lock. Rows keep stream order within a shard, so the result is
+	// deterministic for a given routing.
+	ns := len(e.shards)
+	results := make([]shardResult, ns)
+	if ns == 1 {
+		results[0] = e.shards[0].absorb(vecs, nil)
+	} else {
+		perShard := make([][]int, ns)
+		for i := range vecs {
+			var si int
+			switch e.cfg.Route {
+			case HashByTag:
+				t := 0
+				if tags != nil {
+					t = tags[i]
+				}
+				si = int(hashTag(t) % uint64(ns))
+			default:
+				si = (base + i) % ns
+			}
+			perShard[si] = append(perShard[si], i)
+		}
+		var wg sync.WaitGroup
+		for si := 0; si < ns; si++ {
+			if len(perShard[si]) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(si int) {
+				defer wg.Done()
+				results[si] = e.shards[si].absorb(vecs, perShard[si])
+			}(si)
+		}
+		wg.Wait()
+	}
+
+	e.afterDispatch(results, base, n, window)
+}
+
+// absorb feeds the selected rows (all of vecs when idx is nil) into the
+// shard's sketcher one row at a time — per-row ProcessBatch calls keep
+// the priority sampler's RNG consumption identical to the serial
+// per-frame monitor, which the bit-exact restore tests rely on.
+func (s *shard) absorb(vecs [][]float64, idx []int) shardResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	start := time.Now()
+	defer func() { s.busy += time.Since(start) }()
+	nrows := len(idx)
+	if idx == nil {
+		nrows = len(vecs)
+	}
+	if nrows == 0 {
+		return shardResult{}
+	}
+	first := vecs[0]
+	if idx != nil {
+		first = vecs[idx[0]]
+	}
+	if s.arams == nil {
+		s.arams = sketch.NewARAMS(s.cfg, len(first), 0)
+	}
+	var agg sketch.BatchStats
+	agg.EllBefore = s.arams.Ell()
+	row := func(i int) []float64 {
+		if idx == nil {
+			return vecs[i]
+		}
+		return vecs[idx[i]]
+	}
+	for i := 0; i < nrows; i++ {
+		v := row(i)
+		bs := s.arams.ProcessBatch(mat.FromData(1, len(v), v))
+		agg.Rows += bs.Rows
+		agg.Kept += bs.Kept
+		agg.TotalMass += bs.TotalMass
+		agg.KeptMass += bs.KeptMass
+		agg.DeltaAdded += bs.DeltaAdded
+	}
+	agg.EllAfter = s.arams.Ell()
+	s.frames += nrows
+	s.gauge.SetInt(s.frames)
+	return shardResult{ok: true, stats: agg, ell: agg.EllAfter}
+}
+
+// afterDispatch folds the shard results into the audit accumulator,
+// journals rank growth, flushes audit points on AuditEvery boundaries,
+// and refreshes gauges. base is the stream index of the batch's first
+// frame, n the batch length.
+func (e *Engine) afterDispatch(results []shardResult, base, n, window int) {
+	e.mu.Lock()
+	prevEll := e.lastEll
+	ell := prevEll
+	for _, r := range results {
+		if !r.ok {
+			continue
+		}
+		// A freshly created shard starts at Ell0, not 0: seed the
+		// baseline from the dispatch so first-batch rank growth is
+		// journaled relative to Ell0 like the serial monitor did.
+		if prevEll == 0 && r.stats.EllBefore > prevEll {
+			prevEll = r.stats.EllBefore
+		}
+		if r.ell > ell {
+			ell = r.ell
+		}
+	}
+	if prevEll > ell {
+		ell = prevEll
+	}
+	e.lastEll = ell
+	grewFrom := 0
+	var flush sketch.BatchStats
+	flushDue := false
+	if e.cfg.Audit != nil {
+		if ell > prevEll && prevEll > 0 {
+			grewFrom = prevEll
+		}
+		for _, r := range results {
+			if !r.ok {
+				continue
+			}
+			e.auditAcc.Rows += r.stats.Rows
+			e.auditAcc.Kept += r.stats.Kept
+			e.auditAcc.TotalMass += r.stats.TotalMass
+			e.auditAcc.KeptMass += r.stats.KeptMass
+			e.auditAcc.DeltaAdded += r.stats.DeltaAdded
+		}
+		if (base+n)/e.cfg.AuditEvery > base/e.cfg.AuditEvery {
+			flushDue = true
+			flush = e.auditAcc
+			flush.EllAfter = ell
+			e.auditAcc = sketch.BatchStats{EllBefore: ell}
+		}
+	}
+	ingests := e.ingests
+	e.mu.Unlock()
+
+	if grewFrom > 0 {
+		e.cfg.Audit.Journal().Record(audit.KindRankGrow, "sketch rank grew",
+			audit.A("from", float64(grewFrom)),
+			audit.A("to", float64(ell)),
+			audit.A("frames", float64(base+n)))
+	}
+	if flushDue {
+		// The certificate is computed outside the engine lock: for one
+		// shard it reads the live sketch (identical to the serial
+		// monitor), for many it forces a reconcile so the certificate
+		// covers every shard's stream.
+		e.cfg.Audit.ObserveBatch(flush, e.Certificate())
+	}
+
+	obsFramesTotal.Add(float64(n))
+	obsWindowSize.SetInt(window)
+	obsEngineEll.SetInt(ell)
+
+	if len(e.shards) > 1 {
+		e.globalMu.Lock()
+		lag := ingests - e.globalAt
+		if lag >= e.cfg.ReconcileEvery {
+			e.reconcileLocked()
+			lag = 0
+		}
+		e.globalMu.Unlock()
+		obsMergeLag.SetInt(lag)
+	}
+}
+
+// Ingested returns the number of frames consumed so far.
+func (e *Engine) Ingested() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.ingests
+}
+
+// ShardBusy returns each shard's cumulative wall time spent absorbing
+// rows. The busiest shard bounds ingest latency when shards run on
+// their own cores, so max/sum over this slice is the sharded path's
+// critical-path accounting (the same role parallel.Stats.CriticalPath
+// plays for tree merges); benchmarks use it to project scaling beyond
+// the cores the host happens to expose.
+func (e *Engine) ShardBusy() []time.Duration {
+	out := make([]time.Duration, len(e.shards))
+	for i, s := range e.shards {
+		s.mu.Lock()
+		out[i] = s.busy
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// Ell returns the global sketch rank. Merging grows the accumulator to
+// the larger input's rank and never past it, so the merged global rank
+// equals the max over shards — no reconcile needed to answer this.
+func (e *Engine) Ell() int {
+	ell := 0
+	for _, s := range e.shards {
+		s.mu.Lock()
+		if s.arams != nil && s.arams.Ell() > ell {
+			ell = s.arams.Ell()
+		}
+		s.mu.Unlock()
+	}
+	return ell
+}
+
+// reconcileLocked refreshes the cached global sketch from shard clones
+// via the parallel tree merge; the caller holds globalMu. Shard locks
+// are held only long enough to clone, so ingest proceeds during the
+// merge itself.
+func (e *Engine) reconcileLocked() *sketch.FrequentDirections {
+	e.mu.Lock()
+	at := e.ingests
+	e.mu.Unlock()
+	if e.global != nil && e.globalAt == at {
+		return e.global
+	}
+	fds := make([]*sketch.FrequentDirections, 0, len(e.shards))
+	for _, s := range e.shards {
+		s.mu.Lock()
+		if s.arams != nil {
+			fds = append(fds, s.arams.FD().Clone())
+		}
+		s.mu.Unlock()
+	}
+	if len(fds) == 0 {
+		return nil
+	}
+	g, _ := parallel.MergeSketches(fds, e.cfg.Merge)
+	e.global, e.globalAt = g, at
+	obsReconciles.Inc()
+	obsMergeLag.SetInt(0)
+	return g
+}
+
+// Certificate returns the error-bound certificate for the whole stream:
+// the live sketch's for one shard, a fresh reconcile's for many.
+func (e *Engine) Certificate() audit.Certificate {
+	if len(e.shards) == 1 {
+		s := e.shards[0]
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.arams == nil {
+			return audit.Certificate{}
+		}
+		return audit.FromSketch(s.arams.FD())
+	}
+	e.globalMu.Lock()
+	defer e.globalMu.Unlock()
+	g := e.reconcileLocked()
+	if g == nil {
+		return audit.Certificate{}
+	}
+	return audit.FromSketch(g)
+}
+
+// GlobalSketch returns a clone of the reconciled global sketch (nil
+// before the first frame). The clone is the caller's to mutate.
+func (e *Engine) GlobalSketch() *sketch.FrequentDirections {
+	if len(e.shards) == 1 {
+		s := e.shards[0]
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.arams == nil {
+			return nil
+		}
+		return s.arams.FD().Clone()
+	}
+	e.globalMu.Lock()
+	defer e.globalMu.Unlock()
+	g := e.reconcileLocked()
+	if g == nil {
+		return nil
+	}
+	return g.Clone()
+}
+
+// WindowState copies the sliding window and the current global basis
+// (top-k right singular vectors, k clamped to the rank) for the
+// snapshot stages, which run outside every engine lock. x is nil before
+// the first frame.
+func (e *Engine) WindowState(k int) (x *mat.Matrix, tags []int, basis *mat.Matrix, ell int) {
+	e.mu.Lock()
+	n := len(e.recent)
+	if n == 0 {
+		e.mu.Unlock()
+		return nil, nil, nil, 0
+	}
+	d := len(e.recent[0].Vec)
+	x = mat.New(n, d)
+	tags = make([]int, n)
+	for i, f := range e.recent {
+		copy(x.Row(i), f.Vec)
+		tags[i] = f.Tag
+	}
+	e.mu.Unlock()
+
+	basis, ell = e.Basis(k)
+	if basis == nil {
+		return nil, nil, nil, 0
+	}
+	return x, tags, basis, ell
+}
+
+// Basis returns the top-k right singular vectors of the global sketch
+// (k clamped to the rank) and the rank itself. For one shard this is
+// the live sketch's basis — bit-identical to the serial monitor — and
+// for many it comes from the reconciled global. Returns (nil, 0) before
+// the first frame.
+func (e *Engine) Basis(k int) (*mat.Matrix, int) {
+	if len(e.shards) == 1 {
+		s := e.shards[0]
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.arams == nil {
+			return nil, 0
+		}
+		ell := s.arams.Ell()
+		if k > ell {
+			k = ell
+		}
+		return s.arams.Basis(k), ell
+	}
+	e.globalMu.Lock()
+	defer e.globalMu.Unlock()
+	g := e.reconcileLocked()
+	if g == nil {
+		return nil, 0
+	}
+	ell := g.Ell()
+	if k > ell {
+		k = ell
+	}
+	return g.Basis(k), ell
+}

@@ -1,0 +1,132 @@
+package engine
+
+import "arams/internal/imgproc"
+
+// Async ingest: Enqueue hands frames to a single pump goroutine through
+// a bounded channel. A full channel blocks the producer — backpressure,
+// never drops — and the pump coalesces whatever is queued (up to
+// BatchSize) into one IngestBatch call, so a bursty producer pays the
+// per-batch lock cost once per burst instead of once per frame. One
+// pump keeps the stream FIFO, which round-robin routing determinism
+// depends on.
+
+// qitem is one queued frame, or a drain marker when ack is non-nil.
+type qitem struct {
+	im  *imgproc.Image
+	tag int
+	ack chan struct{}
+}
+
+// Start launches the pump goroutine. It is idempotent; Enqueue and
+// Drain call it implicitly.
+func (e *Engine) Start() {
+	e.queueMu.Lock()
+	defer e.queueMu.Unlock()
+	e.startLocked()
+}
+
+func (e *Engine) startLocked() {
+	if e.queue != nil {
+		return
+	}
+	e.queue = make(chan qitem, e.cfg.IngestBuffer)
+	e.pumpDone = make(chan struct{})
+	go e.pump(e.queue, e.pumpDone)
+}
+
+// Enqueue submits one frame to the async ingest queue, blocking while
+// the queue is full. Frames are ingested in submission order. Callers
+// that need the frame's effect visible (e.g. before a checkpoint) call
+// Drain first.
+func (e *Engine) Enqueue(im *imgproc.Image, tag int) {
+	e.queueMu.Lock()
+	e.startLocked()
+	q := e.queue
+	e.queueMu.Unlock()
+	q <- qitem{im: im, tag: tag}
+	obsQueueDepth.SetInt(len(q))
+}
+
+// Drain blocks until every frame enqueued before the call has been
+// ingested. It is a no-op when the pump was never started.
+func (e *Engine) Drain() {
+	e.queueMu.Lock()
+	q := e.queue
+	e.queueMu.Unlock()
+	if q == nil {
+		return
+	}
+	ack := make(chan struct{})
+	q <- qitem{ack: ack}
+	<-ack
+}
+
+// Stop drains the queue, ingests everything, and terminates the pump.
+// Enqueue must not be called after Stop.
+func (e *Engine) Stop() {
+	e.queueMu.Lock()
+	q, done := e.queue, e.pumpDone
+	e.queue, e.pumpDone = nil, nil
+	e.queueMu.Unlock()
+	if q == nil {
+		return
+	}
+	close(q)
+	<-done
+}
+
+// pump is the single consumer: it blocks for one frame, opportunistically
+// drains more without blocking (up to BatchSize), ingests the batch, and
+// acknowledges any drain markers seen — after the frames queued before
+// them, preserving Drain's "everything before me is ingested" contract.
+func (e *Engine) pump(q chan qitem, done chan struct{}) {
+	defer close(done)
+	ims := make([]*imgproc.Image, 0, e.cfg.BatchSize)
+	tags := make([]int, 0, e.cfg.BatchSize)
+	var acks []chan struct{}
+	flush := func() {
+		if len(ims) > 0 {
+			e.IngestBatch(ims, tags)
+			ims, tags = ims[:0], tags[:0]
+		}
+		for _, a := range acks {
+			close(a)
+		}
+		acks = acks[:0]
+	}
+	for {
+		it, ok := <-q
+		if !ok {
+			flush()
+			return
+		}
+		closed := false
+		for {
+			if it.ack != nil {
+				acks = append(acks, it.ack)
+				break // flush now so the ack covers everything before it
+			}
+			ims = append(ims, it.im)
+			tags = append(tags, it.tag)
+			if len(ims) >= e.cfg.BatchSize {
+				break
+			}
+			select {
+			case next, ok2 := <-q:
+				if !ok2 {
+					closed = true
+				} else {
+					it = next
+					continue
+				}
+			default:
+			}
+			break
+		}
+		obsQueueDepth.SetInt(len(q))
+		flush()
+		if closed {
+			return
+		}
+	}
+}

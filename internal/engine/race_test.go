@@ -1,0 +1,155 @@
+package engine_test
+
+// Concurrency hammer for the engine, meant to run under -race:
+// several IngestVecs producers, an async Enqueue producer, snapshot
+// readers (WindowState/Basis/Certificate), and a checkpointer
+// (State) all pound the same engine. Assertions are deliberately
+// coarse — the point is that the race detector sees every lock edge:
+// gate vs ingest, shard locks vs reconcile clones, global-cache reuse
+// vs Basis factor computation.
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"arams/internal/engine"
+	"arams/internal/imgproc"
+	"arams/internal/sketch"
+)
+
+func TestEngineConcurrentHammer(t *testing.T) {
+	const (
+		producers = 3
+		batches   = 12
+		batchLen  = 8
+		d         = 16
+	)
+	e := engine.New(engine.Config{
+		Shards:         4,
+		ReconcileEvery: 8,
+		IngestBuffer:   16,
+		BatchSize:      4,
+		Sketch:         sketch.Config{Ell0: 5, Beta: 0.9, Seed: 7},
+		Window:         32,
+	})
+
+	shardRows := func(st *engine.State) int {
+		rows := 0
+		for _, ss := range st.Shards {
+			if ss == nil {
+				continue
+			}
+			fd := ss.FD
+			if ss.RankAdaptive != nil {
+				fd = &ss.RankAdaptive.FD
+			}
+			rows += fd.Seen
+		}
+		return rows
+	}
+
+	var producersWG, readersWG sync.WaitGroup
+	stop := make(chan struct{})
+	var produced atomic.Int64
+
+	for p := 0; p < producers; p++ {
+		producersWG.Add(1)
+		go func(p int) {
+			defer producersWG.Done()
+			vecs := testVecs(batches*batchLen, d, uint64(100+p))
+			for b := 0; b < batches; b++ {
+				batch := cloneVecs(vecs[b*batchLen : (b+1)*batchLen])
+				tags := make([]int, batchLen)
+				for i := range tags {
+					tags[i] = p*10000 + b*batchLen + i
+				}
+				e.IngestVecs(batch, tags)
+				produced.Add(batchLen)
+			}
+		}(p)
+	}
+
+	// Async producer through the bounded queue.
+	producersWG.Add(1)
+	go func() {
+		defer producersWG.Done()
+		im := imgproc.NewImage(4, 4)
+		for y := 0; y < 4; y++ {
+			for x := 0; x < 4; x++ {
+				im.Set(x, y, float64(1+x+y))
+			}
+		}
+		for i := 0; i < 30; i++ {
+			e.Enqueue(im, 90000+i)
+		}
+		e.Drain()
+		produced.Add(30)
+	}()
+
+	// Snapshot readers.
+	for r := 0; r < 2; r++ {
+		readersWG.Add(1)
+		go func() {
+			defer readersWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if x, tags, basis, ell := e.WindowState(4); x != nil {
+					if len(tags) != x.RowsN {
+						t.Error("torn window: tags/rows mismatch")
+						return
+					}
+					if basis.RowsN > ell {
+						t.Errorf("basis rows %d exceed rank %d", basis.RowsN, ell)
+						return
+					}
+				}
+				_ = e.Certificate()
+				_ = e.Ell()
+			}
+		}()
+	}
+
+	// Checkpointer: State must always be a consistent cut. Rows reach
+	// shards only after the ring/counter bookkeeping, and State takes
+	// the gate exclusively, so a cut can never show more sketched rows
+	// than counted ingests (sampling may legitimately show fewer).
+	readersWG.Add(1)
+	go func() {
+		defer readersWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			st := e.State()
+			if st.Ingests < len(st.Frames) {
+				t.Errorf("torn state: %d ingests < %d frames", st.Ingests, len(st.Frames))
+				return
+			}
+			if rows := shardRows(st); rows > st.Ingests {
+				t.Errorf("torn state: %d sketched rows > %d ingests", rows, st.Ingests)
+				return
+			}
+		}
+	}()
+
+	producersWG.Wait()
+	close(stop)
+	readersWG.Wait()
+	e.Stop()
+
+	want := int(produced.Load())
+	if got := e.Ingested(); got != want {
+		t.Fatalf("ingested %d frames, want %d", got, want)
+	}
+	rows := shardRows(e.State())
+	if rows == 0 || rows > want {
+		t.Fatalf("shards saw %d rows total, want within (0, %d]", rows, want)
+	}
+}

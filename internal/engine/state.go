@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"fmt"
+
+	"arams/internal/audit"
+	"arams/internal/sketch"
+)
+
+// State is a checkpointable snapshot of the engine: the sliding window,
+// the stream counter, and one ARAMS state per shard slot. Shard states
+// are positional — slot i of the slice is shard i — because round-robin
+// routing assigns frames by global stream index, so restoring a
+// checkpoint into a different shard layout would replay the stream
+// through different samplers. A slot is nil when its shard has not yet
+// received a frame. Audit and Journal carry the quality-auditing state
+// when the engine was configured with an Auditor (nil otherwise); they
+// are captured under the same exclusive gate as the sketches, so a
+// checkpoint never pairs a newer audit state with older shard states.
+type State struct {
+	Window  int
+	Ingests int
+	Frames  []Frame
+	Shards  []*sketch.ARAMSState
+	Audit   *audit.State
+	Journal *audit.JournalState
+}
+
+// State captures the engine's current state. It takes the ingest gate
+// exclusively, so in-flight batches finish first and the snapshot is a
+// consistent cut of ring, counters, every shard, and the audit layer.
+func (e *Engine) State() *State {
+	e.gate.Lock()
+	defer e.gate.Unlock()
+	s := &State{
+		Window:  e.cfg.Window,
+		Ingests: e.ingests,
+		Frames:  make([]Frame, len(e.recent)),
+		Shards:  make([]*sketch.ARAMSState, len(e.shards)),
+	}
+	for i, f := range e.recent {
+		s.Frames[i] = Frame{Vec: append([]float64(nil), f.Vec...), Tag: f.Tag}
+	}
+	for i, sh := range e.shards {
+		sh.mu.Lock()
+		if sh.arams != nil {
+			as := sh.arams.State()
+			s.Shards[i] = &as
+		}
+		sh.mu.Unlock()
+	}
+	if e.cfg.Audit != nil {
+		ast := e.cfg.Audit.State()
+		jst := e.cfg.Audit.Journal().State()
+		s.Audit = &ast
+		s.Journal = &jst
+	}
+	return s
+}
+
+// NewFromState rebuilds an engine from a snapshot, resuming the stream
+// exactly where the checkpoint left off (sampler RNG streams included).
+// The checkpoint's shard layout wins: len(s.Shards) overrides
+// cfg.Shards when they disagree, because routing determinism is a
+// property of the layout the stream was sharded under. cfg.Shards is
+// honored only for empty checkpoints (nothing ingested yet).
+func NewFromState(cfg Config, s *State) (*Engine, error) {
+	if s == nil {
+		return nil, fmt.Errorf("engine: nil state")
+	}
+	if s.Window <= 0 {
+		return nil, fmt.Errorf("engine: state has window=%d", s.Window)
+	}
+	if s.Ingests < len(s.Frames) || len(s.Frames) > s.Window {
+		return nil, fmt.Errorf("engine: state has %d frames for window=%d ingests=%d",
+			len(s.Frames), s.Window, s.Ingests)
+	}
+	populated := 0
+	dim := 0
+	for _, ss := range s.Shards {
+		if ss == nil {
+			continue
+		}
+		populated++
+		if dim == 0 {
+			dim = ss.D
+		} else if ss.D != dim {
+			return nil, fmt.Errorf("engine: state shards disagree on dimension (%d vs %d)", dim, ss.D)
+		}
+	}
+	if populated == 0 && (s.Ingests > 0 || len(s.Frames) > 0) {
+		return nil, fmt.Errorf("engine: state has %d ingests but no sketch", s.Ingests)
+	}
+	for i, f := range s.Frames {
+		if dim > 0 && len(f.Vec) != dim {
+			return nil, fmt.Errorf("engine: state frame %d has %d features, sketch expects %d",
+				i, len(f.Vec), dim)
+		}
+	}
+
+	cfg.Window = s.Window
+	if len(s.Shards) > 0 {
+		cfg.Shards = len(s.Shards)
+	}
+	e := New(cfg)
+	for i, ss := range s.Shards {
+		if ss == nil {
+			continue
+		}
+		a, err := sketch.NewARAMSFromState(*ss)
+		if err != nil {
+			return nil, fmt.Errorf("engine: shard %d: %w", i, err)
+		}
+		e.shards[i].arams = a
+		if a.Ell() > e.lastEll {
+			e.lastEll = a.Ell()
+		}
+	}
+	e.recent = make([]*Frame, len(s.Frames))
+	for i, f := range s.Frames {
+		e.recent[i] = &Frame{Vec: append([]float64(nil), f.Vec...), Tag: f.Tag}
+	}
+	e.ingests = s.Ingests
+	if cfg.Audit != nil {
+		if s.Journal != nil {
+			cfg.Audit.Journal().Restore(*s.Journal)
+		}
+		if s.Audit != nil {
+			cfg.Audit.Restore(*s.Audit)
+		}
+	}
+	return e, nil
+}

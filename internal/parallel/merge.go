@@ -1,0 +1,112 @@
+package parallel
+
+import (
+	"sync"
+	"time"
+
+	"arams/internal/audit"
+	"arams/internal/obs"
+	"arams/internal/sketch"
+)
+
+// Reconcile-phase observability: MergeSketches is the engine's shard
+// reconciliation primitive, so its call count and rotation volume are
+// tracked separately from the batch Run/RunArity path.
+var (
+	obsReconcilesTotal    = obs.Default().Counter("arams_parallel_reconciles_total")
+	obsReconcileRotations = obs.Default().Counter("arams_parallel_reconcile_rotations_total")
+)
+
+// MergeSketches combines already-built sketches into one global summary
+// using the chosen strategy (binary tree for TreeMerge, a linear fold
+// for SerialMerge) without mutating the inputs: every input is cloned
+// before the first fold, so live shard sketches can keep ingesting
+// while a reconcile runs on a snapshot of their state.
+//
+// This is the primitive behind the streaming engine's periodic shard
+// reconciliation. Mergeability (Ghashami et al.) makes the error-bound
+// certificate compose: the merged sketch's Delta() is the sum of the
+// inputs' shrinkage masses plus whatever the merge rotations shrink,
+// so audit.FromSketch on the result certifies
+// ‖AᵀA − BᵀB‖₂ ≤ Σδ over the concatenation of every input stream.
+//
+// It returns the merged sketch and the merge accounting (MergeRounds,
+// MergeRotations, MergeShrinkMass, Certificate, CriticalPath — the
+// sketch-phase fields stay zero because no shard sketching happens
+// here). Passing no sketches returns (nil, Stats{}); a single sketch is
+// cloned, compacted, and returned with zero merge work.
+func MergeSketches(fds []*sketch.FrequentDirections, strategy MergeStrategy) (*sketch.FrequentDirections, Stats) {
+	stats := Stats{Workers: len(fds)}
+	if len(fds) == 0 {
+		return nil, stats
+	}
+	obsReconcilesTotal.Inc()
+	start := time.Now()
+
+	clones := make([]*sketch.FrequentDirections, len(fds))
+	rotBefore, deltaBefore := 0, 0.0
+	for i, fd := range fds {
+		clones[i] = fd.Clone()
+		rotBefore += fd.Rotations()
+		deltaBefore += fd.Delta()
+	}
+	if len(clones) == 1 {
+		clones[0].Compact()
+		stats.Certificate = audit.FromSketch(clones[0])
+		stats.Total = time.Since(start)
+		return clones[0], stats
+	}
+
+	var global *sketch.FrequentDirections
+	var crit time.Duration
+	switch strategy {
+	case SerialMerge:
+		global, crit = serialMerge(clones)
+		stats.MergeRounds = len(clones) - 1
+	default: // TreeMerge and any future strategy fold as a binary tree
+		nodes := clones
+		for len(nodes) > 1 {
+			stats.MergeRounds++
+			groups := (len(nodes) + 1) / 2
+			next := make([]*sketch.FrequentDirections, groups)
+			legTimes := make([]time.Duration, groups)
+			var wg sync.WaitGroup
+			for g := 0; g < groups; g++ {
+				lo := 2 * g
+				if lo+1 >= len(nodes) {
+					next[g] = nodes[lo] // pass-through singleton
+					continue
+				}
+				wg.Add(1)
+				go func(g, lo int) {
+					defer wg.Done()
+					t0 := time.Now()
+					acc := nodes[lo]
+					acc.Merge(nodes[lo+1])
+					acc.Compact()
+					legTimes[g] = time.Since(t0)
+					next[g] = acc
+				}(g, lo)
+			}
+			wg.Wait()
+			var slowest time.Duration
+			for _, d := range legTimes {
+				if d > slowest {
+					slowest = d
+				}
+			}
+			crit += slowest
+			nodes = next
+		}
+		global = nodes[0]
+	}
+	global.Compact()
+	stats.MergeRotations = global.Rotations() - rotBefore
+	stats.MergeShrinkMass = global.Delta() - deltaBefore
+	stats.Certificate = audit.FromSketch(global)
+	stats.CriticalPath = crit
+	stats.MergeTime = time.Since(start)
+	stats.Total = stats.MergeTime
+	obsReconcileRotations.Add(float64(stats.MergeRotations))
+	return global, stats
+}

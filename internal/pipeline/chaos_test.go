@@ -266,20 +266,29 @@ func TestChaosRestartWithoutCheckpoint(t *testing.T) {
 	}
 }
 
-// monitorFD extracts the FD core from a monitor state regardless of
-// which ARAMS variant (fixed or rank-adaptive) the config selected.
+// monitorFD extracts shard 0's FD core from a monitor state regardless
+// of which ARAMS variant (fixed or rank-adaptive) the config selected.
+// The serial-configuration chaos tests run one shard, so shard 0 IS the
+// whole sketch.
 func monitorFD(t *testing.T, s *pipeline.MonitorState) *sketch.FDState {
 	t.Helper()
-	if s.Sketch == nil {
-		t.Fatal("monitor state has no sketch")
+	return monitorShardFD(t, s, 0)
+}
+
+// monitorShardFD extracts shard i's FD core from a monitor state.
+func monitorShardFD(t *testing.T, s *pipeline.MonitorState, i int) *sketch.FDState {
+	t.Helper()
+	if i >= len(s.Shards) || s.Shards[i] == nil {
+		t.Fatalf("monitor state has no sketch for shard %d", i)
 	}
-	if s.Sketch.RankAdaptive != nil {
-		return &s.Sketch.RankAdaptive.FD
+	sh := s.Shards[i]
+	if sh.RankAdaptive != nil {
+		return &sh.RankAdaptive.FD
 	}
-	if s.Sketch.FD == nil {
-		t.Fatal("monitor sketch state has neither variant")
+	if sh.FD == nil {
+		t.Fatalf("monitor shard %d state has neither variant", i)
 	}
-	return s.Sketch.FD
+	return sh.FD
 }
 
 // subspaceErr measures how far apart two sketch states' row spaces are:

@@ -2,67 +2,53 @@ package pipeline
 
 import (
 	"sync"
-	"time"
 
 	"arams/internal/abod"
-	"arams/internal/audit"
+	"arams/internal/engine"
 	"arams/internal/imgproc"
 	"arams/internal/mat"
 	"arams/internal/obs"
 	"arams/internal/optics"
 	"arams/internal/pca"
-	"arams/internal/sketch"
 	"arams/internal/umap"
 )
 
-// Online-monitor observability: per-frame ingest latency, live window
-// and sketch-rank gauges, and full-vs-quick snapshot counters. A
+// Monitor-facade observability: full-vs-quick snapshot counters. A
 // QuickSnapshot that falls back to a refit increments both counters —
-// the "full" count is refits, the "quick" count is calls.
+// the "full" count is refits, the "quick" count is calls. Ingest
+// latency, window, and rank gauges live in the engine
+// (arams_engine_*).
 var (
-	obsIngestLatency = obs.Default().Histogram("arams_monitor_ingest_seconds")
-	obsFramesTotal   = obs.Default().Counter("arams_monitor_frames_total")
-	obsWindowSize    = obs.Default().Gauge("arams_monitor_window_size")
-	obsMonitorEll    = obs.Default().Gauge("arams_monitor_sketch_ell")
-	obsSnapFull      = obs.Default().Counter("arams_monitor_snapshots_total", obs.L("kind", "full"))
-	obsSnapQuick     = obs.Default().Counter("arams_monitor_snapshots_total", obs.L("kind", "quick"))
+	obsSnapFull  = obs.Default().Counter("arams_monitor_snapshots_total", obs.L("kind", "full"))
+	obsSnapQuick = obs.Default().Counter("arams_monitor_snapshots_total", obs.L("kind", "quick"))
 )
 
-// Monitor is the online form of the pipeline: frames stream in
-// one-by-one (e.g. from the event builder at the machine repetition
-// rate), the ARAMS sketch updates incrementally, and at any moment a
-// Snapshot produces the current latent embedding, clustering, and
-// anomaly scores over a sliding window of recent frames — the "live
-// view" an instrument operator would watch.
+// Monitor is the online form of the pipeline: frames stream in (e.g.
+// from the event builder at the machine repetition rate), the ARAMS
+// sketch updates incrementally, and at any moment a Snapshot produces
+// the current latent embedding, clustering, and anomaly scores over a
+// sliding window of recent frames — the "live view" an instrument
+// operator would watch.
 //
-// Monitor is safe for one concurrent producer (Ingest) and concurrent
-// Snapshot callers.
+// Monitor is a thin compatibility facade over the sharded streaming
+// engine (internal/engine): Ingest/IngestBatch delegate to the engine,
+// which preprocesses outside every lock, routes frames to
+// Config.Shards independent sketchers, and reconciles them into a
+// global sketch on demand. With Shards == 1 (the default) the behavior
+// — sketch contents, sampler RNG stream, audit cadence — is identical
+// to the pre-engine serial monitor. Monitor is safe for concurrent
+// producers and concurrent Snapshot/State callers.
 type Monitor struct {
 	cfg    Config
 	window int
+	eng    *engine.Engine
 
-	mu      sync.Mutex
-	arams   *sketch.ARAMS
-	recent  []*recentFrame // ring of preprocessed frames, newest last
-	ingests int
-
-	// Audit accumulation: per-frame BatchStats fold into auditAcc and
-	// are flushed to cfg.Audit every cfg.AuditEvery frames, so auditing
-	// adds no linear algebra to the ingest hot path. lastEll tracks
-	// rank growth for journaling.
-	auditAcc sketch.BatchStats
-	lastEll  int
-
-	// Cached UMAP model for QuickSnapshot: new window points are
-	// Transform-ed into the last full embedding instead of refitting,
-	// as long as the sketch rank has not changed.
+	// mu guards only the cached UMAP model for QuickSnapshot: new
+	// window points are Transform-ed into the last full embedding
+	// instead of refitting, as long as the sketch rank has not changed.
+	mu          sync.Mutex
 	cachedModel *umap.Model
 	cachedEll   int
-}
-
-type recentFrame struct {
-	vec []float64
-	tag int // caller-supplied tag (e.g. pulse ID low bits or label)
 }
 
 // NewMonitor creates an online monitor keeping a sliding window of the
@@ -73,85 +59,48 @@ func NewMonitor(cfg Config, window int) *Monitor {
 	if window <= 0 {
 		window = 1024
 	}
-	return &Monitor{cfg: cfg, window: window}
+	return &Monitor{cfg: cfg, window: window, eng: engine.New(engineConfig(cfg, window))}
 }
+
+// engineConfig maps the pipeline configuration onto the engine's.
+func engineConfig(cfg Config, window int) engine.Config {
+	return engine.Config{
+		Shards:         cfg.Shards,
+		IngestBuffer:   cfg.IngestBuffer,
+		ReconcileEvery: cfg.ReconcileEvery,
+		Window:         window,
+		Pre:            cfg.Pre,
+		Sketch:         cfg.Sketch,
+		Merge:          cfg.Merge,
+		Audit:          cfg.Audit,
+		AuditEvery:     cfg.AuditEvery,
+	}
+}
+
+// Engine exposes the underlying streaming engine for callers that want
+// the async queue (Enqueue/Drain/Stop) or engine-level state directly.
+func (m *Monitor) Engine() *engine.Engine { return m.eng }
 
 // Ingest preprocesses one frame and feeds it to the sketch. tag is an
 // arbitrary caller identifier returned with snapshot rows.
 func (m *Monitor) Ingest(im *imgproc.Image, tag int) {
-	start := time.Now()
-	pre := m.cfg.Pre.Apply(im)
-	vec := append([]float64(nil), pre.Flatten()...)
+	m.eng.Ingest(im, tag)
+}
 
-	m.mu.Lock()
-	if m.arams == nil {
-		m.arams = sketch.NewARAMS(m.cfg.Sketch, len(vec), 0)
-		m.lastEll = m.arams.Ell()
-	}
-	bs := m.arams.ProcessBatch(mat.FromData(1, len(vec), vec))
-	cp := recentFrame{vec: vec, tag: tag}
-	m.recent = append(m.recent, &cp)
-	if len(m.recent) > m.window {
-		m.recent = m.recent[len(m.recent)-m.window:]
-	}
-	m.ingests++
-	window, ell, ingests := len(m.recent), m.arams.Ell(), m.ingests
-	grewFrom := 0
-	var flush sketch.BatchStats
-	var flushCert audit.Certificate
-	flushDue := false
-	if m.cfg.Audit != nil {
-		if ell > m.lastEll {
-			grewFrom = m.lastEll
-		}
-		m.auditAcc.Rows += bs.Rows
-		m.auditAcc.Kept += bs.Kept
-		m.auditAcc.TotalMass += bs.TotalMass
-		m.auditAcc.KeptMass += bs.KeptMass
-		m.auditAcc.DeltaAdded += bs.DeltaAdded
-		if ingests%m.cfg.AuditEvery == 0 {
-			flushDue = true
-			flush = m.auditAcc
-			flush.EllBefore, flush.EllAfter = m.auditAcc.EllBefore, ell
-			flushCert = audit.FromSketch(m.arams.FD())
-			m.auditAcc = sketch.BatchStats{EllBefore: ell}
-		}
-	}
-	m.lastEll = ell
-	m.mu.Unlock()
-
-	if grewFrom > 0 {
-		m.cfg.Audit.Journal().Record(audit.KindRankGrow, "sketch rank grew",
-			audit.A("from", float64(grewFrom)),
-			audit.A("to", float64(ell)),
-			audit.A("frames", float64(ingests)))
-	}
-	if flushDue {
-		m.cfg.Audit.ObserveBatch(flush, flushCert)
-	}
-
-	obsFramesTotal.Inc()
-	obsWindowSize.SetInt(window)
-	obsMonitorEll.SetInt(ell)
-	obsIngestLatency.Observe(time.Since(start).Seconds())
+// IngestBatch feeds a batch of frames in one call: preprocessing fans
+// out across the shared worker pool and the engine/shard locks are
+// taken once per batch instead of once per frame. tags may be nil;
+// otherwise it must match frames in length.
+func (m *Monitor) IngestBatch(ims []*imgproc.Image, tags []int) {
+	m.eng.IngestBatch(ims, tags)
 }
 
 // Ingested returns the number of frames consumed so far.
-func (m *Monitor) Ingested() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.ingests
-}
+func (m *Monitor) Ingested() int { return m.eng.Ingested() }
 
-// Ell returns the sketch's current number of retained directions.
-func (m *Monitor) Ell() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.arams == nil {
-		return 0
-	}
-	return m.arams.Ell()
-}
+// Ell returns the sketch's current number of retained directions
+// (across all shards; merging never exceeds the max shard rank).
+func (m *Monitor) Ell() int { return m.eng.Ell() }
 
 // Snapshot holds the live view computed over the recent-frame window.
 type Snapshot struct {
@@ -174,23 +123,21 @@ func (m *Monitor) QuickSnapshot() *Snapshot {
 	obsSnapQuick.Inc()
 	sp := obs.StartSpan("quicksnapshot")
 	defer sp.End()
-	// Capture the cached model AND the window/basis/rank under one lock
-	// acquisition. The earlier check-then-act version released the lock
-	// between reading the model and copying the window, so a concurrent
-	// Ingest could grow the sketch rank in the gap and the stale model
-	// would be applied to a latent space of a different dimension.
 	m.mu.Lock()
 	model := m.cachedModel
 	cachedEll := m.cachedEll
-	x, tags, basis, ell := m.windowStateLocked()
 	m.mu.Unlock()
+	x, tags, basis, ell := m.eng.WindowState(m.cfg.LatentDim)
 	if x == nil {
 		return nil
 	}
+	// The window/basis/rank triple is engine-consistent (one WindowState
+	// call); the model guard below rejects it whenever the model was fit
+	// at a different rank or basis width, so a concurrent Ingest between
+	// reading the cache and the window can only force a refit, never a
+	// dimension-mismatched Transform.
 	if model == nil || cachedEll != ell || basis.RowsN == 0 ||
 		basis.RowsN != model.InputDim() {
-		// No model yet, the rank changed since the fit, or the basis
-		// rank no longer matches the model's input width: refit.
 		return m.Snapshot()
 	}
 	snap := &Snapshot{Tags: tags, Ell: ell}
@@ -209,7 +156,7 @@ func (m *Monitor) Snapshot() *Snapshot {
 	obsSnapFull.Inc()
 	sp := obs.StartSpan("snapshot")
 	defer sp.End()
-	x, tags, basis, ell := m.windowState()
+	x, tags, basis, ell := m.eng.WindowState(m.cfg.LatentDim)
 	if x == nil {
 		return nil
 	}
@@ -226,10 +173,17 @@ func (m *Monitor) Snapshot() *Snapshot {
 		snap.Outliers = []int{}
 		return snap
 	}
-	proj := pca.NewProjector(basis)
-	snap.Latent = proj.Project(x)
-	model := umap.FitModel(snap.Latent, m.cfg.UMAP)
-	snap.Embedding = model.Embedding()
+	var model *umap.Model
+	engine.RunStages([]engine.Stage{
+		{Name: "pca", Run: func() {
+			proj := pca.NewProjector(basis)
+			snap.Latent = proj.Project(x)
+		}},
+		{Name: "umap", Run: func() {
+			model = umap.FitModel(snap.Latent, m.cfg.UMAP)
+			snap.Embedding = model.Embedding()
+		}},
+	})
 	m.mu.Lock()
 	m.cachedModel = model
 	m.cachedEll = ell
@@ -238,40 +192,16 @@ func (m *Monitor) Snapshot() *Snapshot {
 	return snap
 }
 
-// windowState copies the window contents and current basis under the
-// lock so the heavy stages run outside it. Returns x == nil when
-// nothing has been ingested.
-func (m *Monitor) windowState() (x *mat.Matrix, tags []int, basis *mat.Matrix, ell int) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.windowStateLocked()
-}
-
-// windowStateLocked is windowState for callers already holding m.mu,
-// so snapshot paths can read the window together with other guarded
-// state in a single critical section.
-func (m *Monitor) windowStateLocked() (x *mat.Matrix, tags []int, basis *mat.Matrix, ell int) {
-	if m.arams == nil || len(m.recent) == 0 {
-		return nil, nil, nil, 0
-	}
-	n := len(m.recent)
-	d := len(m.recent[0].vec)
-	x = mat.New(n, d)
-	tags = make([]int, n)
-	for i, rf := range m.recent {
-		copy(x.Row(i), rf.vec)
-		tags[i] = rf.tag
-	}
-	k := m.cfg.LatentDim
-	if k > m.arams.Ell() {
-		k = m.arams.Ell()
-	}
-	return x, tags, m.arams.Basis(k), m.arams.Ell()
-}
-
-// finishSnapshot runs clustering and anomaly scoring on an embedding.
+// finishSnapshot runs the clustering and anomaly stages on an
+// embedding.
 func (m *Monitor) finishSnapshot(snap *Snapshot) {
-	snap.Labels = clusterEmbedding(snap.Embedding, m.cfg)
-	snap.OutlierScores = abod.Scores(snap.Embedding, m.cfg.ABODNeighbors)
-	snap.Outliers = abod.Outliers(snap.OutlierScores, m.cfg.Contamination)
+	engine.RunStages([]engine.Stage{
+		{Name: "cluster", Run: func() {
+			snap.Labels = clusterEmbedding(snap.Embedding, m.cfg)
+		}},
+		{Name: "abod", Run: func() {
+			snap.OutlierScores = abod.Scores(snap.Embedding, m.cfg.ABODNeighbors)
+			snap.Outliers = abod.Outliers(snap.OutlierScores, m.cfg.Contamination)
+		}},
+	})
 }

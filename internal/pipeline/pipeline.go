@@ -12,6 +12,7 @@ import (
 
 	"arams/internal/abod"
 	"arams/internal/audit"
+	"arams/internal/engine"
 	"arams/internal/hdbscan"
 	"arams/internal/imgproc"
 	"arams/internal/mat"
@@ -70,6 +71,20 @@ type Config struct {
 	// accounting the sketch already keeps — but an interval keeps the
 	// journal and detector cadence independent of the repetition rate.
 	AuditEvery int
+	// Shards is the Monitor's streaming-engine shard count (default 1):
+	// the number of independent sketchers ingest is routed across. One
+	// shard is bit-identical to the pre-engine serial monitor; more
+	// shards sketch concurrently and reconcile into a global sketch via
+	// the tree merge, with certificates composing across shards. (The
+	// batch Process path has its own Workers knob above.)
+	Shards int
+	// IngestBuffer bounds the engine's async Enqueue queue (default
+	// 256). Producers block when it is full — backpressure, not drops.
+	IngestBuffer int
+	// ReconcileEvery is the frame interval between proactive shard
+	// reconciles (default 128); snapshot paths reconcile on demand
+	// regardless.
+	ReconcileEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -152,22 +167,30 @@ type Result struct {
 	TotalTime time.Duration
 }
 
-// Process runs the batch pipeline on a set of frames.
+// Process runs the batch pipeline on a set of frames. Preprocessing is
+// a Stage like everything downstream, fanned out per frame on the
+// shared worker pool (Preprocessor.Apply works on a copy, so frames
+// preprocess independently).
 func Process(frames []*imgproc.Image, cfg Config) *Result {
 	cfg = cfg.withDefaults()
 	start := time.Now()
 
-	sp := obs.StartSpan("preprocess")
-	pre := make([]*imgproc.Image, len(frames))
-	for i, f := range frames {
-		pre[i] = cfg.Pre.Apply(f)
-	}
-	x := imgproc.ToMatrix(pre)
-	preDur := sp.End()
+	var x *mat.Matrix
+	times := engine.RunStages([]engine.Stage{
+		{Name: "preprocess", Run: func() {
+			pre := make([]*imgproc.Image, len(frames))
+			mat.ParallelFor(len(frames), 1, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					pre[i] = cfg.Pre.Apply(frames[i])
+				}
+			})
+			x = imgproc.ToMatrix(pre)
+		}},
+	})
 
 	res := ProcessMatrix(x, cfg)
-	res.PreprocessTime = preDur
-	res.StageTimes["preprocess"] = preDur
+	res.PreprocessTime = times["preprocess"]
+	res.StageTimes["preprocess"] = times["preprocess"]
 	res.TotalTime = time.Since(start)
 	return res
 }
@@ -256,23 +279,25 @@ func ProcessMatrixWithBasis(x, basis *mat.Matrix, cfg Config) *Result {
 		return res
 	}
 
-	stage := func(name string, fn func()) {
-		sp := obs.StartSpan(name)
-		fn()
-		res.StageTimes[name] = sp.End()
-	}
+	// The visualization stages as composable Stage values: each closes
+	// over the Result, the engine executor contributes spans + timing.
 	proj := pca.NewProjector(basis)
-	stage("pca", func() { res.Latent = proj.Project(x) })
-	stage("umap", func() { res.Embedding = umap.Fit(res.Latent, cfg.UMAP) })
-	stage("cluster", func() { res.Labels = clusterEmbedding(res.Embedding, cfg) })
-	stage("abod", func() {
-		res.OutlierScores = abod.Scores(res.Embedding, cfg.ABODNeighbors)
-		res.Outliers = abod.Outliers(res.OutlierScores, cfg.Contamination)
+	times := engine.RunStages([]engine.Stage{
+		{Name: "pca", Run: func() { res.Latent = proj.Project(x) }},
+		{Name: "umap", Run: func() { res.Embedding = umap.Fit(res.Latent, cfg.UMAP) }},
+		{Name: "cluster", Run: func() { res.Labels = clusterEmbedding(res.Embedding, cfg) }},
+		{Name: "abod", Run: func() {
+			res.OutlierScores = abod.Scores(res.Embedding, cfg.ABODNeighbors)
+			res.Outliers = abod.Outliers(res.OutlierScores, cfg.Contamination)
+		}},
+		{Name: "residuals", Run: func() {
+			res.Residuals = residuals(x, res.Latent)
+			res.ResidualOutliers = topResiduals(res.Residuals, cfg.Contamination)
+		}},
 	})
-	stage("residuals", func() {
-		res.Residuals = residuals(x, res.Latent)
-		res.ResidualOutliers = topResiduals(res.Residuals, cfg.Contamination)
-	})
+	for name, d := range times {
+		res.StageTimes[name] = d
+	}
 	res.TotalTime = time.Since(start)
 	return res
 }

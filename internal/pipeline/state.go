@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"arams/internal/audit"
+	"arams/internal/engine"
 	"arams/internal/sketch"
 )
 
@@ -15,8 +16,8 @@ type FrameState struct {
 }
 
 // MonitorState is a checkpointable snapshot of a Monitor: the sliding
-// window of preprocessed frames plus the full ARAMS sketch state. The
-// cached UMAP model is deliberately excluded — it is a pure
+// window of preprocessed frames plus the full per-shard ARAMS sketch
+// states. The cached UMAP model is deliberately excluded — it is a pure
 // acceleration cache, and a restored monitor refits it on the first
 // full Snapshot. The pipeline Config is not serialized either; the
 // operator supplies the same Config on restart (it contains the
@@ -26,42 +27,42 @@ type MonitorState struct {
 	Window  int
 	Ingests int
 	Frames  []FrameState
-	// Sketch is nil when nothing has been ingested yet.
-	Sketch *sketch.ARAMSState
+	// Shards holds one ARAMS state per engine shard slot, positionally:
+	// slot i is shard i, nil when that shard has not received a frame
+	// yet. Restore adopts the checkpoint's shard count (round-robin
+	// routing is by global stream index, so the layout is stream state,
+	// not configuration). Checkpoints written before the engine existed
+	// (frame v1/v2) decode as a single slot. Empty when nothing has
+	// been ingested yet.
+	Shards []*sketch.ARAMSState
 	// Audit and Journal carry the quality-auditing state — drift
 	// detector internals and the recent event ring — when the monitor
 	// was configured with an Auditor. Both are nil otherwise, and in
 	// checkpoints written before the audit layer existed (v1 files),
 	// so restore treats nil as "no audit state". The error-bound
 	// certificate itself needs no extra fields here: it is a pure
-	// function of the sketch state (shrinkage and Frobenius mass ride
-	// in FDState).
+	// function of the sketch states (shrinkage and Frobenius mass ride
+	// in FDState, and certificates compose additively across the shard
+	// merge).
 	Audit   *audit.State
 	Journal *audit.JournalState
 }
 
-// State captures the monitor's current state under its lock, so it is
-// safe to call concurrently with Ingest and Snapshot.
+// State captures the monitor's current state behind the engine's
+// ingest gate, so it is safe to call concurrently with Ingest and
+// Snapshot and never sees a torn window-vs-sketch cut.
 func (m *Monitor) State() *MonitorState {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	es := m.eng.State()
 	s := &MonitorState{
-		Window:  m.window,
-		Ingests: m.ingests,
-		Frames:  make([]FrameState, len(m.recent)),
+		Window:  es.Window,
+		Ingests: es.Ingests,
+		Frames:  make([]FrameState, len(es.Frames)),
+		Shards:  es.Shards,
+		Audit:   es.Audit,
+		Journal: es.Journal,
 	}
-	for i, rf := range m.recent {
-		s.Frames[i] = FrameState{Vec: append([]float64(nil), rf.vec...), Tag: rf.tag}
-	}
-	if m.arams != nil {
-		as := m.arams.State()
-		s.Sketch = &as
-	}
-	if m.cfg.Audit != nil {
-		ast := m.cfg.Audit.State()
-		jst := m.cfg.Audit.Journal().State()
-		s.Audit = &ast
-		s.Journal = &jst
+	for i, f := range es.Frames {
+		s.Frames[i] = FrameState{Vec: f.Vec, Tag: f.Tag}
 	}
 	return s
 }
@@ -69,54 +70,33 @@ func (m *Monitor) State() *MonitorState {
 // NewMonitorFromState rebuilds a monitor from a snapshot, resuming the
 // stream exactly where the checkpoint left off. cfg must match the
 // configuration of the monitor that produced the snapshot; the sketch
-// dimension is cross-checked against the stored frames.
+// dimension is cross-checked against the stored frames, and the
+// checkpoint's shard layout overrides cfg.Shards (see MonitorState).
 func NewMonitorFromState(cfg Config, s *MonitorState) (*Monitor, error) {
 	if s == nil {
 		return nil, fmt.Errorf("pipeline: nil monitor state")
 	}
-	if s.Window <= 0 {
-		return nil, fmt.Errorf("pipeline: monitor state has window=%d", s.Window)
+	cfg = cfg.withDefaults()
+	es := &engine.State{
+		Window:  s.Window,
+		Ingests: s.Ingests,
+		Frames:  make([]engine.Frame, len(s.Frames)),
+		Shards:  s.Shards,
+		Audit:   s.Audit,
+		Journal: s.Journal,
 	}
-	if s.Ingests < len(s.Frames) || len(s.Frames) > s.Window {
-		return nil, fmt.Errorf("pipeline: monitor state has %d frames for window=%d ingests=%d",
-			len(s.Frames), s.Window, s.Ingests)
-	}
-	if s.Sketch == nil && (s.Ingests > 0 || len(s.Frames) > 0) {
-		return nil, fmt.Errorf("pipeline: monitor state has %d ingests but no sketch", s.Ingests)
-	}
-	m := NewMonitor(cfg, s.Window)
-	if s.Sketch != nil {
-		a, err := sketch.NewARAMSFromState(*s.Sketch)
-		if err != nil {
-			return nil, err
-		}
-		for i, f := range s.Frames {
-			if len(f.Vec) != s.Sketch.D {
-				return nil, fmt.Errorf("pipeline: monitor state frame %d has %d features, sketch expects %d",
-					i, len(f.Vec), s.Sketch.D)
-			}
-		}
-		m.arams = a
-	}
-	m.recent = make([]*recentFrame, len(s.Frames))
 	for i, f := range s.Frames {
-		m.recent[i] = &recentFrame{vec: append([]float64(nil), f.Vec...), tag: f.Tag}
+		es.Frames[i] = engine.Frame{Vec: f.Vec, Tag: f.Tag}
 	}
-	m.ingests = s.Ingests
-	if m.arams != nil {
-		m.lastEll = m.arams.Ell()
+	eng, err := engine.NewFromState(engineConfig(cfg, s.Window), es)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: %w", err)
 	}
 	if cfg.Audit != nil {
-		if s.Journal != nil {
-			cfg.Audit.Journal().Restore(*s.Journal)
-		}
-		if s.Audit != nil {
-			cfg.Audit.Restore(*s.Audit)
-		}
 		cfg.Audit.Journal().Record(audit.KindCheckpointRestore,
 			"monitor state restored",
 			audit.A("ingests", float64(s.Ingests)),
 			audit.A("frames", float64(len(s.Frames))))
 	}
-	return m, nil
+	return &Monitor{cfg: cfg, window: s.Window, eng: eng}, nil
 }
