@@ -6,9 +6,12 @@
 //
 // With -listen the process also serves the live observability
 // endpoints of internal/obs — /metrics (Prometheus text),
-// /metrics.json, /healthz, /statusz (live dashboard), and
-// /debug/pprof/ — and stays up after the run completes so the
-// per-stage histograms and sketch gauges can be scraped.
+// /metrics.json, /healthz, /statusz (live dashboard), /tracez
+// (per-batch trace trees), and /debug/pprof/ — and stays up after the
+// run completes so the per-stage histograms and sketch gauges can be
+// scraped. -flight-dir arms the fault-triggered flight recorder and
+// -frame-budget enables deadline/SLO tracking against the LCLS 120 Hz
+// cadence.
 //
 // With -checkpoint-dir the run switches to streaming mode: frames are
 // batch-ingested through pipeline.Monitor (backed by the sharded
@@ -75,10 +78,22 @@ func main() {
 	auditLog := flag.String("audit-log", "", "append audit journal events to this JSONL file")
 	alarmThreshold := flag.Float64("alarm-threshold", 0.5, "Page-Hinkley λ for the residual drift detector")
 	auditEvery := flag.Int("audit-every", 32, "streaming mode: audit the sketch every N frames")
+	obsRing := flag.Int("obs-ring", obs.DefaultRingCap, "span ring capacity for /statusz and the flight recorder")
+	flightDir := flag.String("flight-dir", "", "arm the flight recorder: dump recent spans and metric deltas to JSONL files in this directory on faults, drift alarms, and deadline burns")
+	frameBudget := flag.Duration("frame-budget", 0, "per-frame latency budget for deadline tracking (0 = 1/120 s; negative disables)")
 	verbosity := flag.Int("v", 0, "log verbosity: 0=info, 1=debug")
 	flag.Parse()
 
 	setupLogging(*verbosity)
+	if *obsRing != obs.DefaultRingCap {
+		obs.Default().SetRingCap(*obsRing)
+	}
+	if *flightDir != "" {
+		if _, err := obs.Default().ArmFlightRecorder(obs.FlightConfig{Dir: *flightDir}); err != nil {
+			fatal("arming flight recorder", err)
+		}
+		slog.Info("flight recorder armed", "dir", *flightDir)
+	}
 	auditor := setupAudit(*auditLog, *alarmThreshold)
 	hold := serveObs(*listen)
 
@@ -117,6 +132,7 @@ func main() {
 		AuditEvery:   *auditEvery,
 		Shards:       *shards,
 		IngestBuffer: *ingestBuffer,
+		FrameBudget:  *frameBudget,
 	}
 
 	if *ckptDir != "" {
@@ -391,7 +407,7 @@ func serveObs(addr string) (hold func()) {
 	}
 	slog.Info("observability server listening",
 		"addr", ln.Addr().String(),
-		"endpoints", "/metrics /metrics.json /healthz /statusz /audit /debug/pprof/")
+		"endpoints", "/metrics /metrics.json /healthz /statusz /tracez /audit /debug/pprof/")
 	go func() {
 		if err := (&http.Server{Handler: obs.Handler()}).Serve(ln); err != nil {
 			slog.Error("observability server stopped", "err", err)

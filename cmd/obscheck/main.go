@@ -1,0 +1,247 @@
+// Command obscheck validates a live observability endpoint set — the
+// CI endpoint-smoke contract. Pointed at a running lclsmon (or any
+// process serving the internal/obs mux) it verifies that:
+//
+//   - /metrics parses as Prometheus text exposition format 0.0.4
+//     (TYPE lines, label syntax, histogram series completeness — see
+//     obs.ValidateExposition), and contains every metric named in
+//     -want;
+//   - /tracez?format=json unmarshals into obs.TracezPayload and
+//     survives a marshal→unmarshal round trip; with -min-traces N it
+//     must hold at least N retained traces, every one of them
+//     *connected*: each span's parent chain reaches the trace root;
+//   - /metrics.json parses as a JSON object;
+//   - /audit and /healthz answer 200.
+//
+// Any violation prints the failing check and exits nonzero, so a CI
+// step is just `obscheck -base http://127.0.0.1:9090 ...`.
+//
+// Usage:
+//
+//	obscheck -base http://127.0.0.1:9090 \
+//	  -want arams_stage_duration_seconds,arams_stage_cpu_seconds \
+//	  -min-traces 1
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"arams/internal/obs"
+)
+
+func main() {
+	base := flag.String("base", "http://127.0.0.1:9090", "base URL of the observability server")
+	want := flag.String("want", "", "comma-separated metric names that must appear in /metrics")
+	minTraces := flag.Int("min-traces", 0, "require at least this many retained traces in /tracez, each fully connected")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request timeout")
+	flag.Parse()
+
+	c := &checker{base: strings.TrimRight(*base, "/"), client: &http.Client{Timeout: *timeout}}
+	c.checkMetrics(splitWant(*want))
+	c.checkTracez(*minTraces)
+	c.checkMetricsJSON()
+	c.checkOK("/audit")
+	c.checkOK("/healthz")
+
+	if c.failures > 0 {
+		fmt.Fprintf(os.Stderr, "obscheck: %d check(s) failed\n", c.failures)
+		os.Exit(1)
+	}
+	fmt.Printf("obscheck: all checks passed against %s\n", c.base)
+}
+
+func splitWant(s string) []string {
+	var names []string
+	for _, n := range strings.Split(s, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names
+}
+
+type checker struct {
+	base     string
+	client   *http.Client
+	failures int
+}
+
+func (c *checker) failf(format string, args ...interface{}) {
+	c.failures++
+	fmt.Fprintf(os.Stderr, "FAIL: "+format+"\n", args...)
+}
+
+func (c *checker) passf(format string, args ...interface{}) {
+	fmt.Printf("ok:   "+format+"\n", args...)
+}
+
+// get fetches a path and returns the body, failing the check on
+// transport errors or non-200 statuses.
+func (c *checker) get(path string) []byte {
+	resp, err := c.client.Get(c.base + path)
+	if err != nil {
+		c.failf("GET %s: %v", path, err)
+		return nil
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		c.failf("GET %s: reading body: %v", path, err)
+		return nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		c.failf("GET %s: status %d", path, resp.StatusCode)
+		return nil
+	}
+	return body
+}
+
+func (c *checker) checkOK(path string) {
+	if c.get(path) != nil {
+		c.passf("%s answers 200", path)
+	}
+}
+
+func (c *checker) checkMetrics(want []string) {
+	body := c.get("/metrics")
+	if body == nil {
+		return
+	}
+	if err := obs.ValidateExposition(bytes.NewReader(body)); err != nil {
+		c.failf("/metrics is not valid exposition format: %v", err)
+		return
+	}
+	c.passf("/metrics parses as Prometheus exposition format (%d bytes)", len(body))
+	for _, name := range want {
+		if !hasMetric(body, name) {
+			c.failf("/metrics is missing metric %q", name)
+			continue
+		}
+		c.passf("/metrics exposes %s", name)
+	}
+}
+
+// hasMetric reports whether the exposition contains a sample (not just
+// a comment) for the metric — a line starting with name followed by
+// '{', ' ', or a histogram suffix.
+func hasMetric(body []byte, name string) bool {
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, "#") || !strings.HasPrefix(line, name) {
+			continue
+		}
+		rest := line[len(name):]
+		if rest == "" {
+			continue
+		}
+		switch rest[0] {
+		case '{', ' ':
+			return true
+		case '_':
+			for _, suf := range []string{"_bucket", "_sum", "_count"} {
+				if strings.HasPrefix(rest, suf) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func (c *checker) checkTracez(minTraces int) {
+	body := c.get("/tracez?format=json")
+	if body == nil {
+		return
+	}
+	var payload obs.TracezPayload
+	if err := json.Unmarshal(body, &payload); err != nil {
+		c.failf("/tracez?format=json does not unmarshal: %v", err)
+		return
+	}
+	// Round trip: what the server sent must survive re-encoding, so
+	// machine consumers can store and replay dumps losslessly.
+	re, err := json.Marshal(payload)
+	if err != nil {
+		c.failf("/tracez payload does not re-marshal: %v", err)
+		return
+	}
+	var again obs.TracezPayload
+	if err := json.Unmarshal(re, &again); err != nil {
+		c.failf("/tracez payload does not round-trip: %v", err)
+		return
+	}
+	if len(again.Traces) != len(payload.Traces) {
+		c.failf("/tracez round trip changed trace count: %d != %d", len(again.Traces), len(payload.Traces))
+		return
+	}
+	c.passf("/tracez?format=json round-trips (%d trace(s))", len(payload.Traces))
+
+	if len(payload.Traces) < minTraces {
+		c.failf("/tracez holds %d trace(s), want >= %d", len(payload.Traces), minTraces)
+		return
+	}
+	for _, tr := range payload.Traces {
+		if err := connected(tr); err != nil {
+			c.failf("trace %s (%s) is not connected: %v", tr.Trace, tr.Root, err)
+			return
+		}
+	}
+	if minTraces > 0 {
+		c.passf("all %d retained trace(s) are connected parent→child trees", len(payload.Traces))
+	}
+}
+
+// connected verifies one trace is a single tree: exactly one root span
+// (Parent == 0), and every other span's parent chain reaches it.
+func connected(tr obs.TraceRecord) error {
+	byID := make(map[obs.ID]obs.SpanRecord, len(tr.Spans))
+	var roots int
+	for _, sp := range tr.Spans {
+		if sp.Trace != tr.Trace {
+			return fmt.Errorf("span %s carries trace %s", sp.Span, sp.Trace)
+		}
+		byID[sp.Span] = sp
+		if sp.Parent == 0 {
+			roots++
+		}
+	}
+	if roots != 1 {
+		return fmt.Errorf("%d root spans, want 1", roots)
+	}
+	for _, sp := range tr.Spans {
+		seen := map[obs.ID]bool{}
+		cur := sp
+		for cur.Parent != 0 {
+			if seen[cur.Span] {
+				return fmt.Errorf("parent cycle at span %s", cur.Span)
+			}
+			seen[cur.Span] = true
+			parent, ok := byID[cur.Parent]
+			if !ok {
+				return fmt.Errorf("span %s (%s) has unretained parent %s", sp.Span, sp.Name, cur.Parent)
+			}
+			cur = parent
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkMetricsJSON() {
+	body := c.get("/metrics.json")
+	if body == nil {
+		return
+	}
+	var doc map[string]interface{}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		c.failf("/metrics.json does not parse: %v", err)
+		return
+	}
+	c.passf("/metrics.json parses (%d top-level keys)", len(doc))
+}

@@ -210,6 +210,9 @@ func (a *Auditor) Observe(o Observation) {
 			A("rel_bound", o.Cert.RelBound()),
 		)
 		reg.Counter("arams_audit_alarms_total", obs.L("signal", f.signal)).Inc()
+		// A drift alarm is a flight-recorder trigger: the ring holds the
+		// spans and metric deltas leading up to the drift.
+		reg.FlightTrigger("drift_alarm_" + f.signal)
 		if onAlarm != nil {
 			onAlarm(Alarm{Seq: ev.Seq, Signal: f.signal, Value: f.value, Batch: batch})
 		}

@@ -24,6 +24,7 @@ const (
 	KindSerialFallback    EventKind = "serial_fallback"    // parallel run degraded to serial
 	KindCheckpointSave    EventKind = "checkpoint_save"    // sketch state checkpointed
 	KindCheckpointRestore EventKind = "checkpoint_restore" // sketch state restored
+	KindDeadlineMiss      EventKind = "deadline_miss"      // batch blew its frame budget
 )
 
 // Attr is one numeric attribute of an event. Attributes are numeric on

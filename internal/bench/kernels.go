@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 	"testing"
 
 	"arams/internal/mat"
@@ -28,8 +29,13 @@ type KernelResult struct {
 }
 
 // KernelReport is the full sweep, serialized to BENCH_kernels.json.
+// NumCPU and GoMaxProcs record the host parallelism at measurement
+// time: the blocked kernels fan out over the mat worker pool, so their
+// speedups are only reproducible on hosts with at least as many cores.
 type KernelReport struct {
 	PoolWorkers int            `json:"pool_workers"`
+	NumCPU      int            `json:"num_cpu"`
+	GoMaxProcs  int            `json:"gomaxprocs"`
 	Results     []KernelResult `json:"results"`
 }
 
@@ -73,7 +79,11 @@ func kernelEntry(kernel, shape string, ref, blocked func()) KernelResult {
 // job; the full sweep backs the checked-in BENCH_kernels.json.
 func KernelSweep(seed uint64, quick bool) (*KernelReport, *Table) {
 	g := rng.New(seed)
-	report := &KernelReport{PoolWorkers: mat.Workers()}
+	report := &KernelReport{
+		PoolWorkers: mat.Workers(),
+		NumCPU:      runtime.NumCPU(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+	}
 
 	gramShapes := [][2]int{{64, 4096}, {128, 4096}, {64, 16384}}
 	if quick {

@@ -89,6 +89,15 @@ type Config struct {
 	Audit *audit.Auditor
 	// AuditEvery is the frame interval between audit points (default 32).
 	AuditEvery int
+	// FrameBudget is the per-frame wall-time SLO, amortized over each
+	// batch (default one 120 Hz machine period; negative disables
+	// budget tracking). Batches that exceed it count as deadline
+	// misses; a sustained burn rate above BurnThreshold fires the
+	// flight recorder. See budget.go.
+	FrameBudget time.Duration
+	// BurnThreshold is the EWMA burn rate that trips the flight
+	// recorder (default 2.0).
+	BurnThreshold float64
 }
 
 func (c Config) withDefaults() Config {
@@ -129,6 +138,7 @@ type shard struct {
 	frames int
 	busy   time.Duration // cumulative wall time spent inside absorb
 	gauge  *obs.Gauge
+	cpuCtr *obs.Counter // cumulative CPU seconds spent absorbing
 }
 
 // shardResult is the audit accounting one dispatch returned.
@@ -176,17 +186,21 @@ type Engine struct {
 	queueMu  sync.Mutex
 	queue    chan qitem
 	pumpDone chan struct{}
+
+	// budget is the frame-budget/SLO tracker (nil when disabled).
+	budget *budgetTracker
 }
 
 // New creates a streaming engine.
 func New(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
-	e := &Engine{cfg: cfg}
+	e := &Engine{cfg: cfg, budget: newBudgetTracker(cfg)}
 	e.shards = make([]*shard, cfg.Shards)
 	for i := range e.shards {
 		e.shards[i] = &shard{
-			cfg:   ShardSketchConfig(cfg.Sketch, i),
-			gauge: obs.Default().Gauge("arams_engine_shard_frames", obs.L("shard", fmt.Sprint(i))),
+			cfg:    ShardSketchConfig(cfg.Sketch, i),
+			gauge:  obs.Default().Gauge("arams_engine_shard_frames", obs.L("shard", fmt.Sprint(i))),
+			cpuCtr: obs.Default().Counter("arams_engine_shard_cpu_seconds_total", obs.L("shard", fmt.Sprint(i))),
 		}
 	}
 	obsShardCount.SetInt(cfg.Shards)
@@ -230,10 +244,28 @@ func (e *Engine) Ingest(im *imgproc.Image, tag int) {
 // amortized: one engine-lock acquisition for the whole batch, then each
 // shard absorbs its rows under its own lock only.
 func (e *Engine) IngestBatch(ims []*imgproc.Image, tags []int) {
+	e.ingestBatchAt(ims, tags, time.Time{})
+}
+
+// ingestBatchAt is IngestBatch rooted in a fresh ingest_batch trace.
+// queuedAt, when non-zero, is the enqueue time of the batch's oldest
+// frame (the async path), recorded as a retroactive queue_wait span so
+// the trace shows how long frames sat in the queue before the engine
+// touched them.
+func (e *Engine) ingestBatchAt(ims []*imgproc.Image, tags []int, queuedAt time.Time) {
 	if len(ims) == 0 {
 		return
 	}
 	start := time.Now()
+	root := obs.StartTrace("ingest_batch",
+		obs.L("frames", fmt.Sprint(len(ims))),
+		obs.L("shards", fmt.Sprint(len(e.shards))))
+	if !queuedAt.IsZero() {
+		qw := root.StartChildSince(queuedAt, "queue_wait")
+		qw.End()
+	}
+	spPre := root.StartChild("preprocess", obs.L("frames", fmt.Sprint(len(ims))))
+	ct := obs.StartCPUTimer()
 	vecs := make([][]float64, len(ims))
 	mat.ParallelFor(len(ims), 1, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -241,14 +273,37 @@ func (e *Engine) IngestBatch(ims []*imgproc.Image, tags []int) {
 			vecs[i] = append([]float64(nil), pre.Flatten()...)
 		}
 	})
-	e.IngestVecs(vecs, tags)
+	if cpu, ok := ct.Stop(); ok {
+		spPre.SetCPU(cpu) // this goroutine's chunks; pool workers bill
+		// their share to arams_mat_pool_cpu_seconds_total
+	}
+	spPre.End()
+	e.ingestVecsIn(&root, start, vecs, tags)
 	obsIngestLatency.Observe(time.Since(start).Seconds())
+	root.End()
 }
 
 // IngestVecs feeds already-preprocessed feature vectors to the shards.
 // The engine takes ownership of the vectors (they back both the window
 // ring and the sketch append).
 func (e *Engine) IngestVecs(vecs [][]float64, tags []int) {
+	if len(vecs) == 0 {
+		return
+	}
+	start := time.Now()
+	root := obs.StartTrace("ingest_batch",
+		obs.L("frames", fmt.Sprint(len(vecs))),
+		obs.L("shards", fmt.Sprint(len(e.shards))))
+	e.ingestVecsIn(&root, start, vecs, tags)
+	root.End()
+}
+
+// ingestVecsIn is the traced core of ingest: every stage of the batch —
+// routing, per-shard sketching, audit flush, reconcile — parents under
+// root, so one batch is one connected trace on /tracez. start is when
+// the engine first touched the batch (preprocess included), the
+// reference point for frame-budget accounting.
+func (e *Engine) ingestVecsIn(root *obs.Span, start time.Time, vecs [][]float64, tags []int) {
 	if len(vecs) == 0 {
 		return
 	}
@@ -275,6 +330,8 @@ func (e *Engine) IngestVecs(vecs [][]float64, tags []int) {
 	e.ingests += n
 	window := len(e.recent)
 	e.mu.Unlock()
+	root.SetAttr("stream_lo", fmt.Sprint(base))
+	root.SetAttr("stream_hi", fmt.Sprint(base+n-1))
 
 	// Route and dispatch. With one shard the batch is absorbed inline;
 	// otherwise shards with work run concurrently, each under its own
@@ -283,8 +340,9 @@ func (e *Engine) IngestVecs(vecs [][]float64, tags []int) {
 	ns := len(e.shards)
 	results := make([]shardResult, ns)
 	if ns == 1 {
-		results[0] = e.shards[0].absorb(vecs, nil)
+		results[0] = e.shards[0].absorbTraced(root, 0, vecs, nil)
 	} else {
+		spRoute := root.StartChild("route")
 		perShard := make([][]int, ns)
 		for i := range vecs {
 			var si int
@@ -300,6 +358,7 @@ func (e *Engine) IngestVecs(vecs [][]float64, tags []int) {
 			}
 			perShard[si] = append(perShard[si], i)
 		}
+		spRoute.End()
 		var wg sync.WaitGroup
 		for si := 0; si < ns; si++ {
 			if len(perShard[si]) == 0 {
@@ -308,13 +367,33 @@ func (e *Engine) IngestVecs(vecs [][]float64, tags []int) {
 			wg.Add(1)
 			go func(si int) {
 				defer wg.Done()
-				results[si] = e.shards[si].absorb(vecs, perShard[si])
+				results[si] = e.shards[si].absorbTraced(root, si, vecs, perShard[si])
 			}(si)
 		}
 		wg.Wait()
 	}
 
-	e.afterDispatch(results, base, n, window)
+	e.afterDispatch(results, base, n, window, root, start)
+}
+
+// absorbTraced wraps absorb in a shard_sketch span (child of the batch
+// root) carrying the shard index, row count, and the goroutine's CPU
+// time, and bills the CPU to the shard's cumulative counter.
+func (s *shard) absorbTraced(root *obs.Span, si int, vecs [][]float64, idx []int) shardResult {
+	rows := len(idx)
+	if idx == nil {
+		rows = len(vecs)
+	}
+	sp := root.StartChild("shard_sketch",
+		obs.L("shard", fmt.Sprint(si)), obs.L("rows", fmt.Sprint(rows)))
+	ct := obs.StartCPUTimer()
+	res := s.absorb(vecs, idx)
+	if cpu, ok := ct.Stop(); ok {
+		sp.SetCPU(cpu)
+		s.cpuCtr.Add(cpu.Seconds())
+	}
+	sp.End()
+	return res
 }
 
 // absorb feeds the selected rows (all of vecs when idx is nil) into the
@@ -365,9 +444,11 @@ func (s *shard) absorb(vecs [][]float64, idx []int) shardResult {
 
 // afterDispatch folds the shard results into the audit accumulator,
 // journals rank growth, flushes audit points on AuditEvery boundaries,
-// and refreshes gauges. base is the stream index of the batch's first
-// frame, n the batch length.
-func (e *Engine) afterDispatch(results []shardResult, base, n, window int) {
+// refreshes gauges, feeds the frame-budget tracker, and reconciles
+// under the batch's trace when the merge lag is due. base is the
+// stream index of the batch's first frame, n the batch length; root
+// and start are the batch's trace root and first-touch time.
+func (e *Engine) afterDispatch(results []shardResult, base, n, window int, root *obs.Span, start time.Time) {
 	e.mu.Lock()
 	prevEll := e.lastEll
 	ell := prevEll
@@ -438,12 +519,14 @@ func (e *Engine) afterDispatch(results []shardResult, base, n, window int) {
 		e.globalMu.Lock()
 		lag := ingests - e.globalAt
 		if lag >= e.cfg.ReconcileEvery {
-			e.reconcileLocked()
+			e.reconcileLockedIn(root.Context())
 			lag = 0
 		}
 		e.globalMu.Unlock()
 		obsMergeLag.SetInt(lag)
 	}
+
+	e.budget.observe(time.Since(start), n, base+n)
 }
 
 // Ingested returns the number of frames consumed so far.
@@ -487,14 +570,25 @@ func (e *Engine) Ell() int {
 // reconcileLocked refreshes the cached global sketch from shard clones
 // via the parallel tree merge; the caller holds globalMu. Shard locks
 // are held only long enough to clone, so ingest proceeds during the
-// merge itself.
+// merge itself. Snapshot-path callers reconcile outside any batch, so
+// the merge roots its own trace.
 func (e *Engine) reconcileLocked() *sketch.FrequentDirections {
+	return e.reconcileLockedIn(obs.SpanContext{})
+}
+
+// reconcileLockedIn is reconcileLocked with the reconcile and its merge
+// legs parented into an existing trace (the ingest batch that made the
+// merge lag due).
+func (e *Engine) reconcileLockedIn(parent obs.SpanContext) *sketch.FrequentDirections {
 	e.mu.Lock()
 	at := e.ingests
 	e.mu.Unlock()
 	if e.global != nil && e.globalAt == at {
 		return e.global
 	}
+	sp := obs.Default().StartSpanIn(parent, "reconcile",
+		obs.L("shards", fmt.Sprint(len(e.shards))))
+	defer sp.End()
 	fds := make([]*sketch.FrequentDirections, 0, len(e.shards))
 	for _, s := range e.shards {
 		s.mu.Lock()
@@ -506,7 +600,7 @@ func (e *Engine) reconcileLocked() *sketch.FrequentDirections {
 	if len(fds) == 0 {
 		return nil
 	}
-	g, _ := parallel.MergeSketches(fds, e.cfg.Merge)
+	g, _ := parallel.MergeSketchesTraced(fds, e.cfg.Merge, sp.Context())
 	e.global, e.globalAt = g, at
 	obsReconciles.Inc()
 	obsMergeLag.SetInt(0)

@@ -1,0 +1,173 @@
+package engine_test
+
+// Observability hammer and trace-connectivity tests, meant for -race:
+// endpoint scrapers (/metrics, /statusz, /tracez, /metrics.json) pound
+// the obs handler while a 4-shard engine runs its full ingest →
+// preprocess → route → shard-sketch → reconcile loop, so the race
+// detector sees every edge between the hot path's span/trace writes
+// and the HTTP readers' snapshots. Afterwards the retained traces are
+// checked for the tentpole invariant: one batch = one connected trace.
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"arams/internal/engine"
+	"arams/internal/imgproc"
+	"arams/internal/obs"
+	"arams/internal/sketch"
+)
+
+func testImages(n, side int, seed uint64) []*imgproc.Image {
+	vecs := testVecs(n, side*side, seed)
+	ims := make([]*imgproc.Image, n)
+	for i := range ims {
+		im := imgproc.NewImage(side, side)
+		for y := 0; y < side; y++ {
+			for x := 0; x < side; x++ {
+				im.Set(x, y, vecs[i][y*side+x])
+			}
+		}
+		ims[i] = im
+	}
+	return ims
+}
+
+func TestEngineObsScrapeHammer(t *testing.T) {
+	e := engine.New(engine.Config{
+		Shards:         4,
+		ReconcileEvery: 4,
+		BatchSize:      8,
+		Sketch:         sketch.Config{Ell0: 5, Beta: 0.9, Seed: 11},
+		Window:         64,
+	})
+	srv := httptest.NewServer(obs.Handler())
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	var scrapers sync.WaitGroup
+	for _, path := range []string{"/metrics", "/statusz", "/tracez", "/tracez?format=json", "/metrics.json"} {
+		scrapers.Add(1)
+		go func(path string) {
+			defer scrapers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(srv.URL + path)
+				if err != nil {
+					t.Errorf("GET %s: %v", path, err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("GET %s: status %d", path, resp.StatusCode)
+					return
+				}
+			}
+		}(path)
+	}
+
+	const batches, batchLen, side = 16, 8, 6
+	ims := testImages(batches*batchLen, side, 3)
+	for b := 0; b < batches; b++ {
+		tags := make([]int, batchLen)
+		for i := range tags {
+			tags[i] = b*batchLen + i
+		}
+		e.IngestBatch(ims[b*batchLen:(b+1)*batchLen], tags)
+		_, _ = e.Basis(4) // forces reconcile traffic between batches
+	}
+	close(stop)
+	scrapers.Wait()
+
+	if got := e.Ingested(); got != batches*batchLen {
+		t.Fatalf("ingested %d, want %d", got, batches*batchLen)
+	}
+	assertConnectedIngestTrace(t, 4)
+}
+
+// assertConnectedIngestTrace scans the default registry for retained
+// ingest_batch traces and requires at least one to be a fully
+// connected tree containing the preprocess and per-shard sketch legs.
+func assertConnectedIngestTrace(t *testing.T, shards int) {
+	t.Helper()
+	var checked int
+	for _, tr := range obs.Default().Traces() {
+		if tr.Root != "ingest_batch" {
+			continue
+		}
+		byID := make(map[obs.ID]obs.SpanRecord, len(tr.Spans))
+		names := map[string]int{}
+		for _, sp := range tr.Spans {
+			if sp.Trace != tr.Trace {
+				t.Fatalf("span %s in trace %s carries trace %s", sp.Name, tr.Trace, sp.Trace)
+			}
+			byID[sp.Span] = sp
+			names[sp.Name]++
+		}
+		for _, sp := range tr.Spans {
+			cur := sp
+			for cur.Parent != 0 {
+				parent, ok := byID[cur.Parent]
+				if !ok {
+					t.Fatalf("trace %s: span %s has unretained parent — disconnected trace", tr.Trace, sp.Name)
+				}
+				cur = parent
+			}
+			if cur.Name != "ingest_batch" {
+				t.Fatalf("trace %s: span %s roots at %q, not ingest_batch", tr.Trace, sp.Name, cur.Name)
+			}
+		}
+		if names["preprocess"] == 0 {
+			continue // vec-only ingest; keep looking for an image batch
+		}
+		if names["shard_sketch"] != shards {
+			t.Fatalf("trace %s: %d shard_sketch spans, want %d", tr.Trace, names["shard_sketch"], shards)
+		}
+		if names["route"] == 0 {
+			t.Fatalf("trace %s: multi-shard batch has no route span", tr.Trace)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no connected ingest_batch trace with preprocess+shard legs retained")
+	}
+}
+
+// TestEngineReconcileJoinsIngestTrace checks the merge legs land in the
+// same trace as the batch that forced the reconcile.
+func TestEngineReconcileJoinsIngestTrace(t *testing.T) {
+	e := engine.New(engine.Config{
+		Shards:         4,
+		ReconcileEvery: 1, // reconcile inside every dispatch
+		Sketch:         sketch.Config{Ell0: 5, Beta: 1, Seed: 5},
+		Window:         32,
+	})
+	ims := testImages(32, 6, 9)
+	tags := make([]int, len(ims))
+	for i := range tags {
+		tags[i] = i
+	}
+	e.IngestBatch(ims, tags)
+
+	for _, tr := range obs.Default().Traces() {
+		if tr.Root != "ingest_batch" {
+			continue
+		}
+		names := map[string]int{}
+		for _, sp := range tr.Spans {
+			names[sp.Name]++
+		}
+		if names["reconcile"] > 0 && names["merge_sketches"] > 0 {
+			return // reconcile and its merge live inside the batch trace
+		}
+	}
+	t.Fatal("no ingest_batch trace contains reconcile + merge_sketches spans")
+}

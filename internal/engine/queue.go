@@ -1,6 +1,10 @@
 package engine
 
-import "arams/internal/imgproc"
+import (
+	"time"
+
+	"arams/internal/imgproc"
+)
 
 // Async ingest: Enqueue hands frames to a single pump goroutine through
 // a bounded channel. A full channel blocks the producer — backpressure,
@@ -11,9 +15,12 @@ import "arams/internal/imgproc"
 // depends on.
 
 // qitem is one queued frame, or a drain marker when ack is non-nil.
+// at is the enqueue time; the pump reports the batch's oldest one as a
+// queue_wait span inside the batch's trace.
 type qitem struct {
 	im  *imgproc.Image
 	tag int
+	at  time.Time
 	ack chan struct{}
 }
 
@@ -43,7 +50,7 @@ func (e *Engine) Enqueue(im *imgproc.Image, tag int) {
 	e.startLocked()
 	q := e.queue
 	e.queueMu.Unlock()
-	q <- qitem{im: im, tag: tag}
+	q <- qitem{im: im, tag: tag, at: time.Now()}
 	obsQueueDepth.SetInt(len(q))
 }
 
@@ -83,11 +90,13 @@ func (e *Engine) pump(q chan qitem, done chan struct{}) {
 	defer close(done)
 	ims := make([]*imgproc.Image, 0, e.cfg.BatchSize)
 	tags := make([]int, 0, e.cfg.BatchSize)
+	var oldest time.Time
 	var acks []chan struct{}
 	flush := func() {
 		if len(ims) > 0 {
-			e.IngestBatch(ims, tags)
+			e.ingestBatchAt(ims, tags, oldest)
 			ims, tags = ims[:0], tags[:0]
+			oldest = time.Time{}
 		}
 		for _, a := range acks {
 			close(a)
@@ -108,6 +117,9 @@ func (e *Engine) pump(q chan qitem, done chan struct{}) {
 			}
 			ims = append(ims, it.im)
 			tags = append(tags, it.tag)
+			if oldest.IsZero() || it.at.Before(oldest) {
+				oldest = it.at
+			}
 			if len(ims) >= e.cfg.BatchSize {
 				break
 			}

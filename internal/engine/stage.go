@@ -9,25 +9,43 @@ import (
 // Stage is one named unit of the analysis dataflow (preprocess, sketch,
 // project, embed, cluster, anomaly...). Stages close over their inputs
 // and outputs; the engine contributes uniform execution, span tracing,
-// and per-stage wall-time accounting, so every pipeline entry point
+// and per-stage wall/CPU-time accounting, so every pipeline entry point
 // reports timings the same way.
 type Stage struct {
 	Name string
 	Run  func()
 }
 
-// RunStages executes the stages in order, recording one obs span per
-// stage, and returns each stage's wall time. A nil Run is skipped (its
+// RunStages executes the stages in order, recording one untraced obs
+// span per stage, and returns each stage's wall time.
+func RunStages(stages []Stage) map[string]time.Duration {
+	return RunStagesIn(obs.SpanContext{}, stages)
+}
+
+// RunStagesIn is RunStages with the stage spans parented into an
+// existing trace (zero context keeps them untraced). Each stage's span
+// carries the goroutine's measured CPU time next to its wall time, so
+// /metrics exposes arams_stage_cpu_seconds alongside
+// arams_stage_duration_seconds per stage. A nil Run is skipped (its
 // time is absent from the map), which lets callers assemble stage
 // graphs conditionally without special-casing execution.
-func RunStages(stages []Stage) map[string]time.Duration {
+func RunStagesIn(parent obs.SpanContext, stages []Stage) map[string]time.Duration {
 	times := make(map[string]time.Duration, len(stages))
 	for _, st := range stages {
 		if st.Run == nil {
 			continue
 		}
-		sp := obs.StartSpan(st.Name)
+		var sp obs.Span
+		if parent.Trace != 0 {
+			sp = obs.StartSpanIn(parent, st.Name)
+		} else {
+			sp = obs.StartSpan(st.Name)
+		}
+		ct := obs.StartCPUTimer()
 		st.Run()
+		if cpu, ok := ct.Stop(); ok {
+			sp.SetCPU(cpu)
+		}
 		times[st.Name] = sp.End()
 	}
 	return times

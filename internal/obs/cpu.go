@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// Per-goroutine CPU accounting. Go exposes no per-goroutine CPU clock,
+// but the OS exposes a per-thread one; pinning the goroutine to its
+// thread for the duration of a measurement makes the thread clock a
+// goroutine clock. Both BENCH files were once recorded at num_cpu=1
+// with shard "speedups" that were pure projections — CPU time is the
+// honest complement to wall time: it cannot be inflated by scheduling
+// delay or deflated by time-slicing, so per-stage CPU cost is
+// trustworthy even when the host has fewer cores than shards.
+
+// CPUSupported reports whether per-thread CPU-time sampling works on
+// this platform (Linux: yes, via CLOCK_THREAD_CPUTIME_ID).
+func CPUSupported() bool {
+	_, ok := threadCPU()
+	return ok
+}
+
+// ThreadCPU returns the calling OS thread's cumulative CPU time. Only
+// meaningful across two calls when the goroutine is pinned to its
+// thread (runtime.LockOSThread) for the interval — long-lived worker
+// goroutines pin once and sample per task.
+func ThreadCPU() (time.Duration, bool) { return threadCPU() }
+
+// CPUTimer measures the CPU time one goroutine consumes between
+// StartCPUTimer and Stop, by pinning the goroutine to its OS thread
+// for the measured section. The zero CPUTimer (and any timer on a
+// platform without thread clocks) Stops to (0, false).
+type CPUTimer struct {
+	start  time.Duration
+	locked bool
+}
+
+// StartCPUTimer pins the calling goroutine to its OS thread and reads
+// the thread CPU clock. Pinning nests safely with callers that have
+// already locked the thread.
+func StartCPUTimer() CPUTimer {
+	runtime.LockOSThread()
+	d, ok := threadCPU()
+	if !ok {
+		runtime.UnlockOSThread()
+		return CPUTimer{}
+	}
+	return CPUTimer{start: d, locked: true}
+}
+
+// Stop unpins the goroutine and returns the CPU time consumed since
+// StartCPUTimer. ok is false when the platform has no thread clock.
+func (t CPUTimer) Stop() (time.Duration, bool) {
+	if !t.locked {
+		return 0, false
+	}
+	d, ok := threadCPU()
+	runtime.UnlockOSThread()
+	if !ok || d < t.start {
+		return 0, false
+	}
+	return d - t.start, true
+}

@@ -1,0 +1,27 @@
+//go:build linux
+
+package obs
+
+import (
+	"syscall"
+	"time"
+	"unsafe"
+)
+
+// clockThreadCPUTimeID is CLOCK_THREAD_CPUTIME_ID from <time.h>: the
+// per-OS-thread CPU clock, counting only time this thread actually
+// spent on a core (user + system), not time blocked or preempted.
+const clockThreadCPUTimeID = 3
+
+// threadCPU reads the calling OS thread's consumed CPU time. The
+// clock_gettime call is vDSO-accelerated on modern kernels, so this is
+// cheap enough to sample around every pool task.
+func threadCPU() (time.Duration, bool) {
+	var ts syscall.Timespec
+	_, _, errno := syscall.Syscall(syscall.SYS_CLOCK_GETTIME,
+		clockThreadCPUTimeID, uintptr(unsafe.Pointer(&ts)), 0)
+	if errno != 0 {
+		return 0, false
+	}
+	return time.Duration(ts.Sec)*time.Second + time.Duration(ts.Nsec), true
+}

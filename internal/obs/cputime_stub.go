@@ -1,0 +1,9 @@
+//go:build !linux
+
+package obs
+
+import "time"
+
+// threadCPU is unavailable off Linux; CPU accounting degrades to
+// wall-time-only and every caller falls back gracefully.
+func threadCPU() (time.Duration, bool) { return 0, false }

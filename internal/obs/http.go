@@ -30,6 +30,7 @@ func Handle(path string, h http.Handler) { Default().Handle(path, h) }
 //	/metrics.json  full JSON dump (metrics + quantiles + span ring)
 //	/healthz       liveness probe ("ok")
 //	/statusz       self-contained live HTML dashboard
+//	/tracez        retained traces as parent-child trees (?format=json)
 //	/debug/pprof/  the standard net/http/pprof profiles
 //
 // plus any endpoints registered with Handle. The root path redirects
@@ -60,6 +61,7 @@ func (r *Registry) Handler() http.Handler {
 		name := filepath.Base(os.Args[0])
 		fmt.Fprintf(w, statuszHTML, name, name)
 	})
+	mux.HandleFunc("/tracez", r.tracezHandler)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -102,7 +104,7 @@ const statuszHTML = `<!DOCTYPE html>
 <h1>%s <span class="muted" id="uptime"></span></h1>
 <p class="muted">live view — refreshes every 2s ·
   <a href="/metrics">/metrics</a> · <a href="/metrics.json">/metrics.json</a> ·
-  <a href="/audit">/audit</a> ·
+  <a href="/tracez">/tracez</a> · <a href="/audit">/audit</a> ·
   <a href="/debug/pprof/">/debug/pprof/</a> · <a href="/healthz">/healthz</a>
   <span id="err"></span></p>
 <h2>Process</h2><table id="proc"></table>
@@ -210,9 +212,11 @@ async function tick() {
     d.counters.map(c => "<tr><td><code>"+label(c)+'</code></td><td class="num">'+c.value+"</td></tr>"));
   rows("gauges", [["gauge"],["value",1]],
     d.gauges.map(g => "<tr><td><code>"+label(g)+'</code></td><td class="num">'+g.value+"</td></tr>"));
-  rows("spans", [["span"],["start"],["duration",1]],
-    d.spans.slice(0, 40).map(s => "<tr><td><code>"+s.name+"</code></td><td>"+s.start+
-      '</td><td class="num">'+fmtDur(s.duration_ms/1e3)+"</td></tr>"));
+  rows("spans", [["span"],["trace"],["start"],["duration",1],["cpu",1]],
+    d.spans.slice(0, 40).map(s => "<tr><td><code>"+s.name+"</code></td><td>"+
+      (s.trace_id ? "<code>"+s.trace_id+"</code>" : '<span class="muted">—</span>')+"</td><td>"+s.start+
+      '</td><td class="num">'+fmtDur(s.duration_ms/1e3)+
+      '</td><td class="num">'+(s.cpu_ms ? fmtDur(s.cpu_ms/1e3) : "—")+"</td></tr>"));
 }
 tick();
 setInterval(tick, 2000);

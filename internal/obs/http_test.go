@@ -12,7 +12,7 @@ import (
 func TestHandlerEndpoints(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("hits_total").Add(2)
-	r.StartSpan("pca").End()
+	func() { sp := r.StartSpan("pca"); sp.End() }()
 	srv := httptest.NewServer(r.Handler())
 	defer srv.Close()
 

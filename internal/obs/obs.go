@@ -23,6 +23,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -106,8 +107,9 @@ func metricID(name string, labels []Label) string {
 	return b.String()
 }
 
-// Registry holds a set of named metrics and a ring of recent spans.
-// All methods are safe for concurrent use.
+// Registry holds a set of named metrics, a ring of recent spans, a
+// store of completed traces, and (optionally) an armed flight
+// recorder. All methods are safe for concurrent use.
 type Registry struct {
 	mu      sync.Mutex
 	metrics map[string]interface{} // id → *Counter | *Gauge | *Histogram
@@ -116,17 +118,72 @@ type Registry struct {
 	extra   map[string]http.Handler
 	start   time.Time
 	ring    spanRing
+	traces  traceStore
+	flight  atomic.Pointer[FlightRecorder]
+
+	// stageHists caches the per-stage {wall, cpu} histogram pair so
+	// Span.End resolves its histograms with one lock-free map load
+	// instead of building a metricID (alloc + label sort) and taking
+	// the registry lock on every call.
+	stageHists sync.Map // span name → *stagePair
 }
 
-// NewRegistry creates an empty registry.
-func NewRegistry() *Registry {
+// stagePair is the cached pair of histograms one span name records to.
+// The CPU histogram registers lazily on first observation so stages
+// that never attach a CPU measurement don't export an empty series.
+type stagePair struct {
+	r    *Registry
+	name string
+	wall *Histogram
+	cpu  atomic.Pointer[Histogram]
+}
+
+func (p *stagePair) cpuHist() *Histogram {
+	if h := p.cpu.Load(); h != nil {
+		return h
+	}
+	h := p.r.Histogram(StageCPUHistogramName, L("stage", p.name))
+	p.cpu.Store(h)
+	return h
+}
+
+// stageHandles returns the cached histogram pair for a span name,
+// resolving and caching it through the registry on first use.
+func (r *Registry) stageHandles(name string) *stagePair {
+	if p, ok := r.stageHists.Load(name); ok {
+		return p.(*stagePair)
+	}
+	p := &stagePair{
+		r:    r,
+		name: name,
+		wall: r.Histogram(StageHistogramName, L("stage", name)),
+	}
+	actual, _ := r.stageHists.LoadOrStore(name, p)
+	return actual.(*stagePair)
+}
+
+// NewRegistry creates an empty registry with the default span-ring
+// capacity.
+func NewRegistry() *Registry { return NewRegistrySized(DefaultRingCap) }
+
+// NewRegistrySized creates an empty registry whose span ring holds
+// ringCap completed spans (values < 1 select DefaultRingCap).
+func NewRegistrySized(ringCap int) *Registry {
 	return &Registry{
 		metrics: make(map[string]interface{}),
 		kinds:   make(map[string]string),
 		start:   time.Now(),
-		ring:    newSpanRing(defaultRingCap),
+		ring:    newSpanRing(ringCap),
 	}
 }
+
+// SetRingCap resizes the span ring, dropping currently held spans
+// (values < 1 select DefaultRingCap). Intended for startup
+// configuration (lclsmon -obs-ring).
+func (r *Registry) SetRingCap(ringCap int) { r.ring.setCap(ringCap) }
+
+// RingCap reports the span ring's current capacity.
+func (r *Registry) RingCap() int { return r.ring.capacity() }
 
 var defaultRegistry = NewRegistry()
 
@@ -220,9 +277,11 @@ func metaOf(m interface{}) *meta {
 // the default registry).
 func (r *Registry) Uptime() time.Duration { return time.Since(r.start) }
 
-// Reset drops every metric, time series, and recorded span. Extra HTTP
-// handlers are kept — they are process wiring, not recorded state.
-// Intended for tests.
+// Reset drops every metric, time series, recorded span, retained
+// trace, and cached stage-histogram handle. Extra HTTP handlers are
+// kept — they are process wiring, not recorded state. An armed flight
+// recorder also stays armed (its next samples simply start from the
+// cleared state). Intended for tests.
 func (r *Registry) Reset() {
 	r.mu.Lock()
 	r.metrics = make(map[string]interface{})
@@ -230,4 +289,9 @@ func (r *Registry) Reset() {
 	r.series = nil
 	r.mu.Unlock()
 	r.ring.reset()
+	r.traces.reset()
+	r.stageHists.Range(func(k, _ interface{}) bool {
+		r.stageHists.Delete(k)
+		return true
+	})
 }

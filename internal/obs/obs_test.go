@@ -137,12 +137,12 @@ func TestSpanRecordsHistogramAndRing(t *testing.T) {
 
 func TestSpanRingNewestFirstAndCapacity(t *testing.T) {
 	r := NewRegistry()
-	for i := 0; i < defaultRingCap+10; i++ {
-		r.StartSpan("s").End()
+	for i := 0; i < DefaultRingCap+10; i++ {
+		func() { sp := r.StartSpan("s"); sp.End() }()
 	}
 	spans := r.Spans()
-	if len(spans) != defaultRingCap {
-		t.Fatalf("ring holds %d, want %d", len(spans), defaultRingCap)
+	if len(spans) != DefaultRingCap {
+		t.Fatalf("ring holds %d, want %d", len(spans), DefaultRingCap)
 	}
 	for i := 1; i < len(spans); i++ {
 		if spans[i].Start.After(spans[i-1].Start) {
@@ -191,7 +191,7 @@ func TestWriteJSON(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("c_total").Inc()
 	r.Gauge("g").Set(4)
-	r.StartSpan("stage1").End()
+	func() { sp := r.StartSpan("stage1"); sp.End() }()
 
 	var buf bytes.Buffer
 	if err := r.WriteJSON(&buf); err != nil {
@@ -230,7 +230,7 @@ func TestWriteJSON(t *testing.T) {
 func TestReset(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("c_total").Inc()
-	r.StartSpan("s").End()
+	func() { sp := r.StartSpan("s"); sp.End() }()
 	r.Reset()
 	if len(r.Spans()) != 0 {
 		t.Fatal("spans survived reset")

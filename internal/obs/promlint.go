@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition checks a Prometheus text-format (0.0.4) payload
+// for the failure modes a hand-rolled exporter can introduce: duplicate
+// series, malformed sample lines, unparsable values, TYPE declarations
+// that repeat or arrive after samples, and histogram series missing
+// their _sum/_count companions. It exists so CI can curl /metrics from
+// a live process and fail the build when the exposition regresses,
+// without importing a Prometheus client.
+func ValidateExposition(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+
+	types := make(map[string]string) // metric name → declared type
+	sampled := make(map[string]bool) // metric name → saw a sample
+	seen := make(map[string]bool)    // full series key → dup detection
+	histBase := make(map[string]map[string]bool)
+
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimRight(sc.Text(), "\r")
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			if err := validateComment(text, line, types, sampled); err != nil {
+				return err
+			}
+			continue
+		}
+		key, name, err := parseSampleLine(text, line)
+		if err != nil {
+			return err
+		}
+		if seen[key] {
+			return fmt.Errorf("line %d: duplicate series %q", line, key)
+		}
+		seen[key] = true
+
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if b := strings.TrimSuffix(name, suffix); b != name && types[b] == "histogram" {
+				base = b
+				if histBase[base] == nil {
+					histBase[base] = make(map[string]bool)
+				}
+				histBase[base][suffix] = true
+			}
+		}
+		sampled[base] = true
+		if t, ok := types[base]; ok && t != "histogram" && base != name {
+			return fmt.Errorf("line %d: %s sample %q for non-histogram %q", line, name, key, base)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("reading exposition: %w", err)
+	}
+	for base, suffixes := range histBase {
+		for _, want := range []string{"_bucket", "_sum", "_count"} {
+			if !suffixes[want] {
+				return fmt.Errorf("histogram %q missing %s series", base, want)
+			}
+		}
+	}
+	return nil
+}
+
+func validateComment(text string, line int, types map[string]string, sampled map[string]bool) error {
+	fields := strings.Fields(text)
+	if len(fields) < 2 || (fields[1] != "TYPE" && fields[1] != "HELP") {
+		return nil // free-form comment
+	}
+	if fields[1] != "TYPE" {
+		return nil
+	}
+	if len(fields) != 4 {
+		return fmt.Errorf("line %d: malformed TYPE comment %q", line, text)
+	}
+	name, typ := fields[2], fields[3]
+	switch typ {
+	case "counter", "gauge", "histogram", "summary", "untyped":
+	default:
+		return fmt.Errorf("line %d: unknown metric type %q for %q", line, typ, name)
+	}
+	if prev, ok := types[name]; ok {
+		return fmt.Errorf("line %d: second TYPE declaration for %q (already %s)", line, name, prev)
+	}
+	if sampled[name] {
+		return fmt.Errorf("line %d: TYPE for %q after its samples", line, name)
+	}
+	types[name] = typ
+	return nil
+}
+
+// parseSampleLine validates one sample line and returns (series key
+// including labels, bare metric name).
+func parseSampleLine(text string, line int) (key, name string, err error) {
+	// name{labels} value [timestamp]  — labels optional.
+	rest := text
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return "", "", fmt.Errorf("line %d: malformed sample %q", line, text)
+	}
+	name = rest[:i]
+	if !validMetricName(name) {
+		return "", "", fmt.Errorf("line %d: invalid metric name %q", line, name)
+	}
+	key = name
+	if rest[i] == '{' {
+		end, lerr := scanLabels(rest[i:])
+		if lerr != nil {
+			return "", "", fmt.Errorf("line %d: %v in %q", line, lerr, text)
+		}
+		key = name + rest[i:i+end]
+		rest = rest[i+end:]
+	} else {
+		rest = rest[i:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", "", fmt.Errorf("line %d: expected value [timestamp] after series, got %q", line, rest)
+	}
+	if _, perr := strconv.ParseFloat(fields[0], 64); perr != nil {
+		switch fields[0] {
+		case "+Inf", "-Inf", "NaN":
+		default:
+			return "", "", fmt.Errorf("line %d: unparsable value %q", line, fields[0])
+		}
+	}
+	if len(fields) == 2 {
+		if _, perr := strconv.ParseInt(fields[1], 10, 64); perr != nil {
+			return "", "", fmt.Errorf("line %d: unparsable timestamp %q", line, fields[1])
+		}
+	}
+	return key, name, nil
+}
+
+// scanLabels validates a {k="v",...} block starting at s[0] == '{' and
+// returns the index just past the closing brace.
+func scanLabels(s string) (int, error) {
+	i := 1
+	for {
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label block")
+		}
+		if s[i] == '}' {
+			return i + 1, nil
+		}
+		// label name
+		j := i
+		for j < len(s) && s[j] != '=' && s[j] != '}' && s[j] != ',' {
+			j++
+		}
+		if j >= len(s) || s[j] != '=' || !validLabelName(s[i:j]) {
+			return 0, fmt.Errorf("invalid label name at offset %d", i)
+		}
+		i = j + 1
+		if i >= len(s) || s[i] != '"' {
+			return 0, fmt.Errorf("label value must be quoted at offset %d", i)
+		}
+		i++
+		for i < len(s) && s[i] != '"' {
+			if s[i] == '\\' {
+				i++
+			}
+			i++
+		}
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label value")
+		}
+		i++ // past closing quote
+		if i < len(s) && s[i] == ',' {
+			i++
+		}
+	}
+}
+
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

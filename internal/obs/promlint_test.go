@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestValidateExpositionAcceptsOwnOutput(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("lint_events_total", L("kind", "a")).Add(2)
+	r.Counter("lint_events_total", L("kind", "b")).Inc()
+	r.Gauge("lint_depth").SetInt(7)
+	h := r.Histogram("lint_latency_seconds", L("stage", `we"ird\`))
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i) / 100)
+	}
+	sp := r.StartSpan("lint_stage")
+	sp.End()
+
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	if err := ValidateExposition(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("our own exposition fails validation: %v\n%s", err, buf.String())
+	}
+}
+
+func TestValidateExpositionRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"duplicate series",
+			"# TYPE a counter\na{k=\"v\"} 1\na{k=\"v\"} 2\n",
+			"duplicate series"},
+		{"type after samples",
+			"a 1\n# TYPE a counter\n",
+			"after its samples"},
+		{"second type declaration",
+			"# TYPE a counter\n# TYPE a gauge\n",
+			"second TYPE"},
+		{"unknown type",
+			"# TYPE a exotic\n",
+			"unknown metric type"},
+		{"unparsable value",
+			"a one\n",
+			"unparsable value"},
+		{"invalid metric name",
+			"9a 1\n",
+			"invalid metric name"},
+		{"unterminated label block",
+			"a{k=\"v\" 1\n",
+			"label"},
+		{"unquoted label value",
+			"a{k=v} 1\n",
+			"quoted"},
+		{"histogram missing count",
+			"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum 0.5\n",
+			"missing _count"},
+		{"bucket on non-histogram",
+			"# TYPE g gauge\ng_bucket{le=\"1\"} 1\ng 1\n",
+			""}, // _bucket only folds into declared histograms; plain sample is fine
+	}
+	for _, tc := range cases {
+		err := ValidateExposition(strings.NewReader(tc.in))
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestValidateExpositionSpecialValues(t *testing.T) {
+	in := "# TYPE b gauge\nb{x=\"1\"} +Inf\nb{x=\"2\"} NaN\nb{x=\"3\"} 1e-9 1700000000000\n"
+	if err := ValidateExposition(strings.NewReader(in)); err != nil {
+		t.Fatalf("special float values rejected: %v", err)
+	}
+}

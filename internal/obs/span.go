@@ -5,47 +5,169 @@ import (
 	"time"
 )
 
-// StageHistogramName is the histogram every span records into, with a
-// stage="<span name>" label — so /metrics carries one duration
-// histogram per pipeline stage.
+// StageHistogramName is the wall-time histogram every span records
+// into, with a stage="<span name>" label — so /metrics carries one
+// duration histogram per pipeline stage.
 const StageHistogramName = "arams_stage_duration_seconds"
 
-const defaultRingCap = 256
+// StageCPUHistogramName is the CPU-time companion: spans that carry a
+// CPU measurement (see Span.SetCPU and StartCPUTimer) record it here
+// under the same stage label, so /metrics answers "how much of that
+// wall time was actually compute" per stage.
+const StageCPUHistogramName = "arams_stage_cpu_seconds"
+
+// DefaultRingCap is the span-ring capacity NewRegistry selects.
+const DefaultRingCap = 256
 
 // Span measures one timed unit of work (a pipeline stage, a merge
-// round, a snapshot). Obtain with StartSpan, finish with End.
+// round, a snapshot). Obtain with StartSpan/StartTrace/StartChild,
+// finish with End. A span started from a trace root (or from another
+// traced span) carries the trace identity, so completed spans
+// reassemble into parent-child trees on /tracez.
 type Span struct {
 	r     *Registry
 	name  string
 	start time.Time
+
+	trace  ID
+	id     ID
+	parent ID
+	attrs  []Label
+	cpu    time.Duration
 }
 
-// StartSpan begins a span on the registry.
-func (r *Registry) StartSpan(name string) Span {
-	return Span{r: r, name: name, start: time.Now()}
+// SpanContext is the portable identity of a live span: enough to
+// parent further spans to it from another goroutine or package. The
+// zero SpanContext means "no trace".
+type SpanContext struct {
+	Trace ID `json:"trace_id"`
+	Span  ID `json:"span_id"`
 }
 
-// StartSpan begins a span on the default registry.
-func StartSpan(name string) Span { return Default().StartSpan(name) }
+// Context returns the span's identity for cross-goroutine propagation.
+func (s *Span) Context() SpanContext { return SpanContext{Trace: s.trace, Span: s.id} }
+
+// SetAttr attaches (or appends) a key/value attribute to the span; it
+// must be called before End.
+func (s *Span) SetAttr(key, value string) { s.attrs = append(s.attrs, L(key, value)) }
+
+// SetCPU attaches a measured CPU time to the span (see StartCPUTimer);
+// End records it into the per-stage CPU histogram next to wall time.
+func (s *Span) SetCPU(d time.Duration) { s.cpu = d }
+
+// StartSpan begins an untraced span on the registry — it records into
+// the stage histogram and the span ring but joins no trace tree.
+func (r *Registry) StartSpan(name string, attrs ...Label) Span {
+	return Span{r: r, name: name, start: time.Now(), attrs: attrs}
+}
+
+// StartSpan begins an untraced span on the default registry.
+func StartSpan(name string, attrs ...Label) Span { return Default().StartSpan(name, attrs...) }
+
+// StartTrace begins a new trace: the returned span is the trace root,
+// and children started from it (directly or via its Context) share its
+// TraceID. The trace is finalized for /tracez when the root ends.
+func (r *Registry) StartTrace(name string, attrs ...Label) Span {
+	return Span{r: r, name: name, start: time.Now(), trace: newID(), id: newID(), attrs: attrs}
+}
+
+// StartTrace begins a new trace on the default registry.
+func StartTrace(name string, attrs ...Label) Span { return Default().StartTrace(name, attrs...) }
+
+// StartChild begins a span parented to s, in the same trace. Safe to
+// call from a different goroutine than the one that started s, as long
+// as s has not ended.
+func (s *Span) StartChild(name string, attrs ...Label) Span {
+	return s.StartChildSince(time.Now(), name, attrs...)
+}
+
+// StartChildSince is StartChild with an explicit start time — for
+// retroactive spans whose beginning was recorded before the trace
+// existed (e.g. the enqueue timestamp of a frame that waited in the
+// ingest queue).
+func (s *Span) StartChildSince(start time.Time, name string, attrs ...Label) Span {
+	sp := Span{r: s.r, name: name, start: start, attrs: attrs}
+	if s.trace != 0 {
+		sp.trace, sp.id, sp.parent = s.trace, newID(), s.id
+	}
+	return sp
+}
+
+// StartSpanIn begins a span under the given parent context: a child of
+// that span when the context carries a trace, or a fresh trace root
+// when it is the zero SpanContext. This is the cross-package
+// propagation entry point (engine → parallel merge legs).
+func (r *Registry) StartSpanIn(parent SpanContext, name string, attrs ...Label) Span {
+	if parent.Trace == 0 {
+		return r.StartTrace(name, attrs...)
+	}
+	return Span{r: r, name: name, start: time.Now(),
+		trace: parent.Trace, id: newID(), parent: parent.Span, attrs: attrs}
+}
+
+// StartSpanIn begins a span under parent on the default registry.
+func StartSpanIn(parent SpanContext, name string, attrs ...Label) Span {
+	return Default().StartSpanIn(parent, name, attrs...)
+}
 
 // End finishes the span: the duration is recorded into the per-stage
-// histogram and appended to the in-memory trace ring. It returns the
+// histogram (plus the CPU histogram when SetCPU was called), and the
+// completed record is appended to the in-memory trace ring, the trace
+// store, and the flight recorder when one is armed. It returns the
 // measured duration so callers can reuse it for their own accounting.
-func (s Span) End() time.Duration {
+func (s *Span) End() time.Duration {
 	d := time.Since(s.start)
 	if s.r == nil {
 		return d
 	}
-	s.r.Histogram(StageHistogramName, L("stage", s.name)).Observe(d.Seconds())
-	s.r.ring.add(SpanRecord{Name: s.name, Start: s.start, Duration: d})
+	h := s.r.stageHandles(s.name)
+	h.wall.Observe(d.Seconds())
+	if s.cpu > 0 {
+		h.cpuHist().Observe(s.cpu.Seconds())
+	}
+	rec := SpanRecord{
+		Name:     s.name,
+		Start:    s.start,
+		Duration: d,
+		Trace:    s.trace,
+		Span:     s.id,
+		Parent:   s.parent,
+		CPU:      s.cpu,
+		Attrs:    attrMap(s.attrs),
+	}
+	s.r.ring.add(rec)
+	if s.trace != 0 {
+		s.r.traces.observe(rec)
+	}
+	if fr := s.r.flight.Load(); fr != nil {
+		fr.addSpan(rec)
+	}
 	return d
 }
 
-// SpanRecord is one completed span held in the trace ring.
+func attrMap(attrs []Label) map[string]string {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Value
+	}
+	return m
+}
+
+// SpanRecord is one completed span held in the trace ring. Trace,
+// Span, and Parent are zero for untraced spans; CPU is zero when no
+// CPU measurement was attached.
 type SpanRecord struct {
-	Name     string        `json:"name"`
-	Start    time.Time     `json:"start"`
-	Duration time.Duration `json:"duration"`
+	Name     string            `json:"name"`
+	Start    time.Time         `json:"start"`
+	Duration time.Duration     `json:"duration"`
+	Trace    ID                `json:"trace_id,omitempty"`
+	Span     ID                `json:"span_id,omitempty"`
+	Parent   ID                `json:"parent_id,omitempty"`
+	CPU      time.Duration     `json:"cpu,omitempty"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
 }
 
 // Spans returns the most recently completed spans, newest first, up to
@@ -61,6 +183,9 @@ type spanRing struct {
 }
 
 func newSpanRing(capacity int) spanRing {
+	if capacity < 1 {
+		capacity = DefaultRingCap
+	}
 	return spanRing{buf: make([]SpanRecord, capacity)}
 }
 
@@ -83,6 +208,22 @@ func (sr *spanRing) snapshot() []SpanRecord {
 		out = append(out, sr.buf[idx])
 	}
 	return out
+}
+
+func (sr *spanRing) setCap(capacity int) {
+	if capacity < 1 {
+		capacity = DefaultRingCap
+	}
+	sr.mu.Lock()
+	sr.buf = make([]SpanRecord, capacity)
+	sr.next, sr.n = 0, 0
+	sr.mu.Unlock()
+}
+
+func (sr *spanRing) capacity() int {
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	return len(sr.buf)
 }
 
 func (sr *spanRing) reset() {

@@ -3,6 +3,7 @@ package parallel
 import (
 	"errors"
 	"math"
+	"strconv"
 	"time"
 
 	"arams/internal/audit"
@@ -105,10 +106,19 @@ func WithRetry(r Retry) Option {
 	}
 }
 
+// WithTrace parents the run's spans (parallel_run → sketch/merge →
+// merge_round → merge_leg, including retry and re-sketch recovery
+// legs) into an existing trace, so a caller's batch shows up as one
+// connected tree on /tracez. Without it the run roots its own trace.
+func WithTrace(ctx obs.SpanContext) Option {
+	return func(o *runOptions) { o.trace = ctx }
+}
+
 type runOptions struct {
 	faults   *Faults
 	retry    Retry
 	retrySet bool
+	trace    obs.SpanContext
 }
 
 func newRunOptions(options []Option) *runOptions {
@@ -135,12 +145,14 @@ type mergeNode struct {
 }
 
 // mergeEnv carries the per-run context the merge tree needs for
-// recovery and accounting.
+// recovery and accounting. trace is the merge-phase span's context;
+// every round and leg span parents under it.
 type mergeEnv struct {
 	shards []*mat.Matrix
 	mk     Sketcher
 	opts   *runOptions
 	stats  *Stats
+	trace  obs.SpanContext
 }
 
 // legReport is one leg's accounting, reduced into RoundStats after the
@@ -166,8 +178,11 @@ var errLegTimeout = errors.New("parallel: merge leg timed out")
 // accumulator, validates the result, and retries with exponential
 // backoff; a leg that exhausts its attempts is recovered by
 // re-sketching its shards serially — the mergeability guarantee makes
-// the recomputed sketch interchangeable with the lost one.
-func runLeg(round, gIdx int, group []*mergeNode, env *mergeEnv) (*mergeNode, legReport) {
+// the recomputed sketch interchangeable with the lost one. The leg
+// records a merge_leg span under parent (the round's span), so retry
+// and recovery legs stay inside the batch's trace; a leg that saw any
+// failure fires the flight recorder on exit.
+func runLeg(parent obs.SpanContext, round, gIdx int, group []*mergeNode, env *mergeEnv) (*mergeNode, legReport) {
 	var rep legReport
 	covered := coveredShards(group)
 	// groupDelta: the children's combined certificate mass before the
@@ -176,10 +191,28 @@ func runLeg(round, gIdx int, group []*mergeNode, env *mergeEnv) (*mergeNode, leg
 	for _, nd := range group {
 		groupDelta += nd.fd.Delta()
 	}
+	sp := obs.Default().StartSpanIn(parent, "merge_leg",
+		obs.L("round", strconv.Itoa(round)),
+		obs.L("group", strconv.Itoa(gIdx)),
+		obs.L("shards", strconv.Itoa(len(covered))))
+	ct := obs.StartCPUTimer()
 	t0 := time.Now()
 	defer func() {
 		rep.duration = time.Since(t0)
 		obsLegSeconds.Observe(rep.duration.Seconds())
+		if cpu, ok := ct.Stop(); ok {
+			sp.SetCPU(cpu)
+		}
+		if rep.failures > 0 {
+			sp.SetAttr("failures", strconv.Itoa(rep.failures))
+		}
+		if rep.resketch {
+			sp.SetAttr("resketch", "true")
+		}
+		sp.End()
+		if rep.failures > 0 {
+			obs.Default().FlightTrigger("merge_leg_fault")
+		}
 	}()
 	obsMergeLegs.Inc()
 
@@ -211,7 +244,12 @@ func runLeg(round, gIdx int, group []*mergeNode, env *mergeEnv) (*mergeNode, leg
 			time.Sleep(backoff)
 			backoff *= 2
 		}
+		spAtt := sp.StartChild("merge_attempt", obs.L("attempt", strconv.Itoa(attempt)))
 		fd, err := attemptLeg(group, env.opts.faults, legRNG, retry.LegTimeout)
+		if err != nil {
+			spAtt.SetAttr("error", err.Error())
+		}
+		spAtt.End()
 		if err == nil {
 			rep.shrink = fd.Delta() - groupDelta
 			return &mergeNode{fd: fd, shards: covered}, rep
@@ -226,7 +264,9 @@ func runLeg(round, gIdx int, group []*mergeNode, env *mergeEnv) (*mergeNode, leg
 	// reliable degraded mode.
 	rep.resketch = true
 	obsLegResketches.Inc()
+	spRe := sp.StartChild("merge_resketch", obs.L("shards", strconv.Itoa(len(covered))))
 	fresh := resketchShards(covered, env)
+	spRe.End()
 	rep.shrink = fresh.Delta() - groupDelta
 	audit.Default().Record(audit.KindMergeRecovery,
 		"merge leg lost; re-sketched from source shards",

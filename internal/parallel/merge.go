@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"strconv"
 	"sync"
 	"time"
 
@@ -36,12 +37,24 @@ var (
 // here). Passing no sketches returns (nil, Stats{}); a single sketch is
 // cloned, compacted, and returned with zero merge work.
 func MergeSketches(fds []*sketch.FrequentDirections, strategy MergeStrategy) (*sketch.FrequentDirections, Stats) {
+	return MergeSketchesTraced(fds, strategy, obs.SpanContext{})
+}
+
+// MergeSketchesTraced is MergeSketches with its spans (merge_sketches →
+// merge_round → merge_leg) parented into an existing trace, so an
+// engine reconcile shows up inside its batch's tree on /tracez. The
+// zero SpanContext roots a standalone trace.
+func MergeSketchesTraced(fds []*sketch.FrequentDirections, strategy MergeStrategy, parent obs.SpanContext) (*sketch.FrequentDirections, Stats) {
 	stats := Stats{Workers: len(fds)}
 	if len(fds) == 0 {
 		return nil, stats
 	}
 	obsReconcilesTotal.Inc()
 	start := time.Now()
+	sp := obs.StartSpanIn(parent, "merge_sketches",
+		obs.L("inputs", strconv.Itoa(len(fds))),
+		obs.L("strategy", strategy.String()))
+	defer sp.End()
 
 	clones := make([]*sketch.FrequentDirections, len(fds))
 	rotBefore, deltaBefore := 0, 0.0
@@ -61,12 +74,18 @@ func MergeSketches(fds []*sketch.FrequentDirections, strategy MergeStrategy) (*s
 	var crit time.Duration
 	switch strategy {
 	case SerialMerge:
+		spFold := sp.StartChild("merge_serial_fold",
+			obs.L("nodes", strconv.Itoa(len(clones))))
 		global, crit = serialMerge(clones)
+		spFold.End()
 		stats.MergeRounds = len(clones) - 1
 	default: // TreeMerge and any future strategy fold as a binary tree
 		nodes := clones
 		for len(nodes) > 1 {
 			stats.MergeRounds++
+			spRound := sp.StartChild("merge_round",
+				obs.L("round", strconv.Itoa(stats.MergeRounds-1)))
+			roundCtx := spRound.Context()
 			groups := (len(nodes) + 1) / 2
 			next := make([]*sketch.FrequentDirections, groups)
 			legTimes := make([]time.Duration, groups)
@@ -80,15 +99,23 @@ func MergeSketches(fds []*sketch.FrequentDirections, strategy MergeStrategy) (*s
 				wg.Add(1)
 				go func(g, lo int) {
 					defer wg.Done()
+					spLeg := obs.StartSpanIn(roundCtx, "merge_leg",
+						obs.L("group", strconv.Itoa(g)))
+					ct := obs.StartCPUTimer()
 					t0 := time.Now()
 					acc := nodes[lo]
 					acc.Merge(nodes[lo+1])
 					acc.Compact()
 					legTimes[g] = time.Since(t0)
 					next[g] = acc
+					if cpu, ok := ct.Stop(); ok {
+						spLeg.SetCPU(cpu)
+					}
+					spLeg.End()
 				}(g, lo)
 			}
 			wg.Wait()
+			spRound.End()
 			var slowest time.Duration
 			for _, d := range legTimes {
 				if d > slowest {

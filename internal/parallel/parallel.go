@@ -188,7 +188,14 @@ func RunArity(shards []*mat.Matrix, mk Sketcher, strategy MergeStrategy, arity i
 	obsWorkersGauge.SetInt(len(shards))
 	start := time.Now()
 
-	spSketch := obs.StartSpan("sketch")
+	// Root span: a child of the caller's trace (WithTrace) or a fresh
+	// trace root, so every run reads as one connected tree on /tracez.
+	spRun := obs.StartSpanIn(opts.trace, "parallel_run",
+		obs.L("workers", fmt.Sprint(len(shards))),
+		obs.L("strategy", strategy.String()))
+	defer spRun.End()
+
+	spSketch := spRun.StartChild("sketch")
 	local := make([]*sketch.FrequentDirections, len(shards))
 	localTimes := make([]time.Duration, len(shards))
 	var wg sync.WaitGroup
@@ -215,7 +222,7 @@ func RunArity(shards []*mat.Matrix, mk Sketcher, strategy MergeStrategy, arity i
 	}
 	obsLocalRotations.Add(float64(stats.LocalRotations))
 
-	spMerge := obs.StartSpan("merge")
+	spMerge := spRun.StartChild("merge")
 	var global *sketch.FrequentDirections
 	var mergeCrit time.Duration
 	switch strategy {
@@ -224,7 +231,8 @@ func RunArity(shards []*mat.Matrix, mk Sketcher, strategy MergeStrategy, arity i
 		for i, fd := range local {
 			nodes[i] = &mergeNode{fd: fd, shards: []int{i}}
 		}
-		env := &mergeEnv{shards: shards, mk: mk, opts: opts, stats: &stats}
+		env := &mergeEnv{shards: shards, mk: mk, opts: opts, stats: &stats,
+			trace: spMerge.Context()}
 		global, stats.MergeRounds, mergeCrit = treeMerge(nodes, arity, env)
 	case SerialMerge:
 		global, mergeCrit = serialMerge(local)
@@ -287,6 +295,9 @@ func treeMerge(nodes []*mergeNode, arity int, env *mergeEnv) (*sketch.FrequentDi
 				audit.A("surviving_nodes", float64(len(nodes))),
 				audit.A("lost_legs", float64(env.stats.Resketches)))
 			rounds++
+			spFold := obs.StartSpanIn(env.trace, "merge_serial_fold",
+				obs.L("nodes", fmt.Sprint(len(nodes))))
+			defer spFold.End()
 			t0 := time.Now()
 			before := 0.0
 			for _, nd := range nodes {
@@ -305,7 +316,9 @@ func treeMerge(nodes []*mergeNode, arity int, env *mergeEnv) (*sketch.FrequentDi
 		}
 
 		rounds++
-		spRound := obs.StartSpan("merge_round")
+		spRound := obs.StartSpanIn(env.trace, "merge_round",
+			obs.L("round", fmt.Sprint(rounds-1)))
+		roundCtx := spRound.Context()
 		groups := (len(nodes) + arity - 1) / arity
 		next := make([]*mergeNode, groups)
 		reports := make([]legReport, groups)
@@ -325,7 +338,7 @@ func treeMerge(nodes []*mergeNode, arity int, env *mergeEnv) (*sketch.FrequentDi
 			wg.Add(1)
 			go func(gIdx, lo, hi int) {
 				defer wg.Done()
-				next[gIdx], reports[gIdx] = runLeg(rounds-1, gIdx, nodes[lo:hi], env)
+				next[gIdx], reports[gIdx] = runLeg(roundCtx, rounds-1, gIdx, nodes[lo:hi], env)
 			}(gIdx, lo, hi)
 		}
 		wg.Wait()

@@ -1,0 +1,155 @@
+package parallel
+
+import (
+	"testing"
+	"time"
+
+	"arams/internal/obs"
+	"arams/internal/sketch"
+)
+
+// spanIndex builds name→spans and id→span lookups for one trace.
+func spanIndex(tr obs.TraceRecord) (map[string][]obs.SpanRecord, map[obs.ID]obs.SpanRecord) {
+	byName := map[string][]obs.SpanRecord{}
+	byID := map[obs.ID]obs.SpanRecord{}
+	for _, sp := range tr.Spans {
+		byName[sp.Name] = append(byName[sp.Name], sp)
+		byID[sp.Span] = sp
+	}
+	return byName, byID
+}
+
+// chainTo walks sp's parent links and returns the names visited until
+// the root (exclusive of sp itself).
+func chainTo(t *testing.T, byID map[obs.ID]obs.SpanRecord, sp obs.SpanRecord) []string {
+	t.Helper()
+	var names []string
+	cur := sp
+	for cur.Parent != 0 {
+		parent, ok := byID[cur.Parent]
+		if !ok {
+			t.Fatalf("span %s (%s): parent %s not retained — disconnected trace",
+				sp.Span, sp.Name, cur.Parent)
+		}
+		cur = parent
+		names = append(names, cur.Name)
+	}
+	return names
+}
+
+// TestTraceGoldenFaultedMergeLeg is the golden trace-reconstruction
+// test: a tree merge with every leg faulting once (FailProb 1, 2
+// attempts) must still produce ONE connected trace under the caller's
+// root, with the retry attempts and any resketch recovery legs parented
+// inside the same merge_leg spans — never off in a separate trace.
+func TestTraceGoldenFaultedMergeLeg(t *testing.T) {
+	x := testMatrix(200, 10, 7)
+	mk := FDSketcher(6, sketch.Options{})
+
+	root := obs.StartTrace("test_root")
+	global, stats := Run(SplitRows(x, 4), mk, TreeMerge,
+		WithTrace(root.Context()),
+		WithFaults(Faults{FailProb: 1, Seed: 5}),
+		WithRetry(Retry{MaxAttempts: 2, Backoff: 10 * time.Microsecond, MaxFailedLegs: len(SplitRows(x, 4))}))
+	root.End()
+
+	if global.Seen() != x.RowsN {
+		t.Fatalf("Seen = %d, want %d", global.Seen(), x.RowsN)
+	}
+	if stats.LegFailures == 0 {
+		t.Fatal("FailProb 1 injected no failures — trace has no recovery legs to check")
+	}
+
+	tr, ok := obs.Default().TraceByID(root.Context().Trace)
+	if !ok {
+		t.Fatal("root trace not retained")
+	}
+	byName, byID := spanIndex(tr)
+
+	// Every span in the record must claim this trace and chain to the
+	// caller's root.
+	for _, sp := range tr.Spans {
+		if sp.Trace != tr.Trace {
+			t.Fatalf("span %s carries trace %s, want %s", sp.Name, sp.Trace, tr.Trace)
+		}
+		if sp.Span == root.Context().Span {
+			continue
+		}
+		chain := chainTo(t, byID, sp)
+		if chain[len(chain)-1] != "test_root" {
+			t.Fatalf("span %s roots at %q, want test_root (chain %v)", sp.Name, chain[len(chain)-1], chain)
+		}
+	}
+
+	for _, want := range []string{"parallel_run", "sketch", "merge", "merge_round", "merge_leg", "merge_attempt"} {
+		if len(byName[want]) == 0 {
+			t.Fatalf("trace is missing %q spans (have %v)", want, names(byName))
+		}
+	}
+
+	// Golden shape: merge_leg → merge_round → merge → parallel_run →
+	// test_root.
+	leg := byName["merge_leg"][0]
+	if got := chainTo(t, byID, leg); !equalStrings(got, []string{"merge_round", "merge", "parallel_run", "test_root"}) {
+		t.Fatalf("merge_leg parent chain = %v", got)
+	}
+
+	// Retry legs: with FailProb 1 and 2 attempts every leg records 2
+	// merge_attempt children, both parented to the SAME merge_leg — the
+	// recovery attempt joins the original trace instead of opening a new
+	// one.
+	attemptsPerLeg := map[obs.ID]int{}
+	for _, att := range byName["merge_attempt"] {
+		parent, ok := byID[att.Parent]
+		if !ok || parent.Name != "merge_leg" {
+			t.Fatalf("merge_attempt parents to %v, want a merge_leg span", att.Parent)
+		}
+		attemptsPerLeg[parent.Span]++
+	}
+	for legID, n := range attemptsPerLeg {
+		if n != 2 {
+			t.Fatalf("leg %s has %d attempts, want 2 (fail + retry)", legID, n)
+		}
+	}
+
+	// Any resketch recovery legs must also nest inside a merge_leg.
+	for _, re := range byName["merge_resketch"] {
+		parent, ok := byID[re.Parent]
+		if !ok || parent.Name != "merge_leg" {
+			t.Fatalf("merge_resketch parents to %v, want a merge_leg span", re.Parent)
+		}
+	}
+}
+
+// TestTraceUntracedRunOpensOwnTrace: without WithTrace the merge still
+// traces itself (fresh root), so /tracez always has merge trees.
+func TestTraceUntracedRunOpensOwnTrace(t *testing.T) {
+	x := testMatrix(120, 8, 3)
+	Run(SplitRows(x, 4), FDSketcher(5, sketch.Options{}), TreeMerge)
+	for _, tr := range obs.Default().Traces() {
+		if tr.Root == "parallel_run" {
+			return
+		}
+	}
+	t.Fatal("untraced Run produced no parallel_run trace root")
+}
+
+func names(m map[string][]obs.SpanRecord) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

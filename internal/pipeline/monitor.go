@@ -74,6 +74,8 @@ func engineConfig(cfg Config, window int) engine.Config {
 		Merge:          cfg.Merge,
 		Audit:          cfg.Audit,
 		AuditEvery:     cfg.AuditEvery,
+		FrameBudget:    cfg.FrameBudget,
+		BurnThreshold:  cfg.BurnThreshold,
 	}
 }
 
@@ -121,7 +123,7 @@ type Snapshot struct {
 // space). The clustering and anomaly stages run as usual.
 func (m *Monitor) QuickSnapshot() *Snapshot {
 	obsSnapQuick.Inc()
-	sp := obs.StartSpan("quicksnapshot")
+	sp := obs.StartTrace("quicksnapshot")
 	defer sp.End()
 	m.mu.Lock()
 	model := m.cachedModel
@@ -144,7 +146,7 @@ func (m *Monitor) QuickSnapshot() *Snapshot {
 	proj := pca.NewProjector(basis)
 	snap.Latent = proj.Project(x)
 	snap.Embedding = model.Transform(snap.Latent)
-	m.finishSnapshot(snap)
+	m.finishSnapshot(sp.Context(), snap)
 	return snap
 }
 
@@ -154,7 +156,7 @@ func (m *Monitor) QuickSnapshot() *Snapshot {
 // ingested yet.
 func (m *Monitor) Snapshot() *Snapshot {
 	obsSnapFull.Inc()
-	sp := obs.StartSpan("snapshot")
+	sp := obs.StartTrace("snapshot")
 	defer sp.End()
 	x, tags, basis, ell := m.eng.WindowState(m.cfg.LatentDim)
 	if x == nil {
@@ -174,7 +176,7 @@ func (m *Monitor) Snapshot() *Snapshot {
 		return snap
 	}
 	var model *umap.Model
-	engine.RunStages([]engine.Stage{
+	engine.RunStagesIn(sp.Context(), []engine.Stage{
 		{Name: "pca", Run: func() {
 			proj := pca.NewProjector(basis)
 			snap.Latent = proj.Project(x)
@@ -188,14 +190,14 @@ func (m *Monitor) Snapshot() *Snapshot {
 	m.cachedModel = model
 	m.cachedEll = ell
 	m.mu.Unlock()
-	m.finishSnapshot(snap)
+	m.finishSnapshot(sp.Context(), snap)
 	return snap
 }
 
 // finishSnapshot runs the clustering and anomaly stages on an
-// embedding.
-func (m *Monitor) finishSnapshot(snap *Snapshot) {
-	engine.RunStages([]engine.Stage{
+// embedding, inside the snapshot's trace.
+func (m *Monitor) finishSnapshot(ctx obs.SpanContext, snap *Snapshot) {
+	engine.RunStagesIn(ctx, []engine.Stage{
 		{Name: "cluster", Run: func() {
 			snap.Labels = clusterEmbedding(snap.Embedding, m.cfg)
 		}},

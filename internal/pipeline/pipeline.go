@@ -85,6 +85,15 @@ type Config struct {
 	// reconciles (default 128); snapshot paths reconcile on demand
 	// regardless.
 	ReconcileEvery int
+	// FrameBudget is the Monitor's per-frame wall-time SLO, amortized
+	// over each ingest batch (default one 120 Hz machine period;
+	// negative disables). Misses are counted, journaled as
+	// deadline_miss events, and a sustained burn fires the flight
+	// recorder.
+	FrameBudget time.Duration
+	// BurnThreshold is the EWMA budget burn rate that trips the flight
+	// recorder (default 2.0).
+	BurnThreshold float64
 }
 
 func (c Config) withDefaults() Config {
