@@ -40,14 +40,22 @@ func main() {
 	quick := flag.Bool("quick", false, "run a reduced kernel benchmark as a smoke test and exit")
 	kernelOut := flag.String("kernelout", "BENCH_kernels.json", "output path for -exp kernels JSON report (empty to skip)")
 	ingestOut := flag.String("ingestout", "BENCH_ingest.json", "output path for -exp ingest JSON report (empty to skip)")
+	ingestAssert := flag.Bool("ingestassert", false, "with -exp ingest: fail if measured shards=4 is slower than serial on a >=4-core host, or if the adaptive cadence does not beat fixed on the quiet stream")
 	flag.Parse()
 
 	if *quick {
 		// CI smoke: reduced-shape sweeps, table to stdout, no file
 		// written. Exercises the full harness path in seconds.
 		if *exp == "ingest" {
-			_, t := bench.IngestSweep(*seed, true)
+			report, t := bench.IngestSweep(*seed, true)
 			t.Print(os.Stdout)
+			if *ingestAssert {
+				if err := report.Assert(); err != nil {
+					fmt.Fprintf(os.Stderr, "aramsbench: %v\n", err)
+					os.Exit(1)
+				}
+				fmt.Fprintln(os.Stderr, "ingest assertions passed")
+			}
 			return
 		}
 		_, t := bench.KernelSweep(*seed, true)
@@ -159,6 +167,13 @@ func main() {
 				}
 				f.Close()
 				fmt.Fprintf(os.Stderr, "wrote %s\n", *ingestOut)
+			}
+			if *ingestAssert {
+				if err := report.Assert(); err != nil {
+					fmt.Fprintf(os.Stderr, "aramsbench: %v\n", err)
+					os.Exit(1)
+				}
+				fmt.Fprintln(os.Stderr, "ingest assertions passed")
 			}
 		default:
 			fmt.Fprintf(os.Stderr, "aramsbench: unknown experiment %q\n", name)

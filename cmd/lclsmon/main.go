@@ -75,6 +75,7 @@ func main() {
 	window := flag.Int("window", 0, "streaming mode: snapshot window size (0 = whole run)")
 	shards := flag.Int("shards", 1, "streaming mode: concurrent sketch shards (1 = serial, bit-exact with previous releases)")
 	ingestBuffer := flag.Int("ingest-buffer", 0, "streaming mode: bounded async ingest queue capacity (0 = engine default)")
+	reconcileAdaptive := flag.Bool("reconcile-adaptive", false, "streaming mode: reconcile shards when marginal sketch shrinkage says the global sketch is stale, instead of on a fixed frame countdown")
 	auditLog := flag.String("audit-log", "", "append audit journal events to this JSONL file")
 	alarmThreshold := flag.Float64("alarm-threshold", 0.5, "Page-Hinkley λ for the residual drift detector")
 	auditEvery := flag.Int("audit-every", 32, "streaming mode: audit the sketch every N frames")
@@ -122,17 +123,18 @@ func main() {
 		scfg.Nu = 10
 	}
 	cfg := pipeline.Config{
-		Pre:          imgproc.Preprocessor{Normalize: true},
-		Sketch:       scfg,
-		Workers:      *workers,
-		LatentDim:    *latent,
-		UMAP:         umap.Config{NNeighbors: 20, NEpochs: 200, Seed: *seed + 1},
-		UseHDBSCAN:   *useHDBSCAN,
-		Audit:        auditor,
-		AuditEvery:   *auditEvery,
-		Shards:       *shards,
-		IngestBuffer: *ingestBuffer,
-		FrameBudget:  *frameBudget,
+		Pre:               imgproc.Preprocessor{Normalize: true},
+		Sketch:            scfg,
+		Workers:           *workers,
+		LatentDim:         *latent,
+		UMAP:              umap.Config{NNeighbors: 20, NEpochs: 200, Seed: *seed + 1},
+		UseHDBSCAN:        *useHDBSCAN,
+		Audit:             auditor,
+		AuditEvery:        *auditEvery,
+		Shards:            *shards,
+		IngestBuffer:      *ingestBuffer,
+		ReconcileAdaptive: *reconcileAdaptive,
+		FrameBudget:       *frameBudget,
 	}
 
 	if *ckptDir != "" {

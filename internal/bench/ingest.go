@@ -20,10 +20,14 @@ import (
 // concurrent shards. Shard absorption is the parallel section; the
 // speedup column is therefore bounded by the cores the host exposes —
 // num_cpu in the report says what that bound was when the numbers were
-// taken.
+// taken. Each multi-shard count is measured under both reconcile
+// cadences (fixed countdown and the adaptive controller), and a
+// separate quiet-stream scenario isolates the cadence effect: on a
+// stream adding no shrinkage the adaptive controller merges only at
+// the hard lag cap, with an identical certificate.
 
-// IngestResult is one shard-count measurement. Speedup is measured
-// wall clock and therefore bounded by the host's cores;
+// IngestResult is one (shard count, cadence) measurement. Speedup is
+// measured wall clock and therefore bounded by the host's cores;
 // ProjectedSpeedup is the critical-path speedup of the sketch section
 // for a host with one core per shard: each shard's round-robin subset
 // is replayed standalone (no interleaving, no scheduler noise) and the
@@ -32,7 +36,10 @@ import (
 // balanced, so this approaches the shard count until per-rotation cost
 // stops amortizing.
 type IngestResult struct {
-	Shards           int     `json:"shards"`
+	Shards int `json:"shards"`
+	// Adaptive marks rows measured with the staleness-driven reconcile
+	// controller instead of the fixed ReconcileEvery countdown.
+	Adaptive         bool    `json:"adaptive"`
 	Frames           int     `json:"frames"`
 	Dim              int     `json:"dim"`
 	BatchSize        int     `json:"batch_size"`
@@ -45,9 +52,26 @@ type IngestResult struct {
 	// shard scaling (the shards time-sliced one another), and only
 	// ProjectedSpeedup — built from standalone per-shard replays — is
 	// an honest scaling estimate.
-	Projected bool    `json:"speedup_projected"`
-	CertBound float64 `json:"cert_cov_bound"`
-	GlobalEll int     `json:"global_ell"`
+	Projected bool `json:"speedup_projected"`
+	// Reconciles counts global-sketch rebuilds during ingest (before
+	// the final certificate forces one more).
+	Reconciles int     `json:"reconciles"`
+	CertBound  float64 `json:"cert_cov_bound"`
+	GlobalEll  int     `json:"global_ell"`
+}
+
+// CadenceResult is one side of the quiet-stream cadence comparison: an
+// exactly-low-rank stream adds zero shrinkage, so the adaptive
+// controller defers merges to its hard lag cap while the fixed
+// countdown keeps paying them, and both must end with the same
+// certificate.
+type CadenceResult struct {
+	Mode           string  `json:"mode"` // "fixed" or "adaptive"
+	Shards         int     `json:"shards"`
+	Frames         int     `json:"frames"`
+	ReconcileEvery int     `json:"reconcile_every"`
+	Reconciles     int     `json:"reconciles"`
+	CertBound      float64 `json:"cert_cov_bound"`
 }
 
 // IngestReport is the full sweep, serialized to BENCH_ingest.json.
@@ -55,9 +79,10 @@ type IngestResult struct {
 // offered when the numbers were taken, so a reader can tell measured
 // speedups from time-sliced ones.
 type IngestReport struct {
-	NumCPU     int            `json:"num_cpu"`
-	GoMaxProcs int            `json:"gomaxprocs"`
-	Results    []IngestResult `json:"results"`
+	NumCPU     int             `json:"num_cpu"`
+	GoMaxProcs int             `json:"gomaxprocs"`
+	Results    []IngestResult  `json:"results"`
+	Quiet      []CadenceResult `json:"quiet_stream"`
 }
 
 // WriteJSON serializes the report with stable indentation.
@@ -65,6 +90,44 @@ func (r *IngestReport) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r)
+}
+
+// Assert enforces the regression gates the CI bench-smoke job runs
+// after a sweep on a multicore runner:
+//
+//   - on a host with ≥ 4 cores, measured shards=4 wall clock must beat
+//     shards=1 (speedup > 1) — the sharded-ingest slowdown this engine
+//     revision fixed must not come back;
+//   - on the quiet stream, the adaptive cadence must reconcile fewer
+//     times than the fixed one without widening the certified bound.
+func (r *IngestReport) Assert() error {
+	for _, res := range r.Results {
+		if res.Shards == 4 && !res.Projected && r.NumCPU >= 4 && res.Speedup <= 1.0 {
+			return fmt.Errorf("bench: measured shards=4 ingest slower than serial (speedup %.3f on %d cores, adaptive=%v)",
+				res.Speedup, r.NumCPU, res.Adaptive)
+		}
+	}
+	var fixed, adaptive *CadenceResult
+	for i := range r.Quiet {
+		switch r.Quiet[i].Mode {
+		case "fixed":
+			fixed = &r.Quiet[i]
+		case "adaptive":
+			adaptive = &r.Quiet[i]
+		}
+	}
+	if fixed == nil || adaptive == nil {
+		return fmt.Errorf("bench: quiet-stream comparison missing a cadence mode")
+	}
+	if adaptive.Reconciles >= fixed.Reconciles {
+		return fmt.Errorf("bench: adaptive cadence did not reduce quiet-stream reconciles (%d vs fixed %d)",
+			adaptive.Reconciles, fixed.Reconciles)
+	}
+	if adaptive.CertBound > fixed.CertBound*(1+1e-9)+1e-12 {
+		return fmt.Errorf("bench: adaptive cadence widened the certified bound (%.6g vs fixed %.6g)",
+			adaptive.CertBound, fixed.CertBound)
+	}
+	return nil
 }
 
 // ingestRun streams every frame through a fresh engine and returns it.
@@ -104,21 +167,9 @@ func replayNs(cfg sketch.Config, rows [][]float64) int64 {
 	return br.NsPerOp()
 }
 
-// IngestSweep measures ingest throughput at shard counts {1, 2, 4, 8}
-// on one low-rank-plus-noise stream. quick restricts the sweep to
-// {1, 4} at reduced shape for the CI smoke job; the full sweep backs
-// the checked-in BENCH_ingest.json.
-func IngestSweep(seed uint64, quick bool) (*IngestReport, *Table) {
-	shardCounts := []int{1, 2, 4, 8}
-	frames, d, ell0, batch := 768, 1024, 16, 32
-	if quick {
-		shardCounts = []int{1, 4}
-		frames, d, ell0, batch = 192, 256, 8, 32
-	}
-
-	// Rank-8 signal plus noise, the same stream for every shard count.
-	g := rng.New(seed)
-	const rank = 8
+// lowRankStream draws frames from the span of `rank` fixed directions
+// with per-frame weights, plus optional isotropic noise.
+func lowRankStream(g *rng.RNG, frames, d, rank int, noise float64) [][]float64 {
 	basis := make([][]float64, rank)
 	for r := range basis {
 		basis[r] = make([]float64, d)
@@ -135,83 +186,174 @@ func IngestSweep(seed uint64, quick bool) (*IngestReport, *Table) {
 				v[j] += w * basis[r][j]
 			}
 		}
-		for j := range v {
-			v[j] += 0.1 * g.Norm()
+		if noise > 0 {
+			for j := range v {
+				v[j] += noise * g.Norm()
+			}
 		}
 		vecs[i] = v
 	}
+	return vecs
+}
+
+// IngestSweep measures ingest throughput at shard counts {1, 2, 4, 8}
+// on one low-rank-plus-noise stream, under both reconcile cadences for
+// the multi-shard counts, then runs the quiet-stream cadence
+// comparison. quick restricts the sweep to {1, 4} at reduced shape for
+// the CI smoke job; the full sweep backs the checked-in
+// BENCH_ingest.json.
+func IngestSweep(seed uint64, quick bool) (*IngestReport, *Table) {
+	shardCounts := []int{1, 2, 4, 8}
+	frames, d, ell0, batch := 768, 1024, 16, 32
+	if quick {
+		shardCounts = []int{1, 4}
+		frames, d, ell0, batch = 192, 256, 8, 32
+	}
+	const reconcileEvery = 64
+
+	// Rank-8 signal plus noise, the same stream for every shard count.
+	g := rng.New(seed)
+	vecs := lowRankStream(g, frames, d, 8, 0.1)
 
 	report := &IngestReport{NumCPU: runtime.NumCPU(), GoMaxProcs: runtime.GOMAXPROCS(0)}
 	var serialNs, serialReplay int64
 	for _, s := range shardCounts {
-		cfg := engine.Config{
-			Shards:    s,
-			Window:    64,
-			BatchSize: batch,
-			Sketch:    sketch.Config{Ell0: ell0, Beta: 1, Seed: seed},
-		}
-		br := testing.Benchmark(func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				ingestRun(cfg, vecs, batch)
-			}
-		})
-		nsFrame := br.NsPerOp() / int64(frames)
-		if nsFrame <= 0 {
-			nsFrame = 1
-		}
-		if s == 1 {
-			serialNs = nsFrame
-		}
 		// Critical path: replay each shard's round-robin subset through
 		// a standalone sketcher, serially, so no replay is timed with
 		// another one scheduled on top of it. The busiest shard bounds
-		// sharded wall time on a one-core-per-shard host.
+		// sharded wall time on a one-core-per-shard host. Cadence does
+		// not enter the replay, so it is computed once per shard count.
+		baseCfg := engine.Config{
+			Shards:         s,
+			Window:         64,
+			BatchSize:      batch,
+			ReconcileEvery: reconcileEvery,
+			Sketch:         sketch.Config{Ell0: ell0, Beta: 1, Seed: seed},
+		}
 		var maxReplay int64
 		for i := 0; i < s; i++ {
 			var rows [][]float64
 			for j := i; j < frames; j += s {
 				rows = append(rows, vecs[j])
 			}
-			if r := replayNs(engine.ShardSketchConfig(cfg.Sketch, i), rows); r > maxReplay {
+			if r := replayNs(engine.ShardSketchConfig(baseCfg.Sketch, i), rows); r > maxReplay {
 				maxReplay = r
 			}
 		}
 		if s == 1 {
 			serialReplay = maxReplay
 		}
-		// One untimed run for the quality columns: the certificate must
-		// stay valid at every shard count, and the merged rank never
-		// exceeds the per-shard maximum.
-		e := ingestRun(cfg, vecs, batch)
-		report.Results = append(report.Results, IngestResult{
-			Shards:           s,
-			Frames:           frames,
-			Dim:              d,
-			BatchSize:        batch,
-			NsPerFrame:       nsFrame,
-			FramesPerSec:     1e9 / float64(nsFrame),
-			Speedup:          float64(serialNs) / float64(nsFrame),
-			ProjectedSpeedup: float64(serialReplay) / float64(maxReplay),
-			Projected:        s > report.NumCPU,
-			CertBound:        e.Certificate().CovBound(),
-			GlobalEll:        e.Ell(),
-		})
+
+		modes := []bool{false}
+		if s > 1 {
+			modes = []bool{false, true}
+		}
+		for _, adaptive := range modes {
+			cfg := baseCfg
+			cfg.ReconcileAdaptive = adaptive
+			br := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					ingestRun(cfg, vecs, batch)
+				}
+			})
+			nsFrame := br.NsPerOp() / int64(frames)
+			if nsFrame <= 0 {
+				nsFrame = 1
+			}
+			if s == 1 {
+				serialNs = nsFrame
+			}
+			// One untimed run for the quality columns: the certificate
+			// must stay valid at every shard count and cadence, and the
+			// merged rank never exceeds the per-shard maximum. The
+			// reconcile count is read before Certificate forces one
+			// final merge.
+			e := ingestRun(cfg, vecs, batch)
+			reconciles := e.Reconciles()
+			report.Results = append(report.Results, IngestResult{
+				Shards:           s,
+				Adaptive:         adaptive,
+				Frames:           frames,
+				Dim:              d,
+				BatchSize:        batch,
+				NsPerFrame:       nsFrame,
+				FramesPerSec:     1e9 / float64(nsFrame),
+				Speedup:          float64(serialNs) / float64(nsFrame),
+				ProjectedSpeedup: float64(serialReplay) / float64(maxReplay),
+				Projected:        s > report.NumCPU,
+				Reconciles:       reconciles,
+				CertBound:        e.Certificate().CovBound(),
+				GlobalEll:        e.Ell(),
+			})
+		}
 	}
 
+	report.Quiet = quietCadenceComparison(seed+1, quick)
+
 	t := &Table{
-		Title: "Streaming ingest: throughput vs shard count",
+		Title: "Streaming ingest: throughput vs shard count and reconcile cadence",
 		Note: fmt.Sprintf("speedup = measured wall clock, bounded by host cores (num_cpu=%d, gomaxprocs=%d here); "+
 			"rows marked (projected) had more shards than cores, so only proj — the critical-path "+
-			"speedup from standalone shard replays — estimates scaling", report.NumCPU, report.GoMaxProcs),
-		Header: []string{"shards", "frames", "dim", "ns/frame", "frames/s", "speedup", "proj", "cov bound", "ell"},
+			"speedup from standalone shard replays — estimates scaling; cadence compares reconcile "+
+			"counts at ReconcileEvery=%d", report.NumCPU, report.GoMaxProcs, reconcileEvery),
+		Header: []string{"shards", "cadence", "frames", "dim", "ns/frame", "frames/s", "speedup", "proj", "reconciles", "cov bound", "ell"},
 	}
 	for _, r := range report.Results {
 		speedup := formatFloat(r.Speedup)
 		if r.Projected {
 			speedup += " (projected)"
 		}
-		t.Append(r.Shards, r.Frames, r.Dim, r.NsPerFrame, r.FramesPerSec,
-			speedup, r.ProjectedSpeedup, r.CertBound, r.GlobalEll)
+		cadence := "fixed"
+		if r.Adaptive {
+			cadence = "adaptive"
+		}
+		t.Append(r.Shards, cadence, r.Frames, r.Dim, r.NsPerFrame, r.FramesPerSec,
+			speedup, r.ProjectedSpeedup, r.Reconciles, r.CertBound, r.GlobalEll)
+	}
+	for _, q := range report.Quiet {
+		t.Append(4, "quiet/"+q.Mode, q.Frames, "-", "-", "-", "-", "-", q.Reconciles, q.CertBound, "-")
 	}
 	return report, t
+}
+
+// quietCadenceComparison runs the quiet-stream scenario: an exactly
+// rank-r stream (r < ℓ) adds zero shrinkage Σδ, so the adaptive
+// controller has no staleness signal and defers merges to its hard lag
+// cap, while the fixed countdown reconciles every ReconcileEvery
+// frames. Reconciles only clone shards, so both cadences must produce
+// the identical certificate.
+func quietCadenceComparison(seed uint64, quick bool) []CadenceResult {
+	frames, d, ell0, batch := 512, 256, 16, 32
+	if quick {
+		frames, d, ell0, batch = 256, 128, 8, 32
+	}
+	const reconcileEvery = 32
+	g := rng.New(seed)
+	vecs := lowRankStream(g, frames, d, ell0/2, 0)
+
+	out := make([]CadenceResult, 0, 2)
+	for _, adaptive := range []bool{false, true} {
+		cfg := engine.Config{
+			Shards:         4,
+			Window:         64,
+			BatchSize:      batch,
+			ReconcileEvery: reconcileEvery,
+			Sketch:         sketch.Config{Ell0: ell0, Beta: 1, Seed: seed},
+		}
+		cfg.ReconcileAdaptive = adaptive
+		e := ingestRun(cfg, vecs, batch)
+		mode := "fixed"
+		if adaptive {
+			mode = "adaptive"
+		}
+		out = append(out, CadenceResult{
+			Mode:           mode,
+			Shards:         4,
+			Frames:         frames,
+			ReconcileEvery: reconcileEvery,
+			Reconciles:     e.Reconciles(),
+			CertBound:      e.Certificate().CovBound(),
+		})
+	}
+	return out
 }

@@ -22,7 +22,10 @@ import (
 //     sustained overload is exactly the condition whose prelude is
 //     worth dumping.
 
-// Budget observability.
+// Budget observability. arams_engine_deadline_miss_total counts
+// *frames* that belonged to an over-budget batch — the same unit
+// DeadlineMisses() reports — so the metric and the accessor always
+// agree (misses used to count batches while the metric counted frames).
 var (
 	obsBudgetBurn     = obs.Default().Gauge("arams_engine_budget_burn_rate")
 	obsDeadlineMisses = obs.Default().Counter("arams_engine_deadline_miss_total")
@@ -54,7 +57,7 @@ type budgetTracker struct {
 	ewma     float64
 	seeded   bool
 	lastMiss time.Time
-	misses   int
+	misses   int // frames in over-budget batches (metric unit)
 }
 
 func newBudgetTracker(cfg Config) *budgetTracker {
@@ -96,7 +99,7 @@ func (bt *budgetTracker) observe(elapsed time.Duration, n, at int) float64 {
 	journalMiss := false
 	now := time.Now()
 	if burn > 1 {
-		bt.misses++
+		bt.misses += n
 		if now.Sub(bt.lastMiss) >= missJournalEvery {
 			bt.lastMiss = now
 			journalMiss = true
@@ -135,8 +138,9 @@ func (e *Engine) BurnRate() float64 {
 	return bt.ewma
 }
 
-// DeadlineMisses returns how many dispatches have exceeded their
-// amortized frame budget.
+// DeadlineMisses returns how many frames belonged to batches that
+// exceeded their amortized frame budget — frames, not batches, matching
+// the arams_engine_deadline_miss_total metric exactly.
 func (e *Engine) DeadlineMisses() int {
 	bt := e.budget
 	if bt == nil {

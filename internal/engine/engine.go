@@ -71,7 +71,27 @@ type Config struct {
 	// ReconcileEvery is the frame interval between proactive shard
 	// reconciles (default 128). Snapshot paths reconcile on demand
 	// regardless, so this only bounds merge lag between snapshots.
+	// With ReconcileAdaptive it becomes the controller's hysteresis
+	// scale instead of a fixed countdown.
 	ReconcileEvery int
+	// ReconcileAdaptive replaces the fixed ReconcileEvery countdown
+	// with the staleness-driven controller in reconcile.go: quiet
+	// streams (no marginal Σδ growth) defer merges up to
+	// ReconcileMaxLag, drifting or bursty ones merge eagerly. False —
+	// the default — is bit-exact-compat mode: the fixed cadence,
+	// unchanged. Either way the post-Drain global sketch is identical;
+	// only when merges happen differs.
+	ReconcileAdaptive bool
+	// ReconcileMaxLag is the adaptive controller's hard upper bound on
+	// merge lag in frames (default 8×ReconcileEvery): a reconcile is
+	// forced at this lag no matter how quiet the stream, bounding
+	// snapshot staleness.
+	ReconcileMaxLag int
+	// ReconcileDeltaFrac is the relative Σδ growth since the last
+	// reconcile that makes a merge due in adaptive mode (default 0.05,
+	// i.e. the certified bound grew 5%). The frame-budget burn EWMA
+	// scales it up when the engine is over budget.
+	ReconcileDeltaFrac float64
 	// Window is the sliding-window size for snapshots (default 1024).
 	Window int
 	// Pre is the per-frame preprocessing chain.
@@ -113,6 +133,12 @@ func (c Config) withDefaults() Config {
 	if c.ReconcileEvery <= 0 {
 		c.ReconcileEvery = 128
 	}
+	if c.ReconcileMaxLag <= 0 {
+		c.ReconcileMaxLag = 8 * c.ReconcileEvery
+	}
+	if c.ReconcileDeltaFrac <= 0 {
+		c.ReconcileDeltaFrac = 0.05
+	}
 	if c.Window <= 0 {
 		c.Window = 1024
 	}
@@ -139,6 +165,11 @@ type shard struct {
 	busy   time.Duration // cumulative wall time spent inside absorb
 	gauge  *obs.Gauge
 	cpuCtr *obs.Counter // cumulative CPU seconds spent absorbing
+
+	// rowView is the reusable 1×d header absorb wraps each row in, so
+	// the per-row ProcessBatch call allocates nothing. Guarded by mu
+	// like the sketcher it feeds.
+	rowView mat.Matrix
 }
 
 // shardResult is the audit accounting one dispatch returned.
@@ -167,6 +198,12 @@ type Engine struct {
 	mu      sync.Mutex
 	recent  []*Frame
 	ingests int
+	// inflight counts ingest calls between ring append and dispatch
+	// completion. Window-evicted frame vectors are recycled to the
+	// mat vector pool only when the evicting call is the sole one in
+	// flight (inflight == 1): every older frame's dispatch has then
+	// finished, so no shard absorb can still be reading the vector.
+	inflight int
 
 	// Audit accumulation (see Config.Audit). lastEll tracks the global
 	// max shard rank for rank-growth journaling.
@@ -181,6 +218,7 @@ type Engine struct {
 	globalMu sync.Mutex
 	global   *sketch.FrequentDirections
 	globalAt int
+	rc       reconcileCtl
 
 	// Async ingest queue (see queue.go).
 	queueMu  sync.Mutex
@@ -194,7 +232,7 @@ type Engine struct {
 // New creates a streaming engine.
 func New(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
-	e := &Engine{cfg: cfg, budget: newBudgetTracker(cfg)}
+	e := &Engine{cfg: cfg, budget: newBudgetTracker(cfg), rc: newReconcileCtl(cfg)}
 	e.shards = make([]*shard, cfg.Shards)
 	for i := range e.shards {
 		e.shards[i] = &shard{
@@ -269,8 +307,12 @@ func (e *Engine) ingestBatchAt(ims []*imgproc.Image, tags []int, queuedAt time.T
 	vecs := make([][]float64, len(ims))
 	mat.ParallelFor(len(ims), 1, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			pre := e.cfg.Pre.Apply(ims[i])
-			vecs[i] = append([]float64(nil), pre.Flatten()...)
+			// Zero-copy handoff: the chain's working buffer comes from
+			// the vector pool (fed by window evictions below) and its
+			// output is adopted outright — it backs the ring entry and
+			// every shard append, with no intermediate flatten copy.
+			im := ims[i]
+			vecs[i] = e.cfg.Pre.ApplyVec(im, mat.GetVec(im.W*im.H))
 		}
 	})
 	if cpu, ok := ct.Stop(); ok {
@@ -317,6 +359,7 @@ func (e *Engine) ingestVecsIn(root *obs.Span, start time.Time, vecs [][]float64,
 	// Ring append + stream-index assignment: pointer bookkeeping only.
 	e.mu.Lock()
 	base := e.ingests
+	e.inflight++
 	for i, v := range vecs {
 		t := 0
 		if tags != nil {
@@ -324,12 +367,30 @@ func (e *Engine) ingestVecsIn(root *obs.Span, start time.Time, vecs [][]float64,
 		}
 		e.recent = append(e.recent, &Frame{Vec: v, Tag: t})
 	}
-	if len(e.recent) > e.cfg.Window {
-		e.recent = e.recent[len(e.recent)-e.cfg.Window:]
+	var recycle [][]float64
+	if over := len(e.recent) - e.cfg.Window; over > 0 {
+		// Recycle evicted vectors to the pool when it is provably safe:
+		// we are the only in-flight ingest (older frames' dispatches
+		// have completed — shard appends copy, samplers retain nothing)
+		// and the frame predates this batch (our own rows are about to
+		// be dispatched). Snapshot readers copy under mu, so once a
+		// frame leaves the ring nothing else can reach its vector.
+		if e.inflight == 1 {
+			if reuse := min(over, len(e.recent)-n); reuse > 0 {
+				recycle = make([][]float64, reuse)
+				for i, f := range e.recent[:reuse] {
+					recycle[i] = f.Vec
+				}
+			}
+		}
+		e.recent = e.recent[over:]
 	}
 	e.ingests += n
 	window := len(e.recent)
 	e.mu.Unlock()
+	for _, v := range recycle {
+		mat.PutVec(v)
+	}
 	root.SetAttr("stream_lo", fmt.Sprint(base))
 	root.SetAttr("stream_hi", fmt.Sprint(base+n-1))
 
@@ -427,15 +488,21 @@ func (s *shard) absorb(vecs [][]float64, idx []int) shardResult {
 		}
 		return vecs[idx[i]]
 	}
+	rv := &s.rowView
 	for i := 0; i < nrows; i++ {
 		v := row(i)
-		bs := s.arams.ProcessBatch(mat.FromData(1, len(v), v))
+		// Reuse one 1×d header across rows instead of allocating a
+		// matrix per frame; ProcessBatch copies rows into the sketch
+		// and retains neither the header nor the data.
+		rv.RowsN, rv.ColsN, rv.Stride, rv.Data = 1, len(v), len(v), v
+		bs := s.arams.ProcessBatch(rv)
 		agg.Rows += bs.Rows
 		agg.Kept += bs.Kept
 		agg.TotalMass += bs.TotalMass
 		agg.KeptMass += bs.KeptMass
 		agg.DeltaAdded += bs.DeltaAdded
 	}
+	rv.Data = nil
 	agg.EllAfter = s.arams.Ell()
 	s.frames += nrows
 	s.gauge.SetInt(s.frames)
@@ -495,6 +562,7 @@ func (e *Engine) afterDispatch(results []shardResult, base, n, window int, root 
 		}
 	}
 	ingests := e.ingests
+	e.inflight--
 	e.mu.Unlock()
 
 	if grewFrom > 0 {
@@ -516,9 +584,19 @@ func (e *Engine) afterDispatch(results []shardResult, base, n, window int, root 
 	obsEngineEll.SetInt(ell)
 
 	if len(e.shards) > 1 {
+		// Marginal Σδ this dispatch added across shards: the staleness
+		// signal the adaptive cadence controller acts on.
+		var deltaSum float64
+		for _, r := range results {
+			if r.ok {
+				deltaSum += r.stats.DeltaAdded
+			}
+		}
+		burn := e.BurnRate()
 		e.globalMu.Lock()
+		e.rc.note(deltaSum)
 		lag := ingests - e.globalAt
-		if lag >= e.cfg.ReconcileEvery {
+		if e.rc.due(lag, burn) {
 			e.reconcileLockedIn(root.Context())
 			lag = 0
 		}
@@ -593,6 +671,11 @@ func (e *Engine) reconcileLockedIn(parent obs.SpanContext) *sketch.FrequentDirec
 	for _, s := range e.shards {
 		s.mu.Lock()
 		if s.arams != nil {
+			// The clone captures the shard's Σδ as of now; marking the
+			// live sketch anchors DeltaSinceMark to the same point, so
+			// sketch-level staleness introspection agrees with the
+			// controller's accumulator.
+			s.arams.FD().MarkDelta()
 			fds = append(fds, s.arams.FD().Clone())
 		}
 		s.mu.Unlock()
@@ -602,6 +685,7 @@ func (e *Engine) reconcileLockedIn(parent obs.SpanContext) *sketch.FrequentDirec
 	}
 	g, _ := parallel.MergeSketchesTraced(fds, e.cfg.Merge, sp.Context())
 	e.global, e.globalAt = g, at
+	e.rc.noteReconcile()
 	obsReconciles.Inc()
 	obsMergeLag.SetInt(0)
 	return g

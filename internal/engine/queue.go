@@ -50,8 +50,10 @@ func (e *Engine) Enqueue(im *imgproc.Image, tag int) {
 	e.startLocked()
 	q := e.queue
 	e.queueMu.Unlock()
+	// The pump owns the queue-depth gauge: sampling it here after the
+	// send raced the pump's own updates and could leave a stale nonzero
+	// reading as the last write.
 	q <- qitem{im: im, tag: tag, at: time.Now()}
-	obsQueueDepth.SetInt(len(q))
 }
 
 // Drain blocks until every frame enqueued before the call has been
@@ -88,6 +90,11 @@ func (e *Engine) Stop() {
 // them, preserving Drain's "everything before me is ingested" contract.
 func (e *Engine) pump(q chan qitem, done chan struct{}) {
 	defer close(done)
+	// The pump is the gauge's only writer; on exit the queue is drained
+	// by contract, so the gauge must read 0 (it used to stick at the
+	// last pre-exit sample). The zeroing defer runs before close(done),
+	// so a Stop caller observes the reset.
+	defer obsQueueDepth.SetInt(0)
 	ims := make([]*imgproc.Image, 0, e.cfg.BatchSize)
 	tags := make([]int, 0, e.cfg.BatchSize)
 	var oldest time.Time
@@ -135,8 +142,10 @@ func (e *Engine) pump(q chan qitem, done chan struct{}) {
 			}
 			break
 		}
-		obsQueueDepth.SetInt(len(q))
+		// Sample depth after the flush: it reflects what accumulated
+		// while the batch was ingesting, not the batch itself.
 		flush()
+		obsQueueDepth.SetInt(len(q))
 		if closed {
 			return
 		}

@@ -1,0 +1,184 @@
+package engine_test
+
+import (
+	"math"
+	"testing"
+
+	"arams/internal/engine"
+	"arams/internal/imgproc"
+	"arams/internal/obs"
+	"arams/internal/rng"
+	"arams/internal/sketch"
+)
+
+// quietVecs builds an exactly rank-r stream (no noise): every frame
+// lies in the span of r fixed directions, so FD rotations shrink by
+// (numerically) nothing and the adaptive controller sees no staleness.
+func quietVecs(n, d, r int, seed uint64) [][]float64 {
+	g := rng.New(seed)
+	base := make([][]float64, r)
+	for i := range base {
+		base[i] = make([]float64, d)
+		for j := range base[i] {
+			base[i][j] = g.Norm()
+		}
+	}
+	vecs := make([][]float64, n)
+	for i := range vecs {
+		v := make([]float64, d)
+		for k, b := range base {
+			w := g.Norm() * float64(r-k)
+			for j := range v {
+				v[j] += w * b[j]
+			}
+		}
+		vecs[i] = v
+	}
+	return vecs
+}
+
+// runCadence streams vecs through a fresh 4-shard engine under the
+// given cadence and returns the engine plus its during-ingest
+// reconcile count (read before Certificate forces one final merge).
+func runCadence(vecs [][]float64, every int, adaptive bool) (*engine.Engine, int) {
+	e := engine.New(engine.Config{
+		Shards:            4,
+		ReconcileEvery:    every,
+		ReconcileAdaptive: adaptive,
+		Sketch:            sketch.Config{Ell0: 8, Beta: 1, Seed: 5},
+		Window:            32,
+	})
+	const batch = 16
+	for lo := 0; lo < len(vecs); lo += batch {
+		hi := lo + batch
+		if hi > len(vecs) {
+			hi = len(vecs)
+		}
+		e.IngestVecs(cloneVecs(vecs[lo:hi]), nil)
+	}
+	return e, e.Reconciles()
+}
+
+// sameGlobalSketch asserts the two engines' merged global sketches are
+// bit-identical: same matrix, same row count, same shrinkage ledger.
+func sameGlobalSketch(t *testing.T, eF, eA *engine.Engine) {
+	t.Helper()
+	gF, gA := eF.GlobalSketch(), eA.GlobalSketch()
+	if gF == nil || gA == nil {
+		t.Fatal("nil global sketch")
+	}
+	if gF.Seen() != gA.Seen() {
+		t.Fatalf("row counts differ: fixed saw %d, adaptive saw %d", gF.Seen(), gA.Seen())
+	}
+	if gF.Delta() != gA.Delta() {
+		t.Fatalf("shrinkage ledgers differ: fixed Σδ=%v, adaptive Σδ=%v", gF.Delta(), gA.Delta())
+	}
+	bF, bA := gF.Sketch(), gA.Sketch()
+	if bF.RowsN != bA.RowsN || bF.ColsN != bA.ColsN {
+		t.Fatalf("sketch shapes differ: fixed %dx%d, adaptive %dx%d",
+			bF.RowsN, bF.ColsN, bA.RowsN, bA.ColsN)
+	}
+	for i := 0; i < bF.RowsN; i++ {
+		rf, ra := bF.Row(i), bA.Row(i)
+		for j := range rf {
+			if rf[j] != ra[j] {
+				t.Fatalf("sketch row %d col %d differs: fixed %v, adaptive %v", i, j, rf[j], ra[j])
+			}
+		}
+	}
+}
+
+// TestAdaptiveReconcileMatchesFixed is the cadence-equivalence property
+// test: reconciles only clone shard state — they never mutate it — so
+// running the same stream under the fixed countdown and under the
+// adaptive controller must end with bit-identical global sketches and
+// certificates, no matter how differently the two cadences scheduled
+// their merges along the way.
+func TestAdaptiveReconcileMatchesFixed(t *testing.T) {
+	const n, d = 256, 24
+	vecs := testVecs(n, d, 71)
+
+	eF, _ := runCadence(vecs, 16, false)
+	eA, _ := runCadence(vecs, 16, true)
+
+	sameGlobalSketch(t, eF, eA)
+	cF, cA := eF.Certificate(), eA.Certificate()
+	if cF.Rows != cA.Rows {
+		t.Fatalf("certificate rows differ: fixed %d, adaptive %d", cF.Rows, cA.Rows)
+	}
+	if cF.CovBound() != cA.CovBound() {
+		t.Fatalf("certified bounds differ: fixed %v, adaptive %v", cF.CovBound(), cA.CovBound())
+	}
+	if math.Abs(cF.FrobMass-cA.FrobMass) != 0 {
+		t.Fatalf("certificate mass differs: fixed %v, adaptive %v", cF.FrobMass, cA.FrobMass)
+	}
+}
+
+// TestAdaptiveReducesQuietReconciles pins the point of the adaptive
+// cadence: on a stream adding no shrinkage the controller has no
+// staleness signal, so it defers merges to the hard lag cap
+// (ReconcileMaxLag, default 8×ReconcileEvery) while the fixed countdown
+// keeps paying one merge every ReconcileEvery frames — and because
+// reconciles never mutate shards, the deferral costs nothing in
+// certified error.
+func TestAdaptiveReducesQuietReconciles(t *testing.T) {
+	const n, d = 192, 24
+	vecs := quietVecs(n, d, 3, 41)
+
+	eF, recF := runCadence(vecs, 8, false)
+	eA, recA := runCadence(vecs, 8, true)
+
+	if recF == 0 {
+		t.Fatal("fixed cadence performed no reconciles; cadence not exercised")
+	}
+	if recA >= recF {
+		t.Fatalf("adaptive cadence did not reduce reconciles on a quiet stream: adaptive %d, fixed %d",
+			recA, recF)
+	}
+	sameGlobalSketch(t, eF, eA)
+	cF, cA := eF.Certificate(), eA.Certificate()
+	if cA.CovBound() > cF.CovBound() {
+		t.Fatalf("adaptive cadence widened the certified bound: adaptive %v, fixed %v",
+			cA.CovBound(), cF.CovBound())
+	}
+}
+
+// TestQueueDepthGaugeZeroAfterStop is the regression test for the
+// stale arams_engine_queue_depth gauge: the Enqueue-side sample could
+// race the pump and leave a nonzero depth sticking forever after the
+// queue drained. The gauge is now sampled only by the pump — after
+// each flush, and zeroed when the pump exits.
+func TestQueueDepthGaugeZeroAfterStop(t *testing.T) {
+	depth := obs.Default().Gauge("arams_engine_queue_depth")
+	e := engine.New(engine.Config{
+		Shards:       2,
+		IngestBuffer: 8,
+		BatchSize:    4,
+		Sketch:       sketch.Config{Ell0: 4, Beta: 1},
+		Window:       8,
+	})
+	im := imgproc.NewImage(3, 3)
+	for y := 0; y < 3; y++ {
+		for x := 0; x < 3; x++ {
+			im.Set(x, y, float64(1+x+2*y))
+		}
+	}
+	const n = 24
+	for i := 0; i < n; i++ {
+		e.Enqueue(im, i)
+	}
+	e.Drain()
+	if got := depth.Value(); got != 0 {
+		t.Fatalf("queue depth gauge reads %v after Drain, want 0", got)
+	}
+	for i := n; i < 2*n; i++ {
+		e.Enqueue(im, i)
+	}
+	e.Stop()
+	if got := depth.Value(); got != 0 {
+		t.Fatalf("queue depth gauge reads %v after Stop, want 0", got)
+	}
+	if got := e.Ingested(); got != 2*n {
+		t.Fatalf("ingested %d frames, want %d", got, 2*n)
+	}
+}

@@ -284,7 +284,12 @@ type Preprocessor struct {
 
 // Apply runs the chain on a copy of the frame.
 func (p Preprocessor) Apply(im *Image) *Image {
-	out := im.Clone()
+	return p.applySteps(im.Clone())
+}
+
+// applySteps runs the chain on out, which it owns: in-place steps
+// mutate it, reshaping steps (Center, Bin) replace it.
+func (p Preprocessor) applySteps(out *Image) *Image {
 	if p.Mask != nil {
 		p.Mask.Apply(out)
 	}
@@ -310,6 +315,31 @@ func (p Preprocessor) Apply(im *Image) *Image {
 		out.Normalize()
 	}
 	return out
+}
+
+// ApplyVec runs the chain and returns the preprocessed frame as a
+// feature vector ready for the sketch to adopt — the zero-copy form of
+// Apply(im).Flatten() for the streaming ingest hot path. The working
+// copy of the frame is made in buf when its capacity allows (callers
+// feed it from mat.GetVec, recycling window-evicted vectors), so a
+// chain with only in-place steps returns buf itself and the hot path
+// allocates nothing. ApplyVec takes ownership of buf: when a reshaping
+// step (Center, Bin) replaces the working image, the superseded buffer
+// is recycled to the vector pool internally and the returned vector is
+// the reshaped frame's storage. The result is always the caller's to
+// keep, never aliased by the pool.
+func (p Preprocessor) ApplyVec(im *Image, buf []float64) []float64 {
+	n := im.W * im.H
+	if cap(buf) < n {
+		buf = make([]float64, n)
+	}
+	buf = buf[:n]
+	copy(buf, im.Pix)
+	out := p.applySteps(&Image{W: im.W, H: im.H, Pix: buf})
+	if len(out.Pix) > 0 && len(buf) > 0 && &out.Pix[0] != &buf[0] {
+		mat.PutVec(buf)
+	}
+	return out.Pix
 }
 
 // ToMatrix flattens a batch of equal-size images into an n×(W·H) data

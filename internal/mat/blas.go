@@ -121,39 +121,12 @@ func minChunkRows(work, rows int) int {
 	return mc
 }
 
-// axpy computes y += alpha*x with 4-way unrolling.
-func axpy(alpha float64, x, y []float64) {
-	n := len(x)
-	i := 0
-	for ; i+4 <= n; i += 4 {
-		y[i] += alpha * x[i]
-		y[i+1] += alpha * x[i+1]
-		y[i+2] += alpha * x[i+2]
-		y[i+3] += alpha * x[i+3]
-	}
-	for ; i < n; i++ {
-		y[i] += alpha * x[i]
-	}
-}
-
 // Dot returns the inner product of x and y.
 func Dot(x, y []float64) float64 {
 	if len(x) != len(y) {
 		panic("mat: Dot length mismatch")
 	}
-	var s0, s1, s2, s3 float64
-	i := 0
-	for ; i+4 <= len(x); i += 4 {
-		s0 += x[i] * y[i]
-		s1 += x[i+1] * y[i+1]
-		s2 += x[i+2] * y[i+2]
-		s3 += x[i+3] * y[i+3]
-	}
-	s := s0 + s1 + s2 + s3
-	for ; i < len(x); i++ {
-		s += x[i] * y[i]
-	}
-	return s
+	return dotKernel(x, y)
 }
 
 // Norm2 returns the Euclidean norm of x.

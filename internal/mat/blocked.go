@@ -18,7 +18,9 @@ package mat
 //     rows from L2 for every output element.
 //
 // All kernels in this file are serial; parallelism is layered on top
-// by ParallelFor over disjoint output row ranges (see blas.go).
+// by ParallelFor over disjoint output row ranges (see blas.go). The
+// innermost element loops (dot2x2, dot1x2, axpy, axpy2) live in
+// inner.go, which scripts/check_bce.sh keeps bounds-check-free.
 
 const (
 	// panelCols is the k-panel width for the dot-structured kernels:
@@ -31,65 +33,6 @@ const (
 	// whole k loop.
 	mulPanelCols = 2048
 )
-
-// dot2x2 returns the four inner products of rows {a0, a1} against rows
-// {b0, b1} over their common length. All slices must have len(a0)
-// elements.
-func dot2x2(a0, a1, b0, b1 []float64) (c00, c01, c10, c11 float64) {
-	n := len(a0)
-	a1 = a1[:n]
-	b0 = b0[:n]
-	b1 = b1[:n]
-	for k := 0; k < n; k++ {
-		x0 := a0[k]
-		x1 := a1[k]
-		y0 := b0[k]
-		y1 := b1[k]
-		c00 += x0 * y0
-		c01 += x0 * y1
-		c10 += x1 * y0
-		c11 += x1 * y1
-	}
-	return
-}
-
-// dot1x2 returns the inner products of x against rows {b0, b1}.
-func dot1x2(x, b0, b1 []float64) (c0, c1 float64) {
-	n := len(x)
-	b0 = b0[:n]
-	b1 = b1[:n]
-	for k := 0; k < n; k++ {
-		v := x[k]
-		c0 += v * b0[k]
-		c1 += v * b1[k]
-	}
-	return
-}
-
-// axpy2 computes d0 += x0*b and d1 += x1*b in one pass over b, loading
-// each b element once for both destination rows.
-func axpy2(x0, x1 float64, b, d0, d1 []float64) {
-	n := len(b)
-	d0 = d0[:n]
-	d1 = d1[:n]
-	i := 0
-	for ; i+4 <= n; i += 4 {
-		v0, v1, v2, v3 := b[i], b[i+1], b[i+2], b[i+3]
-		d0[i] += x0 * v0
-		d0[i+1] += x0 * v1
-		d0[i+2] += x0 * v2
-		d0[i+3] += x0 * v3
-		d1[i] += x1 * v0
-		d1[i+1] += x1 * v1
-		d1[i+2] += x1 * v2
-		d1[i+3] += x1 * v3
-	}
-	for ; i < n; i++ {
-		v := b[i]
-		d0[i] += x0 * v
-		d1[i] += x1 * v
-	}
-}
 
 // gramRange computes rows [lo, hi) of dst = a*aᵀ for the columns
 // j >= row (plus the stray lower element a 2×2 diagonal tile touches);

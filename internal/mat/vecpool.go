@@ -1,0 +1,43 @@
+package mat
+
+import "sync"
+
+// Pooled float64 vectors for the streaming ingest hot path. Every frame
+// that enters the engine needs a working buffer the preprocessing chain
+// can scribble on and the sketch can adopt; at 120 Hz with d up to a
+// megapixel those allocations dominate the GC budget. The engine
+// returns vectors here when the sliding window evicts them, so a
+// steady-state stream recycles a fixed set of buffers instead of
+// allocating one per frame.
+//
+// The pool is size-agnostic: GetVec returns a zero-filled slice of
+// exactly n elements, reusing a pooled backing array when its capacity
+// suffices and discarding undersized ones to the GC. Deployments have
+// one or two fixed sizes in flight (raw W·H and the post-binning
+// feature dimension), so the hit rate is high in practice.
+
+var vecPool sync.Pool
+
+// GetVec returns a zeroed vector of length n, backed by recycled
+// storage when available.
+func GetVec(n int) []float64 {
+	if v, ok := vecPool.Get().(*[]float64); ok && cap(*v) >= n {
+		s := (*v)[:n]
+		for i := range s {
+			s[i] = 0
+		}
+		return s
+	}
+	return make([]float64, n)
+}
+
+// PutVec recycles a vector obtained from GetVec (or anywhere else — the
+// pool only cares about the backing array). The caller must not touch v
+// afterwards. Nil and zero-capacity slices are dropped.
+func PutVec(v []float64) {
+	if cap(v) == 0 {
+		return
+	}
+	v = v[:0]
+	vecPool.Put(&v)
+}

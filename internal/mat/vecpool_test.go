@@ -1,0 +1,83 @@
+package mat
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestGetVecZeroed pins the pool contract the zero-copy ingest path
+// relies on: GetVec always returns a zero-filled slice of exactly the
+// requested length, even when it recycles a backing array that a
+// previous user scribbled on.
+func TestGetVecZeroed(t *testing.T) {
+	v := GetVec(64)
+	if len(v) != 64 {
+		t.Fatalf("GetVec(64) returned length %d", len(v))
+	}
+	for i := range v {
+		v[i] = float64(i + 1)
+	}
+	PutVec(v)
+
+	// A smaller request may reuse the dirty backing array; its visible
+	// prefix must still read all-zero.
+	w := GetVec(16)
+	if len(w) != 16 {
+		t.Fatalf("GetVec(16) returned length %d", len(w))
+	}
+	for i, x := range w {
+		if x != 0 {
+			t.Fatalf("recycled vec not zeroed at %d: %v", i, x)
+		}
+	}
+	PutVec(w)
+
+	// A larger request than anything pooled must still be satisfied.
+	u := GetVec(1 << 12)
+	if len(u) != 1<<12 {
+		t.Fatalf("GetVec(4096) returned length %d", len(u))
+	}
+	for i, x := range u {
+		if x != 0 {
+			t.Fatalf("fresh vec not zeroed at %d: %v", i, x)
+		}
+	}
+	PutVec(u)
+
+	// Zero-length puts are dropped, zero-length gets are legal.
+	PutVec(nil)
+	if z := GetVec(0); len(z) != 0 {
+		t.Fatalf("GetVec(0) returned length %d", len(z))
+	}
+}
+
+// TestVecPoolConcurrent shakes the pool under -race: concurrent
+// get/scribble/put cycles must never hand the same backing array to
+// two goroutines at once.
+func TestVecPoolConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(tag float64) {
+			defer wg.Done()
+			for iter := 0; iter < 200; iter++ {
+				v := GetVec(96)
+				for i := range v {
+					if v[i] != 0 {
+						t.Errorf("goroutine %v: dirty vec at %d", tag, i)
+						return
+					}
+					v[i] = tag
+				}
+				for i := range v {
+					if v[i] != tag {
+						t.Errorf("goroutine %v: vec shared while held (saw %v)", tag, v[i])
+						return
+					}
+				}
+				PutVec(v)
+			}
+		}(float64(g + 1))
+	}
+	wg.Wait()
+}

@@ -64,6 +64,7 @@ type FrequentDirections struct {
 	rotations  int     // number of shrink steps performed (for accounting)
 	seen       int     // number of data rows appended
 	totalDelta float64 // cumulative shrinkage Σδ across rotations
+	deltaMark  float64 // Σδ at the last MarkDelta (not persisted)
 	frobMass   float64 // cumulative ‖A‖_F² of the summarized stream
 
 	// Last rotation's spectrum and right singular vectors, reused by
@@ -210,6 +211,20 @@ func (fd *FrequentDirections) Sketch() *mat.Matrix {
 // it certifies ‖AᵀA − BᵀB‖₂ ≤ Σδ online, and the mergeability result of
 // Ghashami et al. makes the certificate compose additively under Merge.
 func (fd *FrequentDirections) Delta() float64 { return fd.totalDelta }
+
+// MarkDelta records the current cumulative shrinkage Σδ as the
+// reference point for DeltaSinceMark. The engine's adaptive reconcile
+// controller calls it when the global sketch is rebuilt, so the
+// marginal shrinkage accumulated since then measures how stale the
+// cached global certificate has become. The mark is bookkeeping, not
+// sketch state: it is not persisted by State/NewFromState and resets to
+// zero on restore.
+func (fd *FrequentDirections) MarkDelta() { fd.deltaMark = fd.totalDelta }
+
+// DeltaSinceMark returns the shrinkage Σδ accumulated since the last
+// MarkDelta call (or since construction). It never decreases between
+// marks because totalDelta is monotone.
+func (fd *FrequentDirections) DeltaSinceMark() float64 { return fd.totalDelta - fd.deltaMark }
 
 // FrobMass returns the accumulated squared Frobenius norm ‖A‖_F² of the
 // stream the sketch summarizes (merge-aware: merging adds the other

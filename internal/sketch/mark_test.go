@@ -1,0 +1,55 @@
+package sketch
+
+import "testing"
+
+// TestDeltaMark pins the marginal-shrinkage window the engine's
+// reconcile controller reads: DeltaSinceMark is the Σδ accumulated
+// since the last MarkDelta, the mark is advisory (it never perturbs the
+// ledger itself), and it is deliberately not persisted — a sketch
+// restored from State starts with a fresh mark at zero.
+func TestDeltaMark(t *testing.T) {
+	const n, d, ell = 160, 20, 5
+	a := gaussData(n, d, 9)
+	fd := NewFrequentDirections(ell, d, Options{})
+
+	if got := fd.DeltaSinceMark(); got != 0 {
+		t.Fatalf("fresh sketch: DeltaSinceMark = %v, want 0", got)
+	}
+
+	half := a.Rows(0, n/2)
+	fd.AppendMatrix(half)
+	firstTotal := fd.Delta()
+	if firstTotal <= 0 {
+		t.Fatal("expected nonzero shrinkage from an overfull Gaussian stream")
+	}
+	if got := fd.DeltaSinceMark(); got != firstTotal {
+		t.Fatalf("before any mark, DeltaSinceMark = %v, want total Σδ = %v", got, firstTotal)
+	}
+
+	fd.MarkDelta()
+	if got := fd.DeltaSinceMark(); got != 0 {
+		t.Fatalf("right after MarkDelta, DeltaSinceMark = %v, want 0", got)
+	}
+	if got := fd.Delta(); got != firstTotal {
+		t.Fatalf("MarkDelta perturbed the ledger: Σδ = %v, want %v", got, firstTotal)
+	}
+
+	fd.AppendMatrix(a.Rows(n/2, n))
+	wantSince := fd.Delta() - firstTotal
+	if wantSince <= 0 {
+		t.Fatal("second half added no shrinkage; test stream too easy")
+	}
+	if got := fd.DeltaSinceMark(); got != wantSince {
+		t.Fatalf("DeltaSinceMark = %v, want marginal Σδ = %v", got, wantSince)
+	}
+
+	// The mark is not persisted: a State round trip resets it to zero,
+	// so DeltaSinceMark on the restored sketch reads the full ledger.
+	restored, err := NewFDFromState(fd.State())
+	if err != nil {
+		t.Fatalf("state round trip: %v", err)
+	}
+	if got := restored.DeltaSinceMark(); got != restored.Delta() {
+		t.Fatalf("restored sketch: DeltaSinceMark = %v, want full Σδ = %v", got, restored.Delta())
+	}
+}
