@@ -32,7 +32,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|fig1sv|fig1|fig2|fig3|fig5|fig6|runtime|probes|beta|estimators|arity|svd|baselines|kernels|ingest")
+	exp := flag.String("exp", "all", "experiment: all|fig1sv|fig1|fig2|fig3|fig5|fig6|runtime|probes|beta|estimators|arity|svd|baselines|kernels|ingest|fabric")
 	full := flag.Bool("full", false, "use paper-scale dimensions (slow, memory-hungry)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	htmlDir := flag.String("htmldir", "", "also write interactive HTML figures to this directory")
@@ -46,6 +46,10 @@ func main() {
 	if *quick {
 		// CI smoke: reduced-shape sweeps, table to stdout, no file
 		// written. Exercises the full harness path in seconds.
+		if *exp == "fabric" {
+			bench.FabricSweep(*seed, true).Print(os.Stdout)
+			return
+		}
 		if *exp == "ingest" {
 			report, t := bench.IngestSweep(*seed, true)
 			t.Print(os.Stdout)
@@ -175,6 +179,10 @@ func main() {
 				}
 				fmt.Fprintln(os.Stderr, "ingest assertions passed")
 			}
+		case "fabric":
+			// Excluded from -exp all: measures the distributed fabric's
+			// loopback protocol overhead, not a paper figure.
+			add(bench.FabricSweep(*seed+8, false))
 		default:
 			fmt.Fprintf(os.Stderr, "aramsbench: unknown experiment %q\n", name)
 			flag.Usage()

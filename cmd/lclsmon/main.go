@@ -43,10 +43,13 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 
 	"arams/internal/audit"
 	"arams/internal/ckpt"
+	"arams/internal/engine"
+	"arams/internal/fabric"
 	"arams/internal/imgproc"
 	"arams/internal/lcls"
 	"arams/internal/obs"
@@ -74,6 +77,7 @@ func main() {
 	restore := flag.Bool("restore", false, "resume from the checkpoint in -checkpoint-dir before ingesting")
 	window := flag.Int("window", 0, "streaming mode: snapshot window size (0 = whole run)")
 	shards := flag.Int("shards", 1, "streaming mode: concurrent sketch shards (1 = serial, bit-exact with previous releases)")
+	fabricWorkers := flag.String("fabric", "", "streaming mode: comma-separated fabricworker addresses; one remote shard per worker (overrides -shards)")
 	ingestBuffer := flag.Int("ingest-buffer", 0, "streaming mode: bounded async ingest queue capacity (0 = engine default)")
 	reconcileAdaptive := flag.Bool("reconcile-adaptive", false, "streaming mode: reconcile shards when marginal sketch shrinkage says the global sketch is stale, instead of on a fixed frame countdown")
 	auditLog := flag.String("audit-log", "", "append audit journal events to this JSONL file")
@@ -135,6 +139,31 @@ func main() {
 		IngestBuffer:      *ingestBuffer,
 		ReconcileAdaptive: *reconcileAdaptive,
 		FrameBudget:       *frameBudget,
+	}
+
+	if *fabricWorkers != "" {
+		if *ckptDir == "" {
+			fatal("flag error", errors.New("-fabric requires -checkpoint-dir (streaming mode)"))
+		}
+		addrs := strings.Split(*fabricWorkers, ",")
+		backends := make([]engine.Backend, len(addrs))
+		for i, addr := range addrs {
+			name := fmt.Sprintf("worker%d", i)
+			r, err := fabric.DialRemote(name, strings.TrimSpace(addr), uint32(i),
+				engine.ShardSketchConfig(scfg, i), fabric.RemoteConfig{})
+			if err != nil {
+				fatal(fmt.Sprintf("dialing fabric worker %s", addr), err)
+			}
+			if r.Degraded() {
+				slog.Warn("fabric worker unreachable; shard degraded to in-process sketching",
+					"worker", name, "addr", addr)
+			}
+			backends[i] = r
+		}
+		cfg.Backends = backends
+		cfg.Shards = len(addrs)
+		slog.Info("fabric mode: sketching distributed across workers",
+			"workers", len(addrs))
 	}
 
 	if *ckptDir != "" {

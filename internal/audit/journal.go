@@ -25,6 +25,9 @@ const (
 	KindCheckpointSave    EventKind = "checkpoint_save"    // sketch state checkpointed
 	KindCheckpointRestore EventKind = "checkpoint_restore" // sketch state restored
 	KindDeadlineMiss      EventKind = "deadline_miss"      // batch blew its frame budget
+	KindRemoteLegLost     EventKind = "remote_leg_lost"    // remote merge leg dropped after retries
+	KindRemoteDegrade     EventKind = "remote_degrade"     // remote shard fell back to local sketching
+	KindRemoteRecovery    EventKind = "remote_recovery"    // remote shard state restored + replayed after reconnect
 )
 
 // Attr is one numeric attribute of an event. Attributes are numeric on

@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"arams/internal/engine"
+	"arams/internal/fabric"
+	"arams/internal/rng"
+	"arams/internal/sketch"
+)
+
+// FabricSweep measures the distributed-fabric ingest path against the
+// all-local engine on the same stream: per-frame cost and rows/s for N
+// local shards versus N loopback TCP workers (wire codec, framing, and
+// round trips included, network distance excluded). The gap between
+// the two columns is the fabric protocol overhead a real deployment
+// pays before any network latency. Quick mode shrinks the stream for
+// CI smoke runs.
+func FabricSweep(seed uint64, quick bool) *Table {
+	shardCounts := []int{1, 2, 4}
+	frames, d, ell0, batch := 768, 512, 16, 32
+	if quick {
+		shardCounts = []int{1, 2}
+		frames, d, ell0, batch = 192, 128, 8, 32
+	}
+
+	g := rng.New(seed)
+	vecs := lowRankStream(g, frames, d, 8, 0.1)
+
+	t := &Table{
+		Title:  "fabric loopback overhead — local shards vs TCP workers, same stream",
+		Note:   "fabric/local is the protocol cost floor; it shrinks as d grows (payload amortizes framing)",
+		Header: []string{"shards", "local ns/frame", "fabric ns/frame", "fabric/local", "fabric rows/s"},
+	}
+	for _, s := range shardCounts {
+		cfg := engine.Config{
+			Shards:         s,
+			Window:         64,
+			BatchSize:      batch,
+			ReconcileEvery: 64,
+			Sketch:         sketch.Config{Ell0: ell0, Beta: 1, Seed: seed},
+		}
+		localNs := timedIngest(func() { ingestRun(cfg, vecs, batch).Close() }, frames)
+
+		fabricNs := timedIngest(func() {
+			workers, addrs, err := fabric.StartLoopbackWorkers(s)
+			if err != nil {
+				panic(fmt.Sprintf("bench: loopback workers: %v", err))
+			}
+			coord, err := fabric.NewCoordinator(fabric.CoordinatorConfig{
+				Workers: addrs,
+				Engine:  cfg,
+				Remote:  fabric.RemoteConfig{HeartbeatEvery: -1},
+			})
+			if err != nil {
+				panic(fmt.Sprintf("bench: coordinator: %v", err))
+			}
+			for base := 0; base < len(vecs); base += batch {
+				hi := base + batch
+				if hi > len(vecs) {
+					hi = len(vecs)
+				}
+				chunk := make([][]float64, hi-base)
+				for i := range chunk {
+					chunk[i] = append([]float64(nil), vecs[base+i]...)
+				}
+				coord.Engine().IngestVecs(chunk, nil)
+			}
+			coord.Close()
+			for _, w := range workers {
+				w.Close()
+			}
+		}, frames)
+
+		rowsPerSec := float64(time.Second) / float64(fabricNs)
+		t.Append(s, localNs, fabricNs,
+			fmt.Sprintf("%.2fx", float64(fabricNs)/float64(localNs)),
+			fmt.Sprintf("%.0f", rowsPerSec))
+	}
+	return t
+}
+
+// timedIngest runs fn enough times to get a stable per-frame figure
+// (at least 3 runs or 300ms of measurement, whichever is more).
+func timedIngest(fn func(), frames int) int64 {
+	var total time.Duration
+	runs := 0
+	for runs < 3 || total < 300*time.Millisecond {
+		start := time.Now()
+		fn()
+		total += time.Since(start)
+		runs++
+		if runs >= 50 {
+			break
+		}
+	}
+	ns := total.Nanoseconds() / int64(runs) / int64(frames)
+	if ns <= 0 {
+		ns = 1
+	}
+	return ns
+}

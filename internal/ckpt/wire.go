@@ -1,0 +1,172 @@
+package ckpt
+
+// Wire frames: the transport framing of the distributed sketch fabric
+// (internal/fabric). A wire frame is the checkpoint frame's sibling —
+// the same length-prefixed, versioned, CRC-trailed discipline, applied
+// to messages in flight instead of state at rest — and shard-state
+// payloads carried inside wire frames are themselves canonical
+// checkpoint frames (Marshal/Unmarshal), so one codec certifies both
+// the bytes on disk and the bytes on the wire.
+//
+// Wire frame layout (all integers little-endian):
+//
+//	offset 0   magic   "AFAB" (4 bytes)
+//	offset 4   version uint32 (currently 1)
+//	offset 8   type    uint32 (message type; owned by internal/fabric)
+//	offset 12  seq     uint64 (request/response correlation)
+//	offset 20  length  uint64 (payload byte count)
+//	offset 28  payload
+//	offset 28+length   crc32 uint32 (IEEE, over bytes [0, 28+length))
+//
+// Like the checkpoint decoder, the wire decoder is fully
+// bounds-checked and never panics on corrupt input: truncation,
+// bit flips, bad magic, and version skew each surface as the matching
+// sentinel error, and a corrupted length field cannot drive an
+// oversized allocation.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// WireMagic is the wire-frame signature "AFAB" (Arams FABric).
+const WireMagic = uint32('A') | uint32('F')<<8 | uint32('A')<<16 | uint32('B')<<24
+
+// WireVersion is the current wire-frame version. Decoders accept every
+// version up to and including this one and reject newer frames rather
+// than guessing at their layout.
+const WireVersion = 1
+
+// wireHeaderLen is magic+version+type+seq+length; the trailer is the
+// CRC32.
+const (
+	wireHeaderLen  = 4 + 4 + 4 + 8 + 8
+	wireTrailerLen = 4
+)
+
+// MaxWirePayload caps a wire frame's declared payload so a corrupted
+// or hostile length field cannot drive a multi-gigabyte allocation on
+// the receiving end. Shard-state frames are the largest legitimate
+// payload (a few MB for realistic ℓ and d), so 1 GiB is generous.
+const MaxWirePayload = 1 << 30
+
+// WireFrame is one decoded fabric message: its type tag (interpreted
+// by internal/fabric), the sender's sequence number, and the payload
+// bytes.
+type WireFrame struct {
+	Type    uint32
+	Seq     uint64
+	Payload []byte
+}
+
+// AppendWireFrame appends the encoded frame to dst and returns the
+// extended slice. Encoding is canonical: encode→decode→re-encode is
+// byte-identical.
+func AppendWireFrame(dst []byte, f WireFrame) []byte {
+	base := len(dst)
+	dst = binary.LittleEndian.AppendUint32(dst, WireMagic)
+	dst = binary.LittleEndian.AppendUint32(dst, WireVersion)
+	dst = binary.LittleEndian.AppendUint32(dst, f.Type)
+	dst = binary.LittleEndian.AppendUint64(dst, f.Seq)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(len(f.Payload)))
+	dst = append(dst, f.Payload...)
+	return binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(dst[base:]))
+}
+
+// EncodeWireFrame encodes one fabric message as a standalone byte
+// slice.
+func EncodeWireFrame(f WireFrame) []byte {
+	return AppendWireFrame(make([]byte, 0, wireHeaderLen+len(f.Payload)+wireTrailerLen), f)
+}
+
+// DecodeWireFrame decodes exactly one wire frame occupying the whole
+// of b. The returned payload aliases b.
+func DecodeWireFrame(b []byte) (WireFrame, error) {
+	if len(b) < wireHeaderLen+wireTrailerLen {
+		return WireFrame{}, ErrTruncated
+	}
+	if binary.LittleEndian.Uint32(b[0:4]) != WireMagic {
+		return WireFrame{}, ErrBadMagic
+	}
+	ver := binary.LittleEndian.Uint32(b[4:8])
+	if ver < 1 || ver > WireVersion {
+		return WireFrame{}, fmt.Errorf("%w: wire version %d", ErrVersion, ver)
+	}
+	f := WireFrame{
+		Type: binary.LittleEndian.Uint32(b[8:12]),
+		Seq:  binary.LittleEndian.Uint64(b[12:20]),
+	}
+	n := binary.LittleEndian.Uint64(b[20:28])
+	if n > MaxWirePayload || uint64(len(b)) != wireHeaderLen+n+wireTrailerLen {
+		return WireFrame{}, ErrTruncated
+	}
+	body := wireHeaderLen + int(n)
+	if crc32.ChecksumIEEE(b[:body]) != binary.LittleEndian.Uint32(b[body:]) {
+		return WireFrame{}, ErrChecksum
+	}
+	if n > 0 {
+		f.Payload = b[wireHeaderLen:body]
+	}
+	return f, nil
+}
+
+// WriteWireFrame writes one encoded frame to w.
+func WriteWireFrame(w io.Writer, f WireFrame) error {
+	if uint64(len(f.Payload)) > MaxWirePayload {
+		return fmt.Errorf("ckpt: wire payload %d exceeds cap", len(f.Payload))
+	}
+	_, err := w.Write(EncodeWireFrame(f))
+	return err
+}
+
+// ReadWireFrame reads exactly one frame from r. It validates the
+// header before allocating for the payload, so a corrupt length field
+// fails with ErrTruncated (or the CRC check) instead of exhausting
+// memory. An io.EOF before the first header byte is returned verbatim
+// so callers can distinguish a clean close from a torn frame; EOF
+// mid-frame becomes io.ErrUnexpectedEOF.
+func ReadWireFrame(r io.Reader) (WireFrame, error) {
+	var hdr [wireHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		return WireFrame{}, err
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return WireFrame{}, err
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != WireMagic {
+		return WireFrame{}, ErrBadMagic
+	}
+	ver := binary.LittleEndian.Uint32(hdr[4:8])
+	if ver < 1 || ver > WireVersion {
+		return WireFrame{}, fmt.Errorf("%w: wire version %d", ErrVersion, ver)
+	}
+	n := binary.LittleEndian.Uint64(hdr[20:28])
+	if n > MaxWirePayload {
+		return WireFrame{}, ErrTruncated
+	}
+	rest := make([]byte, int(n)+wireTrailerLen)
+	if _, err := io.ReadFull(r, rest); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return WireFrame{}, err
+	}
+	sum := crc32.ChecksumIEEE(hdr[:])
+	sum = crc32.Update(sum, crc32.IEEETable, rest[:n])
+	if sum != binary.LittleEndian.Uint32(rest[n:]) {
+		return WireFrame{}, ErrChecksum
+	}
+	f := WireFrame{
+		Type: binary.LittleEndian.Uint32(hdr[8:12]),
+		Seq:  binary.LittleEndian.Uint64(hdr[12:20]),
+	}
+	if n > 0 {
+		f.Payload = rest[:n:n]
+	}
+	return f, nil
+}

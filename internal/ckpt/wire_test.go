@@ -1,0 +1,134 @@
+package ckpt
+
+import (
+	"bytes"
+	"encoding/hex"
+	"errors"
+	"io"
+	"testing"
+)
+
+// TestWireGoldenV1 pins the version-1 wire format at the byte level:
+// field offsets, endianness, and the CRC value. If this test breaks,
+// the wire format changed and WireVersion must be bumped — deployed
+// workers and coordinators negotiate by version, not by luck.
+func TestWireGoldenV1(t *testing.T) {
+	got := EncodeWireFrame(WireFrame{Type: 3, Seq: 0x0102030405060708, Payload: []byte("abc")})
+	const want = "41464142" + // magic "AFAB"
+		"01000000" + // version 1
+		"03000000" + // type 3
+		"0807060504030201" + // seq, little-endian
+		"0300000000000000" + // payload length 3
+		"616263" + // "abc"
+		"9d823ff1" // crc32 IEEE over everything before
+	if g := hex.EncodeToString(got); g != want {
+		t.Fatalf("wire frame bytes changed:\n got  %s\n want %s", g, want)
+	}
+
+	// Empty payload, zero seq: the minimal frame.
+	got = EncodeWireFrame(WireFrame{Type: 1})
+	const wantEmpty = "41464142" + "01000000" + "01000000" +
+		"0000000000000000" + "0000000000000000" + "17198e1e"
+	if g := hex.EncodeToString(got); g != wantEmpty {
+		t.Fatalf("empty wire frame bytes changed:\n got  %s\n want %s", g, wantEmpty)
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	for _, payload := range [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{0xAB}, 4096)} {
+		in := WireFrame{Type: 7, Seq: 42, Payload: payload}
+		enc := EncodeWireFrame(in)
+		out, err := DecodeWireFrame(enc)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if out.Type != in.Type || out.Seq != in.Seq || !bytes.Equal(out.Payload, in.Payload) {
+			t.Fatalf("round trip mismatch: %+v vs %+v", out, in)
+		}
+		// Canonical: re-encoding the decoded frame is byte-identical.
+		if !bytes.Equal(EncodeWireFrame(out), enc) {
+			t.Fatalf("re-encode not canonical")
+		}
+		// Streaming read agrees with whole-buffer decode.
+		sr, err := ReadWireFrame(bytes.NewReader(enc))
+		if err != nil {
+			t.Fatalf("stream read: %v", err)
+		}
+		if sr.Type != in.Type || sr.Seq != in.Seq || !bytes.Equal(sr.Payload, in.Payload) {
+			t.Fatalf("stream round trip mismatch")
+		}
+	}
+}
+
+func TestWireDecodeErrors(t *testing.T) {
+	valid := EncodeWireFrame(WireFrame{Type: 2, Seq: 9, Payload: []byte("payload")})
+
+	corrupt := func(mut func(b []byte)) []byte {
+		b := append([]byte(nil), valid...)
+		mut(b)
+		return b
+	}
+	cases := []struct {
+		name string
+		b    []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"short", valid[:10], ErrTruncated},
+		{"bad magic", corrupt(func(b []byte) { b[0] ^= 0xFF }), ErrBadMagic},
+		{"future version", corrupt(func(b []byte) { b[4] = 99 }), ErrVersion},
+		{"truncated tail", valid[:len(valid)-2], ErrTruncated},
+		{"length lies", corrupt(func(b []byte) { b[20]++ }), ErrTruncated},
+		{"flipped payload bit", corrupt(func(b []byte) { b[30] ^= 1 }), ErrChecksum},
+		{"flipped crc", corrupt(func(b []byte) { b[len(b)-1] ^= 1 }), ErrChecksum},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeWireFrame(tc.b); !errors.Is(err, tc.want) {
+			t.Errorf("%s: DecodeWireFrame err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+
+	// Streaming: a clean close before any byte is io.EOF; mid-frame it
+	// is io.ErrUnexpectedEOF.
+	if _, err := ReadWireFrame(bytes.NewReader(nil)); err != io.EOF {
+		t.Errorf("empty stream: err = %v, want io.EOF", err)
+	}
+	if _, err := ReadWireFrame(bytes.NewReader(valid[:13])); err != io.ErrUnexpectedEOF {
+		t.Errorf("torn header: err = %v, want io.ErrUnexpectedEOF", err)
+	}
+	if _, err := ReadWireFrame(bytes.NewReader(valid[:len(valid)-1])); err != io.ErrUnexpectedEOF {
+		t.Errorf("torn payload: err = %v, want io.ErrUnexpectedEOF", err)
+	}
+	if _, err := ReadWireFrame(bytes.NewReader(corrupt(func(b []byte) { b[31] ^= 4 }))); !errors.Is(err, ErrChecksum) {
+		t.Errorf("stream checksum: err = %v, want ErrChecksum", err)
+	}
+}
+
+// FuzzWireDecode throws arbitrary bytes at both wire decoders: they
+// must never panic, and any frame that decodes must re-encode
+// byte-identically (canonical form). Seeds cover a valid frame plus
+// the classic corruptions.
+func FuzzWireDecode(f *testing.F) {
+	valid := EncodeWireFrame(WireFrame{Type: 5, Seq: 77, Payload: []byte("shard state")})
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)-2] ^= 0x10
+	f.Add(flipped)
+	f.Add(EncodeWireFrame(WireFrame{Type: 1}))
+	f.Add([]byte("AFAB"))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		if fr, err := DecodeWireFrame(b); err == nil {
+			if !bytes.Equal(EncodeWireFrame(fr), b) {
+				t.Fatalf("decoded frame does not re-encode canonically")
+			}
+		}
+		if fr, err := ReadWireFrame(bytes.NewReader(b)); err == nil {
+			enc := EncodeWireFrame(fr)
+			if !bytes.Equal(enc, b[:len(enc)]) {
+				t.Fatalf("stream-decoded frame does not re-encode canonically")
+			}
+		}
+	})
+}

@@ -1,0 +1,182 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"arams/internal/mat"
+	"arams/internal/sketch"
+)
+
+// Backend is one shard's sketching state behind the engine's routing:
+// the engine decides which rows a shard gets (round-robin or
+// hash-by-tag) and the backend decides where the sketching happens —
+// in-process (localShard, the default) or on the far side of a TCP
+// connection (internal/fabric's remote shard). The contract is the
+// serial monitor's absorb semantics: rows are fed one at a time in
+// stream order, so a remote backend given the same per-shard
+// configuration and row sequence produces a sketch bit-identical to a
+// local one.
+//
+// Local backends are infallible; remote backends surface transport
+// faults as errors after exhausting their own recovery (reconnect,
+// state restore, row replay, local fallback). Backends must be safe
+// for concurrent calls: the engine serializes nothing across its
+// snapshot/state/ingest paths beyond its own locks.
+type Backend interface {
+	// Absorb feeds the selected rows (all of vecs when idx is nil) in
+	// order and returns the fold of the per-row batch stats, with
+	// EllBefore/EllAfter bracketing the whole dispatch.
+	Absorb(vecs [][]float64, idx []int) (sketch.BatchStats, error)
+	// Snapshot returns a merge-ready copy of the shard sketch and
+	// anchors the live sketch's delta mark (MarkDelta), so sketch-level
+	// staleness introspection agrees with the reconcile controller.
+	// (nil, nil) means no rows have been absorbed yet.
+	Snapshot() (*sketch.FrequentDirections, error)
+	// State returns the checkpointable sketcher state, or (nil, nil)
+	// before the first row.
+	State() (*sketch.ARAMSState, error)
+	// Restore replaces the shard's sketcher with the given state
+	// (checkpoint resume).
+	Restore(st *sketch.ARAMSState) error
+	// Ell returns the shard sketch's current rank (0 before the first
+	// row). Remote backends may answer from their last acknowledged
+	// rank rather than a fresh round trip.
+	Ell() int
+	// Busy returns the cumulative wall time spent absorbing rows — the
+	// critical-path accounting ShardBusy exposes.
+	Busy() time.Duration
+	// Close releases the backend's resources and aborts in-flight
+	// work; subsequent calls fail fast.
+	Close() error
+}
+
+// localShard is the in-process Backend: one ARAMS sketcher under its
+// own lock, so shards absorb rows concurrently and snapshots
+// interleave with ingest.
+type localShard struct {
+	cfg sketch.Config // per-shard seed already derived
+
+	mu    sync.Mutex
+	arams *sketch.ARAMS
+	busy  time.Duration // cumulative wall time spent inside Absorb
+
+	// rowView is the reusable 1×d header Absorb wraps each row in, so
+	// the per-row ProcessBatch call allocates nothing. Guarded by mu
+	// like the sketcher it feeds.
+	rowView mat.Matrix
+}
+
+// NewLocalBackend creates an in-process shard backend. scfg must
+// already be shard-derived (ShardSketchConfig); internal/fabric uses
+// this as the degraded mode when a remote worker cannot be dialed.
+func NewLocalBackend(scfg sketch.Config) Backend {
+	return &localShard{cfg: scfg}
+}
+
+// Absorb feeds the selected rows into the shard's sketcher one row at
+// a time — per-row ProcessBatch calls keep the priority sampler's RNG
+// consumption identical to the serial per-frame monitor, which the
+// bit-exact restore tests rely on.
+func (s *localShard) Absorb(vecs [][]float64, idx []int) (sketch.BatchStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	start := time.Now()
+	defer func() { s.busy += time.Since(start) }()
+	nrows := len(idx)
+	if idx == nil {
+		nrows = len(vecs)
+	}
+	if nrows == 0 {
+		return sketch.BatchStats{}, nil
+	}
+	first := vecs[0]
+	if idx != nil {
+		first = vecs[idx[0]]
+	}
+	if s.arams == nil {
+		s.arams = sketch.NewARAMS(s.cfg, len(first), 0)
+	}
+	var agg sketch.BatchStats
+	agg.EllBefore = s.arams.Ell()
+	row := func(i int) []float64 {
+		if idx == nil {
+			return vecs[i]
+		}
+		return vecs[idx[i]]
+	}
+	rv := &s.rowView
+	for i := 0; i < nrows; i++ {
+		v := row(i)
+		// Reuse one 1×d header across rows instead of allocating a
+		// matrix per frame; ProcessBatch copies rows into the sketch
+		// and retains neither the header nor the data.
+		rv.RowsN, rv.ColsN, rv.Stride, rv.Data = 1, len(v), len(v), v
+		bs := s.arams.ProcessBatch(rv)
+		agg.Rows += bs.Rows
+		agg.Kept += bs.Kept
+		agg.TotalMass += bs.TotalMass
+		agg.KeptMass += bs.KeptMass
+		agg.DeltaAdded += bs.DeltaAdded
+	}
+	rv.Data = nil
+	agg.EllAfter = s.arams.Ell()
+	return agg, nil
+}
+
+// Snapshot clones the shard sketch for merging. The clone captures the
+// shard's Σδ as of now; marking the live sketch anchors DeltaSinceMark
+// to the same point.
+func (s *localShard) Snapshot() (*sketch.FrequentDirections, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.arams == nil {
+		return nil, nil
+	}
+	s.arams.FD().MarkDelta()
+	return s.arams.FD().Clone(), nil
+}
+
+// State captures the sketcher's checkpoint state.
+func (s *localShard) State() (*sketch.ARAMSState, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.arams == nil {
+		return nil, nil
+	}
+	st := s.arams.State()
+	return &st, nil
+}
+
+// Restore replaces the sketcher with a checkpointed state.
+func (s *localShard) Restore(st *sketch.ARAMSState) error {
+	if st == nil {
+		return fmt.Errorf("engine: nil shard state")
+	}
+	a, err := sketch.NewARAMSFromState(*st)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.arams = a
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *localShard) Ell() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.arams == nil {
+		return 0
+	}
+	return s.arams.Ell()
+}
+
+func (s *localShard) Busy() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.busy
+}
+
+func (s *localShard) Close() error { return nil }

@@ -18,6 +18,7 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"arams/internal/audit"
@@ -118,9 +119,25 @@ type Config struct {
 	// BurnThreshold is the EWMA burn rate that trips the flight
 	// recorder (default 2.0).
 	BurnThreshold float64
+	// Backends, when non-empty, supplies the shard backends directly —
+	// the distributed-fabric hook: slot i is shard i, Shards is
+	// overridden to len(Backends), and each backend is expected to be
+	// configured with ShardSketchConfig(Sketch, i) so routing and RNG
+	// semantics match an all-local engine exactly. Empty means the
+	// engine creates Shards in-process backends itself.
+	Backends []Backend
+	// ReconcileRetry is the per-leg retry policy for snapshot fetches
+	// during a reconcile (parallel.MergeRemote). The zero value means
+	// the parallel defaults: 3 attempts, 200µs doubling backoff, no
+	// per-attempt timeout. Local backends never fail, so this only
+	// matters with remote shards.
+	ReconcileRetry parallel.Retry
 }
 
 func (c Config) withDefaults() Config {
+	if len(c.Backends) > 0 {
+		c.Shards = len(c.Backends)
+	}
 	if c.Shards <= 0 {
 		c.Shards = 1
 	}
@@ -152,24 +169,6 @@ func (c Config) withDefaults() Config {
 type Frame struct {
 	Vec []float64
 	Tag int
-}
-
-// shard is one independent sketcher. Its lock covers only its own
-// ARAMS state, so shards absorb rows concurrently.
-type shard struct {
-	cfg sketch.Config // per-shard seed already derived
-
-	mu     sync.Mutex
-	arams  *sketch.ARAMS
-	frames int
-	busy   time.Duration // cumulative wall time spent inside absorb
-	gauge  *obs.Gauge
-	cpuCtr *obs.Counter // cumulative CPU seconds spent absorbing
-
-	// rowView is the reusable 1×d header absorb wraps each row in, so
-	// the per-row ProcessBatch call allocates nothing. Guarded by mu
-	// like the sketcher it feeds.
-	rowView mat.Matrix
 }
 
 // shardResult is the audit accounting one dispatch returned.
@@ -210,7 +209,15 @@ type Engine struct {
 	auditAcc sketch.BatchStats
 	lastEll  int
 
-	shards []*shard
+	// shards holds one Backend per shard slot (local sketchers by
+	// default, remote fabric shards when Config.Backends is set). The
+	// parallel slices carry the engine-owned per-shard observability:
+	// frame counts (atomic — concurrent batches may land on the same
+	// shard), the frames gauge, and the cumulative CPU counter.
+	shards      []Backend
+	shardFrames []atomic.Int64
+	shardGauges []*obs.Gauge
+	shardCPU    []*obs.Counter
 
 	// globalMu owns the reconciled global sketch cache and serializes
 	// Basis computations on it (Basis mutates the sketch's internal
@@ -233,13 +240,18 @@ type Engine struct {
 func New(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
 	e := &Engine{cfg: cfg, budget: newBudgetTracker(cfg), rc: newReconcileCtl(cfg)}
-	e.shards = make([]*shard, cfg.Shards)
+	e.shards = make([]Backend, cfg.Shards)
+	e.shardFrames = make([]atomic.Int64, cfg.Shards)
+	e.shardGauges = make([]*obs.Gauge, cfg.Shards)
+	e.shardCPU = make([]*obs.Counter, cfg.Shards)
 	for i := range e.shards {
-		e.shards[i] = &shard{
-			cfg:    ShardSketchConfig(cfg.Sketch, i),
-			gauge:  obs.Default().Gauge("arams_engine_shard_frames", obs.L("shard", fmt.Sprint(i))),
-			cpuCtr: obs.Default().Counter("arams_engine_shard_cpu_seconds_total", obs.L("shard", fmt.Sprint(i))),
+		if len(cfg.Backends) > 0 {
+			e.shards[i] = cfg.Backends[i]
+		} else {
+			e.shards[i] = NewLocalBackend(ShardSketchConfig(cfg.Sketch, i))
 		}
+		e.shardGauges[i] = obs.Default().Gauge("arams_engine_shard_frames", obs.L("shard", fmt.Sprint(i)))
+		e.shardCPU[i] = obs.Default().Counter("arams_engine_shard_cpu_seconds_total", obs.L("shard", fmt.Sprint(i)))
 	}
 	obsShardCount.SetInt(cfg.Shards)
 	return e
@@ -401,7 +413,7 @@ func (e *Engine) ingestVecsIn(root *obs.Span, start time.Time, vecs [][]float64,
 	ns := len(e.shards)
 	results := make([]shardResult, ns)
 	if ns == 1 {
-		results[0] = e.shards[0].absorbTraced(root, 0, vecs, nil)
+		results[0] = e.absorbTraced(root, 0, vecs, nil)
 	} else {
 		spRoute := root.StartChild("route")
 		perShard := make([][]int, ns)
@@ -428,7 +440,7 @@ func (e *Engine) ingestVecsIn(root *obs.Span, start time.Time, vecs [][]float64,
 			wg.Add(1)
 			go func(si int) {
 				defer wg.Done()
-				results[si] = e.shards[si].absorbTraced(root, si, vecs, perShard[si])
+				results[si] = e.absorbTraced(root, si, vecs, perShard[si])
 			}(si)
 		}
 		wg.Wait()
@@ -437,10 +449,14 @@ func (e *Engine) ingestVecsIn(root *obs.Span, start time.Time, vecs [][]float64,
 	e.afterDispatch(results, base, n, window, root, start)
 }
 
-// absorbTraced wraps absorb in a shard_sketch span (child of the batch
-// root) carrying the shard index, row count, and the goroutine's CPU
-// time, and bills the CPU to the shard's cumulative counter.
-func (s *shard) absorbTraced(root *obs.Span, si int, vecs [][]float64, idx []int) shardResult {
+// absorbTraced wraps one shard's Backend.Absorb in a shard_sketch span
+// (child of the batch root) carrying the shard index, row count, and
+// the goroutine's CPU time, bills the CPU to the shard's cumulative
+// counter, and keeps the per-shard frame gauge current. A failed absorb
+// (only possible on remote backends that exhausted their recovery
+// ladder) is journaled, fires the flight recorder, and returns ok=false
+// so the audit accumulator skips the dispatch.
+func (e *Engine) absorbTraced(root *obs.Span, si int, vecs [][]float64, idx []int) shardResult {
 	rows := len(idx)
 	if idx == nil {
 		rows = len(vecs)
@@ -448,65 +464,27 @@ func (s *shard) absorbTraced(root *obs.Span, si int, vecs [][]float64, idx []int
 	sp := root.StartChild("shard_sketch",
 		obs.L("shard", fmt.Sprint(si)), obs.L("rows", fmt.Sprint(rows)))
 	ct := obs.StartCPUTimer()
-	res := s.absorb(vecs, idx)
+	stats, err := e.shards[si].Absorb(vecs, idx)
 	if cpu, ok := ct.Stop(); ok {
 		sp.SetCPU(cpu)
-		s.cpuCtr.Add(cpu.Seconds())
+		e.shardCPU[si].Add(cpu.Seconds())
 	}
-	sp.End()
-	return res
-}
-
-// absorb feeds the selected rows (all of vecs when idx is nil) into the
-// shard's sketcher one row at a time — per-row ProcessBatch calls keep
-// the priority sampler's RNG consumption identical to the serial
-// per-frame monitor, which the bit-exact restore tests rely on.
-func (s *shard) absorb(vecs [][]float64, idx []int) shardResult {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	start := time.Now()
-	defer func() { s.busy += time.Since(start) }()
-	nrows := len(idx)
-	if idx == nil {
-		nrows = len(vecs)
-	}
-	if nrows == 0 {
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+		sp.End()
+		audit.Default().Record("shard_absorb_error",
+			"shard backend failed to absorb a dispatch; rows lost from its stream",
+			audit.A("shard", float64(si)),
+			audit.A("rows", float64(rows)))
+		obs.Default().FlightTrigger("shard_absorb_error")
 		return shardResult{}
 	}
-	first := vecs[0]
-	if idx != nil {
-		first = vecs[idx[0]]
+	sp.End()
+	if rows == 0 {
+		return shardResult{}
 	}
-	if s.arams == nil {
-		s.arams = sketch.NewARAMS(s.cfg, len(first), 0)
-	}
-	var agg sketch.BatchStats
-	agg.EllBefore = s.arams.Ell()
-	row := func(i int) []float64 {
-		if idx == nil {
-			return vecs[i]
-		}
-		return vecs[idx[i]]
-	}
-	rv := &s.rowView
-	for i := 0; i < nrows; i++ {
-		v := row(i)
-		// Reuse one 1×d header across rows instead of allocating a
-		// matrix per frame; ProcessBatch copies rows into the sketch
-		// and retains neither the header nor the data.
-		rv.RowsN, rv.ColsN, rv.Stride, rv.Data = 1, len(v), len(v), v
-		bs := s.arams.ProcessBatch(rv)
-		agg.Rows += bs.Rows
-		agg.Kept += bs.Kept
-		agg.TotalMass += bs.TotalMass
-		agg.KeptMass += bs.KeptMass
-		agg.DeltaAdded += bs.DeltaAdded
-	}
-	rv.Data = nil
-	agg.EllAfter = s.arams.Ell()
-	s.frames += nrows
-	s.gauge.SetInt(s.frames)
-	return shardResult{ok: true, stats: agg, ell: agg.EllAfter}
+	e.shardGauges[si].SetInt(int(e.shardFrames[si].Add(int64(rows))))
+	return shardResult{ok: true, stats: stats, ell: stats.EllAfter}
 }
 
 // afterDispatch folds the shard results into the audit accumulator,
@@ -623,9 +601,7 @@ func (e *Engine) Ingested() int {
 func (e *Engine) ShardBusy() []time.Duration {
 	out := make([]time.Duration, len(e.shards))
 	for i, s := range e.shards {
-		s.mu.Lock()
-		out[i] = s.busy
-		s.mu.Unlock()
+		out[i] = s.Busy()
 	}
 	return out
 }
@@ -636,11 +612,9 @@ func (e *Engine) ShardBusy() []time.Duration {
 func (e *Engine) Ell() int {
 	ell := 0
 	for _, s := range e.shards {
-		s.mu.Lock()
-		if s.arams != nil && s.arams.Ell() > ell {
-			ell = s.arams.Ell()
+		if l := s.Ell(); l > ell {
+			ell = l
 		}
-		s.mu.Unlock()
 	}
 	return ell
 }
@@ -667,23 +641,25 @@ func (e *Engine) reconcileLockedIn(parent obs.SpanContext) *sketch.FrequentDirec
 	sp := obs.Default().StartSpanIn(parent, "reconcile",
 		obs.L("shards", fmt.Sprint(len(e.shards))))
 	defer sp.End()
-	fds := make([]*sketch.FrequentDirections, 0, len(e.shards))
-	for _, s := range e.shards {
-		s.mu.Lock()
-		if s.arams != nil {
-			// The clone captures the shard's Σδ as of now; marking the
-			// live sketch anchors DeltaSinceMark to the same point, so
-			// sketch-level staleness introspection agrees with the
-			// controller's accumulator.
-			s.arams.FD().MarkDelta()
-			fds = append(fds, s.arams.FD().Clone())
-		}
-		s.mu.Unlock()
+	// Snapshot every shard through its backend as a remote-merge leg:
+	// for local backends the fetch is an in-process clone that cannot
+	// fail (bit-identical to the pre-fabric sequential clone+merge,
+	// since MergeRemote folds survivors in leg order), for remote ones
+	// it is a network fetch with retry/re-fetch/degrade semantics. A
+	// degraded merge covers only the surviving shards' streams; the
+	// dropped legs are journaled by MergeRemote and retried on the next
+	// reconcile.
+	legs := make([]parallel.RemoteLeg, len(e.shards))
+	for i, s := range e.shards {
+		legs[i] = parallel.RemoteLeg{Name: "shard" + fmt.Sprint(i), Fetch: s.Snapshot}
 	}
-	if len(fds) == 0 {
+	g, _, rep := parallel.MergeRemote(legs, e.cfg.Merge, e.cfg.ReconcileRetry, sp.Context())
+	if rep.Degraded() {
+		sp.SetAttr("degraded_legs", fmt.Sprint(rep.Dropped))
+	}
+	if g == nil {
 		return nil
 	}
-	g, _ := parallel.MergeSketchesTraced(fds, e.cfg.Merge, sp.Context())
 	e.global, e.globalAt = g, at
 	e.rc.noteReconcile()
 	obsReconciles.Inc()
@@ -695,13 +671,11 @@ func (e *Engine) reconcileLockedIn(parent obs.SpanContext) *sketch.FrequentDirec
 // the live sketch's for one shard, a fresh reconcile's for many.
 func (e *Engine) Certificate() audit.Certificate {
 	if len(e.shards) == 1 {
-		s := e.shards[0]
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		if s.arams == nil {
+		fd, err := e.shards[0].Snapshot()
+		if err != nil || fd == nil {
 			return audit.Certificate{}
 		}
-		return audit.FromSketch(s.arams.FD())
+		return audit.FromSketch(fd)
 	}
 	e.globalMu.Lock()
 	defer e.globalMu.Unlock()
@@ -716,13 +690,11 @@ func (e *Engine) Certificate() audit.Certificate {
 // before the first frame). The clone is the caller's to mutate.
 func (e *Engine) GlobalSketch() *sketch.FrequentDirections {
 	if len(e.shards) == 1 {
-		s := e.shards[0]
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		if s.arams == nil {
+		fd, err := e.shards[0].Snapshot()
+		if err != nil {
 			return nil
 		}
-		return s.arams.FD().Clone()
+		return fd
 	}
 	e.globalMu.Lock()
 	defer e.globalMu.Unlock()
@@ -767,17 +739,18 @@ func (e *Engine) WindowState(k int) (x *mat.Matrix, tags []int, basis *mat.Matri
 // the first frame.
 func (e *Engine) Basis(k int) (*mat.Matrix, int) {
 	if len(e.shards) == 1 {
-		s := e.shards[0]
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		if s.arams == nil {
+		// ARAMS.Basis delegates to FD().Basis in every mode
+		// (rank-adaptive included), so the snapshot clone's basis is
+		// bit-identical to the live sketch's.
+		fd, err := e.shards[0].Snapshot()
+		if err != nil || fd == nil {
 			return nil, 0
 		}
-		ell := s.arams.Ell()
+		ell := fd.Ell()
 		if k > ell {
 			k = ell
 		}
-		return s.arams.Basis(k), ell
+		return fd.Basis(k), ell
 	}
 	e.globalMu.Lock()
 	defer e.globalMu.Unlock()
@@ -790,4 +763,19 @@ func (e *Engine) Basis(k int) (*mat.Matrix, int) {
 		k = ell
 	}
 	return g.Basis(k), ell
+}
+
+// Close stops the async pump (draining anything queued) and closes
+// every shard backend — for remote backends this tears down their
+// connections and aborts in-flight work. The engine must not ingest
+// after Close. Returns the first backend close error.
+func (e *Engine) Close() error {
+	e.Stop()
+	var first error
+	for _, s := range e.shards {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }

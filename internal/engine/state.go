@@ -42,12 +42,17 @@ func (e *Engine) State() *State {
 		s.Frames[i] = Frame{Vec: append([]float64(nil), f.Vec...), Tag: f.Tag}
 	}
 	for i, sh := range e.shards {
-		sh.mu.Lock()
-		if sh.arams != nil {
-			as := sh.arams.State()
-			s.Shards[i] = &as
+		st, err := sh.State()
+		if err != nil {
+			// Only remote backends can fail here, and only after Close —
+			// journal the gap rather than tearing a checkpoint that local
+			// shards can still serve. The slot stays nil.
+			audit.Default().Record("shard_state_error",
+				"shard backend failed to serve checkpoint state; slot left empty",
+				audit.A("shard", float64(i)))
+			continue
 		}
-		sh.mu.Unlock()
+		s.Shards[i] = st
 	}
 	if e.cfg.Audit != nil {
 		ast := e.cfg.Audit.State()
@@ -101,19 +106,21 @@ func NewFromState(cfg Config, s *State) (*Engine, error) {
 	cfg.Window = s.Window
 	if len(s.Shards) > 0 {
 		cfg.Shards = len(s.Shards)
+		if len(cfg.Backends) > 0 && len(cfg.Backends) != len(s.Shards) {
+			return nil, fmt.Errorf("engine: checkpoint has %d shards but %d backends supplied",
+				len(s.Shards), len(cfg.Backends))
+		}
 	}
 	e := New(cfg)
 	for i, ss := range s.Shards {
 		if ss == nil {
 			continue
 		}
-		a, err := sketch.NewARAMSFromState(*ss)
-		if err != nil {
+		if err := e.shards[i].Restore(ss); err != nil {
 			return nil, fmt.Errorf("engine: shard %d: %w", i, err)
 		}
-		e.shards[i].arams = a
-		if a.Ell() > e.lastEll {
-			e.lastEll = a.Ell()
+		if ell := e.shards[i].Ell(); ell > e.lastEll {
+			e.lastEll = ell
 		}
 	}
 	e.recent = make([]*Frame, len(s.Frames))

@@ -1,0 +1,190 @@
+// Package fabrictest is the network-chaos harness for fabric tests: a
+// TCP proxy that sits between a coordinator and a worker and injects
+// the failure modes the fabric's recovery ladder claims to survive —
+// added latency, partitions (connections refused and live ones cut),
+// byte corruption (CRC exercise), and abrupt mid-frame closes. All
+// fault knobs are safe to flip concurrently while traffic flows.
+package fabrictest
+
+import (
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Proxy is a chaos-injecting TCP forwarder.
+type Proxy struct {
+	ln     net.Listener
+	target string
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+
+	delayNanos   atomic.Int64 // per-chunk forwarding delay
+	partitioned  atomic.Bool  // refuse new conns, cut live ones
+	corruptEvery atomic.Int64 // flip one bit every N forwarded bytes (0 = off)
+	closeAfter   atomic.Int64 // abruptly close each conn after N forwarded bytes (0 = off)
+
+	bytes  atomic.Int64 // total forwarded bytes (both directions)
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+// New starts a proxy on an ephemeral localhost port forwarding to
+// target (a fabric worker address).
+func New(target string) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{ln: ln, target: target, conns: make(map[net.Conn]struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address — dial this instead of the
+// worker.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Bytes returns the total bytes forwarded in both directions.
+func (p *Proxy) Bytes() int64 { return p.bytes.Load() }
+
+// SetDelay adds d of latency to every forwarded chunk (0 restores
+// transparent forwarding).
+func (p *Proxy) SetDelay(d time.Duration) { p.delayNanos.Store(int64(d)) }
+
+// Partition cuts the link: new connections are accepted and
+// immediately closed, and every live connection is severed. Passing
+// false heals the link (existing connections stay dead; the fabric
+// reconnects).
+func (p *Proxy) Partition(on bool) {
+	p.partitioned.Store(on)
+	if on {
+		p.killConns()
+	}
+}
+
+// CorruptEvery flips one bit in roughly every n forwarded bytes
+// (0 disables). The fabric's CRC must catch every corruption.
+func (p *Proxy) CorruptEvery(n int64) { p.corruptEvery.Store(n) }
+
+// CloseAfter abruptly closes each connection once it has forwarded n
+// more bytes (0 disables) — a mid-frame disconnect generator.
+func (p *Proxy) CloseAfter(n int64) { p.closeAfter.Store(n) }
+
+// Close stops the proxy and severs everything.
+func (p *Proxy) Close() error {
+	p.closed.Store(true)
+	err := p.ln.Close()
+	p.killConns()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) killConns() {
+	p.mu.Lock()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+}
+
+func (p *Proxy) track(c net.Conn) {
+	p.mu.Lock()
+	p.conns[c] = struct{}{}
+	p.mu.Unlock()
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	c.Close()
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		if p.partitioned.Load() {
+			client.Close()
+			continue
+		}
+		upstream, err := net.DialTimeout("tcp", p.target, 2*time.Second)
+		if err != nil {
+			client.Close()
+			continue
+		}
+		p.track(client)
+		p.track(upstream)
+		// budget is shared by both directions of this connection so
+		// CloseAfter counts total traffic, matching how a real
+		// mid-stream cut would land.
+		budget := &atomic.Int64{}
+		budget.Store(p.closeAfter.Load())
+		p.wg.Add(2)
+		go p.pump(client, upstream, budget)
+		go p.pump(upstream, client, budget)
+	}
+}
+
+// pump forwards src→dst chunk by chunk, applying the current fault
+// knobs to each chunk. Closing either side unblocks the peer pump.
+func (p *Proxy) pump(src, dst net.Conn, budget *atomic.Int64) {
+	defer p.wg.Done()
+	defer p.untrack(src)
+	defer p.untrack(dst)
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if p.partitioned.Load() {
+				return
+			}
+			if d := p.delayNanos.Load(); d > 0 {
+				time.Sleep(time.Duration(d))
+			}
+			chunk := buf[:n]
+			if every := p.corruptEvery.Load(); every > 0 {
+				// Flip one bit per `every` bytes, pseudo-positioned by the
+				// running byte count so corruption lands in different
+				// frame offsets over time.
+				total := p.bytes.Load()
+				for i := range chunk {
+					if (total+int64(i))%every == every-1 {
+						chunk[i] ^= 1 << uint((total+int64(i))%8)
+					}
+				}
+			}
+			if ca := p.closeAfter.Load(); ca > 0 {
+				if budget.Add(int64(-n)) <= 0 {
+					// Forward a torn prefix, then cut both directions.
+					cut := n / 2
+					dst.Write(chunk[:cut])
+					p.bytes.Add(int64(cut))
+					return
+				}
+			}
+			if _, werr := dst.Write(chunk); werr != nil {
+				return
+			}
+			p.bytes.Add(int64(n))
+		}
+		if err != nil {
+			if err != io.EOF {
+				return
+			}
+			// Half-close: propagate EOF but keep draining the other way.
+			if tc, ok := dst.(*net.TCPConn); ok {
+				tc.CloseWrite()
+			}
+			return
+		}
+	}
+}

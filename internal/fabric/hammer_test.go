@@ -1,0 +1,144 @@
+package fabric_test
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"arams/internal/engine"
+	"arams/internal/fabric"
+	"arams/internal/sketch"
+)
+
+// TestFabricRaceHammer drives everything at once — concurrent ingest
+// producers, hot snapshot/checkpoint/certificate readers, millisecond
+// heartbeats, and a worker kill/restart in the middle — and is run
+// under -race in CI (scripts/fabric_smoke.sh). Interleaving is
+// nondeterministic, so assertions are conservation properties: every
+// row lands exactly once and the merged sketch stays finite.
+func TestFabricRaceHammer(t *testing.T) {
+	const (
+		shards    = 3
+		producers = 4
+		batches   = 24
+		rows      = 8
+		d         = 12
+	)
+
+	workers, addrs, err := fabric.StartLoopbackWorkers(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, w := range workers {
+			if w != nil {
+				w.Close()
+			}
+		}
+	}()
+	coord, err := fabric.NewCoordinator(fabric.CoordinatorConfig{
+		Workers: addrs,
+		Engine: engine.Config{
+			Shards:         shards,
+			Sketch:         sketch.Config{Ell0: 8, Beta: 1, Seed: 29},
+			Window:         64,
+			ReconcileEvery: 16,
+		},
+		Remote: fabric.RemoteConfig{
+			DialTimeout:       time.Second,
+			OpTimeout:         2 * time.Second,
+			HeartbeatEvery:    time.Millisecond, // hammer the connection lock
+			ReconnectAttempts: 5,
+			ReconnectBackoff:  time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	eng := coord.Engine()
+
+	var wg, readerWg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Hot readers: snapshots, checkpoints, certificates, rank probes.
+	readerWg.Add(1)
+	go func() {
+		defer readerWg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if g := eng.GlobalSketch(); g != nil && g.Sketch().HasNaN() {
+				t.Error("global sketch went non-finite mid-hammer")
+				return
+			}
+			eng.State()
+			eng.Certificate()
+			eng.Ell()
+		}
+	}()
+
+	// Concurrent producers, each with its own deterministic stream.
+	for pr := 0; pr < producers; pr++ {
+		wg.Add(1)
+		go func(pr int) {
+			defer wg.Done()
+			vecs := testVecs(batches*rows, d, uint64(100+pr))
+			for b := 0; b < batches; b++ {
+				eng.IngestVecs(cloneVecs(vecs[b*rows:(b+1)*rows]), nil)
+			}
+		}(pr)
+	}
+
+	// Mid-run: kill worker 1 and bring it back on the same port while
+	// producers and heartbeats are pounding it.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(5 * time.Millisecond)
+		addr := workers[1].Addr()
+		workers[1].Close()
+		var ln net.Listener
+		for i := 0; i < 50; i++ {
+			if ln, err = net.Listen("tcp", addr); err == nil {
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		if ln == nil {
+			t.Errorf("could not rebind worker port: %v", err)
+			workers[1] = nil
+			return
+		}
+		workers[1] = fabric.ServeWorker(ln)
+	}()
+
+	// Producers finish, then stop the readers.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("hammer wedged")
+	}
+	close(stop)
+	readerWg.Wait()
+
+	if got, want := eng.Ingested(), producers*batches*rows; got != want {
+		t.Errorf("ingested %d rows, want %d — rows lost or double-counted under load", got, want)
+	}
+	g := eng.GlobalSketch()
+	if g == nil {
+		t.Fatal("nil global sketch after hammer")
+	}
+	if g.Sketch().HasNaN() {
+		t.Error("final merged sketch is non-finite")
+	}
+	if g.Seen() != producers*batches*rows {
+		t.Errorf("global sketch saw %d rows, want %d", g.Seen(), producers*batches*rows)
+	}
+}

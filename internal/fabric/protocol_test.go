@@ -1,0 +1,171 @@
+package fabric
+
+import (
+	"bytes"
+	"encoding/hex"
+	"math"
+	"testing"
+	"time"
+
+	"arams/internal/audit"
+	"arams/internal/sketch"
+)
+
+// TestPayloadGoldens pins the fabric payload encodings at the byte
+// level. These bytes ride inside version-1 wire frames; changing any of
+// them is a wire-protocol break and requires bumping ckpt.WireVersion.
+func TestPayloadGoldens(t *testing.T) {
+	hello := HelloPayload{Shard: 2, Cfg: sketch.Config{
+		Ell0: 8, Nu: 3, Eps: 0.25, Beta: 0.5, RankAdaptive: true,
+		Estimator: sketch.EstimatorKind(1), Seed: 0x0102030405060708,
+	}}
+	wantHello := "02000000" + // shard 2
+		"0800000000000000" + // Ell0 8
+		"0300000000000000" + // Nu 3
+		"000000000000d03f" + // Eps 0.25
+		"000000000000e03f" + // Beta 0.5
+		"01" + // RankAdaptive
+		"0100000000000000" + // Estimator 1
+		"0807060504030201" // Seed little-endian
+	if g := hex.EncodeToString(hello.encode()); g != wantHello {
+		t.Errorf("hello payload bytes changed:\n got  %s\n want %s", g, wantHello)
+	}
+
+	ing := IngestPayload{D: 2, Rows: [][]float64{{1, 2}, {3, 4}}}
+	wantIngest := "0200000000000000" + "0200000000000000" +
+		"000000000000f03f" + "0000000000000040" +
+		"0000000000000840" + "0000000000001040"
+	if g := hex.EncodeToString(ing.encode()); g != wantIngest {
+		t.Errorf("ingest payload bytes changed:\n got  %s\n want %s", g, wantIngest)
+	}
+
+	ack := IngestAckPayload{Stats: sketch.BatchStats{
+		Rows: 2, Kept: 1, TotalMass: 1.5, KeptMass: 0.5, DeltaAdded: 0.25,
+		EllBefore: 3, EllAfter: 4,
+	}, Ell: 4}
+	wantAck := "0200000000000000" + "0100000000000000" +
+		"000000000000f83f" + "000000000000e03f" + "000000000000d03f" +
+		"0300000000000000" + "0400000000000000" + "0400000000000000"
+	if g := hex.EncodeToString(ack.encode()); g != wantAck {
+		t.Errorf("ingest-ack payload bytes changed:\n got  %s\n want %s", g, wantAck)
+	}
+
+	errp := ErrorPayload{Code: ErrCodeCorrupt, Msg: "bad"}
+	wantErr := "02000000" + "0300000000000000" + "626164"
+	if g := hex.EncodeToString(errp.encode()); g != wantErr {
+		t.Errorf("error payload bytes changed:\n got  %s\n want %s", g, wantErr)
+	}
+
+	hb := HeartbeatPayload{Frames: 7, Ell: 5}
+	wantHB := "0700000000000000" + "0500000000000000"
+	if g := hex.EncodeToString(hb.encode()); g != wantHB {
+		t.Errorf("heartbeat payload bytes changed:\n got  %s\n want %s", g, wantHB)
+	}
+}
+
+func TestPayloadRoundTrips(t *testing.T) {
+	hello := HelloPayload{Shard: 9, Cfg: sketch.Config{
+		Ell0: 20, Nu: 5, Eps: 0.1, Beta: 1, Seed: 42,
+	}}
+	if got, err := decodeHello(hello.encode()); err != nil || got != hello {
+		t.Errorf("hello round trip: %+v err %v", got, err)
+	}
+
+	ing := IngestPayload{D: 3, Rows: [][]float64{{1, math.Pi, -0}, {math.Inf(1), 1e-300, 5}}}
+	got, err := decodeIngest(ing.encode())
+	if err != nil || got.D != ing.D || len(got.Rows) != len(ing.Rows) {
+		t.Fatalf("ingest round trip: %+v err %v", got, err)
+	}
+	for i := range ing.Rows {
+		for j := range ing.Rows[i] {
+			if math.Float64bits(got.Rows[i][j]) != math.Float64bits(ing.Rows[i][j]) {
+				t.Fatalf("ingest row %d[%d] not bit-exact", i, j)
+			}
+		}
+	}
+
+	cert := CertificatePayload{Cert: audit.Certificate{
+		Rows: 100, Dim: 32, Ell: 12, Rotations: 9,
+		ShrinkMass: 1.25, FrobMass: 200.5,
+		Time: time.Unix(0, 1700000000000000000).UTC(),
+	}}
+	if got, err := decodeCertificate(cert.encode()); err != nil || got != cert {
+		t.Errorf("certificate round trip: %+v err %v", got, err)
+	}
+
+	ep := ErrorPayload{Code: ErrCodeFatal, Msg: "worker on fire"}
+	if got, err := decodeError(ep.encode()); err != nil || got != ep {
+		t.Errorf("error round trip: %+v err %v", got, err)
+	}
+}
+
+func TestPayloadDecodeErrors(t *testing.T) {
+	// Truncations must error, never panic, for every decoder.
+	hello := HelloPayload{Shard: 1, Cfg: sketch.Config{Ell0: 4, Beta: 1}}.encode()
+	if _, err := decodeHello(hello[:len(hello)-1]); err == nil {
+		t.Error("truncated hello decoded")
+	}
+	// Trailing bytes are rejected — payloads are exact.
+	if _, err := decodeHello(append(hello, 0)); err == nil {
+		t.Error("hello with trailing bytes decoded")
+	}
+	// An ingest header whose row count outruns the payload must be
+	// rejected before allocation.
+	lie := IngestPayload{D: 1, Rows: [][]float64{{1}}}.encode()
+	lie[8] = 0xFF // claim 255 rows
+	if _, err := decodeIngest(lie); err == nil {
+		t.Error("lying ingest header decoded")
+	}
+	// An error payload claiming more message bytes than exist.
+	el := ErrorPayload{Code: 1, Msg: "x"}.encode()
+	el[4] = 0xFF
+	if _, err := decodeError(el); err == nil {
+		t.Error("lying error header decoded")
+	}
+}
+
+// FuzzFabricPayload throws arbitrary bytes at every payload decoder:
+// none may panic, and whatever decodes must re-encode byte-identically
+// (the payload encodings are canonical).
+func FuzzFabricPayload(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(HelloPayload{Shard: 1, Cfg: sketch.Config{Ell0: 8, Beta: 1}}.encode())
+	f.Add(IngestPayload{D: 2, Rows: [][]float64{{1, 2}}}.encode())
+	f.Add(IngestAckPayload{Ell: 3}.encode())
+	f.Add(CertificatePayload{}.encode())
+	f.Add(HeartbeatPayload{Frames: 1}.encode())
+	f.Add(ErrorPayload{Code: 2, Msg: "boom"}.encode())
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		if p, err := decodeHello(b); err == nil {
+			if !bytes.Equal(p.encode(), b) {
+				t.Fatal("hello not canonical")
+			}
+		}
+		if p, err := decodeIngest(b); err == nil {
+			if !bytes.Equal(p.encode(), b) {
+				t.Fatal("ingest not canonical")
+			}
+		}
+		if p, err := decodeIngestAck(b); err == nil {
+			if !bytes.Equal(p.encode(), b) {
+				t.Fatal("ingest-ack not canonical")
+			}
+		}
+		if p, err := decodeCertificate(b); err == nil {
+			if !bytes.Equal(p.encode(), b) {
+				t.Fatal("certificate not canonical")
+			}
+		}
+		if p, err := decodeHeartbeat(b); err == nil {
+			if !bytes.Equal(p.encode(), b) {
+				t.Fatal("heartbeat not canonical")
+			}
+		}
+		if p, err := decodeError(b); err == nil {
+			if !bytes.Equal(p.encode(), b) {
+				t.Fatal("error not canonical")
+			}
+		}
+	})
+}

@@ -1,0 +1,659 @@
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"arams/internal/audit"
+	"arams/internal/ckpt"
+	"arams/internal/engine"
+	"arams/internal/obs"
+	"arams/internal/parallel"
+	"arams/internal/sketch"
+)
+
+// RemoteConfig tunes the coordinator side of one worker connection.
+type RemoteConfig struct {
+	// DialTimeout bounds each connection attempt (default 2s).
+	DialTimeout time.Duration
+	// OpTimeout is the per-RPC connection deadline — every request and
+	// its response must complete within it (default 5s). This is what
+	// bounds how long a straggling fetch goroutine can outlive a merge
+	// leg timeout: all I/O is deadline-bounded, nothing blocks forever.
+	OpTimeout time.Duration
+	// HeartbeatEvery is the liveness/RTT probe interval (default 1s;
+	// negative disables heartbeats).
+	HeartbeatEvery time.Duration
+	// ReconnectAttempts is how many times a failed operation tries to
+	// re-establish the connection (restore + replay included) before
+	// degrading (default 3).
+	ReconnectAttempts int
+	// ReconnectBackoff is the initial delay between reconnect attempts,
+	// doubling each try (default 50ms).
+	ReconnectBackoff time.Duration
+	// NoLocalFallback disables the last rung of the recovery ladder.
+	// By default a Remote whose reconnects are exhausted degrades to an
+	// in-process sketcher seeded from the last fetched state plus the
+	// replay log — bit-exact with the worker it replaces, so the stream
+	// keeps full coverage. With NoLocalFallback the backend instead
+	// returns classified errors and the engine's merge degrades to the
+	// surviving shards.
+	NoLocalFallback bool
+}
+
+func (c RemoteConfig) withDefaults() RemoteConfig {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.OpTimeout <= 0 {
+		c.OpTimeout = 5 * time.Second
+	}
+	if c.HeartbeatEvery == 0 {
+		c.HeartbeatEvery = time.Second
+	}
+	if c.ReconnectAttempts <= 0 {
+		c.ReconnectAttempts = 3
+	}
+	if c.ReconnectBackoff <= 0 {
+		c.ReconnectBackoff = 50 * time.Millisecond
+	}
+	return c
+}
+
+// Remote is an engine.Backend whose sketching happens on a fabric
+// Worker across a TCP connection. Recovery ladder, in order:
+//
+//  1. Every RPC runs under a connection deadline (OpTimeout), so no
+//     fault blocks an operation for longer than one round trip budget.
+//  2. A failed RPC reconnects — dial, Hello, unconditional
+//     Restore(lastState), replay of every row absorbed since that state
+//     — and retries. Unconditional restore makes recovery correct
+//     whether the worker lost state (process restart), absorbed the
+//     failed batch (ack lost), or never saw it: the worker is always
+//     rebuilt to exactly lastState + replay log.
+//  3. Exhausted reconnects degrade to an in-process sketcher built from
+//     lastState + replay log (bit-exact with the lost worker), unless
+//     NoLocalFallback — then operations return classified errors and
+//     the merge layer drops the leg.
+//
+// The replay log holds a copy of every row absorbed since the last
+// state fetch; each successful Snapshot/State fetch trims it, so its
+// size is bounded by the engine's reconcile cadence.
+type Remote struct {
+	name string
+	addr string
+	cfg  RemoteConfig
+
+	mu    sync.Mutex // serializes RPCs; guards conn, log, state, fallback
+	conn  net.Conn
+	seq   uint64
+	hello HelloPayload
+
+	lastState *sketch.ARAMSState
+	log       [][]float64
+	// lastReplayAck is the IngestAck of the newest replay tail chunk
+	// (the rows the in-flight Absorb was called with), set by
+	// reconnectLocked/degradeLocked so Absorb returns the stats of
+	// exactly its rows even when they reached the sketcher via replay.
+	lastReplayAck IngestAckPayload
+	fallback      engine.Backend // non-nil once degraded to local sketching
+	closed        bool
+
+	lastEll   atomic.Int64
+	busyNanos atomic.Int64
+
+	hbStop chan struct{}
+	hbDone chan struct{}
+
+	mUp         *obs.Gauge
+	mRTT        *obs.Histogram
+	mBytesSent  *obs.Counter
+	mBytesRecv  *obs.Counter
+	mRPCs       *obs.Counter
+	mRPCErrs    *obs.Counter
+	mReconnects *obs.Counter
+	mDegraded   *obs.Counter
+}
+
+// DialRemote connects to a fabric worker and binds it to one shard
+// slot: scfg must already be shard-derived (engine.ShardSketchConfig).
+// The initial dial obeys the same reconnect policy as runtime faults;
+// if it fails entirely the Remote starts degraded (local fallback) —
+// or errors out under NoLocalFallback.
+func DialRemote(name, addr string, shard uint32, scfg sketch.Config, cfg RemoteConfig) (*Remote, error) {
+	cfg = cfg.withDefaults()
+	r := &Remote{
+		name:        name,
+		addr:        addr,
+		cfg:         cfg,
+		hello:       HelloPayload{Shard: shard, Cfg: scfg},
+		mUp:         obs.Default().Gauge("arams_fabric_worker_up", obs.L("worker", name)),
+		mRTT:        obs.Default().Histogram("arams_fabric_rtt_seconds", obs.L("worker", name)),
+		mBytesSent:  obs.Default().Counter("arams_fabric_bytes_sent_total", obs.L("worker", name)),
+		mBytesRecv:  obs.Default().Counter("arams_fabric_bytes_recv_total", obs.L("worker", name)),
+		mRPCs:       obs.Default().Counter("arams_fabric_rpc_total", obs.L("worker", name)),
+		mRPCErrs:    obs.Default().Counter("arams_fabric_rpc_errors_total", obs.L("worker", name)),
+		mReconnects: obs.Default().Counter("arams_fabric_reconnects_total", obs.L("worker", name)),
+		mDegraded:   obs.Default().Counter("arams_fabric_degraded_total", obs.L("worker", name)),
+	}
+	r.mu.Lock()
+	err := r.reconnectLocked(0, 0)
+	r.mu.Unlock()
+	if err != nil {
+		if cfg.NoLocalFallback {
+			return nil, err
+		}
+		r.mu.Lock()
+		r.degradeLocked(err, 0)
+		r.mu.Unlock()
+	}
+	if cfg.HeartbeatEvery > 0 {
+		r.hbStop = make(chan struct{})
+		r.hbDone = make(chan struct{})
+		go r.heartbeatLoop()
+	}
+	return r, nil
+}
+
+// Name returns the worker's display name (metric label).
+func (r *Remote) Name() string { return r.name }
+
+// Degraded reports whether this backend has fallen back to in-process
+// sketching.
+func (r *Remote) Degraded() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.fallback != nil
+}
+
+// Absorb ships the selected rows to the worker, recovering through the
+// ladder above on any transport fault. The returned stats are the
+// worker's own fold for exactly these rows (replayed or not), so the
+// engine's audit accounting is bit-identical to an all-local run.
+func (r *Remote) Absorb(vecs [][]float64, idx []int) (sketch.BatchStats, error) {
+	start := time.Now()
+	defer func() { r.busyNanos.Add(int64(time.Since(start))) }()
+	nrows := len(idx)
+	if idx == nil {
+		nrows = len(vecs)
+	}
+	if nrows == 0 {
+		return sketch.BatchStats{}, nil
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return sketch.BatchStats{}, parallel.AsFault(parallel.FaultFatal, parallel.ErrBackendClosed)
+	}
+	if r.fallback != nil {
+		// Degraded: sketch in-process. No replay log needed — the
+		// fallback's own state is the baseline, and Absorb copies rows
+		// into the sketch, so the caller's (pool-recycled) slices are
+		// never retained.
+		stats, err := r.fallback.Absorb(vecs, idx)
+		if err == nil {
+			r.lastEll.Store(int64(stats.EllAfter))
+		}
+		return stats, err
+	}
+	// Copy the rows into the replay log before anything can fail. The
+	// copies are mandatory: the engine recycles window-evicted vectors
+	// into the mat pool, so retaining the caller's slices would alias
+	// memory that is about to be overwritten.
+	rows := make([][]float64, nrows)
+	for i := 0; i < nrows; i++ {
+		v := vecs[i]
+		if idx != nil {
+			v = vecs[idx[i]]
+		}
+		rows[i] = append([]float64(nil), v...)
+	}
+	r.log = append(r.log, rows...)
+
+	ack, err := r.ingestRPCLocked(rows)
+	if err != nil {
+		if err = r.recoverLocked(err, nrows); err != nil {
+			return sketch.BatchStats{}, err
+		}
+		// Recovery replayed the log with these rows as the tail chunk —
+		// over a fresh connection or through the local fallback — and
+		// left the tail's stats for us either way.
+		ack = r.lastReplayAck
+	}
+	r.lastEll.Store(int64(ack.Ell))
+	return ack.Stats, nil
+}
+
+// Snapshot fetches the worker's state and returns its sketch, trimming
+// the replay log — a reconcile fetch is an incremental checkpoint.
+func (r *Remote) Snapshot() (*sketch.FrequentDirections, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, err := r.stateLocked()
+	if err != nil || st == nil {
+		return nil, err
+	}
+	a, err := sketch.NewARAMSFromState(*st)
+	if err != nil {
+		return nil, parallel.AsFault(parallel.FaultCorrupt, err)
+	}
+	return a.FD(), nil
+}
+
+// State fetches the worker's checkpointable state (nil before the
+// first row), trimming the replay log on success.
+func (r *Remote) State() (*sketch.ARAMSState, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stateLocked()
+}
+
+func (r *Remote) stateLocked() (*sketch.ARAMSState, error) {
+	if r.closed {
+		return nil, parallel.AsFault(parallel.FaultFatal, parallel.ErrBackendClosed)
+	}
+	if r.fallback != nil {
+		return r.fallback.State()
+	}
+	st, err := r.fetchStateRPCLocked()
+	if err != nil {
+		if err = r.recoverLocked(err, 0); err != nil {
+			return nil, err
+		}
+		if r.fallback != nil {
+			return r.fallback.State()
+		}
+		if st, err = r.fetchStateRPCLocked(); err != nil {
+			return nil, err
+		}
+	}
+	// Trim: the fetched state covers every row acked so far, and Absorb
+	// is synchronous, so the whole log is covered.
+	r.lastState = st
+	r.log = r.log[:0]
+	return st, nil
+}
+
+// Restore pushes checkpoint state to the worker and resets the replay
+// baseline to it.
+func (r *Remote) Restore(st *sketch.ARAMSState) error {
+	if st == nil {
+		return fmt.Errorf("fabric: nil shard state")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return parallel.AsFault(parallel.FaultFatal, parallel.ErrBackendClosed)
+	}
+	r.lastState = st
+	r.log = r.log[:0]
+	if r.fallback != nil {
+		return r.fallback.Restore(st)
+	}
+	if err := r.restoreRPCLocked(st); err != nil {
+		// recoverLocked restores lastState (just set) + empty log.
+		if err = r.recoverLocked(err, 0); err != nil {
+			return err
+		}
+		if r.fallback != nil {
+			return nil // degradeLocked already restored into the fallback
+		}
+	}
+	if a, err := sketch.NewARAMSFromState(*st); err == nil {
+		r.lastEll.Store(int64(a.Ell()))
+	}
+	return nil
+}
+
+// Ell answers from the last acknowledged rank — no round trip.
+func (r *Remote) Ell() int { return int(r.lastEll.Load()) }
+
+// Busy returns cumulative wall time spent in Absorb (network time
+// included — for a remote shard the round trip is the absorb cost).
+func (r *Remote) Busy() time.Duration { return time.Duration(r.busyNanos.Load()) }
+
+// Certificate fetches the worker's own error-bound certificate (zero
+// before the first row; served locally once degraded).
+func (r *Remote) Certificate() (audit.Certificate, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return audit.Certificate{}, parallel.AsFault(parallel.FaultFatal, parallel.ErrBackendClosed)
+	}
+	if r.fallback != nil {
+		fd, err := r.fallback.Snapshot()
+		if err != nil || fd == nil {
+			return audit.Certificate{}, err
+		}
+		return audit.FromSketch(fd), nil
+	}
+	payload, err := r.rpcLocked(MsgCertificateReq, nil, MsgCertificate)
+	if err != nil {
+		return audit.Certificate{}, err
+	}
+	p, err := decodeCertificate(payload)
+	if err != nil {
+		return audit.Certificate{}, parallel.AsFault(parallel.FaultCorrupt, err)
+	}
+	return p.Cert, nil
+}
+
+// Close stops the heartbeat, tears down the connection, and closes the
+// fallback if any. Subsequent operations fail fast with a fatal fault.
+func (r *Remote) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	if r.conn != nil {
+		r.conn.Close()
+		r.conn = nil
+	}
+	var err error
+	if r.fallback != nil {
+		err = r.fallback.Close()
+	}
+	r.mu.Unlock()
+	if r.hbStop != nil {
+		close(r.hbStop)
+		<-r.hbDone
+	}
+	r.mUp.SetInt(0)
+	return err
+}
+
+// --- RPC layer ---
+
+// rpcLocked runs one request/response round trip under the op deadline.
+// Any failure closes the connection (the stream may be desynced) and
+// returns a classified error; the caller decides whether to recover.
+func (r *Remote) rpcLocked(msgType uint32, payload []byte, wantType uint32) ([]byte, error) {
+	if r.conn == nil {
+		return nil, parallel.AsFault(parallel.FaultTransient, errNotConnected)
+	}
+	r.mRPCs.Inc()
+	r.seq++
+	seq := r.seq
+	frame := ckpt.EncodeWireFrame(ckpt.WireFrame{Type: msgType, Seq: seq, Payload: payload})
+	r.conn.SetDeadline(time.Now().Add(r.cfg.OpTimeout))
+	if _, err := r.conn.Write(frame); err != nil {
+		return nil, r.rpcFailLocked(parallel.AsFault(parallel.FaultTransient, err))
+	}
+	r.mBytesSent.Add(float64(len(frame)))
+	resp, err := ckpt.ReadWireFrame(r.conn)
+	if err != nil {
+		// Torn frames and timeouts are transient (the connection died or
+		// stalled); checksum/magic/version failures mean the bytes
+		// arrived wrong — corrupt, so recovery re-fetches.
+		class := parallel.FaultTransient
+		if errors.Is(err, ckpt.ErrChecksum) || errors.Is(err, ckpt.ErrBadMagic) || errors.Is(err, ckpt.ErrVersion) {
+			class = parallel.FaultCorrupt
+		}
+		return nil, r.rpcFailLocked(parallel.AsFault(class, err))
+	}
+	r.mBytesRecv.Add(float64(28 + len(resp.Payload) + 4))
+	if resp.Seq != seq {
+		return nil, r.rpcFailLocked(parallel.AsFault(parallel.FaultTransient,
+			fmt.Errorf("fabric: response seq %d for request %d", resp.Seq, seq)))
+	}
+	if resp.Type == MsgError {
+		p, derr := decodeError(resp.Payload)
+		if derr != nil {
+			return nil, r.rpcFailLocked(parallel.AsFault(parallel.FaultCorrupt, derr))
+		}
+		class := parallel.FaultTransient
+		switch p.Code {
+		case ErrCodeCorrupt:
+			class = parallel.FaultCorrupt
+		case ErrCodeFatal:
+			class = parallel.FaultFatal
+		}
+		// A request-level error leaves the stream in sync — keep the
+		// connection.
+		r.mRPCErrs.Inc()
+		return nil, parallel.AsFault(class, fmt.Errorf("fabric: worker %s: %s", r.name, p.Msg))
+	}
+	if resp.Type != wantType {
+		return nil, r.rpcFailLocked(parallel.AsFault(parallel.FaultTransient,
+			fmt.Errorf("fabric: response type %d, want %d", resp.Type, wantType)))
+	}
+	return resp.Payload, nil
+}
+
+func (r *Remote) rpcFailLocked(err error) error {
+	r.mRPCErrs.Inc()
+	r.mUp.SetInt(0)
+	if r.conn != nil {
+		r.conn.Close()
+		r.conn = nil
+	}
+	return err
+}
+
+var errNotConnected = errors.New("fabric: not connected")
+
+func (r *Remote) ingestRPCLocked(rows [][]float64) (IngestAckPayload, error) {
+	d := 0
+	if len(rows) > 0 {
+		d = len(rows[0])
+	}
+	payload, err := r.rpcLocked(MsgIngest, IngestPayload{D: d, Rows: rows}.encode(), MsgIngestAck)
+	if err != nil {
+		return IngestAckPayload{}, err
+	}
+	ack, err := decodeIngestAck(payload)
+	if err != nil {
+		return IngestAckPayload{}, parallel.AsFault(parallel.FaultCorrupt, err)
+	}
+	return ack, nil
+}
+
+func (r *Remote) fetchStateRPCLocked() (*sketch.ARAMSState, error) {
+	payload, err := r.rpcLocked(MsgReconcile, nil, MsgSketchState)
+	if err != nil {
+		return nil, err
+	}
+	if len(payload) == 0 {
+		return nil, nil // no rows yet
+	}
+	v, err := ckpt.Unmarshal(payload)
+	if err != nil {
+		return nil, parallel.AsFault(parallel.FaultCorrupt, err)
+	}
+	st, ok := v.(*sketch.ARAMSState)
+	if !ok {
+		return nil, parallel.AsFault(parallel.FaultCorrupt,
+			fmt.Errorf("fabric: state payload is %T, want ARAMS state", v))
+	}
+	return st, nil
+}
+
+func (r *Remote) restoreRPCLocked(st *sketch.ARAMSState) error {
+	payload, err := ckpt.Marshal(st)
+	if err != nil {
+		return parallel.AsFault(parallel.FaultFatal, err)
+	}
+	_, err = r.rpcLocked(MsgRestore, payload, MsgRestoreAck)
+	return err
+}
+
+// --- recovery ladder ---
+
+// recoverLocked is rung 2 and 3: reconnect with restore + replay under
+// the retry policy, then degrade to local fallback (or return the
+// classified error under NoLocalFallback). pending is how many rows at
+// the tail of the log belong to the in-flight Absorb — they are
+// replayed as their own chunk so lastReplayAck holds exactly their
+// stats.
+func (r *Remote) recoverLocked(cause error, pending int) error {
+	if parallel.Classify(cause) == parallel.FaultFatal {
+		return cause
+	}
+	backoff := r.cfg.ReconnectBackoff
+	var err = cause
+	for attempt := 0; attempt < r.cfg.ReconnectAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		if err = r.reconnectLocked(uint64(attempt), pending); err == nil {
+			audit.Default().Record(audit.KindRemoteRecovery,
+				"fabric worker reconnected; state restored and replay log re-absorbed",
+				audit.A("shard", float64(r.hello.Shard)),
+				audit.A("attempt", float64(attempt)),
+				audit.A("replayed_rows", float64(len(r.log))))
+			return nil
+		}
+		if parallel.Classify(err) == parallel.FaultFatal {
+			break
+		}
+	}
+	if r.cfg.NoLocalFallback {
+		return err
+	}
+	r.degradeLocked(err, pending)
+	return nil
+}
+
+// reconnectLocked establishes a fresh connection and rebuilds the
+// worker to exactly lastState + replay log: dial, hello, unconditional
+// restore, replay. Unconditional restore (or an explicit reset when no
+// baseline exists) guarantees the worker never double-counts rows it
+// may have absorbed before the failure. The replay is split so the
+// final pending rows land in their own IngestAck. attempt tags the obs
+// span.
+func (r *Remote) reconnectLocked(attempt uint64, pending int) error {
+	if r.conn != nil {
+		r.conn.Close()
+		r.conn = nil
+	}
+	sp := obs.StartTrace("fabric_reconnect",
+		obs.L("worker", r.name), obs.L("attempt", fmt.Sprint(attempt)))
+	defer sp.End()
+	r.mReconnects.Inc()
+	conn, err := net.DialTimeout("tcp", r.addr, r.cfg.DialTimeout)
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+		return parallel.AsFault(parallel.FaultTransient, err)
+	}
+	r.conn = conn
+	if _, err := r.rpcLocked(MsgHello, r.hello.encode(), MsgHelloAck); err != nil {
+		sp.SetAttr("error", err.Error())
+		return err
+	}
+	if r.lastState != nil {
+		err = r.restoreRPCLocked(r.lastState)
+	} else {
+		// No baseline state: reset the worker to a fresh sketcher so a
+		// surviving worker that absorbed rows before the fault does not
+		// double-count the replay.
+		_, err = r.rpcLocked(MsgRestore, nil, MsgRestoreAck)
+	}
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+		return err
+	}
+	r.lastReplayAck = IngestAckPayload{}
+	if head := r.log[:len(r.log)-pending]; len(head) > 0 {
+		// Rows whose stats earlier Absorb calls already returned: replay
+		// for state, discard the ack.
+		if _, err := r.ingestRPCLocked(head); err != nil {
+			sp.SetAttr("error", err.Error())
+			return err
+		}
+	}
+	if tail := r.log[len(r.log)-pending:]; len(tail) > 0 {
+		ack, err := r.ingestRPCLocked(tail)
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+			return err
+		}
+		r.lastReplayAck = ack
+	}
+	sp.SetAttr("replayed_rows", fmt.Sprint(len(r.log)))
+	r.mUp.SetInt(1)
+	return nil
+}
+
+// degradeLocked is the last rung: build an in-process sketcher from
+// lastState + replay log. Bit-exact with the lost worker, so the
+// stream keeps full coverage and certificates stay valid. The replay
+// log and baseline are released — the fallback itself is the state now.
+func (r *Remote) degradeLocked(cause error, pending int) {
+	r.mDegraded.Inc()
+	r.mUp.SetInt(0)
+	replayed := len(r.log)
+	fb := engine.NewLocalBackend(r.hello.Cfg)
+	if r.lastState != nil {
+		if err := fb.Restore(r.lastState); err != nil {
+			// A state that round-tripped the codec cannot fail to
+			// restore; journal and start fresh as a last resort.
+			audit.Default().Record(audit.KindRemoteDegrade,
+				"fabric fallback restore failed; resketching replay log from scratch",
+				audit.A("shard", float64(r.hello.Shard)))
+		}
+	}
+	if head := r.log[:len(r.log)-pending]; len(head) > 0 {
+		fb.Absorb(head, nil)
+	}
+	if tail := r.log[len(r.log)-pending:]; len(tail) > 0 {
+		if stats, err := fb.Absorb(tail, nil); err == nil {
+			r.lastReplayAck = IngestAckPayload{Stats: stats, Ell: stats.EllAfter}
+			r.lastEll.Store(int64(stats.EllAfter))
+		}
+	}
+	r.fallback = fb
+	r.log = nil
+	r.lastState = nil
+	audit.Default().Record(audit.KindRemoteDegrade,
+		"fabric worker unreachable after reconnect attempts; degraded to in-process sketching (bit-exact: lastState + replay)",
+		audit.A("shard", float64(r.hello.Shard)),
+		audit.A("replayed_rows", float64(replayed)),
+		audit.A("class", float64(parallel.Classify(cause))))
+	obs.Default().FlightTrigger("fabric_degrade")
+}
+
+// --- heartbeats ---
+
+// heartbeatLoop probes liveness/RTT at HeartbeatEvery. TryLock keeps it
+// strictly lower priority than real RPCs: if an ingest or fetch holds
+// the connection, the probe is skipped — the in-flight RPC is already
+// the liveness signal.
+func (r *Remote) heartbeatLoop() {
+	defer close(r.hbDone)
+	t := time.NewTicker(r.cfg.HeartbeatEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.hbStop:
+			return
+		case <-t.C:
+		}
+		if !r.mu.TryLock() {
+			continue
+		}
+		if r.closed || r.fallback != nil || r.conn == nil {
+			r.mu.Unlock()
+			continue
+		}
+		start := time.Now()
+		payload, err := r.rpcLocked(MsgHeartbeat, nil, MsgHeartbeatAck)
+		if err == nil {
+			r.mRTT.Observe(time.Since(start).Seconds())
+			r.mUp.SetInt(1)
+			if hb, derr := decodeHeartbeat(payload); derr == nil {
+				r.lastEll.Store(int64(hb.Ell))
+			}
+		}
+		// On error rpcLocked already dropped the connection and zeroed
+		// the up gauge; the next operation reconnects.
+		r.mu.Unlock()
+	}
+}

@@ -1,0 +1,280 @@
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"arams/internal/audit"
+	"arams/internal/ckpt"
+	"arams/internal/engine"
+	"arams/internal/obs"
+	"arams/internal/sketch"
+)
+
+// Worker-side observability.
+var (
+	obsWorkerConns    = obs.Default().Counter("arams_fabric_worker_conns_total")
+	obsWorkerFrames   = obs.Default().Counter("arams_fabric_worker_frames_total")
+	obsWorkerRPCs     = obs.Default().Counter("arams_fabric_worker_rpc_total")
+	obsWorkerRPCErrs  = obs.Default().Counter("arams_fabric_worker_rpc_errors_total")
+	obsWorkerRestores = obs.Default().Counter("arams_fabric_worker_restores_total")
+)
+
+// Worker serves one shard's sketching over TCP: it accepts coordinator
+// connections, absorbs ingested rows into an in-process shard backend,
+// and answers reconcile fetches with its checkpointable state. The
+// sketcher survives connection loss — a reconnecting coordinator
+// re-establishes exact state with MsgRestore + row replay regardless,
+// so a restarted worker process (fresh, empty) and a surviving worker
+// behave identically after recovery.
+//
+// A worker needs no sketch configuration of its own: the coordinator's
+// Hello carries the shard-derived config. Connections are served
+// concurrently; the backend serializes absorbs under its own lock and
+// the coordinator serializes RPCs per connection, so one coordinator
+// sees strict request/response order.
+type Worker struct {
+	ln net.Listener
+
+	mu      sync.Mutex
+	backend engine.Backend
+	cfg     sketch.Config
+	haveCfg bool
+	shard   uint32
+
+	// conns tracks live connections (guarded by mu) so Close can tear
+	// them down — serve() blocks in Read with no deadline otherwise.
+	conns map[net.Conn]struct{}
+
+	frames atomic.Int64
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+// NewWorker starts a worker listening on addr (host:port; use port 0
+// for an ephemeral port, then read Addr()). Serving starts immediately
+// in the background.
+func NewWorker(addr string) (*Worker, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: listen %s: %w", addr, err)
+	}
+	return ServeWorker(ln), nil
+}
+
+// ServeWorker starts a worker on an existing listener (tests use this
+// to pin a port across a kill/restart). The worker owns the listener.
+func ServeWorker(ln net.Listener) *Worker {
+	w := &Worker{ln: ln, conns: make(map[net.Conn]struct{})}
+	w.wg.Add(1)
+	go w.acceptLoop()
+	return w
+}
+
+// Addr returns the listener's address (dial this).
+func (w *Worker) Addr() string { return w.ln.Addr().String() }
+
+// Frames returns how many rows this worker has absorbed since start
+// (replays included).
+func (w *Worker) Frames() int { return int(w.frames.Load()) }
+
+// Close stops the listener and tears down every live connection. The
+// sketcher state is discarded with the process; coordinators recover
+// via restore + replay.
+func (w *Worker) Close() error {
+	w.closed.Store(true)
+	err := w.ln.Close()
+	w.mu.Lock()
+	for c := range w.conns {
+		c.Close()
+	}
+	w.mu.Unlock()
+	w.wg.Wait()
+	return err
+}
+
+func (w *Worker) acceptLoop() {
+	defer w.wg.Done()
+	for {
+		conn, err := w.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		obsWorkerConns.Inc()
+		w.mu.Lock()
+		w.conns[conn] = struct{}{}
+		w.mu.Unlock()
+		w.wg.Add(1)
+		go func() {
+			defer w.wg.Done()
+			defer func() {
+				conn.Close()
+				w.mu.Lock()
+				delete(w.conns, conn)
+				w.mu.Unlock()
+			}()
+			w.serve(conn)
+		}()
+	}
+}
+
+// serve handles one connection's request/response loop. Transport-level
+// errors (torn frames, checksum mismatches — the stream is desynced)
+// drop the connection; request-level errors answer with MsgError and
+// keep serving.
+func (w *Worker) serve(conn net.Conn) {
+	for !w.closed.Load() {
+		req, err := ckpt.ReadWireFrame(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !w.closed.Load() {
+				obsWorkerRPCErrs.Inc()
+			}
+			return
+		}
+		obsWorkerRPCs.Inc()
+		resp := w.handle(req)
+		resp.Seq = req.Seq
+		if err := ckpt.WriteWireFrame(conn, resp); err != nil {
+			obsWorkerRPCErrs.Inc()
+			return
+		}
+	}
+}
+
+// handle serves one request frame, returning the response frame (Seq is
+// filled by the caller).
+func (w *Worker) handle(req ckpt.WireFrame) ckpt.WireFrame {
+	switch req.Type {
+	case MsgHello:
+		hello, err := decodeHello(req.Payload)
+		if err != nil {
+			return errFrame(ErrCodeCorrupt, err)
+		}
+		w.mu.Lock()
+		w.shard = hello.Shard
+		if !w.haveCfg || w.cfg != hello.Cfg {
+			// First hello, or a coordinator with a different shard
+			// config: adopt it and start fresh. A same-config reconnect
+			// keeps the live sketcher (the coordinator restores state
+			// explicitly anyway).
+			w.cfg = hello.Cfg
+			w.haveCfg = true
+			w.backend = engine.NewLocalBackend(hello.Cfg)
+		}
+		w.mu.Unlock()
+		return ckpt.WireFrame{Type: MsgHelloAck, Payload: hello.encode()}
+
+	case MsgIngest:
+		p, err := decodeIngest(req.Payload)
+		if err != nil {
+			return errFrame(ErrCodeCorrupt, err)
+		}
+		b := w.getBackend()
+		if b == nil {
+			return errFrame(ErrCodeTransient, errNoHello)
+		}
+		stats, err := b.Absorb(p.Rows, nil)
+		if err != nil {
+			return errFrame(ErrCodeTransient, err)
+		}
+		w.frames.Add(int64(len(p.Rows)))
+		obsWorkerFrames.Add(float64(len(p.Rows)))
+		return ckpt.WireFrame{Type: MsgIngestAck,
+			Payload: IngestAckPayload{Stats: stats, Ell: b.Ell()}.encode()}
+
+	case MsgReconcile:
+		b := w.getBackend()
+		if b == nil {
+			return errFrame(ErrCodeTransient, errNoHello)
+		}
+		st, err := b.State()
+		if err != nil {
+			return errFrame(ErrCodeTransient, err)
+		}
+		if st == nil {
+			return ckpt.WireFrame{Type: MsgSketchState} // no rows yet
+		}
+		payload, err := ckpt.Marshal(st)
+		if err != nil {
+			return errFrame(ErrCodeFatal, err)
+		}
+		return ckpt.WireFrame{Type: MsgSketchState, Payload: payload}
+
+	case MsgRestore:
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		if !w.haveCfg {
+			return errFrame(ErrCodeTransient, errNoHello)
+		}
+		if len(req.Payload) == 0 {
+			// Explicit reset to a fresh sketcher.
+			w.backend = engine.NewLocalBackend(w.cfg)
+			obsWorkerRestores.Inc()
+			return ckpt.WireFrame{Type: MsgRestoreAck}
+		}
+		v, err := ckpt.Unmarshal(req.Payload)
+		if err != nil {
+			return errFrame(ErrCodeCorrupt, err)
+		}
+		st, ok := v.(*sketch.ARAMSState)
+		if !ok {
+			return errFrame(ErrCodeCorrupt, fmt.Errorf("fabric: restore payload is %T, want ARAMS state", v))
+		}
+		b := engine.NewLocalBackend(w.cfg)
+		if err := b.Restore(st); err != nil {
+			return errFrame(ErrCodeCorrupt, err)
+		}
+		w.backend = b
+		obsWorkerRestores.Inc()
+		audit.Default().Record(audit.KindCheckpointRestore,
+			"fabric worker restored sketcher state from coordinator",
+			audit.A("shard", float64(w.shard)),
+			audit.A("dim", float64(st.D)))
+		return ckpt.WireFrame{Type: MsgRestoreAck}
+
+	case MsgCertificateReq:
+		b := w.getBackend()
+		if b == nil {
+			return errFrame(ErrCodeTransient, errNoHello)
+		}
+		fd, err := b.Snapshot()
+		if err != nil {
+			return errFrame(ErrCodeTransient, err)
+		}
+		var cert audit.Certificate
+		if fd != nil {
+			cert = audit.FromSketch(fd)
+		}
+		return ckpt.WireFrame{Type: MsgCertificate,
+			Payload: CertificatePayload{Cert: cert}.encode()}
+
+	case MsgHeartbeat:
+		ell := 0
+		if b := w.getBackend(); b != nil {
+			ell = b.Ell()
+		}
+		return ckpt.WireFrame{Type: MsgHeartbeatAck,
+			Payload: HeartbeatPayload{Frames: int(w.frames.Load()), Ell: ell}.encode()}
+
+	default:
+		return errFrame(ErrCodeCorrupt, fmt.Errorf("fabric: unknown message type %d", req.Type))
+	}
+}
+
+var errNoHello = errors.New("fabric: no hello received on this worker yet")
+
+func (w *Worker) getBackend() engine.Backend {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.backend
+}
+
+func errFrame(code uint32, err error) ckpt.WireFrame {
+	obsWorkerRPCErrs.Inc()
+	return ckpt.WireFrame{Type: MsgError,
+		Payload: ErrorPayload{Code: code, Msg: err.Error()}.encode()}
+}

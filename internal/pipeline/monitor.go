@@ -77,6 +77,8 @@ func engineConfig(cfg Config, window int) engine.Config {
 		AuditEvery:        cfg.AuditEvery,
 		FrameBudget:       cfg.FrameBudget,
 		BurnThreshold:     cfg.BurnThreshold,
+		Backends:          cfg.Backends,
+		ReconcileRetry:    cfg.ReconcileRetry,
 	}
 }
 

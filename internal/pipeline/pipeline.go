@@ -100,6 +100,17 @@ type Config struct {
 	// BurnThreshold is the EWMA budget burn rate that trips the flight
 	// recorder (default 2.0).
 	BurnThreshold float64
+	// Backends, when non-empty, supplies the Monitor's engine shard
+	// backends directly and overrides Shards — the distributed-fabric
+	// hook (see internal/fabric): slot i is shard i, and the caller
+	// (e.g. cmd/lclsmon's fabric mode) must configure backend i with
+	// engine.ShardSketchConfig(Sketch, i) so routing and RNG semantics
+	// match an all-local monitor.
+	Backends []engine.Backend
+	// ReconcileRetry is the engine's per-leg retry policy for shard
+	// snapshot fetches during reconciles. Local shards never fail, so
+	// this only matters with remote Backends.
+	ReconcileRetry parallel.Retry
 }
 
 func (c Config) withDefaults() Config {

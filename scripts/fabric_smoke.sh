@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Fabric smoke test: boot a real two-process worker fleet with
+# fabricworker, run lclsmon in -fabric streaming mode against it over
+# TCP, kill one worker mid-stream to force the restore+replay recovery
+# path, and require the run to finish with an embedding and a final
+# checkpoint. Then run the in-process fabric test suites under -race:
+# the network-chaos suite (delay, corruption, partition, mid-frame
+# close, worker kill/restart), the bit-exact loopback equivalence
+# tests, the stop-leak regression, and the concurrency hammer.
+#
+# Used by the fabric-smoke CI job; also runnable locally:
+#
+#   ./scripts/fabric_smoke.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+TMP="$(mktemp -d)"
+trap 'kill "${W0_PID:-}" "${W1_PID:-}" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+echo "== build =="
+go build -o "$TMP/lclssim" ./cmd/lclssim
+go build -o "$TMP/lclsmon" ./cmd/lclsmon
+go build -o "$TMP/fabricworker" ./cmd/fabricworker
+
+echo "== synthetic run =="
+"$TMP/lclssim" -kind beam -frames 256 -size 32 -out "$TMP/run.lcls"
+
+echo "== worker fleet (2 processes, ephemeral ports) =="
+"$TMP/fabricworker" -listen 127.0.0.1:0 -addr-file "$TMP/w0.addr" &
+W0_PID=$!
+"$TMP/fabricworker" -listen 127.0.0.1:0 -addr-file "$TMP/w1.addr" &
+W1_PID=$!
+for i in $(seq 1 100); do
+  [ -s "$TMP/w0.addr" ] && [ -s "$TMP/w1.addr" ] && break
+  sleep 0.1
+done
+W0="$(cat "$TMP/w0.addr")"
+W1="$(cat "$TMP/w1.addr")"
+echo "workers: $W0 $W1"
+
+echo "== kill worker 1 mid-stream (recovery: degrade keeps coverage) =="
+(sleep 0.5; kill "$W1_PID" 2>/dev/null || true) &
+
+echo "== lclsmon -fabric (distributed streaming over TCP) =="
+"$TMP/lclsmon" -in "$TMP/run.lcls" -html "$TMP/embedding.html" \
+  -checkpoint-dir "$TMP/ckpt" -checkpoint-every 128 -window 128 \
+  -fabric "$W0,$W1"
+
+test -s "$TMP/embedding.html" || { echo "no embedding written" >&2; exit 1; }
+test -s "$TMP/ckpt/lclsmon.ckpt" || { echo "no final checkpoint" >&2; exit 1; }
+kill "$W0_PID" 2>/dev/null || true
+
+echo "== fabric suites under -race =="
+go test -race -count=1 -v \
+  -run 'TestChaos|TestWorkerKillRestart|TestLoopback|TestStopDuringHungReconcile|TestFabricRaceHammer' \
+  ./internal/fabric/
+
+echo "== remote merge + wire codec units =="
+go test -count=1 -run 'TestMergeRemote|TestClassify' ./internal/parallel/
+go test -count=1 -run 'TestWire|TestPayload' ./internal/ckpt/ ./internal/fabric/
+
+echo "fabric smoke: PASS"
