@@ -11,10 +11,13 @@
 // With -listen port 0 the kernel picks a free port and -addr-file
 // publishes the bound address for scripts and tests. -obs-listen serves
 // the usual observability endpoints (/metrics, /statusz, /tracez,
-// /debug/pprof/) next to the data plane. The process exits cleanly on
-// SIGINT/SIGTERM; its sketch state dies with it by design — a
-// reconnecting coordinator rebuilds the shard bit-exactly with restore
-// + replay.
+// /debug/pprof/) next to the data plane (-obs-addr-file publishes its
+// bound address). -flight-dir arms a flight recorder whose dumps carry
+// -flight-id in their filenames, so a fleet sharing one dump directory
+// stays collision-free and a coordinator fault fans out to correlated
+// per-worker dumps. The process exits cleanly on SIGINT/SIGTERM; its
+// sketch state dies with it by design — a reconnecting coordinator
+// rebuilds the shard bit-exactly with restore + replay.
 package main
 
 import (
@@ -34,6 +37,9 @@ func main() {
 	listen := flag.String("listen", ":9750", "data-plane listen address (host:port; port 0 for ephemeral)")
 	addrFile := flag.String("addr-file", "", "write the bound address to this file (for port-0 listens)")
 	obsListen := flag.String("obs-listen", "", "serve /metrics, /statusz, /debug/pprof on this address")
+	obsAddrFile := flag.String("obs-addr-file", "", "write the bound observability address to this file (for port-0 obs listens)")
+	flightDir := flag.String("flight-dir", "", "arm the flight recorder, dumping to this directory on coordinator fan-out triggers")
+	flightID := flag.String("flight-id", "", "stable process identity embedded in flight dump filenames (default: listen address)")
 	verbosity := flag.Int("v", 0, "log verbosity: 0=info, 1=debug")
 	flag.Parse()
 
@@ -56,6 +62,19 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *flightDir != "" {
+		ident := *flightID
+		if ident == "" {
+			ident = w.Addr()
+		}
+		if _, err := obs.Default().ArmFlightRecorder(obs.FlightConfig{
+			Dir: *flightDir, Identity: ident,
+		}); err != nil {
+			slog.Error("arming flight recorder", "err", err)
+			os.Exit(1)
+		}
+		slog.Info("flight recorder armed", "dir", *flightDir, "identity", ident)
+	}
 	if *obsListen != "" {
 		ln, err := net.Listen("tcp", *obsListen)
 		if err != nil {
@@ -63,6 +82,12 @@ func main() {
 			os.Exit(1)
 		}
 		slog.Info("observability server listening", "addr", ln.Addr().String())
+		if *obsAddrFile != "" {
+			if err := os.WriteFile(*obsAddrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+				slog.Error("writing obs addr file", "err", err)
+				os.Exit(1)
+			}
+		}
 		go func() {
 			if err := (&http.Server{Handler: obs.Handler()}).Serve(ln); err != nil {
 				slog.Error("observability server stopped", "err", err)

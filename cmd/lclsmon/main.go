@@ -94,12 +94,23 @@ func main() {
 		obs.Default().SetRingCap(*obsRing)
 	}
 	if *flightDir != "" {
-		if _, err := obs.Default().ArmFlightRecorder(obs.FlightConfig{Dir: *flightDir}); err != nil {
+		// In fabric mode the recorder carries a stable identity so its
+		// dumps cannot collide with worker dumps in a shared directory.
+		ident := ""
+		if *fabricWorkers != "" {
+			ident = "coordinator"
+		}
+		if _, err := obs.Default().ArmFlightRecorder(obs.FlightConfig{Dir: *flightDir, Identity: ident}); err != nil {
 			fatal("arming flight recorder", err)
 		}
 		slog.Info("flight recorder armed", "dir", *flightDir)
 	}
 	auditor := setupAudit(*auditLog, *alarmThreshold)
+	// /fleetz always serves: single-process runs show just the
+	// coordinator's own registry; fabric mode adds one member per worker.
+	fleet := obs.NewFleetView(0)
+	fleet.IncludeLocal("coordinator", obs.Default())
+	obs.Handle("/fleetz", fleet)
 	hold := serveObs(*listen)
 
 	if *restore && *ckptDir == "" {
@@ -147,6 +158,7 @@ func main() {
 		}
 		addrs := strings.Split(*fabricWorkers, ",")
 		backends := make([]engine.Backend, len(addrs))
+		remotes := make([]*fabric.Remote, len(addrs))
 		for i, addr := range addrs {
 			name := fmt.Sprintf("worker%d", i)
 			r, err := fabric.DialRemote(name, strings.TrimSpace(addr), uint32(i),
@@ -158,8 +170,13 @@ func main() {
 				slog.Warn("fabric worker unreachable; shard degraded to in-process sketching",
 					"worker", name, "addr", addr)
 			}
+			// Heartbeats now feed this worker's registry snapshot into
+			// /fleetz, and coordinator flight dumps fan out to it.
+			r.ArmFleet(fleet)
 			backends[i] = r
+			remotes[i] = r
 		}
+		fabric.ArmFleetFlight(remotes)
 		cfg.Backends = backends
 		cfg.Shards = len(addrs)
 		slog.Info("fabric mode: sketching distributed across workers",

@@ -11,7 +11,14 @@
 //     must hold at least N retained traces, every one of them
 //     *connected*: each span's parent chain reaches the trace root;
 //   - /metrics.json parses as a JSON object;
-//   - /audit and /healthz answer 200.
+//   - /audit and /healthz answer 200 (-skip-audit drops the /audit
+//     check for processes that don't mount it, e.g. fabricworker);
+//   - with -want-spans, at least one retained trace on /tracez contains
+//     every named span — the cross-process stitch check (a fabric run
+//     must show worker_absorb spans inside the coordinator's traces);
+//   - with -fleet-workers, /fleetz?format=prom passes ValidateExposition
+//     and carries a worker="<name>" label for every listed member, and
+//     /fleetz?format=json parses into obs.FleetzPayload.
 //
 // Any violation prints the failing check and exits nonzero, so a CI
 // step is just `obscheck -base http://127.0.0.1:9090 ...`.
@@ -20,7 +27,7 @@
 //
 //	obscheck -base http://127.0.0.1:9090 \
 //	  -want arams_stage_duration_seconds,arams_stage_cpu_seconds \
-//	  -min-traces 1
+//	  -min-traces 1 -fleet-workers coordinator,worker0
 package main
 
 import (
@@ -41,14 +48,22 @@ func main() {
 	base := flag.String("base", "http://127.0.0.1:9090", "base URL of the observability server")
 	want := flag.String("want", "", "comma-separated metric names that must appear in /metrics")
 	minTraces := flag.Int("min-traces", 0, "require at least this many retained traces in /tracez, each fully connected")
+	wantSpans := flag.String("want-spans", "", "comma-separated span names; each must appear in at least one retained trace on /tracez")
+	fleetWorkers := flag.String("fleet-workers", "", "comma-separated fleet member names; check /fleetz exposition validity and per-worker labels")
+	skipAudit := flag.Bool("skip-audit", false, "skip the /audit check (for processes that don't mount it, e.g. fabricworker)")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-request timeout")
 	flag.Parse()
 
 	c := &checker{base: strings.TrimRight(*base, "/"), client: &http.Client{Timeout: *timeout}}
 	c.checkMetrics(splitWant(*want))
-	c.checkTracez(*minTraces)
+	c.checkTracez(*minTraces, splitWant(*wantSpans))
 	c.checkMetricsJSON()
-	c.checkOK("/audit")
+	if workers := splitWant(*fleetWorkers); len(workers) > 0 {
+		c.checkFleetz(workers)
+	}
+	if !*skipAudit {
+		c.checkOK("/audit")
+	}
 	c.checkOK("/healthz")
 
 	if c.failures > 0 {
@@ -155,7 +170,7 @@ func hasMetric(body []byte, name string) bool {
 	return false
 }
 
-func (c *checker) checkTracez(minTraces int) {
+func (c *checker) checkTracez(minTraces int, wantSpans []string) {
 	body := c.get("/tracez?format=json")
 	if body == nil {
 		return
@@ -196,6 +211,56 @@ func (c *checker) checkTracez(minTraces int) {
 	if minTraces > 0 {
 		c.passf("all %d retained trace(s) are connected parent→child trees", len(payload.Traces))
 	}
+	for _, name := range wantSpans {
+		found := false
+	scan:
+		for _, tr := range payload.Traces {
+			for _, sp := range tr.Spans {
+				if sp.Name == name {
+					found = true
+					break scan
+				}
+			}
+		}
+		if !found {
+			c.failf("/tracez holds no trace containing span %q", name)
+			continue
+		}
+		c.passf("/tracez contains span %s", name)
+	}
+}
+
+// checkFleetz validates the merged fleet view: the Prometheus form must
+// pass the same exposition lint as /metrics and carry every expected
+// member's worker label; the JSON form must parse.
+func (c *checker) checkFleetz(workers []string) {
+	body := c.get("/fleetz?format=prom")
+	if body == nil {
+		return
+	}
+	if err := obs.ValidateExposition(bytes.NewReader(body)); err != nil {
+		c.failf("/fleetz?format=prom is not valid exposition format: %v", err)
+		return
+	}
+	c.passf("/fleetz?format=prom parses as Prometheus exposition format (%d bytes)", len(body))
+	for _, w := range workers {
+		label := fmt.Sprintf("worker=%q", w)
+		if !strings.Contains(string(body), label) {
+			c.failf("/fleetz carries no series labeled %s", label)
+			continue
+		}
+		c.passf("/fleetz carries series for worker %s", w)
+	}
+	jbody := c.get("/fleetz?format=json")
+	if jbody == nil {
+		return
+	}
+	var payload obs.FleetzPayload
+	if err := json.Unmarshal(jbody, &payload); err != nil {
+		c.failf("/fleetz?format=json does not unmarshal: %v", err)
+		return
+	}
+	c.passf("/fleetz?format=json parses (%d member(s))", len(payload.Workers))
 }
 
 // connected verifies one trace is a single tree: exactly one root span

@@ -28,6 +28,7 @@ const (
 	KindRemoteLegLost     EventKind = "remote_leg_lost"    // remote merge leg dropped after retries
 	KindRemoteDegrade     EventKind = "remote_degrade"     // remote shard fell back to local sketching
 	KindRemoteRecovery    EventKind = "remote_recovery"    // remote shard state restored + replayed after reconnect
+	KindFlightFanout      EventKind = "flight_fanout"      // coordinator flight trigger fanned out to the worker fleet
 )
 
 // Attr is one numeric attribute of an event. Attributes are numeric on

@@ -11,12 +11,25 @@ package ckpt
 // Wire frame layout (all integers little-endian):
 //
 //	offset 0   magic   "AFAB" (4 bytes)
-//	offset 4   version uint32 (currently 1)
+//	offset 4   version uint32 (1 or 2)
 //	offset 8   type    uint32 (message type; owned by internal/fabric)
 //	offset 12  seq     uint64 (request/response correlation)
 //	offset 20  length  uint64 (payload byte count)
-//	offset 28  payload
-//	offset 28+length   crc32 uint32 (IEEE, over bytes [0, 28+length))
+//	offset 28  trace   uint64 (version ≥ 2 only: trace ID)
+//	offset 36  span    uint64 (version ≥ 2 only: parent span ID)
+//	...        payload (offset 28 for v1, 44 for v2)
+//	...        crc32 uint32 (IEEE, over every byte before it)
+//
+// Version 2 adds an optional trace-context block so a coordinator can
+// propagate its obs.SpanContext to a remote worker and the worker can
+// open child spans inside the coordinator's trace. The block is
+// version-gated for compatibility in both directions: frames without a
+// trace context encode as version 1 (byte-identical to the v1 codec,
+// so v1 peers still decode them), and frames carrying one encode as
+// version 2. To keep the encoding canonical (decode→re-encode is
+// byte-identical, a property the fuzz targets enforce), a version-2
+// frame whose trace and span IDs are both zero is rejected: that
+// content has exactly one encoding, the version-1 one.
 //
 // Like the checkpoint decoder, the wire decoder is fully
 // bounds-checked and never panics on corrupt input: truncation,
@@ -36,13 +49,17 @@ const WireMagic = uint32('A') | uint32('F')<<8 | uint32('A')<<16 | uint32('B')<<
 
 // WireVersion is the current wire-frame version. Decoders accept every
 // version up to and including this one and reject newer frames rather
-// than guessing at their layout.
-const WireVersion = 1
+// than guessing at their layout. Version 2 added the optional trace
+// context block; encoders only emit it when a frame carries one, so
+// untraced traffic remains version-1 bytes.
+const WireVersion = 2
 
-// wireHeaderLen is magic+version+type+seq+length; the trailer is the
-// CRC32.
+// wireHeaderLen is magic+version+type+seq+length; version ≥ 2 frames
+// extend the header with wireTraceLen bytes of trace context; the
+// trailer is the CRC32.
 const (
 	wireHeaderLen  = 4 + 4 + 4 + 8 + 8
+	wireTraceLen   = 8 + 8
 	wireTrailerLen = 4
 )
 
@@ -53,24 +70,41 @@ const (
 const MaxWirePayload = 1 << 30
 
 // WireFrame is one decoded fabric message: its type tag (interpreted
-// by internal/fabric), the sender's sequence number, and the payload
-// bytes.
+// by internal/fabric), the sender's sequence number, the optional
+// trace context (zero when absent — the IDs are obs span/trace IDs,
+// kept as raw uint64 so ckpt does not depend on internal/obs), and the
+// payload bytes.
 type WireFrame struct {
 	Type    uint32
 	Seq     uint64
+	Trace   uint64
+	Span    uint64
 	Payload []byte
 }
 
+// Traced reports whether the frame carries a trace context (and hence
+// encodes as version 2).
+func (f WireFrame) Traced() bool { return f.Trace|f.Span != 0 }
+
 // AppendWireFrame appends the encoded frame to dst and returns the
 // extended slice. Encoding is canonical: encode→decode→re-encode is
-// byte-identical.
+// byte-identical. Frames without a trace context encode as version 1,
+// frames with one as version 2.
 func AppendWireFrame(dst []byte, f WireFrame) []byte {
 	base := len(dst)
+	ver := uint32(1)
+	if f.Traced() {
+		ver = 2
+	}
 	dst = binary.LittleEndian.AppendUint32(dst, WireMagic)
-	dst = binary.LittleEndian.AppendUint32(dst, WireVersion)
+	dst = binary.LittleEndian.AppendUint32(dst, ver)
 	dst = binary.LittleEndian.AppendUint32(dst, f.Type)
 	dst = binary.LittleEndian.AppendUint64(dst, f.Seq)
 	dst = binary.LittleEndian.AppendUint64(dst, uint64(len(f.Payload)))
+	if ver >= 2 {
+		dst = binary.LittleEndian.AppendUint64(dst, f.Trace)
+		dst = binary.LittleEndian.AppendUint64(dst, f.Span)
+	}
 	dst = append(dst, f.Payload...)
 	return binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(dst[base:]))
 }
@@ -78,7 +112,7 @@ func AppendWireFrame(dst []byte, f WireFrame) []byte {
 // EncodeWireFrame encodes one fabric message as a standalone byte
 // slice.
 func EncodeWireFrame(f WireFrame) []byte {
-	return AppendWireFrame(make([]byte, 0, wireHeaderLen+len(f.Payload)+wireTrailerLen), f)
+	return AppendWireFrame(make([]byte, 0, wireHeaderLen+wireTraceLen+len(f.Payload)+wireTrailerLen), f)
 }
 
 // DecodeWireFrame decodes exactly one wire frame occupying the whole
@@ -98,16 +132,27 @@ func DecodeWireFrame(b []byte) (WireFrame, error) {
 		Type: binary.LittleEndian.Uint32(b[8:12]),
 		Seq:  binary.LittleEndian.Uint64(b[12:20]),
 	}
+	hdr := wireHeaderLen
+	if ver >= 2 {
+		hdr += wireTraceLen
+	}
 	n := binary.LittleEndian.Uint64(b[20:28])
-	if n > MaxWirePayload || uint64(len(b)) != wireHeaderLen+n+wireTrailerLen {
+	if n > MaxWirePayload || uint64(len(b)) != uint64(hdr)+n+wireTrailerLen {
 		return WireFrame{}, ErrTruncated
 	}
-	body := wireHeaderLen + int(n)
+	body := hdr + int(n)
 	if crc32.ChecksumIEEE(b[:body]) != binary.LittleEndian.Uint32(b[body:]) {
 		return WireFrame{}, ErrChecksum
 	}
+	if ver >= 2 {
+		f.Trace = binary.LittleEndian.Uint64(b[28:36])
+		f.Span = binary.LittleEndian.Uint64(b[36:44])
+		if !f.Traced() {
+			return WireFrame{}, fmt.Errorf("%w: version 2 frame without trace context", ErrVersion)
+		}
+	}
 	if n > 0 {
-		f.Payload = b[wireHeaderLen:body]
+		f.Payload = b[hdr:body]
 	}
 	return f, nil
 }
@@ -149,6 +194,26 @@ func ReadWireFrame(r io.Reader) (WireFrame, error) {
 	if n > MaxWirePayload {
 		return WireFrame{}, ErrTruncated
 	}
+	f := WireFrame{
+		Type: binary.LittleEndian.Uint32(hdr[8:12]),
+		Seq:  binary.LittleEndian.Uint64(hdr[12:20]),
+	}
+	sum := crc32.ChecksumIEEE(hdr[:])
+	if ver >= 2 {
+		var tb [wireTraceLen]byte
+		if _, err := io.ReadFull(r, tb[:]); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return WireFrame{}, err
+		}
+		f.Trace = binary.LittleEndian.Uint64(tb[0:8])
+		f.Span = binary.LittleEndian.Uint64(tb[8:16])
+		if !f.Traced() {
+			return WireFrame{}, fmt.Errorf("%w: version 2 frame without trace context", ErrVersion)
+		}
+		sum = crc32.Update(sum, crc32.IEEETable, tb[:])
+	}
 	rest := make([]byte, int(n)+wireTrailerLen)
 	if _, err := io.ReadFull(r, rest); err != nil {
 		if err == io.EOF {
@@ -156,14 +221,9 @@ func ReadWireFrame(r io.Reader) (WireFrame, error) {
 		}
 		return WireFrame{}, err
 	}
-	sum := crc32.ChecksumIEEE(hdr[:])
 	sum = crc32.Update(sum, crc32.IEEETable, rest[:n])
 	if sum != binary.LittleEndian.Uint32(rest[n:]) {
 		return WireFrame{}, ErrChecksum
-	}
-	f := WireFrame{
-		Type: binary.LittleEndian.Uint32(hdr[8:12]),
-		Seq:  binary.LittleEndian.Uint64(hdr[12:20]),
 	}
 	if n > 0 {
 		f.Payload = rest[:n:n]

@@ -2,11 +2,19 @@ package ckpt
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/hex"
 	"errors"
+	"hash/crc32"
 	"io"
 	"testing"
 )
+
+// fixCRC recomputes the trailing CRC32 of an encoded frame after a
+// test mutates bytes it wants the decoder to accept as intact.
+func fixCRC(b []byte) {
+	binary.LittleEndian.PutUint32(b[len(b)-wireTrailerLen:], crc32.ChecksumIEEE(b[:len(b)-wireTrailerLen]))
+}
 
 // TestWireGoldenV1 pins the version-1 wire format at the byte level:
 // field offsets, endianness, and the CRC value. If this test breaks,
@@ -34,7 +42,68 @@ func TestWireGoldenV1(t *testing.T) {
 	}
 }
 
+// TestWireGoldenV2 pins the version-2 layout: the 16-byte trace
+// context between the length field and the payload, and the version
+// gate — a frame only encodes as v2 when it carries a trace context.
+func TestWireGoldenV2(t *testing.T) {
+	got := EncodeWireFrame(WireFrame{
+		Type: 3, Seq: 0x0102030405060708,
+		Trace: 0x1122334455667788, Span: 0x99AABBCCDDEEFF00,
+		Payload: []byte("abc"),
+	})
+	const want = "41464142" + // magic "AFAB"
+		"02000000" + // version 2
+		"03000000" + // type 3
+		"0807060504030201" + // seq, little-endian
+		"0300000000000000" + // payload length 3
+		"8877665544332211" + // trace ID, little-endian
+		"00ffeeddccbbaa99" + // parent span ID, little-endian
+		"616263" + // "abc"
+		"d98273ff" // crc32 IEEE over everything before
+	if g := hex.EncodeToString(got); g != want {
+		t.Fatalf("v2 wire frame bytes changed:\n got  %s\n want %s", g, want)
+	}
+
+	// A span-less trace context (trace set, span zero) is still traced
+	// and still v2: the canonical rule is Trace|Span != 0.
+	got = EncodeWireFrame(WireFrame{Type: 1, Trace: 1})
+	const wantMin = "41464142" + "02000000" + "01000000" +
+		"0000000000000000" + "0000000000000000" +
+		"0100000000000000" + "0000000000000000" + "8f34a847"
+	if g := hex.EncodeToString(got); g != wantMin {
+		t.Fatalf("minimal v2 frame bytes changed:\n got  %s\n want %s", g, wantMin)
+	}
+}
+
 func TestWireRoundTrip(t *testing.T) {
+	for _, payload := range [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{0xAB}, 4096)} {
+		for _, trace := range []struct{ tr, sp uint64 }{{0, 0}, {0xDEAD, 0xBEEF}, {7, 0}} {
+			in := WireFrame{Type: 7, Seq: 42, Trace: trace.tr, Span: trace.sp, Payload: payload}
+			enc := EncodeWireFrame(in)
+			out, err := DecodeWireFrame(enc)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if out.Type != in.Type || out.Seq != in.Seq || out.Trace != in.Trace ||
+				out.Span != in.Span || !bytes.Equal(out.Payload, in.Payload) {
+				t.Fatalf("round trip mismatch: %+v vs %+v", out, in)
+			}
+			if !bytes.Equal(EncodeWireFrame(out), enc) {
+				t.Fatalf("re-encode not canonical")
+			}
+			sr, err := ReadWireFrame(bytes.NewReader(enc))
+			if err != nil {
+				t.Fatalf("stream read: %v", err)
+			}
+			if sr.Type != in.Type || sr.Seq != in.Seq || sr.Trace != in.Trace ||
+				sr.Span != in.Span || !bytes.Equal(sr.Payload, in.Payload) {
+				t.Fatalf("stream round trip mismatch")
+			}
+		}
+	}
+}
+
+func TestWireRoundTripV1(t *testing.T) {
 	for _, payload := range [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{0xAB}, 4096)} {
 		in := WireFrame{Type: 7, Seq: 42, Payload: payload}
 		enc := EncodeWireFrame(in)
@@ -88,6 +157,27 @@ func TestWireDecodeErrors(t *testing.T) {
 		}
 	}
 
+	// A version-2 frame whose trace context is all-zero is non-canonical
+	// (the same content has a version-1 encoding) and must be rejected,
+	// both whole-buffer and streaming.
+	traced := EncodeWireFrame(WireFrame{Type: 2, Seq: 9, Trace: 5, Span: 6, Payload: []byte("payload")})
+	zeroed := append([]byte(nil), traced...)
+	for i := 28; i < 44; i++ {
+		zeroed[i] = 0
+	}
+	// Recompute the CRC so only the canonicality check can fire.
+	fixCRC(zeroed)
+	if _, err := DecodeWireFrame(zeroed); !errors.Is(err, ErrVersion) {
+		t.Errorf("v2 zero trace: DecodeWireFrame err = %v, want ErrVersion", err)
+	}
+	if _, err := ReadWireFrame(bytes.NewReader(zeroed)); !errors.Is(err, ErrVersion) {
+		t.Errorf("v2 zero trace: ReadWireFrame err = %v, want ErrVersion", err)
+	}
+	// A torn trace block is an unexpected EOF.
+	if _, err := ReadWireFrame(bytes.NewReader(traced[:30])); err != io.ErrUnexpectedEOF {
+		t.Errorf("torn trace block: err = %v, want io.ErrUnexpectedEOF", err)
+	}
+
 	// Streaming: a clean close before any byte is io.EOF; mid-frame it
 	// is io.ErrUnexpectedEOF.
 	if _, err := ReadWireFrame(bytes.NewReader(nil)); err != io.EOF {
@@ -116,6 +206,8 @@ func FuzzWireDecode(f *testing.F) {
 	flipped[len(flipped)-2] ^= 0x10
 	f.Add(flipped)
 	f.Add(EncodeWireFrame(WireFrame{Type: 1}))
+	f.Add(EncodeWireFrame(WireFrame{Type: 5, Seq: 77, Trace: 0xABCD, Span: 0x1234, Payload: []byte("traced")}))
+	f.Add(EncodeWireFrame(WireFrame{Type: 9, Trace: 1}))
 	f.Add([]byte("AFAB"))
 
 	f.Fuzz(func(t *testing.T, b []byte) {

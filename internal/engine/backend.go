@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"arams/internal/mat"
+	"arams/internal/obs"
 	"arams/internal/sketch"
 )
 
@@ -50,6 +51,20 @@ type Backend interface {
 	// Close releases the backend's resources and aborts in-flight
 	// work; subsequent calls fail fast.
 	Close() error
+}
+
+// TracedBackend is the optional trace-propagating extension of
+// Backend: a backend that can carry the caller's span context across
+// its transport (internal/fabric's Remote) implements it, and the
+// engine's traced ingest/reconcile paths prefer these methods so the
+// coordinator's trace tree extends through the RPC into the worker
+// process. Local backends don't implement it — their work is already
+// timed by the engine's own shard_sketch spans.
+type TracedBackend interface {
+	// AbsorbIn is Absorb with the dispatching span's context.
+	AbsorbIn(parent obs.SpanContext, vecs [][]float64, idx []int) (sketch.BatchStats, error)
+	// SnapshotIn is Snapshot with the fetching span's context.
+	SnapshotIn(parent obs.SpanContext) (*sketch.FrequentDirections, error)
 }
 
 // localShard is the in-process Backend: one ARAMS sketcher under its

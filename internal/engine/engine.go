@@ -464,7 +464,15 @@ func (e *Engine) absorbTraced(root *obs.Span, si int, vecs [][]float64, idx []in
 	sp := root.StartChild("shard_sketch",
 		obs.L("shard", fmt.Sprint(si)), obs.L("rows", fmt.Sprint(rows)))
 	ct := obs.StartCPUTimer()
-	stats, err := e.shards[si].Absorb(vecs, idx)
+	var stats sketch.BatchStats
+	var err error
+	// A trace-propagating backend (fabric Remote) carries the span
+	// context over the wire so the worker's spans land in this tree.
+	if tb, ok := e.shards[si].(TracedBackend); ok {
+		stats, err = tb.AbsorbIn(sp.Context(), vecs, idx)
+	} else {
+		stats, err = e.shards[si].Absorb(vecs, idx)
+	}
 	if cpu, ok := ct.Stop(); ok {
 		sp.SetCPU(cpu)
 		e.shardCPU[si].Add(cpu.Seconds())
@@ -634,6 +642,7 @@ func (e *Engine) reconcileLocked() *sketch.FrequentDirections {
 func (e *Engine) reconcileLockedIn(parent obs.SpanContext) *sketch.FrequentDirections {
 	e.mu.Lock()
 	at := e.ingests
+	settled := e.inflight == 0
 	e.mu.Unlock()
 	if e.global != nil && e.globalAt == at {
 		return e.global
@@ -652,6 +661,9 @@ func (e *Engine) reconcileLockedIn(parent obs.SpanContext) *sketch.FrequentDirec
 	legs := make([]parallel.RemoteLeg, len(e.shards))
 	for i, s := range e.shards {
 		legs[i] = parallel.RemoteLeg{Name: "shard" + fmt.Sprint(i), Fetch: s.Snapshot}
+		if tb, ok := s.(TracedBackend); ok {
+			legs[i].FetchIn = tb.SnapshotIn
+		}
 	}
 	g, _, rep := parallel.MergeRemote(legs, e.cfg.Merge, e.cfg.ReconcileRetry, sp.Context())
 	if rep.Degraded() {
@@ -660,7 +672,18 @@ func (e *Engine) reconcileLockedIn(parent obs.SpanContext) *sketch.FrequentDirec
 	if g == nil {
 		return nil
 	}
-	e.global, e.globalAt = g, at
+	// Cache coherence: e.ingests is bumped at ring-append time, before
+	// the batch's absorbs land in shard backends. A merge that ran while
+	// ingests were in flight may not cover every row counted in `at`, so
+	// tagging it `at` would let a later reader cache-hit an incomplete
+	// global. Serve the merge (it is the freshest view available) but
+	// only claim coverage when no ingest was in flight at capture; the
+	// sentinel -1 never matches a real count, so the next read re-merges.
+	if settled {
+		e.global, e.globalAt = g, at
+	} else {
+		e.global, e.globalAt = g, -1
+	}
 	e.rc.noteReconcile()
 	obsReconciles.Inc()
 	obsMergeLag.SetInt(0)

@@ -34,6 +34,8 @@ type CoordinatorConfig struct {
 type Coordinator struct {
 	eng     *engine.Engine
 	remotes []*Remote
+
+	flightCancel func() // unregisters the fleet flight fan-out hook
 }
 
 // NewCoordinator dials every worker and builds the engine around them.
@@ -76,9 +78,35 @@ func (c *Coordinator) Engine() *engine.Engine { return c.eng }
 // Degraded(), Certificate()).
 func (c *Coordinator) Remotes() []*Remote { return c.remotes }
 
+// ArmFleet attaches a fleet view to every worker connection: each
+// successful heartbeat fetches that worker's obs registry snapshot and
+// feeds it to the view, so a /fleetz handler over fv tracks the whole
+// fleet at heartbeat cadence.
+func (c *Coordinator) ArmFleet(fv *obs.FleetView) {
+	for _, r := range c.remotes {
+		r.ArmFleet(fv)
+	}
+}
+
+// ArmFleetFlight turns every coordinator-side flight dump into a
+// fleet-wide one: the dump's trigger ID fans out to all workers, each
+// dumps its own flight ring under the same ID, and the correlated dump
+// names are journaled. Close unregisters the hook.
+func (c *Coordinator) ArmFleetFlight() {
+	if c.flightCancel == nil {
+		c.flightCancel = ArmFleetFlight(c.remotes)
+	}
+}
+
 // Close stops the engine (draining the async queue) and closes every
 // worker connection.
-func (c *Coordinator) Close() error { return c.eng.Close() }
+func (c *Coordinator) Close() error {
+	if c.flightCancel != nil {
+		c.flightCancel()
+		c.flightCancel = nil
+	}
+	return c.eng.Close()
+}
 
 // StartLoopbackWorkers spins up n in-process workers on ephemeral
 // localhost ports — the test and benchmark harness for fabric runs

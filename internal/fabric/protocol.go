@@ -23,9 +23,11 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"arams/internal/audit"
+	"arams/internal/obs"
 	"arams/internal/sketch"
 )
 
@@ -71,6 +73,21 @@ const (
 	MsgHeartbeatAck uint32 = 12
 	// MsgError answers any request that failed: payload ErrorPayload.
 	MsgError uint32 = 13
+	// MsgStatsReq asks the worker to snapshot its whole obs registry
+	// for fleet aggregation. Empty payload.
+	MsgStatsReq uint32 = 14
+	// MsgStats answers with the worker's obs.RegistrySnapshot as JSON
+	// (stats are advisory telemetry, not sketch state, so a
+	// self-describing encoding beats extending the binary codec for
+	// every future metric).
+	MsgStats uint32 = 15
+	// MsgFlightReq fans a coordinator-side flight trigger out to the
+	// worker: payload FlightReqPayload (trigger ID + reason). The worker
+	// dumps its own flight ring tagged with the same trigger ID.
+	MsgFlightReq uint32 = 16
+	// MsgFlightAck answers with a FlightAckPayload naming the dump file
+	// the worker wrote ("" when unarmed or cooling down).
+	MsgFlightAck uint32 = 17
 )
 
 // Error codes carried by ErrorPayload, mirroring parallel.FaultClass so
@@ -144,6 +161,14 @@ func (d *pdec) bool() bool {
 		return false
 	}
 	v := d.b[d.off]
+	if v > 1 {
+		// Only 0x00/0x01 are canonical; anything else would decode to a
+		// value that re-encodes differently.
+		if d.err == nil {
+			d.err = fmt.Errorf("fabric: non-canonical bool byte %#02x at offset %d", v, d.off)
+		}
+		return false
+	}
 	d.off++
 	return v != 0
 }
@@ -316,16 +341,45 @@ func decodeCertificate(b []byte) (CertificatePayload, error) {
 }
 
 // HeartbeatPayload is the worker's liveness answer: rows absorbed for
-// its shard and the sketch's current rank.
+// its shard, the sketch's current rank, and (since wire v2) a small
+// health block — process uptime, in-flight request depth, and obs
+// span-ring occupancy — so the coordinator's fleet view shows worker
+// health without a full stats RPC.
+//
+// The decode is version-tolerant: a 16-byte payload is the original
+// two-field form (legacy workers), anything longer must carry the full
+// health block. The legacy flag is remembered so re-encoding a decoded
+// payload reproduces its exact bytes — the canonicality property
+// FuzzFabricPayload enforces for every payload codec.
 type HeartbeatPayload struct {
 	Frames int
 	Ell    int
+	// Uptime is the worker process uptime in seconds.
+	Uptime float64
+	// QueueDepth is the number of requests the worker is currently
+	// serving (in-flight RPCs across its connections).
+	QueueDepth int
+	// ObsRing is the occupancy of the worker's obs span ring.
+	ObsRing int
+
+	// legacy marks a payload decoded from the original 16-byte form;
+	// encode reproduces that form so the codec stays canonical.
+	legacy bool
 }
+
+// legacyHeartbeatLen is the size of the original {Frames, Ell} form.
+const legacyHeartbeatLen = 16
 
 func (p HeartbeatPayload) encode() []byte {
 	e := &penc{}
 	e.i64(p.Frames)
 	e.i64(p.Ell)
+	if p.legacy {
+		return e.b
+	}
+	e.f64(p.Uptime)
+	e.i64(p.QueueDepth)
+	e.i64(p.ObsRing)
 	return e.b
 }
 
@@ -334,6 +388,13 @@ func decodeHeartbeat(b []byte) (HeartbeatPayload, error) {
 	var p HeartbeatPayload
 	p.Frames = d.i64()
 	p.Ell = d.i64()
+	if len(b) == legacyHeartbeatLen {
+		p.legacy = true
+		return p, d.finish()
+	}
+	p.Uptime = d.f64()
+	p.QueueDepth = d.i64()
+	p.ObsRing = d.i64()
 	return p, d.finish()
 }
 
@@ -365,4 +426,178 @@ func decodeError(b []byte) (ErrorPayload, error) {
 		d.off += n
 	}
 	return p, d.finish()
+}
+
+// str appends a length-prefixed string.
+func (e *penc) str(s string) {
+	e.i64(len(s))
+	e.b = append(e.b, s...)
+}
+
+// str decodes a length-prefixed string, bounds-checked against the
+// remaining payload.
+func (d *pdec) str() string {
+	n := d.i64()
+	if d.err != nil {
+		return ""
+	}
+	if n < 0 || n > len(d.b)-d.off {
+		d.fail()
+		return ""
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+// FlightReqPayload fans a flight-recorder trigger out to a worker. ID
+// is the coordinator-minted trigger ID (obs ID hex) every process
+// stamps on its dump, making fleet-wide dumps for one incident
+// correlate by ID; Reason is the human-readable trigger cause.
+type FlightReqPayload struct {
+	ID     string
+	Reason string
+}
+
+func (p FlightReqPayload) encode() []byte {
+	e := &penc{}
+	e.str(p.ID)
+	e.str(p.Reason)
+	return e.b
+}
+
+func decodeFlightReq(b []byte) (FlightReqPayload, error) {
+	d := &pdec{b: b}
+	var p FlightReqPayload
+	p.ID = d.str()
+	p.Reason = d.str()
+	return p, d.finish()
+}
+
+// FlightAckPayload names the dump file the worker wrote (base name,
+// not path — the directories differ per process), or "" when the
+// worker had no armed recorder or was inside its dump cooldown.
+type FlightAckPayload struct {
+	Dump string
+}
+
+func (p FlightAckPayload) encode() []byte {
+	e := &penc{}
+	e.str(p.Dump)
+	return e.b
+}
+
+func decodeFlightAck(b []byte) (FlightAckPayload, error) {
+	d := &pdec{b: b}
+	var p FlightAckPayload
+	p.Dump = d.str()
+	return p, d.finish()
+}
+
+// maxSpanRecords bounds the span records one traced response may
+// carry; a worker ships a handful per RPC, so this only guards decode
+// against hostile counts.
+const maxSpanRecords = 4096
+
+// encodeSpanRecords appends worker span records for the traced-reply
+// wrapper: count, then per record name, start (Unix ns), duration and
+// CPU (ns), trace/span/parent IDs, and sorted attribute pairs (sorted
+// so the encoding is canonical).
+func encodeSpanRecords(e *penc, recs []obs.SpanRecord) {
+	e.i64(len(recs))
+	for _, rec := range recs {
+		e.str(rec.Name)
+		e.u64(uint64(rec.Start.UnixNano()))
+		e.u64(uint64(rec.Duration))
+		e.u64(uint64(rec.CPU))
+		e.u64(uint64(rec.Trace))
+		e.u64(uint64(rec.Span))
+		e.u64(uint64(rec.Parent))
+		keys := make([]string, 0, len(rec.Attrs))
+		for k := range rec.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		e.i64(len(keys))
+		for _, k := range keys {
+			e.str(k)
+			e.str(rec.Attrs[k])
+		}
+	}
+}
+
+func decodeSpanRecords(d *pdec) []obs.SpanRecord {
+	n := d.i64()
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || n > maxSpanRecords {
+		d.fail()
+		return nil
+	}
+	recs := make([]obs.SpanRecord, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		var rec obs.SpanRecord
+		rec.Name = d.str()
+		rec.Start = time.Unix(0, int64(d.u64())).UTC()
+		rec.Duration = time.Duration(d.u64())
+		rec.CPU = time.Duration(d.u64())
+		rec.Trace = obs.ID(d.u64())
+		rec.Span = obs.ID(d.u64())
+		rec.Parent = obs.ID(d.u64())
+		na := d.i64()
+		if d.err != nil {
+			break
+		}
+		if na < 0 || na > 64 {
+			d.fail()
+			break
+		}
+		if na > 0 {
+			rec.Attrs = make(map[string]string, na)
+			for j := 0; j < na && d.err == nil; j++ {
+				k := d.str()
+				rec.Attrs[k] = d.str()
+			}
+		}
+		recs = append(recs, rec)
+	}
+	return recs
+}
+
+// wrapTraced wraps a response payload for a traced request: the inner
+// payload (length-prefixed) followed by the worker's span records for
+// the request, so the coordinator can stitch the worker's side of the
+// trace into its own tree. Responses to untraced (wire v1) requests
+// stay unwrapped, which keeps every v1 byte stream identical to the
+// pre-trace protocol.
+func wrapTraced(inner []byte, recs []obs.SpanRecord) []byte {
+	e := &penc{b: make([]byte, 0, 16+len(inner))}
+	e.i64(len(inner))
+	e.b = append(e.b, inner...)
+	encodeSpanRecords(e, recs)
+	return e.b
+}
+
+// unwrapTraced splits a traced response payload into the inner payload
+// and the worker's span records.
+func unwrapTraced(b []byte) ([]byte, []obs.SpanRecord, error) {
+	d := &pdec{b: b}
+	n := d.i64()
+	if d.err != nil {
+		return nil, nil, d.err
+	}
+	if n < 0 || n > len(b)-d.off {
+		return nil, nil, fmt.Errorf("fabric: traced reply claims %d inner bytes", n)
+	}
+	inner := b[d.off : d.off+n]
+	d.off += n
+	recs := decodeSpanRecords(d)
+	if err := d.finish(); err != nil {
+		return nil, nil, err
+	}
+	if len(inner) == 0 {
+		inner = nil
+	}
+	return inner, recs, nil
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"arams/internal/audit"
+	"arams/internal/obs"
 	"arams/internal/sketch"
 )
 
@@ -56,10 +57,55 @@ func TestPayloadGoldens(t *testing.T) {
 		t.Errorf("error payload bytes changed:\n got  %s\n want %s", g, wantErr)
 	}
 
-	hb := HeartbeatPayload{Frames: 7, Ell: 5}
-	wantHB := "0700000000000000" + "0500000000000000"
+	// Extended (wire v2) heartbeat: the original two fields plus the
+	// worker health block.
+	hb := HeartbeatPayload{Frames: 7, Ell: 5, Uptime: 1.5, QueueDepth: 2, ObsRing: 3}
+	wantHB := "0700000000000000" + "0500000000000000" +
+		"000000000000f83f" + // uptime 1.5
+		"0200000000000000" + // queue depth 2
+		"0300000000000000" // obs ring 3
 	if g := hex.EncodeToString(hb.encode()); g != wantHB {
 		t.Errorf("heartbeat payload bytes changed:\n got  %s\n want %s", g, wantHB)
+	}
+
+	freq := FlightReqPayload{ID: "00c0ffee", Reason: "drift"}
+	wantFReq := "0800000000000000" + hex.EncodeToString([]byte("00c0ffee")) +
+		"0500000000000000" + hex.EncodeToString([]byte("drift"))
+	if g := hex.EncodeToString(freq.encode()); g != wantFReq {
+		t.Errorf("flight-req payload bytes changed:\n got  %s\n want %s", g, wantFReq)
+	}
+
+	fack := FlightAckPayload{Dump: "f.jsonl"}
+	wantFAck := "0700000000000000" + hex.EncodeToString([]byte("f.jsonl"))
+	if g := hex.EncodeToString(fack.encode()); g != wantFAck {
+		t.Errorf("flight-ack payload bytes changed:\n got  %s\n want %s", g, wantFAck)
+	}
+}
+
+// TestHeartbeatLegacyDecode pins the version-tolerant heartbeat
+// decode: a legacy 16-byte payload (a pre-v2 worker) still decodes,
+// re-encodes to its exact bytes, and reports zero health extras.
+func TestHeartbeatLegacyDecode(t *testing.T) {
+	legacy, _ := hex.DecodeString("0700000000000000" + "0500000000000000")
+	p, err := decodeHeartbeat(legacy)
+	if err != nil {
+		t.Fatalf("legacy heartbeat decode: %v", err)
+	}
+	if p.Frames != 7 || p.Ell != 5 || p.Uptime != 0 || p.QueueDepth != 0 || p.ObsRing != 0 {
+		t.Fatalf("legacy heartbeat fields: %+v", p)
+	}
+	if !bytes.Equal(p.encode(), legacy) {
+		t.Fatal("legacy heartbeat does not re-encode to its own bytes")
+	}
+	// The extended form round-trips too, including all-zero extras
+	// (which must NOT collapse to the legacy form).
+	ext := HeartbeatPayload{Frames: 7, Ell: 5}
+	got, err := decodeHeartbeat(ext.encode())
+	if err != nil || got != ext {
+		t.Fatalf("extended heartbeat round trip: %+v err %v", got, err)
+	}
+	if len(ext.encode()) == legacyHeartbeatLen {
+		t.Fatal("extended encoding collapsed to legacy length")
 	}
 }
 
@@ -96,6 +142,85 @@ func TestPayloadRoundTrips(t *testing.T) {
 	ep := ErrorPayload{Code: ErrCodeFatal, Msg: "worker on fire"}
 	if got, err := decodeError(ep.encode()); err != nil || got != ep {
 		t.Errorf("error round trip: %+v err %v", got, err)
+	}
+
+	hb := HeartbeatPayload{Frames: 11, Ell: 6, Uptime: 12.5, QueueDepth: 1, ObsRing: 40}
+	if got, err := decodeHeartbeat(hb.encode()); err != nil || got != hb {
+		t.Errorf("heartbeat round trip: %+v err %v", got, err)
+	}
+
+	fr := FlightReqPayload{ID: "deadbeefcafef00d", Reason: "merge_leg_fault"}
+	if got, err := decodeFlightReq(fr.encode()); err != nil || got != fr {
+		t.Errorf("flight-req round trip: %+v err %v", got, err)
+	}
+	fa := FlightAckPayload{Dump: "flight-w0-x.jsonl"}
+	if got, err := decodeFlightAck(fa.encode()); err != nil || got != fa {
+		t.Errorf("flight-ack round trip: %+v err %v", got, err)
+	}
+}
+
+// TestTracedReplyWrapper round-trips the [inner payload | span
+// records] wrapper a worker applies to responses of traced requests.
+func TestTracedReplyWrapper(t *testing.T) {
+	recs := []obs.SpanRecord{
+		{
+			Name:     "worker_absorb",
+			Start:    time.Unix(0, 1700000000000000000).UTC(),
+			Duration: 1500 * time.Microsecond,
+			CPU:      200 * time.Microsecond,
+			Trace:    obs.ID(0xAAAA),
+			Span:     obs.ID(0xBBBB),
+			Parent:   obs.ID(0xCCCC),
+			Attrs:    map[string]string{"shard": "1", "rows": "64"},
+		},
+		{Name: "bare", Start: time.Unix(0, 1).UTC(), Trace: obs.ID(1), Span: obs.ID(2)},
+	}
+	inner := IngestAckPayload{Ell: 3}.encode()
+	wrapped := wrapTraced(inner, recs)
+
+	gotInner, gotRecs, err := unwrapTraced(wrapped)
+	if err != nil {
+		t.Fatalf("unwrap: %v", err)
+	}
+	if !bytes.Equal(gotInner, inner) {
+		t.Fatal("inner payload mangled")
+	}
+	if len(gotRecs) != len(recs) {
+		t.Fatalf("got %d records, want %d", len(gotRecs), len(recs))
+	}
+	for i := range recs {
+		g, w := gotRecs[i], recs[i]
+		if g.Name != w.Name || !g.Start.Equal(w.Start) || g.Duration != w.Duration ||
+			g.CPU != w.CPU || g.Trace != w.Trace || g.Span != w.Span || g.Parent != w.Parent {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, g, w)
+		}
+		if len(g.Attrs) != len(w.Attrs) {
+			t.Fatalf("record %d attrs mismatch: %v vs %v", i, g.Attrs, w.Attrs)
+		}
+		for k, v := range w.Attrs {
+			if g.Attrs[k] != v {
+				t.Fatalf("record %d attr %q: %q vs %q", i, k, g.Attrs[k], v)
+			}
+		}
+	}
+	// Canonical: re-wrapping the unwrapped parts is byte-identical.
+	if !bytes.Equal(wrapTraced(gotInner, gotRecs), wrapped) {
+		t.Fatal("traced wrapper not canonical")
+	}
+	// Empty both ways.
+	gotInner, gotRecs, err = unwrapTraced(wrapTraced(nil, nil))
+	if err != nil || gotInner != nil || len(gotRecs) != 0 {
+		t.Fatalf("empty wrapper round trip: %v %v %v", gotInner, gotRecs, err)
+	}
+	// Truncations error, never panic.
+	for i := 0; i < len(wrapped); i++ {
+		if _, _, err := unwrapTraced(wrapped[:i]); err == nil && i < len(wrapped) {
+			// Prefixes that happen to decode must re-encode to themselves.
+			in2, r2, _ := unwrapTraced(wrapped[:i])
+			if !bytes.Equal(wrapTraced(in2, r2), wrapped[:i]) {
+				t.Fatalf("truncated wrapper at %d decoded non-canonically", i)
+			}
+		}
 	}
 }
 
@@ -134,7 +259,13 @@ func FuzzFabricPayload(f *testing.F) {
 	f.Add(IngestAckPayload{Ell: 3}.encode())
 	f.Add(CertificatePayload{}.encode())
 	f.Add(HeartbeatPayload{Frames: 1}.encode())
+	f.Add(HeartbeatPayload{Frames: 1, legacy: true}.encode())
 	f.Add(ErrorPayload{Code: 2, Msg: "boom"}.encode())
+	f.Add(FlightReqPayload{ID: "beef", Reason: "drift"}.encode())
+	f.Add(FlightAckPayload{Dump: "flight.jsonl"}.encode())
+	f.Add(wrapTraced(IngestAckPayload{Ell: 1}.encode(), []obs.SpanRecord{
+		{Name: "worker_absorb", Trace: 1, Span: 2, Parent: 3, Attrs: map[string]string{"shard": "0"}},
+	}))
 
 	f.Fuzz(func(t *testing.T, b []byte) {
 		if p, err := decodeHello(b); err == nil {
@@ -165,6 +296,21 @@ func FuzzFabricPayload(f *testing.F) {
 		if p, err := decodeError(b); err == nil {
 			if !bytes.Equal(p.encode(), b) {
 				t.Fatal("error not canonical")
+			}
+		}
+		if p, err := decodeFlightReq(b); err == nil {
+			if !bytes.Equal(p.encode(), b) {
+				t.Fatal("flight-req not canonical")
+			}
+		}
+		if p, err := decodeFlightAck(b); err == nil {
+			if !bytes.Equal(p.encode(), b) {
+				t.Fatal("flight-ack not canonical")
+			}
+		}
+		if inner, recs, err := unwrapTraced(b); err == nil {
+			if !bytes.Equal(wrapTraced(inner, recs), b) {
+				t.Fatal("traced wrapper not canonical")
 			}
 		}
 	})

@@ -1,9 +1,11 @@
 package fabric
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -106,6 +108,10 @@ type Remote struct {
 	lastEll   atomic.Int64
 	busyNanos atomic.Int64
 
+	// fleet, when armed, receives the worker's registry snapshot after
+	// each successful heartbeat (a stats RPC piggybacks on the probe).
+	fleet atomic.Pointer[obs.FleetView]
+
 	hbStop chan struct{}
 	hbDone chan struct{}
 
@@ -117,6 +123,9 @@ type Remote struct {
 	mRPCErrs    *obs.Counter
 	mReconnects *obs.Counter
 	mDegraded   *obs.Counter
+	mUptime     *obs.Gauge
+	mQueueDepth *obs.Gauge
+	mObsRing    *obs.Gauge
 }
 
 // DialRemote connects to a fabric worker and binds it to one shard
@@ -139,9 +148,12 @@ func DialRemote(name, addr string, shard uint32, scfg sketch.Config, cfg RemoteC
 		mRPCErrs:    obs.Default().Counter("arams_fabric_rpc_errors_total", obs.L("worker", name)),
 		mReconnects: obs.Default().Counter("arams_fabric_reconnects_total", obs.L("worker", name)),
 		mDegraded:   obs.Default().Counter("arams_fabric_degraded_total", obs.L("worker", name)),
+		mUptime:     obs.Default().Gauge("arams_fabric_worker_uptime_seconds", obs.L("worker", name)),
+		mQueueDepth: obs.Default().Gauge("arams_fabric_worker_queue_depth", obs.L("worker", name)),
+		mObsRing:    obs.Default().Gauge("arams_fabric_worker_obs_ring", obs.L("worker", name)),
 	}
 	r.mu.Lock()
-	err := r.reconnectLocked(0, 0)
+	err := r.reconnectLocked(obs.SpanContext{}, 0, 0)
 	r.mu.Unlock()
 	if err != nil {
 		if cfg.NoLocalFallback {
@@ -175,6 +187,18 @@ func (r *Remote) Degraded() bool {
 // worker's own fold for exactly these rows (replayed or not), so the
 // engine's audit accounting is bit-identical to an all-local run.
 func (r *Remote) Absorb(vecs [][]float64, idx []int) (sketch.BatchStats, error) {
+	return r.absorbIn(obs.SpanContext{}, vecs, idx)
+}
+
+// AbsorbIn is Absorb carrying the dispatching span's context
+// (engine.TracedBackend): the ingest RPC runs inside the caller's
+// trace, so the worker's absorb span — shipped back on the ack path —
+// stitches under the coordinator's ingest_batch tree.
+func (r *Remote) AbsorbIn(parent obs.SpanContext, vecs [][]float64, idx []int) (sketch.BatchStats, error) {
+	return r.absorbIn(parent, vecs, idx)
+}
+
+func (r *Remote) absorbIn(parent obs.SpanContext, vecs [][]float64, idx []int) (sketch.BatchStats, error) {
 	start := time.Now()
 	defer func() { r.busyNanos.Add(int64(time.Since(start))) }()
 	nrows := len(idx)
@@ -215,9 +239,9 @@ func (r *Remote) Absorb(vecs [][]float64, idx []int) (sketch.BatchStats, error) 
 	}
 	r.log = append(r.log, rows...)
 
-	ack, err := r.ingestRPCLocked(rows)
+	ack, err := r.ingestRPCLocked(parent, rows)
 	if err != nil {
-		if err = r.recoverLocked(err, nrows); err != nil {
+		if err = r.recoverLocked(parent, err, nrows); err != nil {
 			return sketch.BatchStats{}, err
 		}
 		// Recovery replayed the log with these rows as the tail chunk —
@@ -232,9 +256,16 @@ func (r *Remote) Absorb(vecs [][]float64, idx []int) (sketch.BatchStats, error) 
 // Snapshot fetches the worker's state and returns its sketch, trimming
 // the replay log — a reconcile fetch is an incremental checkpoint.
 func (r *Remote) Snapshot() (*sketch.FrequentDirections, error) {
+	return r.SnapshotIn(obs.SpanContext{})
+}
+
+// SnapshotIn is Snapshot carrying the fetching span's context
+// (engine.TracedBackend): the reconcile fetch RPC — and the worker's
+// state span shipped back with it — joins the merge leg's trace.
+func (r *Remote) SnapshotIn(parent obs.SpanContext) (*sketch.FrequentDirections, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	st, err := r.stateLocked()
+	st, err := r.stateLocked(parent)
 	if err != nil || st == nil {
 		return nil, err
 	}
@@ -250,25 +281,25 @@ func (r *Remote) Snapshot() (*sketch.FrequentDirections, error) {
 func (r *Remote) State() (*sketch.ARAMSState, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.stateLocked()
+	return r.stateLocked(obs.SpanContext{})
 }
 
-func (r *Remote) stateLocked() (*sketch.ARAMSState, error) {
+func (r *Remote) stateLocked(parent obs.SpanContext) (*sketch.ARAMSState, error) {
 	if r.closed {
 		return nil, parallel.AsFault(parallel.FaultFatal, parallel.ErrBackendClosed)
 	}
 	if r.fallback != nil {
 		return r.fallback.State()
 	}
-	st, err := r.fetchStateRPCLocked()
+	st, err := r.fetchStateRPCLocked(parent)
 	if err != nil {
-		if err = r.recoverLocked(err, 0); err != nil {
+		if err = r.recoverLocked(parent, err, 0); err != nil {
 			return nil, err
 		}
 		if r.fallback != nil {
 			return r.fallback.State()
 		}
-		if st, err = r.fetchStateRPCLocked(); err != nil {
+		if st, err = r.fetchStateRPCLocked(parent); err != nil {
 			return nil, err
 		}
 	}
@@ -295,9 +326,9 @@ func (r *Remote) Restore(st *sketch.ARAMSState) error {
 	if r.fallback != nil {
 		return r.fallback.Restore(st)
 	}
-	if err := r.restoreRPCLocked(st); err != nil {
+	if err := r.restoreRPCLocked(obs.SpanContext{}, st); err != nil {
 		// recoverLocked restores lastState (just set) + empty log.
-		if err = r.recoverLocked(err, 0); err != nil {
+		if err = r.recoverLocked(obs.SpanContext{}, err, 0); err != nil {
 			return err
 		}
 		if r.fallback != nil {
@@ -332,7 +363,7 @@ func (r *Remote) Certificate() (audit.Certificate, error) {
 		}
 		return audit.FromSketch(fd), nil
 	}
-	payload, err := r.rpcLocked(MsgCertificateReq, nil, MsgCertificate)
+	payload, err := r.rpcLocked(obs.SpanContext{}, MsgCertificateReq, nil, MsgCertificate)
 	if err != nil {
 		return audit.Certificate{}, err
 	}
@@ -374,20 +405,62 @@ func (r *Remote) Close() error {
 // rpcLocked runs one request/response round trip under the op deadline.
 // Any failure closes the connection (the stream may be desynced) and
 // returns a classified error; the caller decides whether to recover.
-func (r *Remote) rpcLocked(msgType uint32, payload []byte, wantType uint32) ([]byte, error) {
+//
+// When parent carries a trace the RPC opens a fabric_rpc span under it
+// — with wire_encode and fabric_rtt children — and ships the span's
+// identity in the wire frame (v2), so the worker parents its own spans
+// under this RPC. A traced response is the wrapped form (payload +
+// worker span records); the records are fed into the local registry's
+// trace store so /tracez renders one cross-process tree.
+func (r *Remote) rpcLocked(parent obs.SpanContext, msgType uint32, payload []byte, wantType uint32) ([]byte, error) {
 	if r.conn == nil {
 		return nil, parallel.AsFault(parallel.FaultTransient, errNotConnected)
 	}
 	r.mRPCs.Inc()
 	r.seq++
 	seq := r.seq
-	frame := ckpt.EncodeWireFrame(ckpt.WireFrame{Type: msgType, Seq: seq, Payload: payload})
+	traced := parent.Trace != 0
+	var sp obs.Span
+	if traced {
+		sp = obs.StartSpanIn(parent, "fabric_rpc",
+			obs.L("worker", r.name), obs.L("msg", msgName(msgType)))
+		defer sp.End()
+	}
+	req := ckpt.WireFrame{Type: msgType, Seq: seq, Payload: payload}
+	fail := func(err error) error {
+		if traced {
+			sp.SetAttr("error", err.Error())
+		}
+		return r.rpcFailLocked(err)
+	}
+	var frame []byte
+	if traced {
+		c := sp.Context()
+		req.Trace, req.Span = uint64(c.Trace), uint64(c.Span)
+		spEnc := sp.StartChild("wire_encode")
+		frame = ckpt.EncodeWireFrame(req)
+		spEnc.SetAttr("bytes", fmt.Sprint(len(frame)))
+		spEnc.End()
+	} else {
+		frame = ckpt.EncodeWireFrame(req)
+	}
 	r.conn.SetDeadline(time.Now().Add(r.cfg.OpTimeout))
+	var spRTT obs.Span
+	if traced {
+		spRTT = sp.StartChild("fabric_rtt")
+	}
+	endRTT := func() {
+		if traced {
+			spRTT.End()
+		}
+	}
 	if _, err := r.conn.Write(frame); err != nil {
-		return nil, r.rpcFailLocked(parallel.AsFault(parallel.FaultTransient, err))
+		endRTT()
+		return nil, fail(parallel.AsFault(parallel.FaultTransient, err))
 	}
 	r.mBytesSent.Add(float64(len(frame)))
 	resp, err := ckpt.ReadWireFrame(r.conn)
+	endRTT()
 	if err != nil {
 		// Torn frames and timeouts are transient (the connection died or
 		// stalled); checksum/magic/version failures mean the bytes
@@ -396,17 +469,21 @@ func (r *Remote) rpcLocked(msgType uint32, payload []byte, wantType uint32) ([]b
 		if errors.Is(err, ckpt.ErrChecksum) || errors.Is(err, ckpt.ErrBadMagic) || errors.Is(err, ckpt.ErrVersion) {
 			class = parallel.FaultCorrupt
 		}
-		return nil, r.rpcFailLocked(parallel.AsFault(class, err))
+		return nil, fail(parallel.AsFault(class, err))
 	}
-	r.mBytesRecv.Add(float64(28 + len(resp.Payload) + 4))
+	hdr := 28 + len(resp.Payload) + 4
+	if resp.Traced() {
+		hdr += 16
+	}
+	r.mBytesRecv.Add(float64(hdr))
 	if resp.Seq != seq {
-		return nil, r.rpcFailLocked(parallel.AsFault(parallel.FaultTransient,
+		return nil, fail(parallel.AsFault(parallel.FaultTransient,
 			fmt.Errorf("fabric: response seq %d for request %d", resp.Seq, seq)))
 	}
 	if resp.Type == MsgError {
 		p, derr := decodeError(resp.Payload)
 		if derr != nil {
-			return nil, r.rpcFailLocked(parallel.AsFault(parallel.FaultCorrupt, derr))
+			return nil, fail(parallel.AsFault(parallel.FaultCorrupt, derr))
 		}
 		class := parallel.FaultTransient
 		switch p.Code {
@@ -418,13 +495,55 @@ func (r *Remote) rpcLocked(msgType uint32, payload []byte, wantType uint32) ([]b
 		// A request-level error leaves the stream in sync — keep the
 		// connection.
 		r.mRPCErrs.Inc()
+		if traced {
+			sp.SetAttr("error", p.Msg)
+		}
 		return nil, parallel.AsFault(class, fmt.Errorf("fabric: worker %s: %s", r.name, p.Msg))
 	}
 	if resp.Type != wantType {
-		return nil, r.rpcFailLocked(parallel.AsFault(parallel.FaultTransient,
+		return nil, fail(parallel.AsFault(parallel.FaultTransient,
 			fmt.Errorf("fabric: response type %d, want %d", resp.Type, wantType)))
 	}
+	if resp.Traced() {
+		// The worker answered a traced request with the wrapped form:
+		// inner payload + its span records for this RPC. Stitch the
+		// records into the local trace store (a worker answering an
+		// untraced v1 request replies unwrapped, so v1 streams decode
+		// exactly as before).
+		inner, recs, uerr := unwrapTraced(resp.Payload)
+		if uerr != nil {
+			return nil, fail(parallel.AsFault(parallel.FaultCorrupt, uerr))
+		}
+		for _, rec := range recs {
+			obs.Default().ObserveRemoteSpan(rec)
+		}
+		return inner, nil
+	}
 	return resp.Payload, nil
+}
+
+// msgName labels RPC spans with the request kind.
+func msgName(t uint32) string {
+	switch t {
+	case MsgHello:
+		return "hello"
+	case MsgIngest:
+		return "ingest"
+	case MsgReconcile:
+		return "reconcile"
+	case MsgRestore:
+		return "restore"
+	case MsgCertificateReq:
+		return "certificate"
+	case MsgHeartbeat:
+		return "heartbeat"
+	case MsgStatsReq:
+		return "stats"
+	case MsgFlightReq:
+		return "flight"
+	default:
+		return fmt.Sprintf("msg%d", t)
+	}
 }
 
 func (r *Remote) rpcFailLocked(err error) error {
@@ -439,12 +558,19 @@ func (r *Remote) rpcFailLocked(err error) error {
 
 var errNotConnected = errors.New("fabric: not connected")
 
-func (r *Remote) ingestRPCLocked(rows [][]float64) (IngestAckPayload, error) {
+// Remote is both a plain shard backend and the trace-propagating
+// extension the engine's traced ingest/reconcile paths prefer.
+var (
+	_ engine.Backend       = (*Remote)(nil)
+	_ engine.TracedBackend = (*Remote)(nil)
+)
+
+func (r *Remote) ingestRPCLocked(parent obs.SpanContext, rows [][]float64) (IngestAckPayload, error) {
 	d := 0
 	if len(rows) > 0 {
 		d = len(rows[0])
 	}
-	payload, err := r.rpcLocked(MsgIngest, IngestPayload{D: d, Rows: rows}.encode(), MsgIngestAck)
+	payload, err := r.rpcLocked(parent, MsgIngest, IngestPayload{D: d, Rows: rows}.encode(), MsgIngestAck)
 	if err != nil {
 		return IngestAckPayload{}, err
 	}
@@ -455,8 +581,8 @@ func (r *Remote) ingestRPCLocked(rows [][]float64) (IngestAckPayload, error) {
 	return ack, nil
 }
 
-func (r *Remote) fetchStateRPCLocked() (*sketch.ARAMSState, error) {
-	payload, err := r.rpcLocked(MsgReconcile, nil, MsgSketchState)
+func (r *Remote) fetchStateRPCLocked(parent obs.SpanContext) (*sketch.ARAMSState, error) {
+	payload, err := r.rpcLocked(parent, MsgReconcile, nil, MsgSketchState)
 	if err != nil {
 		return nil, err
 	}
@@ -475,12 +601,12 @@ func (r *Remote) fetchStateRPCLocked() (*sketch.ARAMSState, error) {
 	return st, nil
 }
 
-func (r *Remote) restoreRPCLocked(st *sketch.ARAMSState) error {
+func (r *Remote) restoreRPCLocked(parent obs.SpanContext, st *sketch.ARAMSState) error {
 	payload, err := ckpt.Marshal(st)
 	if err != nil {
 		return parallel.AsFault(parallel.FaultFatal, err)
 	}
-	_, err = r.rpcLocked(MsgRestore, payload, MsgRestoreAck)
+	_, err = r.rpcLocked(parent, MsgRestore, payload, MsgRestoreAck)
 	return err
 }
 
@@ -492,7 +618,7 @@ func (r *Remote) restoreRPCLocked(st *sketch.ARAMSState) error {
 // the tail of the log belong to the in-flight Absorb — they are
 // replayed as their own chunk so lastReplayAck holds exactly their
 // stats.
-func (r *Remote) recoverLocked(cause error, pending int) error {
+func (r *Remote) recoverLocked(parent obs.SpanContext, cause error, pending int) error {
 	if parallel.Classify(cause) == parallel.FaultFatal {
 		return cause
 	}
@@ -503,7 +629,7 @@ func (r *Remote) recoverLocked(cause error, pending int) error {
 			time.Sleep(backoff)
 			backoff *= 2
 		}
-		if err = r.reconnectLocked(uint64(attempt), pending); err == nil {
+		if err = r.reconnectLocked(parent, uint64(attempt), pending); err == nil {
 			audit.Default().Record(audit.KindRemoteRecovery,
 				"fabric worker reconnected; state restored and replay log re-absorbed",
 				audit.A("shard", float64(r.hello.Shard)),
@@ -528,15 +654,18 @@ func (r *Remote) recoverLocked(cause error, pending int) error {
 // baseline exists) guarantees the worker never double-counts rows it
 // may have absorbed before the failure. The replay is split so the
 // final pending rows land in their own IngestAck. attempt tags the obs
-// span.
-func (r *Remote) reconnectLocked(attempt uint64, pending int) error {
+// span, which joins the failed operation's trace when one is active
+// (reconnect and replay legs then render inside the ingest tree) and
+// roots a fresh trace otherwise.
+func (r *Remote) reconnectLocked(parent obs.SpanContext, attempt uint64, pending int) error {
 	if r.conn != nil {
 		r.conn.Close()
 		r.conn = nil
 	}
-	sp := obs.StartTrace("fabric_reconnect",
+	sp := obs.StartSpanIn(parent, "fabric_reconnect",
 		obs.L("worker", r.name), obs.L("attempt", fmt.Sprint(attempt)))
 	defer sp.End()
+	ctx := sp.Context()
 	r.mReconnects.Inc()
 	conn, err := net.DialTimeout("tcp", r.addr, r.cfg.DialTimeout)
 	if err != nil {
@@ -544,17 +673,17 @@ func (r *Remote) reconnectLocked(attempt uint64, pending int) error {
 		return parallel.AsFault(parallel.FaultTransient, err)
 	}
 	r.conn = conn
-	if _, err := r.rpcLocked(MsgHello, r.hello.encode(), MsgHelloAck); err != nil {
+	if _, err := r.rpcLocked(ctx, MsgHello, r.hello.encode(), MsgHelloAck); err != nil {
 		sp.SetAttr("error", err.Error())
 		return err
 	}
 	if r.lastState != nil {
-		err = r.restoreRPCLocked(r.lastState)
+		err = r.restoreRPCLocked(ctx, r.lastState)
 	} else {
 		// No baseline state: reset the worker to a fresh sketcher so a
 		// surviving worker that absorbed rows before the fault does not
 		// double-count the replay.
-		_, err = r.rpcLocked(MsgRestore, nil, MsgRestoreAck)
+		_, err = r.rpcLocked(ctx, MsgRestore, nil, MsgRestoreAck)
 	}
 	if err != nil {
 		sp.SetAttr("error", err.Error())
@@ -564,13 +693,13 @@ func (r *Remote) reconnectLocked(attempt uint64, pending int) error {
 	if head := r.log[:len(r.log)-pending]; len(head) > 0 {
 		// Rows whose stats earlier Absorb calls already returned: replay
 		// for state, discard the ack.
-		if _, err := r.ingestRPCLocked(head); err != nil {
+		if _, err := r.ingestRPCLocked(ctx, head); err != nil {
 			sp.SetAttr("error", err.Error())
 			return err
 		}
 	}
 	if tail := r.log[len(r.log)-pending:]; len(tail) > 0 {
-		ack, err := r.ingestRPCLocked(tail)
+		ack, err := r.ingestRPCLocked(ctx, tail)
 		if err != nil {
 			sp.SetAttr("error", err.Error())
 			return err
@@ -644,16 +773,131 @@ func (r *Remote) heartbeatLoop() {
 			continue
 		}
 		start := time.Now()
-		payload, err := r.rpcLocked(MsgHeartbeat, nil, MsgHeartbeatAck)
+		payload, err := r.rpcLocked(obs.SpanContext{}, MsgHeartbeat, nil, MsgHeartbeatAck)
 		if err == nil {
 			r.mRTT.Observe(time.Since(start).Seconds())
 			r.mUp.SetInt(1)
 			if hb, derr := decodeHeartbeat(payload); derr == nil {
 				r.lastEll.Store(int64(hb.Ell))
+				if !hb.legacy {
+					r.mUptime.Set(hb.Uptime)
+					r.mQueueDepth.SetInt(hb.QueueDepth)
+					r.mObsRing.SetInt(hb.ObsRing)
+				}
+			}
+			// Piggyback a fleet-stats fetch on the successful probe when a
+			// fleet view is armed: the worker's whole registry snapshot,
+			// refreshed at heartbeat cadence.
+			if fv := r.fleet.Load(); fv != nil {
+				if snap, serr := r.statsRPCLocked(); serr == nil {
+					fv.Update(r.name, snap)
+				}
 			}
 		}
 		// On error rpcLocked already dropped the connection and zeroed
 		// the up gauge; the next operation reconnects.
 		r.mu.Unlock()
 	}
+}
+
+// statsRPCLocked fetches the worker's obs registry snapshot (JSON over
+// MsgStatsReq/MsgStats). A legacy worker answers MsgError for the
+// unknown type — a request-level error that keeps the connection, so
+// mixed fleets degrade to heartbeat-only health.
+func (r *Remote) statsRPCLocked() (obs.RegistrySnapshot, error) {
+	payload, err := r.rpcLocked(obs.SpanContext{}, MsgStatsReq, nil, MsgStats)
+	if err != nil {
+		return obs.RegistrySnapshot{}, err
+	}
+	var snap obs.RegistrySnapshot
+	if err := json.Unmarshal(payload, &snap); err != nil {
+		return obs.RegistrySnapshot{}, parallel.AsFault(parallel.FaultCorrupt, err)
+	}
+	return snap, nil
+}
+
+// ArmFleet attaches a fleet view to this remote: every subsequent
+// successful heartbeat also fetches the worker's registry snapshot and
+// feeds it to the view, so /fleetz tracks the worker at heartbeat
+// cadence. Pass nil to detach.
+func (r *Remote) ArmFleet(fv *obs.FleetView) { r.fleet.Store(fv) }
+
+// FlightForward asks the worker to dump its flight ring with the given
+// trigger ID (see FlightRecorder.TriggerID) and returns the dump file's
+// base name, or "" when the worker is degraded, unreachable, busy past
+// wait, unarmed, or inside its dump cooldown. It takes the RPC lock
+// with a bounded wait so a fan-out never stalls behind a long ingest.
+func (r *Remote) FlightForward(triggerID, reason string, wait time.Duration) string {
+	deadline := time.Now().Add(wait)
+	for !r.mu.TryLock() {
+		if time.Now().After(deadline) {
+			return ""
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	defer r.mu.Unlock()
+	if r.closed || r.fallback != nil || r.conn == nil {
+		return ""
+	}
+	payload, err := r.rpcLocked(obs.SpanContext{}, MsgFlightReq,
+		FlightReqPayload{ID: triggerID, Reason: reason}.encode(), MsgFlightAck)
+	if err != nil {
+		return ""
+	}
+	ack, err := decodeFlightAck(payload)
+	if err != nil {
+		return ""
+	}
+	return ack.Dump
+}
+
+// ArmFleetFlight registers a hook on the default obs registry that fans
+// every coordinator-side flight dump out to the given remotes: each
+// worker dumps its own flight ring tagged with the coordinator's
+// trigger ID, and the fan-out result is journaled (KindFlightFanout)
+// with the correlated dump names. The returned function unregisters
+// the hook. Per-trigger dedup makes the hook safe even when a worker
+// shares the coordinator's registry in-process (loopback tests): the
+// forwarded dump cannot re-trigger a second fan-out.
+func ArmFleetFlight(remotes []*Remote) func() {
+	var mu sync.Mutex
+	seen := make(map[string]bool)
+	return obs.Default().OnFlightDump(func(reason, triggerID, path string) {
+		mu.Lock()
+		if seen[triggerID] {
+			mu.Unlock()
+			return
+		}
+		if len(seen) > 1024 {
+			seen = make(map[string]bool)
+		}
+		seen[triggerID] = true
+		mu.Unlock()
+
+		dumps := make([]string, len(remotes))
+		var wg sync.WaitGroup
+		for i, rm := range remotes {
+			wg.Add(1)
+			go func(i int, rm *Remote) {
+				defer wg.Done()
+				dumps[i] = rm.FlightForward(triggerID, reason, 2*time.Second)
+			}(i, rm)
+		}
+		wg.Wait()
+		var names []string
+		for i, d := range dumps {
+			if d != "" {
+				names = append(names, remotes[i].name+":"+d)
+			}
+		}
+		list := "none"
+		if len(names) > 0 {
+			list = strings.Join(names, " ")
+		}
+		audit.Default().Record(audit.KindFlightFanout,
+			fmt.Sprintf("flight trigger %s (%s) fanned out to fleet; worker dumps: %s",
+				triggerID, reason, list),
+			audit.A("workers", float64(len(remotes))),
+			audit.A("dumped", float64(len(names))))
+	})
 }

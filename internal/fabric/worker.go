@@ -1,12 +1,15 @@
 package fabric
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"arams/internal/audit"
 	"arams/internal/ckpt"
@@ -50,9 +53,17 @@ type Worker struct {
 	// them down — serve() blocks in Read with no deadline otherwise.
 	conns map[net.Conn]struct{}
 
-	frames atomic.Int64
-	closed atomic.Bool
-	wg     sync.WaitGroup
+	frames   atomic.Int64
+	inflight atomic.Int64 // requests currently inside handle()
+	start    time.Time
+	closed   atomic.Bool
+	wg       sync.WaitGroup
+
+	// obsReg is the registry this worker reports through — spans for
+	// traced requests, the stats snapshot, the flight recorder fan-out.
+	// Defaults to obs.Default(); tests inject their own to keep worker
+	// and coordinator observability separate in one process.
+	obsReg atomic.Pointer[obs.Registry]
 }
 
 // NewWorker starts a worker listening on addr (host:port; use port 0
@@ -69,7 +80,8 @@ func NewWorker(addr string) (*Worker, error) {
 // ServeWorker starts a worker on an existing listener (tests use this
 // to pin a port across a kill/restart). The worker owns the listener.
 func ServeWorker(ln net.Listener) *Worker {
-	w := &Worker{ln: ln, conns: make(map[net.Conn]struct{})}
+	w := &Worker{ln: ln, conns: make(map[net.Conn]struct{}), start: time.Now()}
+	w.obsReg.Store(obs.Default())
 	w.wg.Add(1)
 	go w.acceptLoop()
 	return w
@@ -77,6 +89,18 @@ func ServeWorker(ln net.Listener) *Worker {
 
 // Addr returns the listener's address (dial this).
 func (w *Worker) Addr() string { return w.ln.Addr().String() }
+
+// SetObsRegistry redirects the worker's observability — request spans,
+// fleet-stats snapshots, flight-recorder fan-out — to the given
+// registry (default obs.Default()). In-process harnesses use this so
+// worker-side state does not mix with the coordinator's registry.
+func (w *Worker) SetObsRegistry(r *obs.Registry) {
+	if r != nil {
+		w.obsReg.Store(r)
+	}
+}
+
+func (w *Worker) obs() *obs.Registry { return w.obsReg.Load() }
 
 // Frames returns how many rows this worker has absorbed since start
 // (replays included).
@@ -136,7 +160,9 @@ func (w *Worker) serve(conn net.Conn) {
 			return
 		}
 		obsWorkerRPCs.Inc()
+		w.inflight.Add(1)
 		resp := w.handle(req)
+		w.inflight.Add(-1)
 		resp.Seq = req.Seq
 		if err := ckpt.WriteWireFrame(conn, resp); err != nil {
 			obsWorkerRPCErrs.Inc()
@@ -145,9 +171,36 @@ func (w *Worker) serve(conn net.Conn) {
 	}
 }
 
+// frameParent extracts the coordinator's span identity from a traced
+// (wire v2) request frame; the zero SpanContext for v1 frames.
+func frameParent(req ckpt.WireFrame) obs.SpanContext {
+	if !req.Traced() {
+		return obs.SpanContext{}
+	}
+	return obs.SpanContext{Trace: obs.ID(req.Trace), Span: obs.ID(req.Span)}
+}
+
+// reply finishes a response for req: a traced request (wire v2) gets
+// the traced-reply wrapper — inner payload plus the worker's span
+// records for this request — and echoes the request's trace identity
+// so the response frame is v2 too. Untraced (v1) requests and MsgError
+// responses pass through unchanged, keeping every v1 byte stream and
+// every error path identical to the pre-trace protocol.
+func reply(req, resp ckpt.WireFrame, recs []obs.SpanRecord) ckpt.WireFrame {
+	if !req.Traced() || resp.Type == MsgError {
+		return resp
+	}
+	resp.Trace, resp.Span = req.Trace, req.Span
+	resp.Payload = wrapTraced(resp.Payload, recs)
+	return resp
+}
+
 // handle serves one request frame, returning the response frame (Seq is
-// filled by the caller).
+// filled by the caller). Traced requests open a worker-side span under
+// the coordinator's RPC span; the completed records ride back on the
+// ack (see reply).
 func (w *Worker) handle(req ckpt.WireFrame) ckpt.WireFrame {
+	parent := frameParent(req)
 	switch req.Type {
 	case MsgHello:
 		hello, err := decodeHello(req.Payload)
@@ -177,32 +230,66 @@ func (w *Worker) handle(req ckpt.WireFrame) ckpt.WireFrame {
 		if b == nil {
 			return errFrame(ErrCodeTransient, errNoHello)
 		}
+		traced := parent.Trace != 0
+		var sp obs.Span
+		var cpu obs.CPUTimer
+		if traced {
+			sp = w.obs().StartSpanIn(parent, "worker_absorb",
+				obs.L("shard", fmt.Sprint(w.shardID())),
+				obs.L("rows", fmt.Sprint(len(p.Rows))))
+			cpu = obs.StartCPUTimer()
+		}
 		stats, err := b.Absorb(p.Rows, nil)
+		var recs []obs.SpanRecord
+		if traced {
+			if d, ok := cpu.Stop(); ok {
+				sp.SetCPU(d)
+			}
+			if err != nil {
+				sp.SetAttr("error", err.Error())
+			}
+			recs = append(recs, sp.EndRecord())
+		}
 		if err != nil {
 			return errFrame(ErrCodeTransient, err)
 		}
 		w.frames.Add(int64(len(p.Rows)))
 		obsWorkerFrames.Add(float64(len(p.Rows)))
-		return ckpt.WireFrame{Type: MsgIngestAck,
-			Payload: IngestAckPayload{Stats: stats, Ell: b.Ell()}.encode()}
+		return reply(req, ckpt.WireFrame{Type: MsgIngestAck,
+			Payload: IngestAckPayload{Stats: stats, Ell: b.Ell()}.encode()}, recs)
 
 	case MsgReconcile:
 		b := w.getBackend()
 		if b == nil {
 			return errFrame(ErrCodeTransient, errNoHello)
 		}
+		traced := parent.Trace != 0
+		var sp obs.Span
+		if traced {
+			sp = w.obs().StartSpanIn(parent, "worker_state",
+				obs.L("shard", fmt.Sprint(w.shardID())))
+		}
 		st, err := b.State()
+		var payload []byte
+		if err == nil && st != nil {
+			payload, err = ckpt.Marshal(st)
+		}
+		var recs []obs.SpanRecord
+		if traced {
+			if err != nil {
+				sp.SetAttr("error", err.Error())
+			}
+			sp.SetAttr("bytes", fmt.Sprint(len(payload)))
+			recs = append(recs, sp.EndRecord())
+		}
 		if err != nil {
+			if st != nil {
+				return errFrame(ErrCodeFatal, err) // marshal failure
+			}
 			return errFrame(ErrCodeTransient, err)
 		}
-		if st == nil {
-			return ckpt.WireFrame{Type: MsgSketchState} // no rows yet
-		}
-		payload, err := ckpt.Marshal(st)
-		if err != nil {
-			return errFrame(ErrCodeFatal, err)
-		}
-		return ckpt.WireFrame{Type: MsgSketchState, Payload: payload}
+		// Empty payload means no rows yet.
+		return reply(req, ckpt.WireFrame{Type: MsgSketchState, Payload: payload}, recs)
 
 	case MsgRestore:
 		w.mu.Lock()
@@ -210,22 +297,42 @@ func (w *Worker) handle(req ckpt.WireFrame) ckpt.WireFrame {
 		if !w.haveCfg {
 			return errFrame(ErrCodeTransient, errNoHello)
 		}
+		traced := parent.Trace != 0
+		var sp obs.Span
+		if traced {
+			sp = w.obs().StartSpanIn(parent, "worker_restore",
+				obs.L("shard", fmt.Sprint(w.shard)),
+				obs.L("bytes", fmt.Sprint(len(req.Payload))))
+		}
+		endRestore := func(errstr string) []obs.SpanRecord {
+			if !traced {
+				return nil
+			}
+			if errstr != "" {
+				sp.SetAttr("error", errstr)
+			}
+			return []obs.SpanRecord{sp.EndRecord()}
+		}
 		if len(req.Payload) == 0 {
 			// Explicit reset to a fresh sketcher.
 			w.backend = engine.NewLocalBackend(w.cfg)
 			obsWorkerRestores.Inc()
-			return ckpt.WireFrame{Type: MsgRestoreAck}
+			return reply(req, ckpt.WireFrame{Type: MsgRestoreAck}, endRestore(""))
 		}
 		v, err := ckpt.Unmarshal(req.Payload)
 		if err != nil {
+			endRestore(err.Error())
 			return errFrame(ErrCodeCorrupt, err)
 		}
 		st, ok := v.(*sketch.ARAMSState)
 		if !ok {
-			return errFrame(ErrCodeCorrupt, fmt.Errorf("fabric: restore payload is %T, want ARAMS state", v))
+			err := fmt.Errorf("fabric: restore payload is %T, want ARAMS state", v)
+			endRestore(err.Error())
+			return errFrame(ErrCodeCorrupt, err)
 		}
 		b := engine.NewLocalBackend(w.cfg)
 		if err := b.Restore(st); err != nil {
+			endRestore(err.Error())
 			return errFrame(ErrCodeCorrupt, err)
 		}
 		w.backend = b
@@ -234,14 +341,27 @@ func (w *Worker) handle(req ckpt.WireFrame) ckpt.WireFrame {
 			"fabric worker restored sketcher state from coordinator",
 			audit.A("shard", float64(w.shard)),
 			audit.A("dim", float64(st.D)))
-		return ckpt.WireFrame{Type: MsgRestoreAck}
+		return reply(req, ckpt.WireFrame{Type: MsgRestoreAck}, endRestore(""))
 
 	case MsgCertificateReq:
 		b := w.getBackend()
 		if b == nil {
 			return errFrame(ErrCodeTransient, errNoHello)
 		}
+		traced := parent.Trace != 0
+		var sp obs.Span
+		if traced {
+			sp = w.obs().StartSpanIn(parent, "worker_certificate",
+				obs.L("shard", fmt.Sprint(w.shardID())))
+		}
 		fd, err := b.Snapshot()
+		var recs []obs.SpanRecord
+		if traced {
+			if err != nil {
+				sp.SetAttr("error", err.Error())
+			}
+			recs = append(recs, sp.EndRecord())
+		}
 		if err != nil {
 			return errFrame(ErrCodeTransient, err)
 		}
@@ -249,8 +369,8 @@ func (w *Worker) handle(req ckpt.WireFrame) ckpt.WireFrame {
 		if fd != nil {
 			cert = audit.FromSketch(fd)
 		}
-		return ckpt.WireFrame{Type: MsgCertificate,
-			Payload: CertificatePayload{Cert: cert}.encode()}
+		return reply(req, ckpt.WireFrame{Type: MsgCertificate,
+			Payload: CertificatePayload{Cert: cert}.encode()}, recs)
 
 	case MsgHeartbeat:
 		ell := 0
@@ -258,11 +378,43 @@ func (w *Worker) handle(req ckpt.WireFrame) ckpt.WireFrame {
 			ell = b.Ell()
 		}
 		return ckpt.WireFrame{Type: MsgHeartbeatAck,
-			Payload: HeartbeatPayload{Frames: int(w.frames.Load()), Ell: ell}.encode()}
+			Payload: HeartbeatPayload{
+				Frames:     int(w.frames.Load()),
+				Ell:        ell,
+				Uptime:     time.Since(w.start).Seconds(),
+				QueueDepth: int(w.inflight.Load()),
+				ObsRing:    w.obs().RingLen(),
+			}.encode()}
+
+	case MsgStatsReq:
+		payload, err := json.Marshal(w.obs().Export())
+		if err != nil {
+			return errFrame(ErrCodeTransient, err)
+		}
+		return reply(req, ckpt.WireFrame{Type: MsgStats, Payload: payload}, nil)
+
+	case MsgFlightReq:
+		p, err := decodeFlightReq(req.Payload)
+		if err != nil {
+			return errFrame(ErrCodeCorrupt, err)
+		}
+		dump := w.obs().FlightTriggerID(p.Reason, p.ID)
+		if dump != "" {
+			dump = filepath.Base(dump)
+		}
+		return reply(req, ckpt.WireFrame{Type: MsgFlightAck,
+			Payload: FlightAckPayload{Dump: dump}.encode()}, nil)
 
 	default:
 		return errFrame(ErrCodeCorrupt, fmt.Errorf("fabric: unknown message type %d", req.Type))
 	}
+}
+
+// shardID reads the shard slot adopted from the last Hello.
+func (w *Worker) shardID() uint32 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.shard
 }
 
 var errNoHello = errors.New("fabric: no hello received on this worker yet")

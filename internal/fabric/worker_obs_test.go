@@ -1,0 +1,230 @@
+package fabric
+
+// Handle-level tests for the worker's observability surface: the
+// heartbeat health block, the traced-reply wrapper on v2 requests, the
+// fleet-stats snapshot RPC, and the flight fan-out RPC. These exercise
+// w.handle directly (no sockets) so they can reach the unexported
+// codecs and assert exact frame semantics.
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"arams/internal/ckpt"
+	"arams/internal/obs"
+	"arams/internal/sketch"
+)
+
+// newHandleWorker starts a worker with its own obs registry (so test
+// spans never land in obs.Default()) and sends it a hello so ingest
+// RPCs have a backend.
+func newHandleWorker(t *testing.T) (*Worker, *obs.Registry) {
+	t.Helper()
+	w, err := NewWorker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.Close() })
+	reg := obs.NewRegistry()
+	w.SetObsRegistry(reg)
+
+	hello := HelloPayload{Shard: 1, Cfg: sketch.Config{Ell0: 4, Beta: 1}}
+	resp := w.handle(ckpt.WireFrame{Type: MsgHello, Payload: hello.encode()})
+	if resp.Type != MsgHelloAck {
+		t.Fatalf("hello answered with type %d", resp.Type)
+	}
+	return w, reg
+}
+
+func ingestFrame(trace, span uint64, rows [][]float64) ckpt.WireFrame {
+	return ckpt.WireFrame{
+		Type: MsgIngest, Trace: trace, Span: span,
+		Payload: IngestPayload{D: len(rows[0]), Rows: rows}.encode(),
+	}
+}
+
+func TestWorkerHeartbeatHealthBlock(t *testing.T) {
+	w, _ := newHandleWorker(t)
+	resp := w.handle(ckpt.WireFrame{Type: MsgHeartbeat})
+	if resp.Type != MsgHeartbeatAck {
+		t.Fatalf("heartbeat answered with type %d", resp.Type)
+	}
+	hb, err := decodeHeartbeat(resp.Payload)
+	if err != nil {
+		t.Fatalf("decode heartbeat: %v", err)
+	}
+	if hb.legacy {
+		t.Error("live worker emitted the legacy two-field heartbeat form")
+	}
+	if hb.Uptime <= 0 {
+		t.Errorf("uptime %v, want > 0", hb.Uptime)
+	}
+	if hb.QueueDepth != 0 {
+		t.Errorf("queue depth %d, want 0 (direct handle call)", hb.QueueDepth)
+	}
+	if hb.ObsRing < 0 {
+		t.Errorf("obs ring %d, want >= 0", hb.ObsRing)
+	}
+	// Canonical re-encode: the extended form must round-trip bytes.
+	if got := hb.encode(); string(got) != string(resp.Payload) {
+		t.Error("extended heartbeat does not re-encode canonically")
+	}
+}
+
+func TestWorkerTracedReplyWrapsIngestAck(t *testing.T) {
+	w, reg := newHandleWorker(t)
+	rows := [][]float64{{1, 2, 3}, {4, 5, 6}}
+
+	resp := w.handle(ingestFrame(7, 9, rows))
+	if resp.Type != MsgIngestAck {
+		t.Fatalf("traced ingest answered with type %d", resp.Type)
+	}
+	if !resp.Traced() || resp.Trace != 7 || resp.Span != 9 {
+		t.Fatalf("traced response does not echo request identity: trace=%d span=%d", resp.Trace, resp.Span)
+	}
+	inner, recs, err := unwrapTraced(resp.Payload)
+	if err != nil {
+		t.Fatalf("unwrap traced reply: %v", err)
+	}
+	ack, err := decodeIngestAck(inner)
+	if err != nil {
+		t.Fatalf("decode inner ack: %v", err)
+	}
+	if ack.Stats.Rows != 2 {
+		t.Errorf("ack rows %d, want 2", ack.Stats.Rows)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("traced reply carries %d span records, want 1", len(recs))
+	}
+	rec := recs[0]
+	if rec.Name != "worker_absorb" {
+		t.Errorf("span name %q, want worker_absorb", rec.Name)
+	}
+	if rec.Trace != 7 || rec.Parent != 9 || rec.Span == 0 {
+		t.Errorf("span identity trace=%d parent=%d span=%d, want trace 7 parented under span 9", rec.Trace, rec.Parent, rec.Span)
+	}
+	if rec.Attrs["rows"] != "2" {
+		t.Errorf("span rows attr %q, want 2", rec.Attrs["rows"])
+	}
+	// The worker's own registry retains its copy of the span.
+	var found bool
+	for _, sp := range reg.Spans() {
+		if sp.Name == "worker_absorb" && sp.Trace == 7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("worker registry ring does not hold the worker_absorb span")
+	}
+}
+
+func TestWorkerUntracedIngestStaysPlain(t *testing.T) {
+	w, _ := newHandleWorker(t)
+	resp := w.handle(ingestFrame(0, 0, [][]float64{{1, 2, 3}}))
+	if resp.Type != MsgIngestAck {
+		t.Fatalf("ingest answered with type %d", resp.Type)
+	}
+	if resp.Traced() {
+		t.Fatal("untraced request got a traced response")
+	}
+	// Payload must decode directly — no wrapper.
+	if _, err := decodeIngestAck(resp.Payload); err != nil {
+		t.Fatalf("plain ack does not decode: %v", err)
+	}
+}
+
+func TestWorkerTracedErrorStaysPlain(t *testing.T) {
+	w, err := NewWorker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	w.SetObsRegistry(obs.NewRegistry())
+
+	// Traced ingest before any hello: request-level error. MsgError must
+	// stay a plain v1 frame so v1-era error handling is untouched.
+	resp := w.handle(ingestFrame(3, 4, [][]float64{{1}}))
+	if resp.Type != MsgError {
+		t.Fatalf("ingest before hello answered with type %d", resp.Type)
+	}
+	if resp.Traced() {
+		t.Fatal("error response carries trace identity")
+	}
+	if _, err := decodeError(resp.Payload); err != nil {
+		t.Fatalf("error payload does not decode plainly: %v", err)
+	}
+}
+
+func TestWorkerStatsReqSnapshotsRegistry(t *testing.T) {
+	w, reg := newHandleWorker(t)
+	reg.Counter("test_stats_total").Inc()
+
+	resp := w.handle(ckpt.WireFrame{Type: MsgStatsReq})
+	if resp.Type != MsgStats {
+		t.Fatalf("stats req answered with type %d", resp.Type)
+	}
+	var snap obs.RegistrySnapshot
+	if err := json.Unmarshal(resp.Payload, &snap); err != nil {
+		t.Fatalf("stats payload does not unmarshal: %v", err)
+	}
+	var found bool
+	for _, c := range snap.Counters {
+		if c.Name == "test_stats_total" && c.Value == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("snapshot is missing the worker's counter: %+v", snap.Counters)
+	}
+}
+
+func TestWorkerFlightReqDumpsWithTriggerID(t *testing.T) {
+	w, reg := newHandleWorker(t)
+	dir := t.TempDir()
+	fr, err := reg.ArmFlightRecorder(obs.FlightConfig{Dir: dir, Identity: "w0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fr.Close()
+
+	req := FlightReqPayload{ID: "deadbeef01", Reason: "test_incident"}
+	resp := w.handle(ckpt.WireFrame{Type: MsgFlightReq, Payload: req.encode()})
+	if resp.Type != MsgFlightAck {
+		t.Fatalf("flight req answered with type %d", resp.Type)
+	}
+	ack, err := decodeFlightAck(resp.Payload)
+	if err != nil {
+		t.Fatalf("decode flight ack: %v", err)
+	}
+	if ack.Dump == "" {
+		t.Fatal("armed worker reported no dump")
+	}
+	if !strings.Contains(ack.Dump, "deadbeef01") {
+		t.Errorf("dump name %q does not carry the coordinator's trigger ID", ack.Dump)
+	}
+	if !strings.Contains(ack.Dump, "w0") {
+		t.Errorf("dump name %q does not carry the worker identity", ack.Dump)
+	}
+	if _, err := os.Stat(filepath.Join(dir, ack.Dump)); err != nil {
+		t.Errorf("dump file missing: %v", err)
+	}
+}
+
+func TestWorkerFlightReqUnarmedAnswersEmpty(t *testing.T) {
+	w, _ := newHandleWorker(t)
+	resp := w.handle(ckpt.WireFrame{Type: MsgFlightReq,
+		Payload: FlightReqPayload{ID: "abc", Reason: "r"}.encode()})
+	if resp.Type != MsgFlightAck {
+		t.Fatalf("flight req answered with type %d", resp.Type)
+	}
+	ack, err := decodeFlightAck(resp.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Dump != "" {
+		t.Errorf("unarmed worker reported dump %q, want empty", ack.Dump)
+	}
+}

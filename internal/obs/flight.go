@@ -23,6 +23,11 @@ import (
 type FlightConfig struct {
 	// Dir receives the JSONL dump files (required; created if absent).
 	Dir string
+	// Identity is a stable process identity (e.g. "coordinator",
+	// "worker0") embedded in dump filenames, so dumps from multiple
+	// processes sharing one directory cannot collide or be confused.
+	// Empty omits the segment (single-process layout).
+	Identity string
 	// Window is how much history the ring keeps (default 30s).
 	Window time.Duration
 	// SampleEvery is the metric-sampling cadence (default 500ms).
@@ -54,11 +59,12 @@ func (c FlightConfig) withDefaults() FlightConfig {
 
 // flightEntry is one line of a dump.
 type flightEntry struct {
-	Time    time.Time          `json:"time"`
-	Kind    string             `json:"kind"` // "span" | "sample" | "trigger"
-	Span    *SpanRecord        `json:"span,omitempty"`
-	Metrics map[string]float64 `json:"metrics,omitempty"`
-	Reason  string             `json:"reason,omitempty"`
+	Time      time.Time          `json:"time"`
+	Kind      string             `json:"kind"` // "span" | "sample" | "trigger"
+	Span      *SpanRecord        `json:"span,omitempty"`
+	Metrics   map[string]float64 `json:"metrics,omitempty"`
+	Reason    string             `json:"reason,omitempty"`
+	TriggerID string             `json:"trigger_id,omitempty"`
 }
 
 // FlightRecorder captures recent spans and metric samples and dumps
@@ -200,9 +206,19 @@ func (fr *FlightRecorder) trimLocked(now time.Time) {
 }
 
 // Trigger dumps the ring to a new JSONL file in the configured
-// directory and returns its path. A trigger inside the cooldown (or a
-// dump that fails to write) returns "".
+// directory and returns its path, minting a fresh trigger ID for the
+// dump. A trigger inside the cooldown (or a dump that fails to write)
+// returns "".
 func (fr *FlightRecorder) Trigger(reason string) string {
+	return fr.TriggerID(reason, newID().String())
+}
+
+// TriggerID is Trigger with a caller-supplied trigger ID — the
+// correlation key for fleet-wide dumps: when a coordinator fault fans
+// out over the fabric, every worker dumps with the coordinator's ID,
+// so dumps from different processes for the same incident carry the
+// same trigger ID in both their filenames and their trigger entries.
+func (fr *FlightRecorder) TriggerID(reason, triggerID string) string {
 	now := time.Now()
 	fr.mu.Lock()
 	if !fr.lastDump.IsZero() && now.Sub(fr.lastDump) < fr.cfg.Cooldown {
@@ -217,10 +233,14 @@ func (fr *FlightRecorder) Trigger(reason string) string {
 	fr.mu.Unlock()
 
 	sortEntries(entries)
-	entries = append(entries, flightEntry{Time: now, Kind: "trigger", Reason: reason})
+	entries = append(entries, flightEntry{Time: now, Kind: "trigger", Reason: reason, TriggerID: triggerID})
 
-	name := fmt.Sprintf("flight-%s-%s.jsonl",
-		now.UTC().Format("20060102T150405.000"), sanitizeReason(reason))
+	ident := ""
+	if fr.cfg.Identity != "" {
+		ident = sanitizeReason(fr.cfg.Identity) + "-"
+	}
+	name := fmt.Sprintf("flight-%s%s-%s-%s.jsonl",
+		ident, now.UTC().Format("20060102T150405.000"), sanitizeReason(reason), triggerID)
 	path := filepath.Join(fr.cfg.Dir, name)
 	if err := writeJSONL(path, entries); err != nil {
 		return ""
@@ -229,6 +249,7 @@ func (fr *FlightRecorder) Trigger(reason string) string {
 	fr.dumps++
 	fr.mu.Unlock()
 	fr.obsDumps.Inc()
+	fr.reg.fireFlightHooks(reason, triggerID, path)
 	return path
 }
 
@@ -289,5 +310,47 @@ func (r *Registry) FlightTrigger(reason string) string {
 	return fr.Trigger(reason)
 }
 
+// FlightTriggerID fires the registry's armed flight recorder with a
+// caller-supplied trigger ID (see FlightRecorder.TriggerID). Used on
+// the receiving end of a fleet-wide fan-out, where the trigger ID was
+// minted by the coordinator.
+func (r *Registry) FlightTriggerID(reason, triggerID string) string {
+	fr := r.flight.Load()
+	if fr == nil {
+		return ""
+	}
+	return fr.TriggerID(reason, triggerID)
+}
+
 // FlightTrigger fires the default registry's flight recorder.
 func FlightTrigger(reason string) string { return Default().FlightTrigger(reason) }
+
+// OnFlightDump registers a callback fired after every flight dump this
+// registry's recorder writes (re-arming the recorder keeps hooks).
+// Each invocation runs on its own goroutine, so hooks can do blocking
+// work — fan a trigger out over the network — without stalling the
+// fault path that fired the dump, which may hold subsystem locks.
+// The returned function unregisters the hook.
+func (r *Registry) OnFlightDump(fn func(reason, triggerID, path string)) func() {
+	r.flightHookMu.Lock()
+	defer r.flightHookMu.Unlock()
+	if r.flightHooks == nil {
+		r.flightHooks = make(map[int]func(reason, triggerID, path string))
+	}
+	id := r.flightHookN
+	r.flightHookN++
+	r.flightHooks[id] = fn
+	return func() {
+		r.flightHookMu.Lock()
+		delete(r.flightHooks, id)
+		r.flightHookMu.Unlock()
+	}
+}
+
+func (r *Registry) fireFlightHooks(reason, triggerID, path string) {
+	r.flightHookMu.Lock()
+	for _, fn := range r.flightHooks {
+		go fn(reason, triggerID, path)
+	}
+	r.flightHookMu.Unlock()
+}

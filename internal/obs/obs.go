@@ -121,6 +121,13 @@ type Registry struct {
 	traces  traceStore
 	flight  atomic.Pointer[FlightRecorder]
 
+	// flightHooks are callbacks fired (each on its own goroutine) after
+	// a flight dump is written — the fabric uses one to fan a
+	// coordinator-side trigger out to remote workers.
+	flightHookMu sync.Mutex
+	flightHooks  map[int]func(reason, triggerID, path string)
+	flightHookN  int
+
 	// stageHists caches the per-stage {wall, cpu} histogram pair so
 	// Span.End resolves its histograms with one lock-free map load
 	// instead of building a metricID (alloc + label sort) and taking

@@ -116,15 +116,18 @@ func StartSpanIn(parent SpanContext, name string, attrs ...Label) Span {
 // store, and the flight recorder when one is armed. It returns the
 // measured duration so callers can reuse it for their own accounting.
 func (s *Span) End() time.Duration {
+	rec := s.endRecord()
+	return rec.Duration
+}
+
+// EndRecord is End for callers that also need the completed record —
+// e.g. a fabric worker that finishes a span locally and then ships the
+// record back to the coordinator on the RPC ack path so the
+// coordinator can stitch it into its own trace tree.
+func (s *Span) EndRecord() SpanRecord { return s.endRecord() }
+
+func (s *Span) endRecord() SpanRecord {
 	d := time.Since(s.start)
-	if s.r == nil {
-		return d
-	}
-	h := s.r.stageHandles(s.name)
-	h.wall.Observe(d.Seconds())
-	if s.cpu > 0 {
-		h.cpuHist().Observe(s.cpu.Seconds())
-	}
 	rec := SpanRecord{
 		Name:     s.name,
 		Start:    s.start,
@@ -135,6 +138,14 @@ func (s *Span) End() time.Duration {
 		CPU:      s.cpu,
 		Attrs:    attrMap(s.attrs),
 	}
+	if s.r == nil {
+		return rec
+	}
+	h := s.r.stageHandles(s.name)
+	h.wall.Observe(d.Seconds())
+	if s.cpu > 0 {
+		h.cpuHist().Observe(s.cpu.Seconds())
+	}
 	s.r.ring.add(rec)
 	if s.trace != 0 {
 		s.r.traces.observe(rec)
@@ -142,7 +153,24 @@ func (s *Span) End() time.Duration {
 	if fr := s.r.flight.Load(); fr != nil {
 		fr.addSpan(rec)
 	}
-	return d
+	return rec
+}
+
+// ObserveRemoteSpan feeds a span record completed in *another process*
+// (shipped here over the fabric ack path) into this registry's span
+// ring, trace store, and flight recorder, so cross-process traces
+// render as one tree on /tracez. The record is NOT billed to the stage
+// histograms: the remote process already recorded its own wall/CPU
+// time, and double-counting it here would corrupt the local stage
+// metrics.
+func (r *Registry) ObserveRemoteSpan(rec SpanRecord) {
+	r.ring.add(rec)
+	if rec.Trace != 0 {
+		r.traces.observe(rec)
+	}
+	if fr := r.flight.Load(); fr != nil {
+		fr.addSpan(rec)
+	}
 }
 
 func attrMap(attrs []Label) map[string]string {
@@ -173,6 +201,11 @@ type SpanRecord struct {
 // Spans returns the most recently completed spans, newest first, up to
 // the ring capacity.
 func (r *Registry) Spans() []SpanRecord { return r.ring.snapshot() }
+
+// RingLen returns how many completed spans the ring currently holds
+// (occupancy, not capacity) — a cheap health signal workers report in
+// fabric heartbeats.
+func (r *Registry) RingLen() int { return r.ring.len() }
 
 // spanRing is a fixed-capacity ring of completed spans.
 type spanRing struct {
@@ -218,6 +251,12 @@ func (sr *spanRing) setCap(capacity int) {
 	sr.buf = make([]SpanRecord, capacity)
 	sr.next, sr.n = 0, 0
 	sr.mu.Unlock()
+}
+
+func (sr *spanRing) len() int {
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	return sr.n
 }
 
 func (sr *spanRing) capacity() int {

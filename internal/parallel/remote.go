@@ -37,9 +37,22 @@ var (
 // closure that snapshots a (possibly remote) shard backend. Fetch
 // returning (nil, nil) means the shard exists but has absorbed no
 // rows yet — an empty leg, skipped without counting as a fault.
+// When FetchIn is set it is used instead of Fetch and receives the
+// fetch attempt's span context, so a trace-propagating transport (the
+// fabric Remote) can parent its RPC spans — and the worker's shipped
+// span records — under the attempt that caused them.
 type RemoteLeg struct {
-	Name  string
-	Fetch func() (*sketch.FrequentDirections, error)
+	Name    string
+	Fetch   func() (*sketch.FrequentDirections, error)
+	FetchIn func(parent obs.SpanContext) (*sketch.FrequentDirections, error)
+}
+
+// fetch dispatches one attempt through FetchIn when available.
+func (l RemoteLeg) fetch(parent obs.SpanContext) (*sketch.FrequentDirections, error) {
+	if l.FetchIn != nil {
+		return l.FetchIn(parent)
+	}
+	return l.Fetch()
 }
 
 // FaultClass buckets a remote-leg error by the recovery it admits.
@@ -262,7 +275,7 @@ func fetchLeg(parent obs.SpanContext, leg RemoteLeg, retry Retry) (*sketch.Frequ
 		}
 		st.Attempts++
 		spAtt := sp.StartChild("fetch_attempt", obs.L("attempt", strconv.Itoa(attempt)))
-		fd, err := fetchOnce(leg.Fetch, retry.LegTimeout)
+		fd, err := fetchOnce(leg, spAtt.Context(), retry.LegTimeout)
 		if err == nil && fd != nil && !fd.Finite() {
 			err = errNotFinite
 		}
@@ -290,10 +303,12 @@ func fetchLeg(parent obs.SpanContext, leg RemoteLeg, retry Retry) (*sketch.Frequ
 	return nil, st
 }
 
-// fetchOnce bounds a single Fetch call by timeout (0 = call inline).
-func fetchOnce(fetch func() (*sketch.FrequentDirections, error), timeout time.Duration) (*sketch.FrequentDirections, error) {
+// fetchOnce bounds a single fetch attempt by timeout (0 = call
+// inline), passing the attempt's span context through to
+// trace-propagating transports.
+func fetchOnce(leg RemoteLeg, parent obs.SpanContext, timeout time.Duration) (*sketch.FrequentDirections, error) {
 	if timeout <= 0 {
-		return fetch()
+		return leg.fetch(parent)
 	}
 	type result struct {
 		fd  *sketch.FrequentDirections
@@ -301,7 +316,7 @@ func fetchOnce(fetch func() (*sketch.FrequentDirections, error), timeout time.Du
 	}
 	done := make(chan result, 1)
 	go func() {
-		fd, err := fetch()
+		fd, err := leg.fetch(parent)
 		done <- result{fd, err}
 	}()
 	timer := time.NewTimer(timeout)

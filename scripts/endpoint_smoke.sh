@@ -4,7 +4,9 @@
 # then validate every endpoint with obscheck — /metrics must parse as
 # Prometheus exposition format and expose both wall and CPU stage
 # histograms, /tracez?format=json must round-trip and hold at least
-# one fully connected per-batch trace, /audit and /healthz must answer.
+# one fully connected per-batch trace, /audit and /healthz must answer,
+# and /fleetz (always mounted, single-member in non-fabric runs) must
+# pass the same exposition lint with the coordinator's own series.
 #
 # Used by the endpoint-smoke CI job; also runnable locally:
 #
@@ -54,14 +56,19 @@ done
 echo "== obscheck =="
 "$TMP/obscheck" -base "$BASE" \
   -want arams_stage_duration_seconds,arams_stage_cpu_seconds,arams_engine_frames_total \
-  -min-traces 1
+  -min-traces 1 -fleet-workers coordinator
 
 echo "== endpoint spot checks =="
-curl -fsS "$BASE/metrics" | head -n 5
+# Download before heading: `curl | head` races head's pipe close
+# against curl's writes and trips pipefail with exit 23 once the
+# exposition outgrows the pipe buffer.
+curl -fsS "$BASE/metrics" -o "$TMP/metrics.prom"
+head -n 5 "$TMP/metrics.prom"
 curl -fsS "$BASE/tracez" >/dev/null
 curl -fsS "$BASE/statusz" >/dev/null
 curl -fsS "$BASE/metrics.json" >/dev/null
 curl -fsS "$BASE/audit" >/dev/null
+curl -fsS "$BASE/fleetz" >/dev/null
 
 kill "$MON_PID"
 wait "$MON_PID" 2>/dev/null || true
