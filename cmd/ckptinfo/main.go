@@ -10,6 +10,14 @@
 //
 //	ckptinfo ckpt/lclsmon.ckpt [more.ckpt ...]
 //	ckptinfo -json ckpt/lclsmon.ckpt   # machine-readable, one JSON object per file
+//	ckptinfo -dir tenants/             # one-line-per-tenant table of hibernated checkpoints
+//
+// With -dir the arguments are directories holding a multi-tenant
+// registry's hibernation files (tenant-<id>.ckpt): every tenant is
+// summarized on one table row — frame count, window occupancy, shard
+// count, and the aggregate error-bound certificate composed across its
+// shards — so "who is asleep here and how accurate were they" is one
+// command. -json combines with -dir for a JSON array.
 //
 // Exit status is non-zero if any file fails to decode, so the tool can
 // gate a restore in a restart script.
@@ -20,6 +28,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"text/tabwriter"
 
 	"arams/internal/ckpt"
 	"arams/internal/pipeline"
@@ -28,8 +40,10 @@ import (
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit one JSON object per file instead of text")
+	dirMode := flag.Bool("dir", false, "treat arguments as hibernation directories; summarize tenant-*.ckpt files as a table")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: %s [-json] <checkpoint-file> [...]\n", os.Args[0])
+		fmt.Fprintf(os.Stderr, "       %s [-json] -dir <hibernation-dir> [...]\n", os.Args[0])
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -38,6 +52,18 @@ func main() {
 		os.Exit(2)
 	}
 	bad := 0
+	if *dirMode {
+		for _, dir := range flag.Args() {
+			if err := describeDir(dir, *jsonOut); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", dir, err)
+				bad++
+			}
+		}
+		if bad > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 	for _, path := range flag.Args() {
 		var err error
 		if *jsonOut {
@@ -304,6 +330,113 @@ func fillJSON(info *jsonInfo, state any) {
 			info.JournalEvents = &n
 		}
 	}
+}
+
+// --- directory (multi-tenant hibernation) mode ---
+
+// tenantRow is one hibernated tenant in the -dir summary.
+type tenantRow struct {
+	Tenant  string `json:"tenant"`
+	Path    string `json:"path"`
+	Bytes   int    `json:"bytes"`
+	Ingests int    `json:"ingests"`
+	Window  int    `json:"window_frames"`
+	Shards  int    `json:"shards"`
+
+	Certificate *jsonCert `json:"certificate,omitempty"`
+	Err         string    `json:"error,omitempty"`
+}
+
+// describeDir summarizes every tenant-<id>.ckpt in dir, one row per
+// tenant, sorted by tenant ID. Undecodable files get an error row and
+// a non-zero exit, but never hide the healthy tenants.
+func describeDir(dir string, jsonOut bool) error {
+	names, err := filepath.Glob(filepath.Join(dir, "tenant-*.ckpt"))
+	if err != nil {
+		return err
+	}
+	sort.Strings(names)
+	rows := make([]tenantRow, 0, len(names))
+	bad := 0
+	for _, path := range names {
+		id := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(path), "tenant-"), ".ckpt")
+		row := tenantRow{Tenant: id, Path: path}
+		if err := fillTenantRow(&row, path); err != nil {
+			row.Err = err.Error()
+			bad++
+		}
+		rows = append(rows, row)
+	}
+
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rows); err != nil {
+			return err
+		}
+	} else {
+		fmt.Printf("%s: %d hibernated tenants\n", dir, len(rows))
+		if len(rows) > 0 {
+			tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+			fmt.Fprintln(tw, "  TENANT\tFRAMES\tWINDOW\tSHARDS\tROWS\tCOV BOUND\tREL BOUND\tBYTES")
+			for _, row := range rows {
+				if row.Err != "" {
+					fmt.Fprintf(tw, "  %s\t-\t-\t-\t-\t%s\t\t\n", row.Tenant, row.Err)
+					continue
+				}
+				cov, rel := "-", "-"
+				rowsSeen := 0
+				if c := row.Certificate; c != nil {
+					cov = fmt.Sprintf("%.6g", c.CovBound)
+					rel = fmt.Sprintf("%.6g", c.RelBound)
+					rowsSeen = c.RowsSeen
+				}
+				fmt.Fprintf(tw, "  %s\t%d\t%d\t%d\t%d\t%s\t%s\t%d\n",
+					row.Tenant, row.Ingests, row.Window, row.Shards, rowsSeen, cov, rel, row.Bytes)
+			}
+			tw.Flush()
+		}
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d of %d tenant checkpoints failed to decode", bad, len(rows))
+	}
+	return nil
+}
+
+// fillTenantRow decodes one hibernation file; the checkpoint must hold
+// a monitor state (that is what the tenant registry writes).
+func fillTenantRow(row *tenantRow, path string) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	row.Bytes = len(b)
+	state, err := ckpt.Unmarshal(b)
+	if err != nil {
+		return err
+	}
+	ms, ok := state.(*pipeline.MonitorState)
+	if !ok {
+		return fmt.Errorf("holds %T, not a monitor state", state)
+	}
+	row.Ingests = ms.Ingests
+	row.Window = len(ms.Frames)
+	for _, ss := range ms.Shards {
+		if ss != nil {
+			row.Shards++
+		}
+	}
+	// The aggregate certificate composes additively across the tenant's
+	// shards — the same bound the registry journals at hibernation.
+	if cert := ms.Certificate(); cert.Rows > 0 {
+		row.Certificate = &jsonCert{
+			Ell: cert.Ell, Dim: cert.Dim, RowsSeen: cert.Rows,
+			Rotations: cert.Rotations, ShrinkMass: cert.ShrinkMass,
+			FrobMass: cert.FrobMass, CovBound: cert.CovBound(),
+			RelBound: cert.RelBound(), AprioriBound: cert.AprioriBound(),
+		}
+	}
+	return nil
 }
 
 // aramsFD returns the FD ledger inside an ARAMS state, whichever

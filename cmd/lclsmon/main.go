@@ -22,6 +22,14 @@
 // frames, and -restore resumes a killed run from the last checkpoint,
 // bit-exact per shard, before ingesting the remaining frames.
 //
+// With -tenants the process becomes a multi-tenant sketch service: each
+// listed tenant streams its own run (id=runfile, or a bare id reusing
+// -in) through one shared registry — per-tenant engines over the shared
+// worker pool, fair-share admission, and LRU/idle hibernation into
+// -checkpoint-dir (-tenant-idle, -tenant-max-resident). /tenantz serves
+// the live tenant table and per-tenant hot-path metrics carry a
+// tenant="<id>" label.
+//
 // Usage:
 //
 //	lclssim -kind diffraction -out run.lcls
@@ -29,6 +37,8 @@
 //	lclsmon -in run.lcls -checkpoint-dir ckpt -checkpoint-every 256
 //	lclsmon -in run.lcls -checkpoint-dir ckpt -shards 4
 //	lclsmon -in run.lcls -checkpoint-dir ckpt -restore
+//	lclssim -mix amo=beam,cxi=diffraction -out-dir runs
+//	lclsmon -tenants amo=runs/amo.lcls,cxi=runs/cxi.lcls -checkpoint-dir tenants -tenant-max-resident 1
 package main
 
 import (
@@ -45,6 +55,7 @@ import (
 	"path/filepath"
 	"strings"
 	"syscall"
+	"time"
 
 	"arams/internal/audit"
 	"arams/internal/ckpt"
@@ -56,6 +67,7 @@ import (
 	"arams/internal/optics"
 	"arams/internal/pipeline"
 	"arams/internal/sketch"
+	"arams/internal/tenant"
 	"arams/internal/umap"
 	"arams/internal/viz"
 )
@@ -79,7 +91,10 @@ func main() {
 	shards := flag.Int("shards", 1, "streaming mode: concurrent sketch shards (1 = serial, bit-exact with previous releases)")
 	fabricWorkers := flag.String("fabric", "", "streaming mode: comma-separated fabricworker addresses; one remote shard per worker (overrides -shards)")
 	ingestBuffer := flag.Int("ingest-buffer", 0, "streaming mode: bounded async ingest queue capacity (0 = engine default)")
-	reconcileAdaptive := flag.Bool("reconcile-adaptive", false, "streaming mode: reconcile shards when marginal sketch shrinkage says the global sketch is stale, instead of on a fixed frame countdown")
+	reconcileAdaptive := flag.Bool("reconcile-adaptive", true, "streaming mode: reconcile shards when marginal sketch shrinkage says the global sketch is stale; false reverts to the fixed frame countdown (bit-exact with the historical merge schedule)")
+	tenants := flag.String("tenants", "", "multi-tenant mode: comma-separated id=runfile pairs (bare ids reuse -in); streams are interleaved through one tenant registry with hibernation in -checkpoint-dir")
+	tenantIdle := flag.Duration("tenant-idle", 0, "multi-tenant mode: hibernate tenants idle for this long (0 = only residency pressure evicts)")
+	tenantMaxResident := flag.Int("tenant-max-resident", 0, "multi-tenant mode: cap on simultaneously resident tenant engines (0 = unlimited)")
 	auditLog := flag.String("audit-log", "", "append audit journal events to this JSONL file")
 	alarmThreshold := flag.Float64("alarm-threshold", 0.5, "Page-Hinkley λ for the residual drift detector")
 	auditEvery := flag.Int("audit-every", 32, "streaming mode: audit the sketch every N frames")
@@ -117,6 +132,44 @@ func main() {
 		fatal("flag error", errors.New("-restore requires -checkpoint-dir"))
 	}
 
+	scfg := sketch.Config{Ell0: *ell, Beta: *beta, Seed: *seed}
+	if *eps > 0 {
+		scfg.RankAdaptive = true
+		scfg.Eps = *eps
+		scfg.Nu = 10
+	}
+	cfg := pipeline.Config{
+		Pre:            imgproc.Preprocessor{Normalize: true},
+		Sketch:         scfg,
+		Workers:        *workers,
+		LatentDim:      *latent,
+		UMAP:           umap.Config{NNeighbors: 20, NEpochs: 200, Seed: *seed + 1},
+		UseHDBSCAN:     *useHDBSCAN,
+		Audit:          auditor,
+		AuditEvery:     *auditEvery,
+		Shards:         *shards,
+		IngestBuffer:   *ingestBuffer,
+		ReconcileFixed: !*reconcileAdaptive,
+		FrameBudget:    *frameBudget,
+	}
+
+	if *tenants != "" {
+		if *ckptDir == "" {
+			fatal("flag error", errors.New("-tenants requires -checkpoint-dir (the hibernation directory)"))
+		}
+		if *fabricWorkers != "" {
+			fatal("flag error", errors.New("-tenants and -fabric are mutually exclusive"))
+		}
+		runTenants(*tenants, *in, cfg, tenantOpts{
+			dir:         *ckptDir,
+			idle:        *tenantIdle,
+			maxResident: *tenantMaxResident,
+			lambda:      *alarmThreshold,
+		})
+		hold()
+		return
+	}
+
 	f, err := os.Open(*in)
 	if err != nil {
 		fatal("opening run file", err)
@@ -130,27 +183,6 @@ func main() {
 		"experiment", run.Experiment, "run", run.RunNumber,
 		"detector", run.Detector, "frames", run.Len(),
 		"width", run.Width, "height", run.Height)
-
-	scfg := sketch.Config{Ell0: *ell, Beta: *beta, Seed: *seed}
-	if *eps > 0 {
-		scfg.RankAdaptive = true
-		scfg.Eps = *eps
-		scfg.Nu = 10
-	}
-	cfg := pipeline.Config{
-		Pre:               imgproc.Preprocessor{Normalize: true},
-		Sketch:            scfg,
-		Workers:           *workers,
-		LatentDim:         *latent,
-		UMAP:              umap.Config{NNeighbors: 20, NEpochs: 200, Seed: *seed + 1},
-		UseHDBSCAN:        *useHDBSCAN,
-		Audit:             auditor,
-		AuditEvery:        *auditEvery,
-		Shards:            *shards,
-		IngestBuffer:      *ingestBuffer,
-		ReconcileAdaptive: *reconcileAdaptive,
-		FrameBudget:       *frameBudget,
-	}
 
 	if *fabricWorkers != "" {
 		if *ckptDir == "" {
@@ -386,6 +418,160 @@ func runStreaming(run *lcls.Run, cfg pipeline.Config, opts streamOpts) {
 		fatal("writing embedding HTML", err)
 	}
 	slog.Info("embedding written", "path", opts.html)
+}
+
+// tenantOpts bundles the multi-tenant flags.
+type tenantOpts struct {
+	dir         string
+	idle        time.Duration
+	maxResident int
+	lambda      float64
+}
+
+// tenantStream is one tenant's workload: an ID and the run it streams.
+type tenantStream struct {
+	id  string
+	run *lcls.Run
+}
+
+// parseTenantSpec expands "-tenants id=runfile,id2=runfile2,id3" into
+// per-tenant streams (a bare id reuses defaultIn). Run files are loaded
+// once and shared between tenants that name the same path.
+func parseTenantSpec(spec, defaultIn string) []tenantStream {
+	cache := map[string]*lcls.Run{}
+	load := func(path string) *lcls.Run {
+		if r, ok := cache[path]; ok {
+			return r
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			fatal("opening tenant run file", err)
+		}
+		r, err := lcls.ReadRun(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Sprintf("reading %s", path), err)
+		}
+		cache[path] = r
+		return r
+	}
+	var streams []tenantStream
+	seen := map[string]bool{}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, path, ok := strings.Cut(part, "=")
+		if !ok {
+			path = defaultIn
+		}
+		if err := tenant.ValidateID(id); err != nil {
+			fatal("flag error", err)
+		}
+		if seen[id] {
+			fatal("flag error", fmt.Errorf("tenant %q listed twice in -tenants", id))
+		}
+		seen[id] = true
+		streams = append(streams, tenantStream{id: id, run: load(path)})
+	}
+	if len(streams) == 0 {
+		fatal("flag error", errors.New("-tenants named no tenants"))
+	}
+	return streams
+}
+
+// runTenants is the sketch-as-a-service path: every tenant's run
+// streams through one registry — shared worker pool, per-tenant
+// engines, fair-share admission — with frames interleaved round-robin
+// across tenants the way a shared facility mixes beamlines. Idle or
+// surplus tenants hibernate into opts.dir and the registry restores
+// them transparently; /tenantz serves the live tenant table.
+func runTenants(spec, defaultIn string, cfg pipeline.Config, opts tenantOpts) {
+	streams := parseTenantSpec(spec, defaultIn)
+
+	// Each tenant gets a private auditor (own journal, own drift
+	// detector) so audit state rides that tenant's checkpoints and a
+	// drift alarm names its tenant. The registry's own admission and
+	// eviction events land in the process journal behind /audit.
+	cfg.Audit = nil
+	lambda := opts.lambda
+	window := 0 // per-tenant default: whole-stream window is per-run below
+	for _, ts := range streams {
+		if ts.run.Len() > window {
+			window = ts.run.Len()
+		}
+	}
+	reg, err := tenant.Open(tenant.Config{
+		Dir:          opts.dir,
+		Pipeline:     cfg,
+		Window:       window,
+		MaxResident:  opts.maxResident,
+		IdleAfter:    opts.idle,
+		JanitorEvery: opts.idle / 2,
+		NewAuditor: func(id string) *audit.Auditor {
+			return audit.New(audit.Config{
+				Journal:  audit.NewJournal(audit.DefaultJournalCap),
+				Residual: audit.NewPageHinkley(lambda/10, lambda),
+				OnAlarm: func(a audit.Alarm) {
+					slog.Warn("sketch drift alarm", "tenant", id,
+						"signal", a.Signal, "value", fmt.Sprintf("%.6g", a.Value),
+						"batch", a.Batch, "journal_seq", a.Seq)
+				},
+			})
+		},
+	})
+	if err != nil {
+		fatal("opening tenant registry", err)
+	}
+	obs.Handle("/tenantz", reg.Handler())
+	slog.Info("multi-tenant mode", "tenants", len(streams),
+		"hibernation_dir", opts.dir, "max_resident", opts.maxResident,
+		"idle_after", opts.idle)
+
+	// Interleave the workloads frame by frame — the adversarial mix for
+	// fair-share admission: every pass touches every tenant, so a capped
+	// registry is forced to rotate engines through hibernation while the
+	// pump keeps all queues moving.
+	total := 0
+	for f := 0; ; f++ {
+		live := false
+		for _, ts := range streams {
+			if f >= ts.run.Len() {
+				continue
+			}
+			live = true
+			if err := reg.Append(ts.id, ts.run.Frames[f], f); err != nil {
+				fatal(fmt.Sprintf("appending frame %d for tenant %s", f, ts.id), err)
+			}
+			total++
+		}
+		if !live {
+			break
+		}
+	}
+	if err := reg.DrainAll(); err != nil {
+		fatal("draining tenants", err)
+	}
+	slog.Info("streams complete", "tenants", len(streams), "frames", total)
+
+	for _, ts := range streams {
+		cert, err := reg.Certificate(ts.id)
+		if err != nil {
+			fatal(fmt.Sprintf("certificate for tenant %s", ts.id), err)
+		}
+		slog.Info("tenant certificate", "tenant", ts.id,
+			"rows", cert.Rows, "ell", cert.Ell,
+			"cov_bound", fmt.Sprintf("%.6g", cert.CovBound()),
+			"rel_bound", fmt.Sprintf("%.6g", cert.RelBound()))
+	}
+	// Close hibernates every tenant, so the registry's whole state
+	// survives in opts.dir: `ckptinfo -dir` summarizes it, and the next
+	// lclsmon -tenants run resumes each stream bit-exactly.
+	if err := reg.Close(); err != nil {
+		fatal("closing tenant registry", err)
+	}
+	slog.Info("tenants hibernated", "dir", opts.dir)
 }
 
 // setupAudit builds the run's sketch-quality auditor: a Page-Hinkley

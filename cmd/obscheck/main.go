@@ -18,7 +18,14 @@
 //     must show worker_absorb spans inside the coordinator's traces);
 //   - with -fleet-workers, /fleetz?format=prom passes ValidateExposition
 //     and carries a worker="<name>" label for every listed member, and
-//     /fleetz?format=json parses into obs.FleetzPayload.
+//     /fleetz?format=json parses into obs.FleetzPayload;
+//   - with -tenants, /tenantz?format=prom passes ValidateExposition and
+//     carries a tenant="<id>" label for every listed tenant, and
+//     /tenantz?format=json parses — the multi-tenant registry check;
+//   - with -forbid-labels, no sample on /metrics carries any of the
+//     listed label keys — the guard that a single-tenant run's metric
+//     names stay byte-identical to the historical unlabeled series
+//     (no label explosion on the default path).
 //
 // Any violation prints the failing check and exits nonzero, so a CI
 // step is just `obscheck -base http://127.0.0.1:9090 ...`.
@@ -50,6 +57,8 @@ func main() {
 	minTraces := flag.Int("min-traces", 0, "require at least this many retained traces in /tracez, each fully connected")
 	wantSpans := flag.String("want-spans", "", "comma-separated span names; each must appear in at least one retained trace on /tracez")
 	fleetWorkers := flag.String("fleet-workers", "", "comma-separated fleet member names; check /fleetz exposition validity and per-worker labels")
+	tenantsWant := flag.String("tenants", "", "comma-separated tenant IDs; check /tenantz exposition validity and per-tenant labels")
+	forbidLabels := flag.String("forbid-labels", "", "comma-separated label keys that must not appear on any /metrics sample (e.g. tenant for single-tenant runs)")
 	skipAudit := flag.Bool("skip-audit", false, "skip the /audit check (for processes that don't mount it, e.g. fabricworker)")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-request timeout")
 	flag.Parse()
@@ -60,6 +69,12 @@ func main() {
 	c.checkMetricsJSON()
 	if workers := splitWant(*fleetWorkers); len(workers) > 0 {
 		c.checkFleetz(workers)
+	}
+	if ids := splitWant(*tenantsWant); len(ids) > 0 {
+		c.checkTenantz(ids)
+	}
+	if keys := splitWant(*forbidLabels); len(keys) > 0 {
+		c.checkForbidLabels(keys)
 	}
 	if !*skipAudit {
 		c.checkOK("/audit")
@@ -261,6 +276,97 @@ func (c *checker) checkFleetz(workers []string) {
 		return
 	}
 	c.passf("/fleetz?format=json parses (%d member(s))", len(payload.Workers))
+}
+
+// checkTenantz validates the multi-tenant registry view: the
+// Prometheus form must pass the exposition lint and carry every
+// expected tenant's label; the JSON form must parse and name them too.
+func (c *checker) checkTenantz(ids []string) {
+	body := c.get("/tenantz?format=prom")
+	if body == nil {
+		return
+	}
+	if err := obs.ValidateExposition(bytes.NewReader(body)); err != nil {
+		c.failf("/tenantz?format=prom is not valid exposition format: %v", err)
+		return
+	}
+	c.passf("/tenantz?format=prom parses as Prometheus exposition format (%d bytes)", len(body))
+	for _, id := range ids {
+		label := fmt.Sprintf("tenant=%q", id)
+		if !strings.Contains(string(body), label) {
+			c.failf("/tenantz carries no series labeled %s", label)
+			continue
+		}
+		c.passf("/tenantz carries series for tenant %s", id)
+	}
+	jbody := c.get("/tenantz?format=json")
+	if jbody == nil {
+		return
+	}
+	var payload struct {
+		Tenants []struct {
+			ID    string `json:"id"`
+			State string `json:"state"`
+		} `json:"tenants"`
+	}
+	if err := json.Unmarshal(jbody, &payload); err != nil {
+		c.failf("/tenantz?format=json does not unmarshal: %v", err)
+		return
+	}
+	c.passf("/tenantz?format=json parses (%d tenant(s))", len(payload.Tenants))
+	for _, id := range ids {
+		found := false
+		for _, t := range payload.Tenants {
+			if t.ID == id {
+				found = true
+				break
+			}
+		}
+		if !found {
+			c.failf("/tenantz?format=json omits tenant %q", id)
+		}
+	}
+}
+
+// checkForbidLabels scans every sample line on /metrics for forbidden
+// label keys. A single-tenant run must emit exactly the historical
+// unlabeled metric names; a tenant="..." leaking into the default path
+// would silently double every engine series.
+func (c *checker) checkForbidLabels(keys []string) {
+	body := c.get("/metrics")
+	if body == nil {
+		return
+	}
+	bad := 0
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		brace := strings.IndexByte(line, '{')
+		if brace < 0 {
+			continue
+		}
+		end := strings.LastIndexByte(line, '}')
+		if end < brace {
+			continue
+		}
+		for _, part := range strings.Split(line[brace+1:end], ",") {
+			key, _, ok := strings.Cut(part, "=")
+			if !ok {
+				continue
+			}
+			key = strings.TrimSpace(key)
+			for _, forbidden := range keys {
+				if key == forbidden {
+					c.failf("/metrics sample carries forbidden label %q: %s", forbidden, line)
+					bad++
+				}
+			}
+		}
+	}
+	if bad == 0 {
+		c.passf("/metrics carries none of the forbidden label keys (%s)", strings.Join(keys, ", "))
+	}
 }
 
 // connected verifies one trace is a single tree: exactly one root span

@@ -29,6 +29,9 @@ const (
 	KindRemoteDegrade     EventKind = "remote_degrade"     // remote shard fell back to local sketching
 	KindRemoteRecovery    EventKind = "remote_recovery"    // remote shard state restored + replayed after reconnect
 	KindFlightFanout      EventKind = "flight_fanout"      // coordinator flight trigger fanned out to the worker fleet
+	KindTenantAdmission   EventKind = "tenant_admission"   // tenant admitted to the multi-tenant registry
+	KindTenantEvict       EventKind = "tenant_evict"       // tenant hibernated to disk (idle deadline or residency pressure)
+	KindTenantRestore     EventKind = "tenant_restore"     // hibernated tenant restored from its checkpoint
 )
 
 // Attr is one numeric attribute of an event. Attributes are numeric on

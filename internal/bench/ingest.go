@@ -250,7 +250,7 @@ func IngestSweep(seed uint64, quick bool) (*IngestReport, *Table) {
 		}
 		for _, adaptive := range modes {
 			cfg := baseCfg
-			cfg.ReconcileAdaptive = adaptive
+			cfg.ReconcileFixed = !adaptive
 			br := testing.Benchmark(func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					ingestRun(cfg, vecs, batch)
@@ -340,7 +340,7 @@ func quietCadenceComparison(seed uint64, quick bool) []CadenceResult {
 			ReconcileEvery: reconcileEvery,
 			Sketch:         sketch.Config{Ell0: ell0, Beta: 1, Seed: seed},
 		}
-		cfg.ReconcileAdaptive = adaptive
+		cfg.ReconcileFixed = !adaptive
 		e := ingestRun(cfg, vecs, batch)
 		mode := "fixed"
 		if adaptive {

@@ -22,15 +22,11 @@ import (
 //     sustained overload is exactly the condition whose prelude is
 //     worth dumping.
 
-// Budget observability. arams_engine_deadline_miss_total counts
-// *frames* that belonged to an over-budget batch — the same unit
-// DeadlineMisses() reports — so the metric and the accessor always
-// agree (misses used to count batches while the metric counted frames).
-var (
-	obsBudgetBurn     = obs.Default().Gauge("arams_engine_budget_burn_rate")
-	obsDeadlineMisses = obs.Default().Counter("arams_engine_deadline_miss_total")
-	obsBudgetFrame    = obs.Default().Gauge("arams_engine_frame_budget_seconds")
-)
+// Budget observability lives on the engine's engineObs handles (see
+// obs.go). arams_engine_deadline_miss_total counts *frames* that
+// belonged to an over-budget batch — the same unit DeadlineMisses()
+// reports — so the metric and the accessor always agree (misses used
+// to count batches while the metric counted frames).
 
 // DefaultFrameBudget is the per-frame wall-time budget when none is
 // configured: one LCLS machine period at 120 Hz.
@@ -52,6 +48,7 @@ type budgetTracker struct {
 	budget    time.Duration // per-frame
 	threshold float64
 	journal   *audit.Journal
+	eo        *engineObs
 
 	mu       sync.Mutex
 	ewma     float64
@@ -60,7 +57,7 @@ type budgetTracker struct {
 	misses   int // frames in over-budget batches (metric unit)
 }
 
-func newBudgetTracker(cfg Config) *budgetTracker {
+func newBudgetTracker(cfg Config, eo *engineObs) *budgetTracker {
 	if cfg.FrameBudget < 0 {
 		return nil
 	}
@@ -76,8 +73,8 @@ func newBudgetTracker(cfg Config) *budgetTracker {
 	if cfg.Audit != nil {
 		j = cfg.Audit.Journal()
 	}
-	obsBudgetFrame.Set(b.Seconds())
-	return &budgetTracker{budget: b, threshold: th, journal: j}
+	eo.budgetFrame.Set(b.Seconds())
+	return &budgetTracker{budget: b, threshold: th, journal: j, eo: eo}
 }
 
 // observe folds one dispatch in: elapsed wall time for n frames ending
@@ -107,9 +104,9 @@ func (bt *budgetTracker) observe(elapsed time.Duration, n, at int) float64 {
 	}
 	bt.mu.Unlock()
 
-	obsBudgetBurn.Set(ewma)
+	bt.eo.budgetBurn.Set(ewma)
 	if burn > 1 {
-		obsDeadlineMisses.Add(float64(n))
+		bt.eo.deadlineMiss.Add(float64(n))
 		if journalMiss {
 			bt.journal.Record(audit.KindDeadlineMiss, "batch exceeded frame budget",
 				audit.A("burn", burn),

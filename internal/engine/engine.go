@@ -29,20 +29,6 @@ import (
 	"arams/internal/sketch"
 )
 
-// Engine observability: batch ingest latency, live frame/window/rank
-// gauges, queue depth for the async path, and merge lag — how many
-// frames the cached global sketch trails the shards by.
-var (
-	obsIngestLatency = obs.Default().Histogram("arams_engine_ingest_batch_seconds")
-	obsFramesTotal   = obs.Default().Counter("arams_engine_frames_total")
-	obsWindowSize    = obs.Default().Gauge("arams_engine_window_size")
-	obsEngineEll     = obs.Default().Gauge("arams_engine_sketch_ell")
-	obsShardCount    = obs.Default().Gauge("arams_engine_shards")
-	obsQueueDepth    = obs.Default().Gauge("arams_engine_queue_depth")
-	obsMergeLag      = obs.Default().Gauge("arams_engine_merge_lag_frames")
-	obsReconciles    = obs.Default().Counter("arams_engine_reconciles_total")
-)
-
 // Route selects how frames are assigned to shards.
 type Route int
 
@@ -72,17 +58,17 @@ type Config struct {
 	// ReconcileEvery is the frame interval between proactive shard
 	// reconciles (default 128). Snapshot paths reconcile on demand
 	// regardless, so this only bounds merge lag between snapshots.
-	// With ReconcileAdaptive it becomes the controller's hysteresis
-	// scale instead of a fixed countdown.
+	// In the default adaptive mode it is the controller's hysteresis
+	// scale rather than a fixed countdown.
 	ReconcileEvery int
-	// ReconcileAdaptive replaces the fixed ReconcileEvery countdown
-	// with the staleness-driven controller in reconcile.go: quiet
-	// streams (no marginal Σδ growth) defer merges up to
-	// ReconcileMaxLag, drifting or bursty ones merge eagerly. False —
-	// the default — is bit-exact-compat mode: the fixed cadence,
-	// unchanged. Either way the post-Drain global sketch is identical;
-	// only when merges happen differs.
-	ReconcileAdaptive bool
+	// ReconcileFixed reverts merge cadence to the fixed ReconcileEvery
+	// countdown. The default (false) runs the staleness-driven
+	// controller in reconcile.go: quiet streams (no marginal Σδ
+	// growth) defer merges up to ReconcileMaxLag, drifting or bursty
+	// ones merge eagerly. Either way the post-Drain global sketch is
+	// bit-identical; only *when* merges happen differs, so fixed mode
+	// exists purely as the reproduce-the-old-schedule escape hatch.
+	ReconcileFixed bool
 	// ReconcileMaxLag is the adaptive controller's hard upper bound on
 	// merge lag in frames (default 8×ReconcileEvery): a reconcile is
 	// forced at this lag no matter how quiet the stream, bounding
@@ -95,6 +81,12 @@ type Config struct {
 	ReconcileDeltaFrac float64
 	// Window is the sliding-window size for snapshots (default 1024).
 	Window int
+	// Tenant, when non-empty, scopes the engine's hot-path metric
+	// series with a tenant="<id>" label so many engines can share one
+	// process and one obs registry (the multi-tenant registry sets it).
+	// Empty — the default — registers the exact unlabeled series a
+	// single-stream process always exported.
+	Tenant string
 	// Pre is the per-frame preprocessing chain.
 	Pre imgproc.Preprocessor
 	// Sketch configures each shard's ARAMS sketcher. Shard i > 0
@@ -234,12 +226,17 @@ type Engine struct {
 
 	// budget is the frame-budget/SLO tracker (nil when disabled).
 	budget *budgetTracker
+
+	// eo holds the engine's metric handles — tenant-labeled when
+	// cfg.Tenant is set, the process-wide unlabeled series otherwise.
+	eo *engineObs
 }
 
 // New creates a streaming engine.
 func New(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
-	e := &Engine{cfg: cfg, budget: newBudgetTracker(cfg), rc: newReconcileCtl(cfg)}
+	eo := newEngineObs(cfg.Tenant)
+	e := &Engine{cfg: cfg, eo: eo, budget: newBudgetTracker(cfg, eo), rc: newReconcileCtl(cfg, eo)}
 	e.shards = make([]Backend, cfg.Shards)
 	e.shardFrames = make([]atomic.Int64, cfg.Shards)
 	e.shardGauges = make([]*obs.Gauge, cfg.Shards)
@@ -250,10 +247,10 @@ func New(cfg Config) *Engine {
 		} else {
 			e.shards[i] = NewLocalBackend(ShardSketchConfig(cfg.Sketch, i))
 		}
-		e.shardGauges[i] = obs.Default().Gauge("arams_engine_shard_frames", obs.L("shard", fmt.Sprint(i)))
-		e.shardCPU[i] = obs.Default().Counter("arams_engine_shard_cpu_seconds_total", obs.L("shard", fmt.Sprint(i)))
+		e.shardGauges[i] = eo.shardGauge(i)
+		e.shardCPU[i] = eo.shardCPUCounter(i)
 	}
-	obsShardCount.SetInt(cfg.Shards)
+	eo.shardCount.SetInt(cfg.Shards)
 	return e
 }
 
@@ -333,7 +330,7 @@ func (e *Engine) ingestBatchAt(ims []*imgproc.Image, tags []int, queuedAt time.T
 	}
 	spPre.End()
 	e.ingestVecsIn(&root, start, vecs, tags)
-	obsIngestLatency.Observe(time.Since(start).Seconds())
+	e.eo.ingestLatency.Observe(time.Since(start).Seconds())
 	root.End()
 }
 
@@ -565,9 +562,9 @@ func (e *Engine) afterDispatch(results []shardResult, base, n, window int, root 
 		e.cfg.Audit.ObserveBatch(flush, e.Certificate())
 	}
 
-	obsFramesTotal.Add(float64(n))
-	obsWindowSize.SetInt(window)
-	obsEngineEll.SetInt(ell)
+	e.eo.framesTotal.Add(float64(n))
+	e.eo.windowSize.SetInt(window)
+	e.eo.engineEll.SetInt(ell)
 
 	if len(e.shards) > 1 {
 		// Marginal Σδ this dispatch added across shards: the staleness
@@ -587,7 +584,7 @@ func (e *Engine) afterDispatch(results []shardResult, base, n, window int, root 
 			lag = 0
 		}
 		e.globalMu.Unlock()
-		obsMergeLag.SetInt(lag)
+		e.eo.mergeLag.SetInt(lag)
 	}
 
 	e.budget.observe(time.Since(start), n, base+n)
@@ -685,8 +682,8 @@ func (e *Engine) reconcileLockedIn(parent obs.SpanContext) *sketch.FrequentDirec
 		e.global, e.globalAt = g, -1
 	}
 	e.rc.noteReconcile()
-	obsReconciles.Inc()
-	obsMergeLag.SetInt(0)
+	e.eo.reconciles.Inc()
+	e.eo.mergeLag.SetInt(0)
 	return g
 }
 
@@ -794,6 +791,10 @@ func (e *Engine) Basis(k int) (*mat.Matrix, int) {
 // after Close. Returns the first backend close error.
 func (e *Engine) Close() error {
 	e.Stop()
+	return e.closeBackends()
+}
+
+func (e *Engine) closeBackends() error {
 	var first error
 	for _, s := range e.shards {
 		if err := s.Close(); err != nil && first == nil {

@@ -1,0 +1,72 @@
+package engine
+
+import (
+	"fmt"
+
+	"arams/internal/obs"
+)
+
+// Per-engine observability handles. A single-stream process registers
+// the same unlabeled series it always did; a tenant-scoped engine
+// (Config.Tenant != "") registers the same names with a tenant="<id>"
+// label so N engines in one process expose N distinguishable series.
+// The registry dedupes by (name, sorted labels), so the tenant == ""
+// path yields *exactly* the package-lifetime metric objects every other
+// unlabeled lookup gets — metric names on the default path are
+// byte-identical to the pre-tenant engine, no label explosion.
+type engineObs struct {
+	tenant string // "" on the default path
+
+	ingestLatency *obs.Histogram
+	framesTotal   *obs.Counter
+	windowSize    *obs.Gauge
+	engineEll     *obs.Gauge
+	shardCount    *obs.Gauge
+	queueDepth    *obs.Gauge
+	mergeLag      *obs.Gauge
+	reconciles    *obs.Counter
+	deltaSince    *obs.Gauge
+	budgetBurn    *obs.Gauge
+	deadlineMiss  *obs.Counter
+	budgetFrame   *obs.Gauge
+}
+
+func newEngineObs(tenant string) *engineObs {
+	r := obs.Default()
+	var ls []obs.Label
+	if tenant != "" {
+		ls = []obs.Label{obs.L("tenant", tenant)}
+	}
+	return &engineObs{
+		tenant:        tenant,
+		ingestLatency: r.Histogram("arams_engine_ingest_batch_seconds", ls...),
+		framesTotal:   r.Counter("arams_engine_frames_total", ls...),
+		windowSize:    r.Gauge("arams_engine_window_size", ls...),
+		engineEll:     r.Gauge("arams_engine_sketch_ell", ls...),
+		shardCount:    r.Gauge("arams_engine_shards", ls...),
+		queueDepth:    r.Gauge("arams_engine_queue_depth", ls...),
+		mergeLag:      r.Gauge("arams_engine_merge_lag_frames", ls...),
+		reconciles:    r.Counter("arams_engine_reconciles_total", ls...),
+		deltaSince:    r.Gauge("arams_engine_delta_since_reconcile", ls...),
+		budgetBurn:    r.Gauge("arams_engine_budget_burn_rate", ls...),
+		deadlineMiss:  r.Counter("arams_engine_deadline_miss_total", ls...),
+		budgetFrame:   r.Gauge("arams_engine_frame_budget_seconds", ls...),
+	}
+}
+
+// shardGauge and shardCPU build the per-shard series, tenant-labeled
+// when the engine is.
+func (eo *engineObs) shardGauge(i int) *obs.Gauge {
+	return obs.Default().Gauge("arams_engine_shard_frames", eo.shardLabels(i)...)
+}
+
+func (eo *engineObs) shardCPUCounter(i int) *obs.Counter {
+	return obs.Default().Counter("arams_engine_shard_cpu_seconds_total", eo.shardLabels(i)...)
+}
+
+func (eo *engineObs) shardLabels(i int) []obs.Label {
+	if eo.tenant == "" {
+		return []obs.Label{obs.L("shard", fmt.Sprint(i))}
+	}
+	return []obs.Label{obs.L("shard", fmt.Sprint(i)), obs.L("tenant", eo.tenant)}
+}

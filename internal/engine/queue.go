@@ -56,6 +56,37 @@ func (e *Engine) Enqueue(im *imgproc.Image, tag int) {
 	q <- qitem{im: im, tag: tag, at: time.Now()}
 }
 
+// TryEnqueue is Enqueue without the blocking: it submits the frame if
+// the queue has room and reports false otherwise, leaving the frame
+// with the caller. The multi-tenant fair-share pump uses it as the
+// handoff into a tenant's engine — a full engine queue must push back
+// into the tenant's own ingress queue, never stall the shared
+// dispatcher on one slow tenant.
+func (e *Engine) TryEnqueue(im *imgproc.Image, tag int) bool {
+	e.queueMu.Lock()
+	e.startLocked()
+	q := e.queue
+	e.queueMu.Unlock()
+	select {
+	case q <- qitem{im: im, tag: tag, at: time.Now()}:
+		return true
+	default:
+		return false
+	}
+}
+
+// QueueDepth reports how many frames currently sit in the async ingest
+// queue (0 when the pump was never started).
+func (e *Engine) QueueDepth() int {
+	e.queueMu.Lock()
+	q := e.queue
+	e.queueMu.Unlock()
+	if q == nil {
+		return 0
+	}
+	return len(q)
+}
+
 // Drain blocks until every frame enqueued before the call has been
 // ingested. It is a no-op when the pump was never started.
 func (e *Engine) Drain() {
@@ -94,7 +125,7 @@ func (e *Engine) pump(q chan qitem, done chan struct{}) {
 	// by contract, so the gauge must read 0 (it used to stick at the
 	// last pre-exit sample). The zeroing defer runs before close(done),
 	// so a Stop caller observes the reset.
-	defer obsQueueDepth.SetInt(0)
+	defer e.eo.queueDepth.SetInt(0)
 	ims := make([]*imgproc.Image, 0, e.cfg.BatchSize)
 	tags := make([]int, 0, e.cfg.BatchSize)
 	var oldest time.Time
@@ -145,7 +176,7 @@ func (e *Engine) pump(q chan qitem, done chan struct{}) {
 		// Sample depth after the flush: it reflects what accumulated
 		// while the batch was ingesting, not the batch itself.
 		flush()
-		obsQueueDepth.SetInt(len(q))
+		e.eo.queueDepth.SetInt(len(q))
 		if closed {
 			return
 		}

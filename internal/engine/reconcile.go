@@ -32,14 +32,12 @@ import "arams/internal/obs"
 // GlobalSketch) bypass the controller entirely — certificates always
 // cover every shard — and reset its state like any other reconcile.
 //
-// In bit-exact-compat mode (ReconcileAdaptive == false, the default)
-// the controller reproduces the fixed countdown exactly: reconcile
-// when lag ≥ ReconcileEvery. Since reconciles only clone shards and
-// never mutate them, the post-Drain global sketch is bit-identical
-// across cadences either way; the property test in engine_test.go
-// holds the two modes against each other.
-
-var obsDeltaSince = obs.Default().Gauge("arams_engine_delta_since_reconcile")
+// The adaptive controller is the default; fixed-countdown mode
+// (ReconcileFixed == true) reproduces the original schedule exactly:
+// reconcile when lag ≥ ReconcileEvery. Since reconciles only clone
+// shards and never mutate them, the post-Drain global sketch is
+// bit-identical across cadences either way; the property test in
+// engine_test.go holds the two modes against each other.
 
 // reconcileCtl holds the cadence state. Guarded by Engine.globalMu,
 // like the cached global sketch whose staleness it tracks.
@@ -53,15 +51,18 @@ type reconcileCtl struct {
 	deltaSince float64 // Σδ added by shard absorbs since the last reconcile
 	deltaTotal float64 // lifetime Σδ the shards reported (the scale reference)
 	reconciles int     // merges performed, all causes
+
+	gauge *obs.Gauge // arams_engine_delta_since_reconcile (per-engine)
 }
 
-func newReconcileCtl(cfg Config) reconcileCtl {
+func newReconcileCtl(cfg Config, eo *engineObs) reconcileCtl {
 	return reconcileCtl{
-		adaptive:  cfg.ReconcileAdaptive,
+		adaptive:  !cfg.ReconcileFixed,
 		every:     cfg.ReconcileEvery,
 		minLag:    max(1, cfg.ReconcileEvery/4),
 		maxLag:    cfg.ReconcileMaxLag,
 		deltaFrac: cfg.ReconcileDeltaFrac,
+		gauge:     eo.deltaSince,
 	}
 }
 
@@ -69,7 +70,7 @@ func newReconcileCtl(cfg Config) reconcileCtl {
 func (rc *reconcileCtl) note(deltaAdded float64) {
 	rc.deltaSince += deltaAdded
 	rc.deltaTotal += deltaAdded
-	obsDeltaSince.Set(rc.deltaSince)
+	rc.gauge.Set(rc.deltaSince)
 }
 
 // due reports whether the cached global sketch should be rebuilt given
@@ -102,7 +103,7 @@ func (rc *reconcileCtl) due(lag int, burn float64) bool {
 func (rc *reconcileCtl) noteReconcile() {
 	rc.deltaSince = 0
 	rc.reconciles++
-	obsDeltaSince.Set(0)
+	rc.gauge.Set(0)
 }
 
 // Reconciles returns how many global-sketch rebuilds have run (periodic

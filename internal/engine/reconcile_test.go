@@ -42,11 +42,11 @@ func quietVecs(n, d, r int, seed uint64) [][]float64 {
 // reconcile count (read before Certificate forces one final merge).
 func runCadence(vecs [][]float64, every int, adaptive bool) (*engine.Engine, int) {
 	e := engine.New(engine.Config{
-		Shards:            4,
-		ReconcileEvery:    every,
-		ReconcileAdaptive: adaptive,
-		Sketch:            sketch.Config{Ell0: 8, Beta: 1, Seed: 5},
-		Window:            32,
+		Shards:         4,
+		ReconcileEvery: every,
+		ReconcileFixed: !adaptive,
+		Sketch:         sketch.Config{Ell0: 8, Beta: 1, Seed: 5},
+		Window:         32,
 	})
 	const batch = 16
 	for lo := 0; lo < len(vecs); lo += batch {

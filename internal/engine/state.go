@@ -63,6 +63,20 @@ func (e *Engine) State() *State {
 	return s
 }
 
+// Suspend is the hibernation path: it stops the async pump (draining
+// anything queued), captures a detached state handle, and closes every
+// shard backend, releasing the engine's memory and goroutines. The
+// engine must not be used after Suspend; NewFromState over the returned
+// handle resumes the stream bit-exactly (sampler RNG streams included),
+// so a hibernate→restore cycle is invisible to sketch bytes,
+// certificates, and audit journals. Returns the state even when a
+// backend close fails — the checkpoint is already consistent by then.
+func (e *Engine) Suspend() (*State, error) {
+	e.Stop()
+	s := e.State()
+	return s, e.closeBackends()
+}
+
 // NewFromState rebuilds an engine from a snapshot, resuming the stream
 // exactly where the checkpoint left off (sampler RNG streams included).
 // The checkpoint's shard layout wins: len(s.Shards) overrides

@@ -33,15 +33,12 @@ func Handle(path string, h http.Handler) { Default().Handle(path, h) }
 //	/tracez        retained traces as parent-child trees (?format=json)
 //	/debug/pprof/  the standard net/http/pprof profiles
 //
-// plus any endpoints registered with Handle. The root path redirects
-// to /statusz.
+// plus any endpoints registered with Handle. Extra endpoints are looked
+// up per request, so a subsystem may mount its surface after the server
+// has started serving (e.g. the tenant registry mounting /tenantz once
+// its configuration is assembled). The root path redirects to /statusz.
 func (r *Registry) Handler() http.Handler {
 	mux := http.NewServeMux()
-	r.mu.Lock()
-	for path, h := range r.extra {
-		mux.Handle(path, h)
-	}
-	r.mu.Unlock()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		r.WritePrometheus(w)
@@ -74,7 +71,16 @@ func (r *Registry) Handler() http.Handler {
 		}
 		http.Redirect(w, req, "/statusz", http.StatusFound)
 	})
-	return mux
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		r.mu.Lock()
+		h := r.extra[req.URL.Path]
+		r.mu.Unlock()
+		if h != nil {
+			h.ServeHTTP(w, req)
+			return
+		}
+		mux.ServeHTTP(w, req)
+	})
 }
 
 // Handler returns the endpoint set for the default registry.

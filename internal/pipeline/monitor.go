@@ -65,20 +65,21 @@ func NewMonitor(cfg Config, window int) *Monitor {
 // engineConfig maps the pipeline configuration onto the engine's.
 func engineConfig(cfg Config, window int) engine.Config {
 	return engine.Config{
-		Shards:            cfg.Shards,
-		IngestBuffer:      cfg.IngestBuffer,
-		ReconcileEvery:    cfg.ReconcileEvery,
-		ReconcileAdaptive: cfg.ReconcileAdaptive,
-		Window:            window,
-		Pre:               cfg.Pre,
-		Sketch:            cfg.Sketch,
-		Merge:             cfg.Merge,
-		Audit:             cfg.Audit,
-		AuditEvery:        cfg.AuditEvery,
-		FrameBudget:       cfg.FrameBudget,
-		BurnThreshold:     cfg.BurnThreshold,
-		Backends:          cfg.Backends,
-		ReconcileRetry:    cfg.ReconcileRetry,
+		Shards:         cfg.Shards,
+		IngestBuffer:   cfg.IngestBuffer,
+		ReconcileEvery: cfg.ReconcileEvery,
+		ReconcileFixed: cfg.ReconcileFixed,
+		Window:         window,
+		Tenant:         cfg.Tenant,
+		Pre:            cfg.Pre,
+		Sketch:         cfg.Sketch,
+		Merge:          cfg.Merge,
+		Audit:          cfg.Audit,
+		AuditEvery:     cfg.AuditEvery,
+		FrameBudget:    cfg.FrameBudget,
+		BurnThreshold:  cfg.BurnThreshold,
+		Backends:       cfg.Backends,
+		ReconcileRetry: cfg.ReconcileRetry,
 	}
 }
 

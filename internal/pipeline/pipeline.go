@@ -85,12 +85,16 @@ type Config struct {
 	// reconciles (default 128); snapshot paths reconcile on demand
 	// regardless.
 	ReconcileEvery int
-	// ReconcileAdaptive switches the engine to the staleness-driven
-	// reconcile controller: merges happen when the shards' marginal Σδ
-	// growth says the cached global sketch is stale, instead of on the
-	// fixed ReconcileEvery countdown. The post-drain sketch and
-	// certificate are identical either way.
-	ReconcileAdaptive bool
+	// ReconcileFixed reverts the engine to the fixed ReconcileEvery
+	// merge countdown. The default (false) is the staleness-driven
+	// controller: merges happen when the shards' marginal Σδ growth
+	// says the cached global sketch is stale. The post-drain sketch
+	// and certificate are identical either way.
+	ReconcileFixed bool
+	// Tenant, when non-empty, scopes the Monitor's engine metrics with
+	// a tenant="<id>" label (set by the multi-tenant registry). Empty
+	// keeps the process-wide unlabeled series.
+	Tenant string
 	// FrameBudget is the Monitor's per-frame wall-time SLO, amortized
 	// over each ingest batch (default one 120 Hz machine period;
 	// negative disables). Misses are counted, journaled as

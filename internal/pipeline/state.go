@@ -52,7 +52,10 @@ type MonitorState struct {
 // ingest gate, so it is safe to call concurrently with Ingest and
 // Snapshot and never sees a torn window-vs-sketch cut.
 func (m *Monitor) State() *MonitorState {
-	es := m.eng.State()
+	return monitorStateOf(m.eng.State())
+}
+
+func monitorStateOf(es *engine.State) *MonitorState {
 	s := &MonitorState{
 		Window:  es.Window,
 		Ingests: es.Ingests,
@@ -65,6 +68,59 @@ func (m *Monitor) State() *MonitorState {
 		s.Frames[i] = FrameState{Vec: f.Vec, Tag: f.Tag}
 	}
 	return s
+}
+
+// Suspend is the hibernation path: it stops the monitor's engine
+// (draining any queued frames), captures a detached state handle, and
+// releases the engine's backends and goroutines. The monitor must not
+// be used after Suspend; NewMonitorFromState over the returned state
+// resumes the stream bit-exactly, so hibernate→restore is invisible to
+// sketch bytes, certificates, and audit journals. The state is returned
+// even when a backend close fails.
+func (m *Monitor) Suspend() (*MonitorState, error) {
+	es, err := m.eng.Suspend()
+	if es == nil {
+		return nil, err
+	}
+	return monitorStateOf(es), err
+}
+
+// Certificate composes the error-bound certificate recorded in the
+// state's shard sketches: shrinkage and energy ledgers sum, the rank is
+// the max — the same aggregate a reconcile would certify (the merge's
+// own shrinkage is not incurred until it runs, so this is the floor of
+// the restored bound). The zero Certificate when nothing was ingested.
+func (s *MonitorState) Certificate() audit.Certificate {
+	var certs []audit.Certificate
+	for _, ss := range s.Shards {
+		fd := aramsFDState(ss)
+		if fd == nil {
+			continue
+		}
+		certs = append(certs, audit.Certificate{
+			Rows:       fd.Seen,
+			Dim:        fd.D,
+			Ell:        fd.Ell,
+			Rotations:  fd.Rotations,
+			ShrinkMass: fd.TotalDelta,
+			FrobMass:   fd.FrobMass,
+		})
+	}
+	return audit.Compose(certs...)
+}
+
+// aramsFDState returns the FD ledger inside an ARAMS shard state,
+// whichever variant carries it (nil for an empty slot).
+func aramsFDState(s *sketch.ARAMSState) *sketch.FDState {
+	switch {
+	case s == nil:
+		return nil
+	case s.RankAdaptive != nil:
+		return &s.RankAdaptive.FD
+	case s.FD != nil:
+		return s.FD
+	}
+	return nil
 }
 
 // NewMonitorFromState rebuilds a monitor from a snapshot, resuming the

@@ -1,0 +1,463 @@
+package tenant_test
+
+// Multi-tenant registry coverage: hibernate/restore bit-exactness
+// (including a full process "death" between the two halves of a
+// stream), residency-cap eviction equivalence, fair-share isolation
+// when one tenant is wedged, /tenantz exposition hygiene, and a -race
+// hammer with forced evictions.
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"arams/internal/audit"
+	"arams/internal/ckpt"
+	"arams/internal/imgproc"
+	"arams/internal/mat"
+	"arams/internal/obs"
+	"arams/internal/pipeline"
+	"arams/internal/rng"
+	"arams/internal/sketch"
+	"arams/internal/tenant"
+)
+
+func tenantFrames(n, w, h int, seed uint64) []*imgproc.Image {
+	g := rng.New(seed)
+	frames := make([]*imgproc.Image, n)
+	for i := range frames {
+		im := imgproc.NewImage(w, h)
+		cx, cy := float64(i%w), float64((i/2)%h)
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				dx, dy := float64(x)-cx, float64(y)-cy
+				im.Set(x, y, 10/(1+dx*dx+dy*dy)+0.1*g.Norm())
+			}
+		}
+		frames[i] = im
+	}
+	return frames
+}
+
+func tenantPipeline() pipeline.Config {
+	return pipeline.Config{
+		Sketch:    sketch.Config{Ell0: 6, Beta: 1, Seed: 21},
+		LatentDim: 4,
+		Shards:    2,
+	}
+}
+
+func tenantConfig(dir string) tenant.Config {
+	return tenant.Config{
+		Dir:      dir,
+		Pipeline: tenantPipeline(),
+		Window:   16,
+		Journal:  audit.NewJournal(256),
+	}
+}
+
+// stateBytes drains a tenant and marshals its full monitor state, the
+// registry-side equivalent of hashing every shard sketch, RNG position,
+// and window frame at once.
+func stateBytes(t *testing.T, r *tenant.Registry, id string) []byte {
+	t.Helper()
+	if err := r.Drain(id); err != nil {
+		t.Fatalf("Drain(%s): %v", id, err)
+	}
+	m, release, err := r.Monitor(id)
+	if err != nil {
+		t.Fatalf("Monitor(%s): %v", id, err)
+	}
+	defer release()
+	b, err := ckpt.Marshal(m.State())
+	if err != nil {
+		t.Fatalf("Marshal(%s): %v", id, err)
+	}
+	return b
+}
+
+// TestHibernateRestoreBitExact is the kill/restore acceptance test at
+// the registry layer: a tenant is hibernated mid-stream, the process
+// "dies" (the registry is closed and a fresh one opened over the same
+// directory), and the stream resumes through the new registry, which
+// restores the tenant lazily on its next frame. The final sketch state
+// must match an always-resident plain Monitor bit for bit, and the
+// composed certificate must still dominate the exactly-computed
+// covariance error of the global sketch.
+func TestHibernateRestoreBitExact(t *testing.T) {
+	const n, w, h, killAt = 64, 6, 6, 37
+	frames := tenantFrames(n, w, h, 177)
+	dir := t.TempDir()
+
+	// Control: the PR-9-era single-stream path, no registry anywhere.
+	control := pipeline.NewMonitor(tenantPipeline(), 16)
+	for i, im := range frames {
+		control.Ingest(im, i)
+	}
+	want, err := ckpt.Marshal(control.State())
+	if err != nil {
+		t.Fatalf("Marshal control: %v", err)
+	}
+
+	r, err := tenant.Open(tenantConfig(dir))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < killAt; i++ {
+		if err := r.Append("amo123", frames[i], i); err != nil {
+			t.Fatalf("Append frame %d: %v", i, err)
+		}
+	}
+	if err := r.Hibernate("amo123"); err != nil {
+		t.Fatalf("Hibernate: %v", err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// The "kill": only dir/tenant-amo123.ckpt survives.
+
+	r2, err := tenant.Open(tenantConfig(dir))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer r2.Close()
+	infos := r2.Tenants()
+	if len(infos) != 1 || infos[0].ID != "amo123" || infos[0].State != tenant.Hibernated {
+		t.Fatalf("recovery scan found %+v, want one hibernated amo123", infos)
+	}
+	for i := killAt; i < n; i++ {
+		if err := r2.Append("amo123", frames[i], i); err != nil {
+			t.Fatalf("Append frame %d after restore: %v", i, err)
+		}
+	}
+	got := stateBytes(t, r2, "amo123")
+	if !bytes.Equal(got, want) {
+		t.Fatal("hibernate→kill→restore changed the monitor state bytes")
+	}
+
+	// The restored certificate must still be a valid bound on the
+	// exactly-computed covariance error (β = 1: the ledger covers the
+	// whole stream).
+	cert, err := r2.Certificate("amo123")
+	if err != nil {
+		t.Fatalf("Certificate: %v", err)
+	}
+	if cert.Rows != n {
+		t.Fatalf("certificate covers %d rows, want %d", cert.Rows, n)
+	}
+	m, release, err := r2.Monitor("amo123")
+	if err != nil {
+		t.Fatalf("Monitor: %v", err)
+	}
+	b := m.Engine().GlobalSketch().Sketch()
+	release()
+	a := mat.New(n, w*h)
+	for i, im := range frames {
+		copy(a.Row(i), im.Pix)
+	}
+	exact := sketch.CovErr(a, b)
+	slack := 1e-8 * (1 + cert.FrobMass)
+	if exact > cert.CovBound()+slack {
+		t.Fatalf("exact covariance error %v exceeds restored certified bound %v",
+			exact, cert.CovBound())
+	}
+}
+
+// TestMaxResidentBitExact runs 32 tenants through a registry capped at
+// 8 resident engines — so tenants hibernate and restore continuously
+// under residency pressure — and demands every tenant's final state be
+// bit-identical to the same streams through an uncapped registry.
+func TestMaxResidentBitExact(t *testing.T) {
+	const tenants, perTenant, w, h = 32, 24, 6, 6
+	ids := make([]string, tenants)
+	streams := make([][]*imgproc.Image, tenants)
+	for i := range ids {
+		ids[i] = "t" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		streams[i] = tenantFrames(perTenant, w, h, uint64(1000+i))
+	}
+
+	run := func(maxResident int) map[string][]byte {
+		cfg := tenantConfig(t.TempDir())
+		cfg.MaxResident = maxResident
+		r, err := tenant.Open(cfg)
+		if err != nil {
+			t.Fatalf("Open(maxResident=%d): %v", maxResident, err)
+		}
+		defer r.Close()
+		// Interleave round-robin across tenants so residency pressure
+		// keeps rotating the LRU set through hibernation.
+		for f := 0; f < perTenant; f++ {
+			for i, id := range ids {
+				if err := r.Append(id, streams[i][f], f); err != nil {
+					t.Fatalf("Append(%s, %d): %v", id, f, err)
+				}
+			}
+		}
+		out := make(map[string][]byte, tenants)
+		for _, id := range ids {
+			out[id] = stateBytes(t, r, id)
+		}
+		return out
+	}
+
+	want := run(0) // always resident
+	got := run(8)  // hibernation churn
+	for _, id := range ids {
+		if !bytes.Equal(got[id], want[id]) {
+			t.Fatalf("tenant %s: state under MaxResident=8 differs from always-resident run", id)
+		}
+	}
+}
+
+// TestFairShareIsolation wedges one tenant (its checkpoint is corrupt,
+// so its restore fails and its frames can never drain) and verifies
+// the failure is contained: its own Append surfaces the restore error
+// once the quota fills, while a healthy neighbor streams to completion
+// through the same dispatcher.
+func TestFairShareIsolation(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "tenant-wedged.ckpt"), []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := tenantConfig(dir)
+	cfg.QueueQuota = 4
+	r, err := tenant.Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer r.Close()
+
+	frames := tenantFrames(32, 6, 6, 7)
+	wedgedErr := make(chan error, 1)
+	go func() {
+		// The corrupt checkpoint makes the restore fail; the sticky
+		// error must surface here instead of blocking forever.
+		var err error
+		for i := 0; i < 2*cfg.QueueQuota && err == nil; i++ {
+			err = r.Append("wedged", frames[i], i)
+		}
+		wedgedErr <- err
+	}()
+
+	for i, im := range frames {
+		if err := r.Append("healthy", im, i); err != nil {
+			t.Fatalf("healthy tenant stalled at frame %d: %v", i, err)
+		}
+	}
+	if err := r.Drain("healthy"); err != nil {
+		t.Fatalf("Drain(healthy): %v", err)
+	}
+	m, release, err := r.Monitor("healthy")
+	if err != nil {
+		t.Fatalf("Monitor(healthy): %v", err)
+	}
+	ingested := m.Ingested()
+	release()
+	if ingested != len(frames) {
+		t.Fatalf("healthy tenant sketched %d frames, want %d", ingested, len(frames))
+	}
+
+	select {
+	case err := <-wedgedErr:
+		if err == nil {
+			t.Fatal("wedged tenant's Append never surfaced the restore failure")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("wedged tenant's producer is still blocked")
+	}
+}
+
+// TestTenantzExposition locks the /tenantz surface: the prom rendering
+// must pass the exposition linter with tenants in several lifecycle
+// states, and the JSON/HTML renderings must at least identify every
+// tenant.
+func TestTenantzExposition(t *testing.T) {
+	cfg := tenantConfig(t.TempDir())
+	cfg.IdleAfter = time.Nanosecond
+	r, err := tenant.Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer r.Close()
+
+	frames := tenantFrames(8, 6, 6, 3)
+	for i, im := range frames {
+		if err := r.Append("beam-a", im, i); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Append("diffract.b", im, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.Certificate("beam-a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Drain("diffract.b"); err != nil {
+		t.Fatal(err)
+	}
+	// Put one tenant to sleep so the table mixes states.
+	if err := r.Hibernate("diffract.b"); err != nil {
+		t.Fatalf("Hibernate: %v", err)
+	}
+
+	h := r.Handler()
+	for _, format := range []string{"", "json", "prom"} {
+		req := httptest.NewRequest("GET", "/tenantz?format="+format, nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		body := rec.Body.String()
+		for _, id := range []string{"beam-a", "diffract.b"} {
+			if !strings.Contains(body, id) {
+				t.Fatalf("format=%q omits tenant %s:\n%s", format, id, body)
+			}
+		}
+		if format == "prom" {
+			if err := obs.ValidateExposition(strings.NewReader(body)); err != nil {
+				t.Fatalf("/tenantz?format=prom fails lint: %v\n%s", err, body)
+			}
+			if !strings.Contains(body, `arams_tenantz_cov_bound{tenant="diffract.b"}`) {
+				t.Fatalf("hibernated tenant lost its certificate series:\n%s", body)
+			}
+		}
+	}
+
+	// The per-tenant engine series land in the process-wide registry
+	// with tenant labels; the full exposition must stay lint-clean with
+	// labeled and historical unlabeled variants coexisting.
+	var buf bytes.Buffer
+	obs.Default().WritePrometheus(&buf)
+	if err := obs.ValidateExposition(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("default exposition fails lint with tenant labels: %v", err)
+	}
+	if !strings.Contains(buf.String(), `arams_engine_frames_total{tenant="beam-a"}`) {
+		t.Fatal("per-tenant engine series missing from the default exposition")
+	}
+}
+
+// TestValidateID pins the tenant-ID alphabet (IDs become checkpoint
+// filenames and Prometheus label values).
+func TestValidateID(t *testing.T) {
+	for _, ok := range []string{"a", "amo86915", "beam-a", "run_12", "x.y.z"} {
+		if err := tenant.ValidateID(ok); err != nil {
+			t.Errorf("ValidateID(%q) = %v, want nil", ok, err)
+		}
+	}
+	for _, bad := range []string{"", "a/b", "a b", "héllo", strings.Repeat("x", 65)} {
+		if err := tenant.ValidateID(bad); err == nil {
+			t.Errorf("ValidateID(%q) = nil, want error", bad)
+		}
+	}
+}
+
+// TestRaceHammer exercises the registry under -race: 8 tenants with
+// concurrent producers, a janitor with an aggressive idle deadline, a
+// residency cap of 2 forcing continuous evictions, and concurrent
+// /tenantz scrapes and certificate reads. The assertion is simply that
+// every frame lands — the race detector and the deadlock timeout do
+// the real work.
+func TestRaceHammer(t *testing.T) {
+	const tenants, perTenant = 8, 48
+	cfg := tenantConfig(t.TempDir())
+	cfg.MaxResident = 2
+	cfg.IdleAfter = time.Millisecond
+	cfg.JanitorEvery = time.Millisecond
+	cfg.QueueQuota = 8
+	r, err := tenant.Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+
+	ids := []string{"h0", "h1", "h2", "h3", "h4", "h5", "h6", "h7"}
+	for _, id := range ids {
+		if err := r.Admit(id); err != nil {
+			t.Fatalf("Admit(%s): %v", id, err)
+		}
+	}
+	var producers sync.WaitGroup
+	for i, id := range ids {
+		producers.Add(1)
+		go func(i int, id string) {
+			defer producers.Done()
+			frames := tenantFrames(perTenant, 6, 6, uint64(500+i))
+			for f, im := range frames {
+				if err := r.Append(id, im, f); err != nil {
+					t.Errorf("Append(%s, %d): %v", id, f, err)
+					return
+				}
+			}
+		}(i, id)
+	}
+	stop := make(chan struct{})
+	var scraper sync.WaitGroup
+	scraper.Add(1)
+	go func() {
+		defer scraper.Done()
+		h := r.Handler()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest("GET", "/tenantz?format=prom", nil))
+			r.Tenants()
+			r.Certificate(ids[0])
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	done := make(chan struct{})
+	go func() {
+		producers.Wait()
+		for _, id := range ids {
+			if err := r.Drain(id); err != nil {
+				t.Errorf("Drain(%s): %v", id, err)
+			}
+		}
+		close(stop)
+		scraper.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Minute):
+		t.Fatal("hammer deadlocked")
+	}
+
+	for _, id := range ids {
+		cert, err := r.Certificate(id)
+		if err != nil {
+			t.Fatalf("Certificate(%s): %v", id, err)
+		}
+		if cert.Rows != perTenant {
+			t.Fatalf("tenant %s certified %d rows, want %d", id, cert.Rows, perTenant)
+		}
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Everything must survive on disk after Close.
+	r2, err := tenant.Open(tenantConfig(cfg.Dir))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer r2.Close()
+	if got := len(r2.Tenants()); got != tenants {
+		t.Fatalf("recovery scan found %d tenants, want %d", got, tenants)
+	}
+	for _, id := range ids {
+		cert, err := r2.Certificate(id)
+		if err != nil {
+			t.Fatalf("Certificate(%s) after reopen: %v", id, err)
+		}
+		if cert.Rows != perTenant {
+			t.Fatalf("tenant %s certified %d rows after reopen, want %d", id, cert.Rows, perTenant)
+		}
+	}
+}

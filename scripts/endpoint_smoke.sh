@@ -54,9 +54,12 @@ for i in $(seq 1 150); do
 done
 
 echo "== obscheck =="
+# -forbid-labels tenant: a single-tenant run must expose exactly the
+# historical unlabeled series — linking the tenant registry into the
+# binary must not leak tenant="" labels onto /metrics.
 "$TMP/obscheck" -base "$BASE" \
   -want arams_stage_duration_seconds,arams_stage_cpu_seconds,arams_engine_frames_total \
-  -min-traces 1 -fleet-workers coordinator
+  -min-traces 1 -fleet-workers coordinator -forbid-labels tenant
 
 echo "== endpoint spot checks =="
 # Download before heading: `curl | head` races head's pipe close
